@@ -1,0 +1,140 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* in-place vs out-of-place placement policy (Sec. IV-C: the compiler maximises
+  in-place operations because they need 8 instead of 10 cycles per bit),
+* activation precision sweep (4 vs 8 bits),
+* output-channel parallelism of the allocator (latency vs idle APs),
+* functional AP simulation cost vs CAM size (simulator scalability).
+"""
+
+import numpy as np
+import pytest
+
+from repro.ap.core import AssociativeProcessor
+from repro.core.compiler import CompilerConfig, compile_model, compile_slice
+from repro.eval.reporting import format_table
+from repro.nn.ternary import synthetic_ternary_weights
+from repro.perf.model import PerformanceModelConfig, evaluate_model
+
+BENCH_SLICE_SAMPLING = 12
+
+
+def test_placement_policy_ablation(benchmark, save_report, vgg9_specs):
+    """Forcing every operation out-of-place costs extra cycles (8 vs 10 per bit)."""
+    weight_slice = synthetic_ternary_weights((64, 9), 0.7, rng=1)
+
+    def run():
+        inplace = compile_slice(weight_slice, CompilerConfig(prefer_inplace=True))
+        outofplace = compile_slice(weight_slice, CompilerConfig(prefer_inplace=False))
+        return inplace, outofplace
+
+    inplace, outofplace = benchmark.pedantic(run, rounds=1, iterations=1)
+    from repro.ap.cost import program_cost
+    from repro.rtm.timing import RTMTechnology
+
+    technology = RTMTechnology()
+    rows = 256
+    inplace_cost = program_cost(inplace.program, rows)
+    outofplace_cost = program_cost(outofplace.program, rows)
+    text = format_table(
+        ["policy", "in-place ops", "out-of-place ops", "phases", "latency (ns)", "energy (nJ)"],
+        [
+            [
+                "prefer in-place (paper)",
+                inplace.program.num_inplace_ops,
+                inplace.program.num_outofplace_ops,
+                inplace_cost.total_phases,
+                inplace_cost.latency_ns(technology),
+                inplace_cost.energy_fj(technology) / 1e6,
+            ],
+            [
+                "all out-of-place",
+                outofplace.program.num_inplace_ops,
+                outofplace.program.num_outofplace_ops,
+                outofplace_cost.total_phases,
+                outofplace_cost.latency_ns(technology),
+                outofplace_cost.energy_fj(technology) / 1e6,
+            ],
+        ],
+        title="Placement-policy ablation (64x9 weight slice, 0.7 sparsity)",
+    )
+    save_report("ablation_placement", text)
+    assert inplace.program.num_inplace_ops > 0
+    assert outofplace.program.num_inplace_ops == 0
+    assert inplace_cost.total_phases < outofplace_cost.total_phases
+
+
+def test_activation_precision_sweep(benchmark, save_report, vgg9_specs):
+    """Energy/latency of VGG-9 across activation precisions (Table II, 4 vs 8 bit)."""
+
+    def run():
+        rows = []
+        for bits in (2, 4, 6, 8):
+            compiled = compile_model(
+                vgg9_specs,
+                CompilerConfig(enable_cse=True, activation_bits=bits,
+                               max_slices_per_layer=BENCH_SLICE_SAMPLING),
+                name="vgg9",
+            )
+            performance = evaluate_model(compiled)
+            rows.append([bits, performance.energy_uj, performance.latency_ms,
+                         f"{performance.movement_fraction * 100:.1f}%"])
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        ["activation bits", "energy (uJ)", "latency (ms)", "movement share"],
+        rows,
+        title="Activation-precision sweep (VGG-9, unroll+CSE)",
+    )
+    save_report("ablation_precision_sweep", text)
+    energies = [row[1] for row in rows]
+    assert energies == sorted(energies)  # energy grows monotonically with precision
+
+
+def test_output_parallelism_ablation(benchmark, save_report, resnet18_specs):
+    """Idle-AP output parallelism trades nothing but input staging for latency."""
+    compiled = compile_model(
+        resnet18_specs,
+        CompilerConfig(enable_cse=True, activation_bits=4,
+                       max_slices_per_layer=BENCH_SLICE_SAMPLING),
+        name="resnet18",
+    )
+
+    def run():
+        with_parallelism = evaluate_model(
+            compiled, config=PerformanceModelConfig(output_channel_parallelism=True)
+        )
+        without_parallelism = evaluate_model(
+            compiled, config=PerformanceModelConfig(output_channel_parallelism=False)
+        )
+        return with_parallelism, without_parallelism
+
+    with_parallelism, without_parallelism = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        ["allocator policy", "energy (uJ)", "latency (ms)", "peak APs"],
+        [
+            ["output-channel parallelism on idle APs", with_parallelism.energy_uj,
+             with_parallelism.latency_ms, with_parallelism.arrays_used],
+            ["row tiles / channel groups only", without_parallelism.energy_uj,
+             without_parallelism.latency_ms, without_parallelism.arrays_used],
+        ],
+        title="Allocator ablation (ResNet-18, 4-bit)",
+    )
+    save_report("ablation_output_parallelism", text)
+    assert with_parallelism.latency_ms < without_parallelism.latency_ms
+
+
+@pytest.mark.parametrize("rows", [64, 256])
+def test_functional_simulator_scaling(benchmark, rows):
+    """Functional AP cost grows with the number of CAM rows (simulator health check)."""
+    rng = np.random.default_rng(0)
+    a = rng.integers(0, 100, rows)
+    b = rng.integers(0, 100, rows)
+
+    def run():
+        ap = AssociativeProcessor(rows=rows, columns=8)
+        return ap.add_vectors(a, b, width=9)
+
+    result = benchmark(run)
+    assert np.array_equal(result, a + b)

@@ -1,0 +1,31 @@
+"""Experiment E9 - accuracy vs precision (Table II accuracy columns).
+
+On the proxy classification task (see DESIGN.md, Substitutions):
+ternary weights with 4-bit LSQ activations retain full-precision accuracy,
+the ADC-quantized crossbar loses accuracy, and the DeepCAM-style hashed
+approximation loses the most.
+"""
+
+import pytest
+
+from repro.eval.accuracy import run_accuracy_experiment
+from repro.nn.datasets import make_cluster_classification
+
+
+def test_accuracy_experiment(benchmark, save_report):
+    dataset = make_cluster_classification(
+        num_classes=10, features=32, train_per_class=60, test_per_class=40, noise=1.2, rng=5
+    )
+    summary = benchmark.pedantic(
+        lambda: run_accuracy_experiment(epochs=20, seed=5, dataset=dataset, hash_length=32),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("accuracy_vs_precision", summary.to_text())
+    assert summary.fp_accuracy > 0.6
+    # RTM-AP operating points retain accuracy.
+    assert summary.degradation("ternary-a4") < 0.10
+    assert summary.degradation("ternary-a8") < 0.10
+    # The approximate baselines do not beat the exact AP.
+    assert summary.accuracies["deepcam-hash"] <= summary.accuracies["ternary-a4"] + 0.02
+    assert summary.accuracies["crossbar-adc5"] <= summary.accuracies["ternary-a8"] + 0.02

@@ -1,0 +1,53 @@
+"""Batched inference ablation (paper Sec. V-B).
+
+The paper notes that the latency penalty of the deep, row-starved ResNet-18
+layers "could be alleviated by processing multiple images per layer".  This
+benchmark quantifies that: batching fills the idle CAM rows, amortizing the
+per-layer instruction stream over several images.
+"""
+
+import pytest
+
+from repro.core.compiler import CompilerConfig, compile_model
+from repro.eval.reporting import format_table
+from repro.perf.model import PerformanceModelConfig, evaluate_model
+
+BENCH_SLICE_SAMPLING = 12
+
+
+def test_batched_inference(benchmark, save_report, resnet18_specs):
+    compiled = compile_model(
+        resnet18_specs,
+        CompilerConfig(enable_cse=True, activation_bits=4,
+                       max_slices_per_layer=BENCH_SLICE_SAMPLING),
+        name="resnet18",
+    )
+
+    def run():
+        rows = []
+        for batch in (1, 2, 4, 8):
+            performance = evaluate_model(
+                compiled, config=PerformanceModelConfig(batch_size=batch)
+            )
+            rows.append(
+                [
+                    batch,
+                    performance.energy_per_image_uj,
+                    performance.latency_per_image_ms,
+                    performance.latency_ms,
+                    performance.arrays_used,
+                ]
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        ["batch", "energy/image (uJ)", "latency/image (ms)", "batch latency (ms)", "peak APs"],
+        rows,
+        title="Batched ResNet-18 inference on the RTM-AP (unroll+CSE, 4-bit)",
+    )
+    save_report("batching", text)
+    per_image_latency = [row[2] for row in rows]
+    # Throughput per image improves monotonically with the batch size.
+    assert per_image_latency == sorted(per_image_latency, reverse=True)
+    assert per_image_latency[-1] < per_image_latency[0]

@@ -1,0 +1,57 @@
+"""Experiment E6 - data movement (paper Sec. V-C).
+
+The paper claims that partial-result movement accounts for only ~3 % of the
+RTM-AP's energy, against ~41 % communication energy in the crossbar baseline.
+"""
+
+import pytest
+
+from repro.baselines.crossbar import CrossbarConfig, evaluate_crossbar_model
+from repro.core.compiler import CompilerConfig, compile_model
+from repro.eval.reporting import format_table
+from repro.perf.model import evaluate_model
+
+BENCH_SLICE_SAMPLING = 12
+
+
+def test_movement_fraction_rtm_vs_crossbar(benchmark, save_report, resnet18_specs):
+    """RTM-AP keeps data movement at a few percent; the crossbar spends tens of percent."""
+
+    def run():
+        compiled = compile_model(
+            resnet18_specs,
+            CompilerConfig(enable_cse=True, activation_bits=4,
+                           max_slices_per_layer=BENCH_SLICE_SAMPLING),
+            name="resnet18",
+        )
+        rtm = evaluate_model(compiled)
+        crossbar = evaluate_crossbar_model(
+            resnet18_specs, CrossbarConfig(), activation_bits=8, name="resnet18"
+        )
+        return rtm, crossbar
+
+    rtm, crossbar = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        ["system", "total energy (uJ)", "movement energy (uJ)", "movement share", "paper"],
+        [
+            [
+                "RTM-AP (unroll+CSE, 4-bit)",
+                rtm.energy_uj,
+                rtm.energy.movement_fj / 1e9,
+                f"{rtm.movement_fraction * 100:.1f}%",
+                "~3%",
+            ],
+            [
+                "Crossbar (NeuroSim-style, 8-bit)",
+                crossbar.energy_uj,
+                crossbar.energy.movement_fj / 1e9,
+                f"{crossbar.communication_fraction * 100:.1f}%",
+                "~41%",
+            ],
+        ],
+        title="Data movement share of total energy (ResNet-18)",
+    )
+    save_report("data_movement", text)
+    assert rtm.movement_fraction < 0.10
+    assert crossbar.communication_fraction > 0.15
+    assert crossbar.communication_fraction > 3 * rtm.movement_fraction

@@ -1,0 +1,47 @@
+"""Experiment E7 - write endurance (paper Sec. V-C: ~31-year lifetime)."""
+
+import pytest
+
+from repro.core.compiler import CompilerConfig, compile_model
+from repro.eval.reporting import format_table
+from repro.perf.endurance import endurance_report
+from repro.perf.model import evaluate_model
+
+BENCH_SLICE_SAMPLING = 12
+
+
+def test_endurance_lifetime(benchmark, save_report, resnet18_specs):
+    """The idealised and workload-derived lifetimes both exceed decades."""
+
+    def run():
+        compiled = compile_model(
+            resnet18_specs,
+            CompilerConfig(enable_cse=True, activation_bits=4,
+                           max_slices_per_layer=BENCH_SLICE_SAMPLING),
+            name="resnet18",
+        )
+        performance = evaluate_model(compiled)
+        return endurance_report(performance=performance)
+
+    report = benchmark.pedantic(run, rounds=1, iterations=1)
+    text = format_table(
+        ["analysis", "rewrite interval (ns)", "lifetime (years)", "paper"],
+        [
+            [
+                "idealised (2 cols/op, 0.8 ns, 256 columns)",
+                report.paper_style.mean_rewrite_interval_ns,
+                report.paper_style_years,
+                "~31 years",
+            ],
+            [
+                "sustained ResNet-18 inference workload",
+                report.workload.mean_rewrite_interval_ns if report.workload else None,
+                report.workload_years,
+                "(not stated)",
+            ],
+        ],
+        title="RTM write-endurance analysis",
+    )
+    save_report("endurance", text)
+    assert report.paper_style_years > 20
+    assert report.workload_years is not None and report.workload_years >= report.paper_style_years

@@ -1,0 +1,64 @@
+"""Experiment E4 - Fig. 4: layer-by-layer ResNet-18 breakdown.
+
+Regenerates the per-layer energy and latency of the ``unroll`` and
+``unroll+CSE`` RTM-AP configurations against the crossbar baseline, including
+the component breakdown (DFG, accumulation, peripherals, data movement).
+"""
+
+import pytest
+
+from repro.eval.fig4 import generate_fig4
+
+BENCH_SLICE_SAMPLING = 12
+
+
+@pytest.fixture(scope="module")
+def fig4(save_report):
+    data = generate_fig4(
+        "resnet18", activation_bits=4, max_slices_per_layer=BENCH_SLICE_SAMPLING, rng=0
+    )
+    save_report("fig4_resnet18_4bit", data.to_text())
+    return data
+
+
+def test_generate_fig4(benchmark, save_report):
+    """Benchmark Fig. 4 generation (with slice sampling)."""
+    data = benchmark.pedantic(
+        lambda: generate_fig4(
+            "resnet18", activation_bits=4, max_slices_per_layer=4, rng=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    assert len(data.layers) == 20
+
+
+def test_fig4_layer_trends(benchmark, fig4):
+    """The layer-wise shape of Fig. 4: CSE helps everywhere, most in layer 1;
+    the deep, row-starved layers are the ones that lose to the crossbar."""
+    benchmark.pedantic(lambda: fig4.totals(), rounds=1, iterations=1)
+    totals = fig4.totals()
+    assert totals["cse_energy_uj"] < totals["unroll_energy_uj"]
+    assert totals["crossbar_energy_uj"] > totals["cse_energy_uj"]
+    first = fig4.layers[0]
+    assert first.cse_energy_saving >= max(l.cse_energy_saving for l in fig4.layers[1:]) - 0.05
+    assert first.unroll_cse.latency_ms < first.crossbar.latency_ms
+    deep_convs = [l for l in fig4.layers[15:] if "downsample" not in l.name]
+    assert any(not layer.rtm_faster_than_crossbar for layer in deep_convs)
+
+
+def test_fig4_8bit(benchmark, save_report):
+    """The 8-bit variant of Fig. 4 (higher energy, higher latency)."""
+    data = benchmark.pedantic(
+        lambda: generate_fig4(
+            "resnet18", activation_bits=8, max_slices_per_layer=BENCH_SLICE_SAMPLING, rng=0
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_report("fig4_resnet18_8bit", data.to_text())
+    totals8 = data.totals()
+    data4 = generate_fig4(
+        "resnet18", activation_bits=4, max_slices_per_layer=BENCH_SLICE_SAMPLING, rng=0
+    )
+    assert totals8["cse_energy_uj"] > data4.totals()["cse_energy_uj"]

@@ -1,0 +1,60 @@
+"""Experiment E1 - Table I: the in-/out-of-place add/sub LUTs.
+
+Regenerates the structure of the paper's Table I (pass ordering, 8 vs 10
+cycles per bit) and benchmarks the functional bit-serial execution of each
+variant on a full CAM array.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ap.core import AssociativeProcessor
+from repro.ap.lut import all_luts, validate_lut
+from repro.eval.reporting import format_table
+
+
+def _lut_table_text() -> str:
+    rows = []
+    for lut in all_luts():
+        validate_lut(lut)
+        rows.append(
+            [
+                lut.name,
+                lut.kind,
+                "in-place" if lut.inplace else "out-of-place",
+                lut.passes_per_bit,
+                lut.phases_per_bit,
+                " -> ".join(str(entry.search) for entry in lut.entries),
+            ]
+        )
+    return format_table(
+        ["LUT", "kind", "placement", "passes/bit", "cycles/bit", "pass order (Cr,B,A)"],
+        rows,
+        title="Table I - LUTs for 1-bit addition and subtraction",
+    )
+
+
+def test_report_table1(benchmark, save_report):
+    """Emit the Table-I report (validated LUTs and their cycle counts)."""
+    text = benchmark(_lut_table_text)
+    save_report("table1_luts", text)
+    assert "8" in text and "10" in text
+
+
+@pytest.mark.parametrize("kind", ["add", "sub"])
+@pytest.mark.parametrize("inplace", [True, False], ids=["inplace", "outofplace"])
+def test_bitserial_kernel(benchmark, kind, inplace):
+    """Benchmark one bit-serial vector operation on a 256-row AP."""
+    rng = np.random.default_rng(0)
+    a = rng.integers(-100, 100, 256)
+    b = rng.integers(-100, 100, 256)
+
+    def run():
+        ap = AssociativeProcessor(rows=256, columns=16)
+        if kind == "add":
+            return ap.add_vectors(a, b, width=9, inplace=inplace)
+        return ap.sub_vectors(a, b, width=9, inplace=inplace)
+
+    result = benchmark(run)
+    expected = a + b if kind == "add" else a - b
+    assert np.array_equal(result, expected)

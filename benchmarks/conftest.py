@@ -1,0 +1,61 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables, figures or quantitative
+claims (see DESIGN.md, "Experiment index").  The heavy artefacts (compiled
+networks) are session-scoped so that several benchmarks can share them, and
+every benchmark writes its human-readable report to ``benchmarks/output/`` so
+the regenerated numbers can be compared with the paper (EXPERIMENTS.md).
+
+Large networks are compiled with *slice sampling* (a documented speed/accuracy
+trade-off of the statistics path, see ``CompilerConfig.max_slices_per_layer``):
+per-layer statistics are measured on a subset of input-channel slices and
+scaled, which keeps the full benchmark suite at a few minutes of runtime while
+staying within a few percent of the exact operation counts.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+import pytest
+
+#: Number of input-channel slices compiled per layer in the benchmarks.
+BENCH_SLICE_SAMPLING = 12
+
+OUTPUT_DIRECTORY = pathlib.Path(__file__).parent / "output"
+
+
+def _save_report(name: str, text: str) -> pathlib.Path:
+    """Write a benchmark's textual report under ``benchmarks/output/``."""
+    OUTPUT_DIRECTORY.mkdir(parents=True, exist_ok=True)
+    path = OUTPUT_DIRECTORY / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+@pytest.fixture(scope="session")
+def save_report():
+    """Fixture handing benchmarks the report-writing helper."""
+    return _save_report
+
+
+@pytest.fixture(scope="session")
+def slice_sampling() -> int:
+    """Slice-sampling factor used by the heavy compilations."""
+    return BENCH_SLICE_SAMPLING
+
+
+@pytest.fixture(scope="session")
+def resnet18_specs():
+    """Ternary layer specs of ResNet-18 at the paper's 0.8 sparsity."""
+    from repro.core.frontend import specs_for_network
+
+    return specs_for_network("resnet18", sparsity=0.8, rng=0)
+
+
+@pytest.fixture(scope="session")
+def vgg9_specs():
+    """Ternary layer specs of VGG-9 at the paper's 0.85 sparsity."""
+    from repro.core.frontend import specs_for_network
+
+    return specs_for_network("vgg9", sparsity=0.85, rng=0)

@@ -1,0 +1,64 @@
+"""Accuracy vs precision: why the RTM-AP retains software accuracy.
+
+Two demonstrations on fully-reproducible synthetic data:
+
+1. *Bit-exactness*: a compiled ternary convolution executed on the functional
+   AP produces exactly the same integers as the quantized software reference -
+   the RTM-AP introduces no approximation at all.
+2. *Quantization-aware training*: a small classifier trained with ternary
+   weights and LSQ-style 4-/8-bit activations matches its full-precision
+   accuracy, while evaluating the same model through a 5-bit ADC (the crossbar
+   baseline) or through hashed dot products (DeepCAM-style) loses accuracy.
+
+Run with::
+
+    python examples/accuracy_vs_precision.py
+"""
+
+import numpy as np
+
+from repro import AssociativeProcessor, CompilerConfig, compile_slice, run_accuracy_experiment
+from repro.nn.datasets import make_cluster_classification
+from repro.nn.ternary import synthetic_ternary_weights
+
+
+def demonstrate_bit_exactness() -> None:
+    weight_slice = synthetic_ternary_weights((12, 9), sparsity=0.6, rng=3)
+    compiled = compile_slice(weight_slice, CompilerConfig(enable_cse=True, activation_bits=4))
+    rng = np.random.default_rng(0)
+    activations = rng.integers(0, 16, size=(9, 64))
+
+    ap = AssociativeProcessor(rows=64, columns=64)
+    inputs = {name: activations[int(name[1:])] for name in compiled.program.input_columns}
+    outputs = ap.run_program(compiled.program, inputs)
+    ap_result = np.stack([outputs[f"y{o}"] for o in range(12)])
+    reference = weight_slice.astype(np.int64) @ activations
+
+    print("1. Bit-exactness of the compiled AP program")
+    print(f"   12x9 ternary weight slice, 64 output positions, 4-bit activations")
+    print(f"   maximum |AP - reference| = {np.abs(ap_result - reference).max()}  "
+          "(the AP computes exact integer arithmetic)\n")
+
+
+def demonstrate_quantization_accuracy() -> None:
+    dataset = make_cluster_classification(
+        num_classes=10, features=32, train_per_class=60, test_per_class=40, noise=1.2, rng=5
+    )
+    summary = run_accuracy_experiment(epochs=20, seed=5, dataset=dataset, hash_length=32)
+    print("2. Quantization-aware training on the synthetic classification task")
+    print(summary.to_text())
+    print(
+        "\n   -> ternary weights + 4-bit activations (the RTM-AP operating point) "
+        "retain full-precision accuracy;\n"
+        "      the ADC-quantized crossbar and the hashed DeepCAM-style baseline trail behind, "
+        "matching the paper's Table II trend."
+    )
+
+
+def main() -> None:
+    demonstrate_bit_exactness()
+    demonstrate_quantization_accuracy()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,80 @@
+"""Quickstart: compile a ternary convolution and estimate its cost on the RTM-AP.
+
+This walks the library's main path end to end:
+
+1. build a ternary-weight network from the model zoo,
+2. extract its layer specifications,
+3. compile it with the paper's ``unroll+CSE`` flow,
+4. evaluate energy/latency with the analytical performance model,
+5. compare against the ``unroll`` configuration and the crossbar baseline.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    CompilerConfig,
+    CrossbarConfig,
+    compile_model,
+    evaluate_crossbar_model,
+    evaluate_model,
+    specs_for_network,
+)
+from repro.core.report import compare_configurations
+from repro.eval.reporting import format_table
+
+
+def main() -> None:
+    # 1-2. A ternary VGG-9 for CIFAR-10 at the paper's 0.85 sparsity.
+    specs = specs_for_network("vgg9", sparsity=0.85, rng=0)
+    print(f"VGG-9: {len(specs)} weight layers, "
+          f"{sum(s.weights.size for s in specs) / 1e6:.1f}M ternary weights, "
+          f"{sum(s.nonzero_weights for s in specs) / 1e3:.0f}K non-zero")
+
+    # 3. Compile with and without CSE (4-bit LSQ activations).
+    cse_config = CompilerConfig(enable_cse=True, activation_bits=4)
+    unroll_config = CompilerConfig(enable_cse=False, activation_bits=4)
+    compiled_cse = compile_model(specs, cse_config, name="vgg9")
+    compiled_unroll = compile_model(specs, unroll_config, name="vgg9")
+
+    print()
+    print(compare_configurations(compiled_unroll, compiled_cse).to_text())
+
+    # 4. Analytical performance/energy model of the RTM-AP.
+    performance = evaluate_model(compiled_cse)
+
+    # 5. The DNN+NeuroSim-style crossbar baseline.
+    crossbar = evaluate_crossbar_model(specs, CrossbarConfig(), activation_bits=4)
+
+    print()
+    print(
+        format_table(
+            ["system", "energy (uJ)", "latency (ms)", "arrays", "movement share"],
+            [
+                [
+                    "RTM-AP (unroll+CSE, 4-bit)",
+                    performance.energy_uj,
+                    performance.latency_ms,
+                    compiled_cse.arrays_required,
+                    f"{performance.movement_fraction * 100:.1f}%",
+                ],
+                [
+                    "Crossbar (NeuroSim-style, 4-bit)",
+                    crossbar.energy_uj,
+                    crossbar.latency_ms,
+                    crossbar.arrays_used,
+                    f"{crossbar.communication_fraction * 100:.1f}%",
+                ],
+            ],
+            title="VGG-9 / CIFAR-10 per-inference cost",
+        )
+    )
+    improvement = (crossbar.energy_uj * crossbar.latency_ms) / (
+        performance.energy_uj * performance.latency_ms
+    )
+    print(f"\nEnergy-efficiency improvement over the crossbar baseline: {improvement:.1f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,57 @@
+"""Regenerate the paper's Table II from scratch.
+
+Builds every benchmark network (ResNet-18/ImageNet, VGG-9 and VGG-11 on
+CIFAR-10), compiles them for the RTM-AP in both configurations and at both
+activation precisions, evaluates the crossbar and DeepCAM-style baselines,
+optionally runs the accuracy experiment for the accuracy columns, and prints
+the complete table plus the headline improvement ratios.
+
+Run with::
+
+    python examples/table2_report.py                 # sampled slices (~1 minute)
+    python examples/table2_report.py --exact         # compile every slice
+    python examples/table2_report.py --with-accuracy # also fill accuracy columns
+"""
+
+import argparse
+
+from repro.eval.accuracy import run_accuracy_experiment
+from repro.eval.reporting import format_table
+from repro.eval.table2 import generate_table2
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--exact", action="store_true",
+                        help="compile every input-channel slice (slow but exact)")
+    parser.add_argument("--with-accuracy", action="store_true",
+                        help="run the proxy accuracy experiment for the accuracy columns")
+    arguments = parser.parse_args()
+
+    accuracy = run_accuracy_experiment(epochs=20, seed=5) if arguments.with_accuracy else None
+    table = generate_table2(
+        max_slices_per_layer=None if arguments.exact else 12,
+        accuracy=accuracy,
+        rng=0,
+    )
+    print(table.to_text())
+
+    ratios = table.improvement_over_crossbar("ResNet18/ImageNet", activation_bits=4)
+    print()
+    print(
+        format_table(
+            ["metric", "RTM-AP vs crossbar", "paper"],
+            [
+                ["latency", f"{ratios['latency']:.1f}x", "~3x"],
+                ["energy", f"{ratios['energy']:.1f}x", "~2.5x"],
+                ["energy efficiency", f"{ratios['energy_efficiency']:.1f}x", "~7.5x"],
+            ],
+            title="Headline comparison (ResNet-18, 4-bit activations)",
+        )
+    )
+    if accuracy is not None:
+        print("\nAccuracy columns come from the proxy QAT experiment (see DESIGN.md).")
+
+
+if __name__ == "__main__":
+    main()

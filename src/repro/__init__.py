@@ -1,0 +1,89 @@
+"""repro: reproduction of "Full-Stack Optimization for CAM-Only DNN Inference" (DATE 2024).
+
+The library implements the paper's full stack:
+
+* a racetrack-memory-based associative-processor (RTM-AP) accelerator model -
+  functional CAM/AP simulation plus analytical performance and energy models
+  (:mod:`repro.rtm`, :mod:`repro.cam`, :mod:`repro.ap`, :mod:`repro.arch`,
+  :mod:`repro.perf`),
+* the compilation flow that lowers ternary-weight convolutions to AP
+  instruction streams - constant folding, CSE, bit-width annotation, DFG
+  scheduling, column allocation and code generation (:mod:`repro.core`),
+* the NumPy neural-network substrate and model zoo (:mod:`repro.nn`),
+* the crossbar (DNN+NeuroSim-style) and DeepCAM-style baselines
+  (:mod:`repro.baselines`),
+* the evaluation harness that regenerates the paper's Table II and Fig. 4
+  (:mod:`repro.eval`).
+
+Quickstart::
+
+    from repro import CompilerConfig, compile_model, evaluate_model, specs_for_network
+
+    specs = specs_for_network("vgg9", sparsity=0.85)
+    compiled = compile_model(specs, CompilerConfig(activation_bits=4))
+    performance = evaluate_model(compiled)
+    print(performance.energy_uj, performance.latency_ms)
+"""
+
+from repro.ap.core import AssociativeProcessor
+from repro.ap.isa import APInstruction, APOpcode, APProgram, ColumnRegion
+from repro.arch.config import APConfig, ArchitectureConfig
+from repro.baselines.crossbar import CrossbarConfig, evaluate_crossbar_model
+from repro.baselines.deepcam import DeepCAMConfig, evaluate_deepcam_model
+from repro.core.compiler import (
+    CompiledLayer,
+    CompiledModel,
+    CompiledSlice,
+    CompilerConfig,
+    compile_layer,
+    compile_model,
+    compile_slice,
+)
+from repro.core.frontend import specs_for_network, specs_from_model
+from repro.core.report import compare_configurations
+from repro.eval.accuracy import run_accuracy_experiment
+from repro.eval.fig4 import generate_fig4
+from repro.eval.table2 import generate_table2
+from repro.nn.models.registry import available_models, build_model
+from repro.nn.stats import ConvLayerSpec, model_layer_specs
+from repro.perf.endurance import endurance_report
+from repro.perf.model import PerformanceModelConfig, evaluate_model
+from repro.rtm.timing import RTMTechnology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AssociativeProcessor",
+    "APInstruction",
+    "APOpcode",
+    "APProgram",
+    "ColumnRegion",
+    "APConfig",
+    "ArchitectureConfig",
+    "RTMTechnology",
+    "CrossbarConfig",
+    "evaluate_crossbar_model",
+    "DeepCAMConfig",
+    "evaluate_deepcam_model",
+    "CompilerConfig",
+    "CompiledSlice",
+    "CompiledLayer",
+    "CompiledModel",
+    "compile_slice",
+    "compile_layer",
+    "compile_model",
+    "compare_configurations",
+    "specs_for_network",
+    "specs_from_model",
+    "run_accuracy_experiment",
+    "generate_fig4",
+    "generate_table2",
+    "available_models",
+    "build_model",
+    "ConvLayerSpec",
+    "model_layer_specs",
+    "endurance_report",
+    "PerformanceModelConfig",
+    "evaluate_model",
+    "__version__",
+]

@@ -1,0 +1,364 @@
+"""Functional associative processor.
+
+:class:`AssociativeProcessor` executes :class:`~repro.ap.isa.APProgram`
+streams on a :class:`~repro.cam.array.CAMArray`, bit-serially and
+word-parallel across the rows, using exactly the masked-search / tagged-write
+passes of the Table-I LUTs.  The results are bit-exact two's-complement
+integers, which is what lets the library demonstrate that the RTM-AP retains
+software accuracy: the hardware performs exact integer arithmetic, so the
+compiled network computes the same numbers as the quantized software
+reference.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional, Sequence
+
+import numpy as np
+
+from repro.ap.isa import APInstruction, APOpcode, APProgram, ColumnRegion
+from repro.ap.lut import LookupTable, get_lut
+from repro.cam.array import CAMArray
+from repro.cam.stats import CAMStats
+from repro.errors import CapacityError, CompilationError, SimulationError
+from repro.rtm.timing import RTMTechnology
+
+
+class AssociativeProcessor:
+    """One AP: a CAM array plus the controller that sequences LUT passes.
+
+    Args:
+        rows: CAM rows (SIMD lanes, i.e. output spatial positions).
+        columns: CAM columns (operand registers).
+        technology: RTM figures of merit.
+        carry_column: column reserved for the carry/borrow bit.
+    """
+
+    def __init__(
+        self,
+        rows: int = 256,
+        columns: int = 256,
+        technology: Optional[RTMTechnology] = None,
+        carry_column: int = 0,
+    ) -> None:
+        self.technology = technology or RTMTechnology()
+        self.array = CAMArray(rows=rows, columns=columns, technology=self.technology)
+        if not (0 <= carry_column < columns):
+            raise CapacityError(
+                f"carry column {carry_column} outside the {columns}-column array"
+            )
+        self.carry_column = carry_column
+        #: Number of rows holding valid data (defaults to all rows).
+        self.active_rows = rows
+
+    # ------------------------------------------------------------------
+    @property
+    def rows(self) -> int:
+        """Number of CAM rows."""
+        return self.array.rows
+
+    @property
+    def columns(self) -> int:
+        """Number of CAM columns."""
+        return self.array.columns
+
+    @property
+    def stats(self) -> CAMStats:
+        """Primitive event counters accumulated so far."""
+        return self.array.stats
+
+    def reset_stats(self) -> CAMStats:
+        """Return and reset the event counters."""
+        return self.array.reset_stats()
+
+    # ------------------------------------------------------------------
+    # Data placement
+    # ------------------------------------------------------------------
+    def load_operand(
+        self, region: ColumnRegion, values: Sequence[int], row_offset: int = 0
+    ) -> None:
+        """Place a signed operand vector (one value per row) into a column region."""
+        self.array.load_operand(
+            column=region.column,
+            values=values,
+            bitwidth=region.width,
+            domain_offset=region.domain_offset,
+            row_offset=row_offset,
+        )
+
+    def read_operand(
+        self,
+        region: ColumnRegion,
+        num_rows: Optional[int] = None,
+        row_offset: int = 0,
+        signed: bool = True,
+    ) -> np.ndarray:
+        """Read a signed operand vector back from a column region."""
+        return self.array.read_operand(
+            column=region.column,
+            bitwidth=region.width,
+            domain_offset=region.domain_offset,
+            row_offset=row_offset,
+            num_rows=num_rows,
+            signed=signed,
+        )
+
+    # ------------------------------------------------------------------
+    # Program execution
+    # ------------------------------------------------------------------
+    def run_program(
+        self,
+        program: APProgram,
+        inputs: Mapping[str, Sequence[int]],
+        num_rows: Optional[int] = None,
+    ) -> Dict[str, np.ndarray]:
+        """Load inputs, execute a program and return its named outputs.
+
+        Args:
+            program: compiled AP program.
+            inputs: mapping from input name to a vector of signed integers
+                (one per active row).
+            num_rows: number of active rows; defaults to the length of the
+                first input vector.
+
+        Returns:
+            Mapping from output name to the (sign-corrected) result vector.
+        """
+        if num_rows is None:
+            if not inputs:
+                raise SimulationError("run_program needs at least one input vector")
+            num_rows = len(next(iter(inputs.values())))
+        if num_rows > self.rows:
+            raise CapacityError(
+                f"{num_rows} input rows exceed the {self.rows}-row CAM"
+            )
+        self.active_rows = num_rows
+
+        missing = set(program.input_columns) - set(inputs)
+        if missing:
+            raise SimulationError(f"missing input vectors for {sorted(missing)}")
+        for name, region in program.input_columns.items():
+            values = inputs[name]
+            if len(values) != num_rows:
+                raise SimulationError(
+                    f"input {name!r} has {len(values)} values, expected {num_rows}"
+                )
+            self.load_operand(region, values)
+
+        for instruction in program:
+            self.execute(instruction)
+
+        outputs: Dict[str, np.ndarray] = {}
+        for name, region in program.output_columns.items():
+            values = self.read_operand(region, num_rows=num_rows)
+            if program.output_negated.get(name, False):
+                values = -values
+            outputs[name] = values
+        return outputs
+
+    def execute(self, instruction: APInstruction) -> None:
+        """Execute a single instruction on the current CAM contents."""
+        opcode = instruction.opcode
+        if opcode.is_arithmetic:
+            self._execute_arithmetic(instruction)
+        elif opcode is APOpcode.COPY:
+            self._execute_copy(instruction)
+        elif opcode is APOpcode.CLEAR:
+            self._execute_clear(instruction)
+        else:  # pragma: no cover - defensive, enum is closed
+            raise SimulationError(f"unsupported opcode {opcode!r}")
+
+    # ------------------------------------------------------------------
+    # Instruction implementations
+    # ------------------------------------------------------------------
+    def _all_rows_tag(self) -> np.ndarray:
+        tag = np.zeros(self.rows, dtype=bool)
+        tag[: self.active_rows] = True
+        return tag
+
+    def _clear_carry(self) -> None:
+        """Reset the carry/borrow column in every active row (one write phase)."""
+        self.array.tagged_write(
+            tag=self._all_rows_tag(),
+            values={self.carry_column: 0},
+            positions={self.carry_column: 0},
+        )
+
+    def _execute_arithmetic(self, instruction: APInstruction) -> None:
+        src_a = instruction.src_a
+        src_b = instruction.src_b
+        dest = instruction.dest
+        opcode = instruction.opcode
+        assert src_a is not None and src_b is not None
+
+        if src_a.column == src_b.column:
+            raise CompilationError(
+                f"AP arithmetic needs distinct source columns, got column "
+                f"{src_a.column} twice ({instruction.comment!r})"
+            )
+        if opcode.lut_kind == "add" and opcode.is_inplace and dest == src_a:
+            # The in-place adder overwrites operand B; addition is commutative
+            # so swap the sources when the compiler chose to overwrite src_a.
+            src_a, src_b = src_b, src_a
+        if opcode.is_inplace and dest != src_b:
+            raise CompilationError(
+                f"in-place {opcode.lut_kind} must overwrite its B operand "
+                f"({instruction.comment!r})"
+            )
+        if not opcode.is_inplace:
+            overlapping = {dest.column} & {src_a.column, src_b.column}
+            if overlapping:
+                raise CompilationError(
+                    f"out-of-place destination column {overlapping} overlaps a "
+                    f"source ({instruction.comment!r})"
+                )
+            # Out-of-place results land in pre-zeroed columns.
+            self.array.clear_operand(dest.column, dest.width, dest.domain_offset)
+            for extra in instruction.extra_dests:
+                self.array.clear_operand(extra.column, extra.width, extra.domain_offset)
+        elif instruction.extra_dests:
+            raise CompilationError(
+                "multi-destination writes are only supported for out-of-place "
+                f"operations ({instruction.comment!r})"
+            )
+
+        lut = get_lut(opcode.lut_kind, opcode.is_inplace)
+        self._clear_carry()
+
+        for bit in range(instruction.width):
+            self._apply_lut_bit(lut, bit, src_a, src_b, dest, instruction.extra_dests)
+
+    def _apply_lut_bit(
+        self,
+        lut: LookupTable,
+        bit: int,
+        src_a: ColumnRegion,
+        src_b: ColumnRegion,
+        dest: ColumnRegion,
+        extra_dests: Sequence[ColumnRegion],
+    ) -> None:
+        """Run every pass of ``lut`` for one bit position."""
+        pos_a = src_a.bit_position(bit)
+        pos_b = src_b.bit_position(bit)
+        pos_dest = dest.domain_offset + bit
+        if bit >= dest.width:
+            raise SimulationError(
+                f"bit {bit} exceeds destination width {dest.width}"
+            )
+        for entry in lut.entries:
+            carry_bit, b_bit, a_bit = entry.search
+            tag = self.array.masked_search(
+                key={
+                    self.carry_column: carry_bit,
+                    src_b.column: b_bit,
+                    src_a.column: a_bit,
+                },
+                positions={
+                    self.carry_column: 0,
+                    src_b.column: pos_b,
+                    src_a.column: pos_a,
+                },
+            )
+            # Only rows holding valid data participate.
+            tag &= self._all_rows_tag()
+            if not tag.any():
+                continue
+            carry_value, result_value = entry.write
+            if lut.inplace:
+                values = {self.carry_column: carry_value, src_b.column: result_value}
+                positions = {self.carry_column: 0, src_b.column: pos_b}
+            else:
+                values = {self.carry_column: carry_value, dest.column: result_value}
+                positions = {self.carry_column: 0, dest.column: pos_dest}
+                for extra in extra_dests:
+                    values[extra.column] = result_value
+                    positions[extra.column] = extra.domain_offset + bit
+            self.array.tagged_write(tag=tag, values=values, positions=positions)
+
+    def _execute_copy(self, instruction: APInstruction) -> None:
+        src = instruction.src_a
+        assert src is not None
+        dests = instruction.all_dests
+        for bit in range(instruction.width):
+            pos_src = src.bit_position(bit)
+            for bit_value in (1, 0):
+                tag = self.array.masked_search(
+                    key={src.column: bit_value}, positions={src.column: pos_src}
+                )
+                tag &= self._all_rows_tag()
+                if not tag.any():
+                    continue
+                values = {d.column: bit_value for d in dests}
+                positions = {d.column: d.domain_offset + bit for d in dests}
+                self.array.tagged_write(tag=tag, values=values, positions=positions)
+
+    def _execute_clear(self, instruction: APInstruction) -> None:
+        tag = self._all_rows_tag()
+        for dest in instruction.all_dests:
+            for bit in range(dest.width):
+                self.array.tagged_write(
+                    tag=tag,
+                    values={dest.column: 0},
+                    positions={dest.column: dest.domain_offset + bit},
+                )
+
+    # ------------------------------------------------------------------
+    # Convenience single-op helpers (used by tests and examples)
+    # ------------------------------------------------------------------
+    def add_vectors(
+        self,
+        a: Sequence[int],
+        b: Sequence[int],
+        width: int,
+        inplace: bool = False,
+    ) -> np.ndarray:
+        """Compute ``a + b`` element-wise on the AP (for demos and tests)."""
+        return self._binary_op("add", a, b, width, inplace)
+
+    def sub_vectors(
+        self,
+        a: Sequence[int],
+        b: Sequence[int],
+        width: int,
+        inplace: bool = False,
+    ) -> np.ndarray:
+        """Compute ``a - b`` element-wise on the AP (for demos and tests)."""
+        return self._binary_op("sub", a, b, width, inplace)
+
+    def _binary_op(
+        self, kind: str, a: Sequence[int], b: Sequence[int], width: int, inplace: bool
+    ) -> np.ndarray:
+        if len(a) != len(b):
+            raise SimulationError(
+                f"operand vectors must have equal length, got {len(a)} and {len(b)}"
+            )
+        # Operand roles: Table I computes A+B (add) and B-A (sub).  To expose
+        # the natural "a - b" signature we place ``a`` in the minuend column.
+        region_first = ColumnRegion(column=1, width=width)
+        region_second = ColumnRegion(column=2, width=width)
+        if kind == "add":
+            src_a, src_b = region_first, region_second
+        else:
+            src_a, src_b = region_second, region_first  # subtrahend = b, minuend = a
+        if inplace:
+            dest = src_b
+            opcode = APOpcode.ADD_INPLACE if kind == "add" else APOpcode.SUB_INPLACE
+        else:
+            dest = ColumnRegion(column=3, width=width)
+            opcode = (
+                APOpcode.ADD_OUTOFPLACE if kind == "add" else APOpcode.SUB_OUTOFPLACE
+            )
+        program = APProgram(name=f"{kind}-demo", carry_column=self.carry_column)
+        program.input_columns = {"first": region_first, "second": region_second}
+        program.output_columns = {"result": dest}
+        program.append(
+            APInstruction(
+                opcode=opcode,
+                dest=dest,
+                src_a=src_a,
+                src_b=src_b,
+                comment=f"{kind} demo",
+            )
+        )
+        outputs = self.run_program(program, inputs={"first": a, "second": b})
+        return outputs["result"]

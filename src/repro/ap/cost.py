@@ -1,0 +1,179 @@
+"""Analytical per-instruction cost model for the AP.
+
+The functional simulator (:mod:`repro.ap.core`) counts events exactly, but
+running it for a full ResNet-18 inference would be needlessly slow.  The
+performance model therefore uses this module to translate an
+:class:`~repro.ap.isa.APInstruction` into expected event counts (phases,
+searched bits, written bits, shifts), which the architecture model turns into
+energy and latency.  The phase counts are exact; written-bit counts use the
+expected fraction of rows matching each search pattern (1/8 for uniformly
+distributed operand bits), which the tests cross-check against the functional
+simulator on random data.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable
+
+from repro.ap.isa import APInstruction, APOpcode, APProgram
+from repro.ap.lut import get_lut
+from repro.errors import ConfigurationError
+from repro.rtm.timing import RTMTechnology
+
+#: Expected fraction of rows matching one fully-specified 3-bit search pattern.
+DEFAULT_MATCH_PROBABILITY = 1.0 / 8.0
+
+
+@dataclass
+class InstructionCost:
+    """Expected primitive event counts for one instruction (or a whole program)."""
+
+    search_phases: int = 0
+    write_phases: int = 0
+    searched_bits: float = 0.0
+    written_bits: float = 0.0
+    lockstep_shift_steps: int = 0
+    track_shifts: float = 0.0
+
+    @property
+    def total_phases(self) -> int:
+        """Search plus write phases (AP cycles)."""
+        return self.search_phases + self.write_phases
+
+    def merge(self, other: "InstructionCost") -> "InstructionCost":
+        """Element-wise sum of two cost records."""
+        return InstructionCost(
+            search_phases=self.search_phases + other.search_phases,
+            write_phases=self.write_phases + other.write_phases,
+            searched_bits=self.searched_bits + other.searched_bits,
+            written_bits=self.written_bits + other.written_bits,
+            lockstep_shift_steps=self.lockstep_shift_steps + other.lockstep_shift_steps,
+            track_shifts=self.track_shifts + other.track_shifts,
+        )
+
+    def scaled(self, factor: float) -> "InstructionCost":
+        """Cost of repeating this work ``factor`` times (factor may be fractional)."""
+        return InstructionCost(
+            search_phases=int(round(self.search_phases * factor)),
+            write_phases=int(round(self.write_phases * factor)),
+            searched_bits=self.searched_bits * factor,
+            written_bits=self.written_bits * factor,
+            lockstep_shift_steps=int(round(self.lockstep_shift_steps * factor)),
+            track_shifts=self.track_shifts * factor,
+        )
+
+    # ------------------------------------------------------------------
+    def latency_ns(self, technology: RTMTechnology) -> float:
+        """Latency implied by the expected counts.
+
+        Search and write phases are serialized within one AP.  The lockstep
+        shift that aligns the next bit position overlaps with the search/write
+        phases of the current bit (the controller prefetches the alignment),
+        so the visible latency is the maximum of the phase time and the shift
+        time rather than their sum.
+        """
+        phase_time = (
+            self.search_phases * technology.search_latency_ns
+            + self.write_phases * technology.write_latency_ns
+        )
+        shift_time = self.lockstep_shift_steps * technology.shift_latency_ns
+        return max(phase_time, shift_time)
+
+    def energy_fj(self, technology: RTMTechnology) -> float:
+        """Energy implied by the expected counts."""
+        return (
+            self.searched_bits * technology.search_energy_fj_per_bit
+            + self.written_bits * technology.write_energy_fj_per_bit
+            + self.track_shifts * technology.shift_energy_fj
+        )
+
+
+def instruction_cost(
+    instruction: APInstruction,
+    rows: int,
+    match_probability: float = DEFAULT_MATCH_PROBABILITY,
+) -> InstructionCost:
+    """Expected cost of one instruction executed on ``rows`` active rows."""
+    if rows <= 0:
+        raise ConfigurationError(f"rows must be > 0, got {rows}")
+    if not (0.0 <= match_probability <= 1.0):
+        raise ConfigurationError(
+            f"match_probability must be in [0, 1], got {match_probability}"
+        )
+    width = instruction.width
+    opcode = instruction.opcode
+
+    if opcode.is_arithmetic:
+        lut = get_lut(opcode.lut_kind, opcode.is_inplace)
+        passes = lut.passes_per_bit
+        num_dest_columns = 1 + len(instruction.extra_dests)
+        # Each pass: one 3-column search over all rows, one write of
+        # (carry + result columns) into the expected matching rows.
+        search_phases = passes * width
+        write_phases = passes * width
+        searched_bits = float(passes * width * 3 * rows)
+        written_bits = float(
+            passes * width * (1 + num_dest_columns) * rows * match_probability
+        )
+        # Setup: one parallel write clearing the carry column in every row.
+        write_phases += 1
+        written_bits += float(rows)
+        # Shifts: every involved column advances one domain per bit position.
+        # Columns shift concurrently (each is its own domain-wall block
+        # cluster), so latency sees ``width`` lockstep steps while energy sees
+        # one shift per involved track.
+        shifting_columns = 2 + (0 if opcode.is_inplace else num_dest_columns)
+        lockstep_shift_steps = width
+        track_shifts = float(shifting_columns * width * rows)
+        return InstructionCost(
+            search_phases=search_phases,
+            write_phases=write_phases,
+            searched_bits=searched_bits,
+            written_bits=written_bits,
+            lockstep_shift_steps=lockstep_shift_steps,
+            track_shifts=track_shifts,
+        )
+
+    if opcode is APOpcode.COPY:
+        num_dest_columns = 1 + len(instruction.extra_dests)
+        # Two passes per bit: search src==1 / write 1, search src==0 / write 0.
+        search_phases = 2 * width
+        write_phases = 2 * width
+        searched_bits = float(2 * width * rows)
+        written_bits = float(2 * width * num_dest_columns * rows * 0.5)
+        lockstep_shift_steps = (1 + num_dest_columns) * width
+        return InstructionCost(
+            search_phases=search_phases,
+            write_phases=write_phases,
+            searched_bits=searched_bits,
+            written_bits=written_bits,
+            lockstep_shift_steps=lockstep_shift_steps,
+            track_shifts=float(lockstep_shift_steps * rows),
+        )
+
+    if opcode is APOpcode.CLEAR:
+        num_dest_columns = 1 + len(instruction.extra_dests)
+        write_phases = width
+        written_bits = float(width * num_dest_columns * rows)
+        lockstep_shift_steps = num_dest_columns * width
+        return InstructionCost(
+            write_phases=write_phases,
+            written_bits=written_bits,
+            lockstep_shift_steps=lockstep_shift_steps,
+            track_shifts=float(lockstep_shift_steps * rows),
+        )
+
+    raise ConfigurationError(f"no cost model for opcode {opcode!r}")
+
+
+def program_cost(
+    program: APProgram | Iterable[APInstruction],
+    rows: int,
+    match_probability: float = DEFAULT_MATCH_PROBABILITY,
+) -> InstructionCost:
+    """Expected cost of a whole program executed on ``rows`` active rows."""
+    total = InstructionCost()
+    for instruction in program:
+        total = total.merge(instruction_cost(instruction, rows, match_probability))
+    return total

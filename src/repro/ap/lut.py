@@ -1,0 +1,244 @@
+"""Lookup tables for bit-serial associative arithmetic (paper Table I).
+
+An AP implements a 1-bit full adder / full subtractor as a short sequence of
+*passes*.  Each pass is one masked **search** over the columns ``(carry, B,
+A)`` followed by one tagged parallel **write** into either ``(carry, B)``
+(in-place: the result overwrites operand B) or ``(carry, R)`` (out-of-place:
+the result goes to a fresh column R, assumed to be zero-initialised).
+
+Only input combinations whose outputs differ from the stored state need a
+pass ("NC" rows of Table I are skipped), which gives 4 passes (8 phases /
+cycles) for the in-place variants and 5 passes (10 phases / cycles) for the
+out-of-place variants.  The order of the passes matters: a pass must not
+rewrite a row into a pattern that a *later* pass would match again.
+
+Note on fidelity: the in-place adder, in-place subtractor and out-of-place
+subtractor below use exactly the pass orders printed in Table I of the paper.
+The printed out-of-place *adder* column appears to contain a transcription
+artifact (the ``(Cr,B,A) = (0,1,1)`` row is marked "NC" although its carry
+must flip, while ``(1,1,0)`` is marked active although nothing changes);
+:func:`outofplace_add_lut` therefore uses the corrected 5-entry table, which
+keeps the 10-cycle cost and is verified exhaustively by
+:func:`validate_lut` and by the unit tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Tuple
+
+from repro.errors import SimulationError
+
+#: Roles of the searched columns, in key order.
+SEARCH_ROLES: Tuple[str, str, str] = ("carry", "b", "a")
+
+
+@dataclass(frozen=True)
+class LUTEntry:
+    """One pass of a Table-I LUT.
+
+    Attributes:
+        search: expected bits for the (carry, B, A) columns.
+        write: bits written to the result columns - ``(carry, B)`` for
+            in-place tables and ``(carry, R)`` for out-of-place tables.
+    """
+
+    search: Tuple[int, int, int]
+    write: Tuple[int, int]
+
+    def __post_init__(self) -> None:
+        if len(self.search) != 3 or any(b not in (0, 1) for b in self.search):
+            raise SimulationError(f"invalid search pattern {self.search!r}")
+        if len(self.write) != 2 or any(b not in (0, 1) for b in self.write):
+            raise SimulationError(f"invalid write pattern {self.write!r}")
+
+
+@dataclass(frozen=True)
+class LookupTable:
+    """An ordered LUT implementing a 1-bit add or subtract on the AP.
+
+    Attributes:
+        name: human-readable identifier.
+        kind: ``"add"`` or ``"sub"``.
+        inplace: whether the result overwrites operand B.
+        entries: ordered active passes (NC rows omitted).
+    """
+
+    name: str
+    kind: str
+    inplace: bool
+    entries: Tuple[LUTEntry, ...]
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("add", "sub"):
+            raise SimulationError(f"LUT kind must be 'add' or 'sub', got {self.kind!r}")
+        if not self.entries:
+            raise SimulationError("a LUT needs at least one active entry")
+
+    # ------------------------------------------------------------------
+    @property
+    def passes_per_bit(self) -> int:
+        """Number of search+write passes applied per bit position."""
+        return len(self.entries)
+
+    @property
+    def phases_per_bit(self) -> int:
+        """Number of phases (cycles) per bit position: 2 per pass.
+
+        Reproduces the paper's 8 cycles (in-place) / 10 cycles (out-of-place).
+        """
+        return 2 * len(self.entries)
+
+    @property
+    def write_roles(self) -> Tuple[str, str]:
+        """Roles of the written columns."""
+        return ("carry", "b" if self.inplace else "r")
+
+
+def reference_bit_op(kind: str, a: int, b: int, carry: int) -> Tuple[int, int]:
+    """Golden 1-bit reference: returns ``(result_bit, carry_out)``.
+
+    ``kind='add'`` computes ``a + b + carry_in``; ``kind='sub'`` computes
+    ``b - a - borrow_in`` (matching the Table-I operand roles where the
+    minuend is B).
+    """
+    if kind == "add":
+        total = a + b + carry
+        return total & 1, total >> 1
+    if kind == "sub":
+        diff = b - a - carry
+        return diff & 1, int(diff < 0)
+    raise SimulationError(f"unknown LUT kind {kind!r}")
+
+
+# ----------------------------------------------------------------------
+# Table I definitions
+# ----------------------------------------------------------------------
+def inplace_add_lut() -> LookupTable:
+    """In-place adder: ``B <- A + B`` with carry column ``Cr`` (8 cycles/bit)."""
+    entries = (
+        LUTEntry(search=(0, 1, 1), write=(1, 0)),  # 1st
+        LUTEntry(search=(0, 0, 1), write=(0, 1)),  # 2nd
+        LUTEntry(search=(1, 0, 0), write=(0, 1)),  # 3rd
+        LUTEntry(search=(1, 1, 0), write=(1, 0)),  # 4th
+    )
+    return LookupTable(name="add-inplace", kind="add", inplace=True, entries=entries)
+
+
+def outofplace_add_lut() -> LookupTable:
+    """Out-of-place adder: ``R <- A + B`` with carry ``Cr``, R pre-zeroed (10 cycles/bit).
+
+    Uses the corrected pass set (see module docstring); the cycle count and
+    structure match the paper.
+    """
+    entries = (
+        LUTEntry(search=(0, 0, 1), write=(0, 1)),  # 1st
+        LUTEntry(search=(0, 1, 0), write=(0, 1)),  # 2nd
+        LUTEntry(search=(1, 0, 0), write=(0, 1)),  # 3rd
+        LUTEntry(search=(1, 1, 1), write=(1, 1)),  # 4th
+        LUTEntry(search=(0, 1, 1), write=(1, 0)),  # 5th
+    )
+    return LookupTable(name="add-outofplace", kind="add", inplace=False, entries=entries)
+
+
+def inplace_sub_lut() -> LookupTable:
+    """In-place subtractor: ``B <- B - A`` with borrow column ``Br`` (8 cycles/bit)."""
+    entries = (
+        LUTEntry(search=(0, 0, 1), write=(1, 1)),  # 1st
+        LUTEntry(search=(0, 1, 1), write=(0, 0)),  # 2nd
+        LUTEntry(search=(1, 1, 0), write=(0, 0)),  # 3rd
+        LUTEntry(search=(1, 0, 0), write=(1, 1)),  # 4th
+    )
+    return LookupTable(name="sub-inplace", kind="sub", inplace=True, entries=entries)
+
+
+def outofplace_sub_lut() -> LookupTable:
+    """Out-of-place subtractor: ``R <- B - A`` with borrow ``Br``, R pre-zeroed (10 cycles/bit)."""
+    entries = (
+        LUTEntry(search=(0, 0, 1), write=(1, 1)),  # 1st
+        LUTEntry(search=(0, 1, 0), write=(0, 1)),  # 2nd
+        LUTEntry(search=(1, 0, 0), write=(1, 1)),  # 3rd
+        LUTEntry(search=(1, 1, 0), write=(0, 0)),  # 4th
+        LUTEntry(search=(1, 1, 1), write=(1, 1)),  # 5th
+    )
+    return LookupTable(name="sub-outofplace", kind="sub", inplace=False, entries=entries)
+
+
+_LUT_BUILDERS = {
+    ("add", True): inplace_add_lut,
+    ("add", False): outofplace_add_lut,
+    ("sub", True): inplace_sub_lut,
+    ("sub", False): outofplace_sub_lut,
+}
+
+
+def get_lut(kind: str, inplace: bool) -> LookupTable:
+    """Return the LUT for an operation kind (``'add'``/``'sub'``) and placement."""
+    try:
+        return _LUT_BUILDERS[(kind, bool(inplace))]()
+    except KeyError as exc:
+        raise SimulationError(f"no LUT for kind={kind!r}, inplace={inplace!r}") from exc
+
+
+def all_luts() -> List[LookupTable]:
+    """Every LUT used by the AP (useful for exhaustive validation)."""
+    return [builder() for builder in _LUT_BUILDERS.values()]
+
+
+# ----------------------------------------------------------------------
+# Validation
+# ----------------------------------------------------------------------
+def simulate_lut_passes(lut: LookupTable, carry: int, b: int, a: int) -> Tuple[int, int]:
+    """Apply the LUT passes in order to one row and return the final state.
+
+    Returns ``(carry_out, result_bit)`` where the result bit lives in the B
+    column for in-place tables and in the R column (initially 0) otherwise.
+    The simulation mirrors how a real AP row evolves: each pass searches the
+    *current* (carry, B, A) state and, on a match, overwrites the write
+    columns.  This is what makes the pass ordering significant.
+    """
+    state_carry, state_b, state_a = carry, b, a
+    state_r = 0
+    for entry in lut.entries:
+        if (state_carry, state_b, state_a) == entry.search:
+            if lut.inplace:
+                state_carry, state_b = entry.write
+            else:
+                state_carry, state_r = entry.write
+    result = state_b if lut.inplace else state_r
+    return state_carry, result
+
+
+def validate_lut(lut: LookupTable) -> None:
+    """Exhaustively check a LUT against the golden 1-bit reference.
+
+    Raises :class:`~repro.errors.SimulationError` describing the first failing
+    input combination, including ordering-induced corruption.
+    """
+    for carry in (0, 1):
+        for b in (0, 1):
+            for a in (0, 1):
+                expected_result, expected_carry = reference_bit_op(lut.kind, a, b, carry)
+                got_carry, got_result = simulate_lut_passes(lut, carry, b, a)
+                if (got_result, got_carry) != (expected_result, expected_carry):
+                    raise SimulationError(
+                        f"LUT {lut.name} is incorrect for (carry={carry}, b={b}, a={a}): "
+                        f"expected result={expected_result}, carry={expected_carry}; "
+                        f"got result={got_result}, carry={got_carry}"
+                    )
+
+
+def paper_printed_outofplace_add_entries() -> Tuple[LUTEntry, ...]:
+    """The out-of-place adder passes exactly as printed in the paper's Table I.
+
+    Kept for documentation/testing: the printed ordering mislabels the
+    ``(0,1,1)`` and ``(1,1,0)`` rows and fails :func:`validate_lut`; see the
+    module docstring and ``tests/ap/test_lut.py``.
+    """
+    return (
+        LUTEntry(search=(0, 0, 1), write=(0, 1)),  # printed 1st
+        LUTEntry(search=(0, 1, 0), write=(0, 1)),  # printed 2nd
+        LUTEntry(search=(1, 0, 0), write=(0, 1)),  # printed 3rd
+        LUTEntry(search=(1, 1, 0), write=(1, 0)),  # printed 4th
+        LUTEntry(search=(1, 1, 1), write=(1, 1)),  # printed 5th
+    )

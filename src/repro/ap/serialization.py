@@ -1,0 +1,123 @@
+"""Serialization of AP programs to and from plain JSON-compatible dictionaries.
+
+Compiled programs are the hand-off artefact between the compiler and the
+accelerator runtime (the paper's "AP instructions" box in Fig. 3a).  Being
+able to save them - e.g. one file per layer per input channel - lets a
+deployment flow compile once and replay programs without re-running the
+compiler, and makes compiled kernels easy to diff and inspect.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from repro.ap.isa import APInstruction, APOpcode, APProgram, ColumnRegion
+from repro.errors import CompilationError
+
+#: Format tag written into every serialized program.
+FORMAT_VERSION = 1
+
+
+def region_to_dict(region: ColumnRegion) -> Dict[str, int]:
+    """Dictionary form of a column region."""
+    return {
+        "column": region.column,
+        "width": region.width,
+        "domain_offset": region.domain_offset,
+    }
+
+
+def region_from_dict(data: Dict[str, Any]) -> ColumnRegion:
+    """Rebuild a column region from its dictionary form."""
+    return ColumnRegion(
+        column=int(data["column"]),
+        width=int(data["width"]),
+        domain_offset=int(data.get("domain_offset", 0)),
+    )
+
+
+def instruction_to_dict(instruction: APInstruction) -> Dict[str, Any]:
+    """Dictionary form of one instruction."""
+    return {
+        "opcode": instruction.opcode.value,
+        "dest": region_to_dict(instruction.dest),
+        "src_a": region_to_dict(instruction.src_a) if instruction.src_a else None,
+        "src_b": region_to_dict(instruction.src_b) if instruction.src_b else None,
+        "extra_dests": [region_to_dict(extra) for extra in instruction.extra_dests],
+        "negate": instruction.negate,
+        "comment": instruction.comment,
+    }
+
+
+def instruction_from_dict(data: Dict[str, Any]) -> APInstruction:
+    """Rebuild an instruction from its dictionary form."""
+    try:
+        opcode = APOpcode(data["opcode"])
+    except ValueError as exc:
+        raise CompilationError(f"unknown opcode {data.get('opcode')!r}") from exc
+    return APInstruction(
+        opcode=opcode,
+        dest=region_from_dict(data["dest"]),
+        src_a=region_from_dict(data["src_a"]) if data.get("src_a") else None,
+        src_b=region_from_dict(data["src_b"]) if data.get("src_b") else None,
+        extra_dests=tuple(region_from_dict(extra) for extra in data.get("extra_dests", [])),
+        negate=bool(data.get("negate", False)),
+        comment=str(data.get("comment", "")),
+    )
+
+
+def program_to_dict(program: APProgram) -> Dict[str, Any]:
+    """Dictionary form of a whole program (instructions + operand bindings)."""
+    return {
+        "format_version": FORMAT_VERSION,
+        "name": program.name,
+        "carry_column": program.carry_column,
+        "instructions": [instruction_to_dict(instr) for instr in program.instructions],
+        "input_columns": {
+            name: region_to_dict(region) for name, region in program.input_columns.items()
+        },
+        "output_columns": {
+            name: region_to_dict(region) for name, region in program.output_columns.items()
+        },
+        "output_negated": dict(program.output_negated),
+    }
+
+
+def program_from_dict(data: Dict[str, Any]) -> APProgram:
+    """Rebuild a program from its dictionary form."""
+    version = data.get("format_version")
+    if version != FORMAT_VERSION:
+        raise CompilationError(
+            f"unsupported AP program format version {version!r} "
+            f"(expected {FORMAT_VERSION})"
+        )
+    program = APProgram(
+        name=str(data.get("name", "ap-program")),
+        carry_column=int(data.get("carry_column", 0)),
+    )
+    program.instructions = [
+        instruction_from_dict(entry) for entry in data.get("instructions", [])
+    ]
+    program.input_columns = {
+        name: region_from_dict(region)
+        for name, region in data.get("input_columns", {}).items()
+    }
+    program.output_columns = {
+        name: region_from_dict(region)
+        for name, region in data.get("output_columns", {}).items()
+    }
+    program.output_negated = {
+        name: bool(value) for name, value in data.get("output_negated", {}).items()
+    }
+    return program
+
+
+def program_to_json(program: APProgram, indent: int = 2) -> str:
+    """JSON text of a program."""
+    return json.dumps(program_to_dict(program), indent=indent)
+
+
+def program_from_json(text: str) -> APProgram:
+    """Rebuild a program from JSON text."""
+    return program_from_dict(json.loads(text))

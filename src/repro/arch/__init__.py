@@ -1,0 +1,26 @@
+"""Accelerator architecture: banks, tiles, APs, buffers and interconnect.
+
+The RTM-AP accelerator (paper Fig. 2a-c) is a three-level hierarchy.  This
+package holds the configuration dataclasses shared by the compiler and the
+performance model, the interconnect cost model, a structural model of the
+hierarchy that can instantiate functional APs for small end-to-end runs, and
+the HW-aware allocator that assigns layers to APs.
+"""
+
+from repro.arch.config import APConfig, ArchitectureConfig
+from repro.arch.interconnect import InterconnectModel, TransferCost
+from repro.arch.accelerator import Accelerator, Bank, Tile
+from repro.arch.allocator import AllocationPlan, LayerAllocation, allocate_model
+
+__all__ = [
+    "APConfig",
+    "ArchitectureConfig",
+    "InterconnectModel",
+    "TransferCost",
+    "Accelerator",
+    "Bank",
+    "Tile",
+    "AllocationPlan",
+    "LayerAllocation",
+    "allocate_model",
+]

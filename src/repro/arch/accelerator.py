@@ -1,0 +1,142 @@
+"""Structural model of the bank / tile / AP hierarchy.
+
+The :class:`Accelerator` is mainly an organisational object: it knows how many
+APs exist, how they are grouped, and can lazily instantiate functional
+:class:`~repro.ap.core.AssociativeProcessor` instances for the (small)
+end-to-end runs used in integration tests and examples.  Full-network numbers
+never instantiate the functional APs; they use the analytical model in
+:mod:`repro.perf`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.ap.core import AssociativeProcessor
+from repro.arch.config import ArchitectureConfig
+from repro.arch.interconnect import InterconnectModel, TransferScope
+from repro.errors import CapacityError
+
+#: Address of one AP inside the hierarchy: (bank, tile, ap).
+APAddress = Tuple[int, int, int]
+
+
+@dataclass
+class Tile:
+    """A group of APs sharing a tile buffer."""
+
+    bank_index: int
+    tile_index: int
+    num_aps: int
+
+    def ap_addresses(self) -> List[APAddress]:
+        """Addresses of every AP in this tile."""
+        return [(self.bank_index, self.tile_index, ap) for ap in range(self.num_aps)]
+
+
+@dataclass
+class Bank:
+    """A group of tiles sharing a bank-level buffer."""
+
+    bank_index: int
+    tiles: List[Tile]
+
+    def ap_addresses(self) -> List[APAddress]:
+        """Addresses of every AP in this bank."""
+        addresses: List[APAddress] = []
+        for tile in self.tiles:
+            addresses.extend(tile.ap_addresses())
+        return addresses
+
+
+class Accelerator:
+    """The full RTM-AP accelerator (paper Fig. 2a).
+
+    Args:
+        config: architecture configuration (hierarchy shape, CAM geometry).
+        interconnect: optional interconnect model; derived from the
+            configuration when omitted.
+    """
+
+    def __init__(
+        self,
+        config: Optional[ArchitectureConfig] = None,
+        interconnect: Optional[InterconnectModel] = None,
+    ) -> None:
+        self.config = config or ArchitectureConfig()
+        self.interconnect = interconnect or InterconnectModel.from_architecture(self.config)
+        self.banks: List[Bank] = [
+            Bank(
+                bank_index=bank,
+                tiles=[
+                    Tile(
+                        bank_index=bank,
+                        tile_index=tile,
+                        num_aps=self.config.aps_per_tile,
+                    )
+                    for tile in range(self.config.tiles_per_bank)
+                ],
+            )
+            for bank in range(self.config.num_banks)
+        ]
+        self._functional_aps: Dict[APAddress, AssociativeProcessor] = {}
+
+    # ------------------------------------------------------------------
+    @property
+    def num_aps(self) -> int:
+        """Total number of APs."""
+        return self.config.total_aps
+
+    def ap_addresses(self) -> Iterator[APAddress]:
+        """Iterate over every AP address in (bank, tile, ap) order."""
+        for bank in self.banks:
+            for address in bank.ap_addresses():
+                yield address
+
+    def validate_address(self, address: APAddress) -> None:
+        """Raise :class:`CapacityError` if an address is outside the hierarchy."""
+        bank, tile, ap = address
+        if not (0 <= bank < self.config.num_banks):
+            raise CapacityError(f"bank {bank} outside [0, {self.config.num_banks})")
+        if not (0 <= tile < self.config.tiles_per_bank):
+            raise CapacityError(f"tile {tile} outside [0, {self.config.tiles_per_bank})")
+        if not (0 <= ap < self.config.aps_per_tile):
+            raise CapacityError(f"AP {ap} outside [0, {self.config.aps_per_tile})")
+
+    # ------------------------------------------------------------------
+    def functional_ap(self, address: APAddress) -> AssociativeProcessor:
+        """Instantiate (or fetch) the functional AP at ``address``.
+
+        Functional APs are created lazily because a full configuration holds
+        hundreds of arrays and most workflows only simulate a handful.
+        """
+        self.validate_address(address)
+        if address not in self._functional_aps:
+            self._functional_aps[address] = AssociativeProcessor(
+                rows=self.config.ap.rows,
+                columns=self.config.ap.columns,
+                technology=self.config.technology,
+            )
+        return self._functional_aps[address]
+
+    def transfer_scope(self, src: APAddress, dst: APAddress) -> TransferScope:
+        """Hierarchy level crossed when moving data from ``src`` to ``dst``."""
+        self.validate_address(src)
+        self.validate_address(dst)
+        if src[0] != dst[0]:
+            return TransferScope.GLOBAL
+        if src[1] != dst[1]:
+            return TransferScope.INTRA_BANK
+        return TransferScope.INTRA_TILE
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the hierarchy."""
+        cfg = self.config
+        return (
+            f"{cfg.num_banks} banks x {cfg.tiles_per_bank} tiles x "
+            f"{cfg.aps_per_tile} APs = {cfg.total_aps} APs of "
+            f"{cfg.ap.rows}x{cfg.ap.columns} CAM cells "
+            f"({cfg.technology.domains_per_nanowire} domains/cell, "
+            f"{cfg.activation_bits}-bit activations)"
+        )

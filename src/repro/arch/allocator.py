@@ -1,0 +1,198 @@
+"""Hardware-aware allocation of layers to APs (paper Fig. 3a, last stage).
+
+Each convolutional layer demands ``row_tiles`` groups of output positions
+(``ceil(Hout*Wout / rows)``) and ``channel_groups`` groups of input channels
+(channels beyond what fits in one nanowire's domains).  Full parallelism needs
+``row_tiles * channel_groups`` APs.  When fewer APs are available, channel
+groups are processed in several sequential rounds on the same APs
+(serialisation), which the performance model turns into extra latency.
+
+The allocator works on per-layer demands and produces an
+:class:`AllocationPlan` that records, for every layer, how many APs it uses in
+parallel and how many sequential rounds it needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.arch.config import ArchitectureConfig
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class LayerDemand:
+    """Hardware demand of one layer, produced by the compiler's mapping stage."""
+
+    name: str
+    #: ceil(Hout*Wout / rows): groups of output positions.
+    row_tiles: int
+    #: Minimum channel groups required by the per-AP storage capacity.
+    channel_groups: int
+    #: Upper bound on useful output-channel parallelism (one filter per AP).
+    max_output_tiles: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        check_positive("row_tiles", self.row_tiles)
+        check_positive("channel_groups", self.channel_groups)
+        if self.max_output_tiles is not None:
+            check_positive("max_output_tiles", self.max_output_tiles)
+
+    @property
+    def output_parallelism_limit(self) -> int:
+        """Largest number of output-channel tiles that can do useful work."""
+        return self.max_output_tiles if self.max_output_tiles is not None else 1
+
+    @property
+    def aps_for_full_parallelism(self) -> int:
+        """APs needed so nothing is serialized (at the minimum channel grouping)."""
+        return self.row_tiles * self.channel_groups
+
+
+@dataclass(frozen=True)
+class LayerAllocation:
+    """How one layer is scheduled onto the available APs."""
+
+    demand: LayerDemand
+    #: Channel groups processed concurrently (each on its own set of row tiles).
+    parallel_channel_groups: int
+    #: Sequential rounds needed to cover all channel groups.
+    sequential_rounds: int
+    #: Output-channel tiles processed concurrently on otherwise idle APs.
+    #: Output tiles are independent (disjoint accumulators), so they add no
+    #: partial-sum movement - only input replication.
+    parallel_output_tiles: int = 1
+
+    @property
+    def aps_used(self) -> int:
+        """APs occupied while the layer executes."""
+        return (
+            self.demand.row_tiles
+            * self.parallel_channel_groups
+            * self.parallel_output_tiles
+        )
+
+    @property
+    def compute_parallelism(self) -> int:
+        """Factor by which the layer's op stream is spread over APs."""
+        return self.parallel_channel_groups * self.parallel_output_tiles
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the ideal (storage-minimum) parallelism achieved."""
+        ideal = self.demand.aps_for_full_parallelism
+        return min(1.0, self.aps_used / ideal) if ideal else 1.0
+
+
+@dataclass
+class AllocationPlan:
+    """Per-layer allocations plus aggregate statistics."""
+
+    layers: List[LayerAllocation] = field(default_factory=list)
+    available_aps: int = 0
+
+    @property
+    def max_aps_used(self) -> int:
+        """Peak number of APs used by any layer (the paper's '# Arrays' metric)."""
+        return max((layer.aps_used for layer in self.layers), default=0)
+
+    @property
+    def max_row_tiles(self) -> int:
+        """Largest row-tile demand across layers."""
+        return max((layer.demand.row_tiles for layer in self.layers), default=0)
+
+    def by_name(self) -> Dict[str, LayerAllocation]:
+        """Index the allocations by layer name."""
+        return {layer.demand.name: layer for layer in self.layers}
+
+
+def allocate_layer(
+    demand: LayerDemand,
+    available_aps: int,
+    use_idle_aps_for_output_parallelism: bool = True,
+    max_output_tiles: Optional[int] = None,
+) -> LayerAllocation:
+    """Allocate one layer onto ``available_aps`` APs.
+
+    Every row tile must be resident simultaneously (all output positions of
+    the layer are computed together); the storage-driven channel groups come
+    next (their partial sums are later merged by the adder tree).  APs that
+    are still idle - typical for the deep, row-starved layers - are used for
+    *output-channel* parallelism: different APs compute disjoint subsets of
+    the output channels, which divides the layer's op stream without adding
+    any partial-sum movement (only the input patches are replicated).
+    ``max_output_tiles`` bounds that replication - the default performance
+    model passes the tile size (APs sharing a tile buffer), since broadcasting
+    the input patches beyond one tile would serialise on the global buffer.
+    Channel groups that do not fit run as additional sequential rounds.
+    """
+    check_positive("available_aps", available_aps)
+    if demand.row_tiles > available_aps:
+        raise ConfigurationError(
+            f"layer {demand.name!r} needs {demand.row_tiles} row tiles but only "
+            f"{available_aps} APs are available; enlarge the architecture "
+            f"(e.g. ArchitectureConfig.with_total_aps)"
+        )
+    aps_per_row_tile = max(1, available_aps // demand.row_tiles)
+    parallel_groups = max(1, min(demand.channel_groups, aps_per_row_tile))
+    rounds = max(1, -(-demand.channel_groups // parallel_groups))
+    output_tiles = 1
+    if use_idle_aps_for_output_parallelism:
+        idle_budget = max(1, aps_per_row_tile // parallel_groups)
+        output_tiles = max(1, min(demand.output_parallelism_limit, idle_budget))
+        if max_output_tiles is not None:
+            # The APs cooperating on one row tile (channel groups x output
+            # tiles) share a tile buffer; their total count is bounded by the
+            # tile size so the input broadcast does not spill to the global
+            # buffer.
+            tile_budget = max(1, max_output_tiles // parallel_groups)
+            output_tiles = min(output_tiles, tile_budget)
+    return LayerAllocation(
+        demand=demand,
+        parallel_channel_groups=parallel_groups,
+        sequential_rounds=rounds,
+        parallel_output_tiles=output_tiles,
+    )
+
+
+def allocate_model(
+    demands: Sequence[LayerDemand],
+    config: Optional[ArchitectureConfig] = None,
+    available_aps: Optional[int] = None,
+    use_idle_aps_for_output_parallelism: bool = True,
+    max_output_tiles: Optional[int] = None,
+) -> AllocationPlan:
+    """Allocate every layer of a model.
+
+    Args:
+        demands: per-layer hardware demands (in execution order).
+        config: architecture configuration supplying the AP count when
+            ``available_aps`` is not given.
+        available_aps: explicit AP budget.  The paper sizes the accelerator by
+            the worst layer's row-tile demand (49 arrays for ResNet-18, 4 for
+            the VGGs); passing ``None`` with no config reproduces that policy.
+        use_idle_aps_for_output_parallelism: let row-starved layers spread
+            their output channels over otherwise idle APs.
+        max_output_tiles: upper bound on that output-channel spreading
+            (typically the number of APs sharing one tile buffer).
+    """
+    if available_aps is None:
+        if config is not None:
+            available_aps = config.total_aps
+        else:
+            available_aps = max((demand.row_tiles for demand in demands), default=1)
+    if max_output_tiles is None and config is not None:
+        max_output_tiles = config.aps_per_tile
+    plan = AllocationPlan(available_aps=available_aps)
+    for demand in demands:
+        plan.layers.append(
+            allocate_layer(
+                demand,
+                available_aps,
+                use_idle_aps_for_output_parallelism,
+                max_output_tiles,
+            )
+        )
+    return plan

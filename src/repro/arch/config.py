@@ -1,0 +1,145 @@
+"""Architecture and CAM-array configuration.
+
+The defaults reproduce the evaluated configuration of the paper: 256x256 CAM
+arrays built from RTM nanowires with 64 domains, organised into tiles and
+banks, with a conservative 1 pJ/bit charged for internal data movement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigurationError
+from repro.rtm.timing import RTMTechnology
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class APConfig:
+    """Dimensions and reserved resources of a single AP (one CAM array)."""
+
+    #: CAM rows: SIMD lanes, i.e. output positions processed in parallel.
+    rows: int = 256
+    #: CAM columns: operand registers available to the compiler.
+    columns: int = 256
+    #: Columns reserved by the runtime (carry/borrow plus scratch).
+    reserved_columns: int = 2
+
+    def __post_init__(self) -> None:
+        check_positive("rows", self.rows)
+        check_positive("columns", self.columns)
+        if not (0 <= self.reserved_columns < self.columns):
+            raise ConfigurationError(
+                f"reserved_columns must be in [0, {self.columns}), "
+                f"got {self.reserved_columns}"
+            )
+
+    @property
+    def usable_columns(self) -> int:
+        """Columns available to compiled programs."""
+        return self.columns - self.reserved_columns
+
+
+@dataclass(frozen=True)
+class ArchitectureConfig:
+    """Full accelerator configuration: hierarchy, CAM geometry and technology.
+
+    Attributes:
+        ap: per-AP CAM geometry.
+        aps_per_tile: APs grouped under one tile buffer.
+        tiles_per_bank: tiles grouped under one bank.
+        num_banks: number of banks.
+        technology: RTM device figures of merit.
+        activation_bits: precision of the (LSQ-quantized) activations stored
+            in the CAM.  The paper evaluates 4 and 8 bits.
+        instruction_cache_energy_fj: controller + instruction-cache energy
+            charged per issued AP instruction (small digital overhead).
+        buffer_energy_fj_per_bit: tile/global buffer access energy per bit.
+    """
+
+    ap: APConfig = field(default_factory=APConfig)
+    aps_per_tile: int = 8
+    tiles_per_bank: int = 8
+    num_banks: int = 4
+    technology: RTMTechnology = field(default_factory=RTMTechnology)
+    activation_bits: int = 4
+    instruction_cache_energy_fj: float = 50.0
+    buffer_energy_fj_per_bit: float = 20.0
+
+    def __post_init__(self) -> None:
+        check_positive("aps_per_tile", self.aps_per_tile)
+        check_positive("tiles_per_bank", self.tiles_per_bank)
+        check_positive("num_banks", self.num_banks)
+        check_positive("activation_bits", self.activation_bits)
+        if self.activation_bits > self.technology.domains_per_nanowire:
+            raise ConfigurationError(
+                f"activation_bits={self.activation_bits} exceeds the "
+                f"{self.technology.domains_per_nanowire} domains of a nanowire"
+            )
+        if self.instruction_cache_energy_fj < 0:
+            raise ConfigurationError(
+                "instruction_cache_energy_fj must be >= 0, got "
+                f"{self.instruction_cache_energy_fj}"
+            )
+        if self.buffer_energy_fj_per_bit < 0:
+            raise ConfigurationError(
+                "buffer_energy_fj_per_bit must be >= 0, got "
+                f"{self.buffer_energy_fj_per_bit}"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def total_aps(self) -> int:
+        """Total number of APs in the accelerator."""
+        return self.num_banks * self.tiles_per_bank * self.aps_per_tile
+
+    @property
+    def total_rows(self) -> int:
+        """Total SIMD lanes across the whole accelerator."""
+        return self.total_aps * self.ap.rows
+
+    @property
+    def channels_per_column_group(self) -> int:
+        """Input channels that share one nanowire (stored along the domains).
+
+        Paper Sec. IV-B / Fig. 2d: N-bit values of ``Cin`` channels are stored
+        contiguously in the same nanowire, so one cell holds
+        ``domains / activation_bits`` channel values.
+        """
+        return max(1, self.technology.domains_per_nanowire // self.activation_bits)
+
+    def with_activation_bits(self, bits: int) -> "ArchitectureConfig":
+        """Return a copy of the configuration with a different activation precision."""
+        return ArchitectureConfig(
+            ap=self.ap,
+            aps_per_tile=self.aps_per_tile,
+            tiles_per_bank=self.tiles_per_bank,
+            num_banks=self.num_banks,
+            technology=self.technology,
+            activation_bits=bits,
+            instruction_cache_energy_fj=self.instruction_cache_energy_fj,
+            buffer_energy_fj_per_bit=self.buffer_energy_fj_per_bit,
+        )
+
+    def with_total_aps(self, total: int) -> "ArchitectureConfig":
+        """Return a copy resized so that at least ``total`` APs are available.
+
+        The tile/bank shape is kept; only the number of banks grows.
+        """
+        check_positive("total", total)
+        aps_per_bank = self.tiles_per_bank * self.aps_per_tile
+        num_banks = max(1, -(-total // aps_per_bank))
+        return ArchitectureConfig(
+            ap=self.ap,
+            aps_per_tile=self.aps_per_tile,
+            tiles_per_bank=self.tiles_per_bank,
+            num_banks=num_banks,
+            technology=self.technology,
+            activation_bits=self.activation_bits,
+            instruction_cache_energy_fj=self.instruction_cache_energy_fj,
+            buffer_energy_fj_per_bit=self.buffer_energy_fj_per_bit,
+        )
+
+
+#: Architecture evaluated in the paper (256x256 arrays, 4-bit activations).
+PAPER_ARCHITECTURE = ArchitectureConfig()

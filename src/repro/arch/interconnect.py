@@ -1,0 +1,106 @@
+"""Interconnect and buffer cost model.
+
+The RTM-AP keeps activations resident in the CAMs; the only traffic is
+(1) loading the input feature map of a layer into the CAM rows, (2) moving
+partial output feature maps between APs during the adder-tree accumulation
+phase, and (3) writing the final OFM of a layer to wherever the next layer's
+APs expect it.  The paper charges a conservative 1 pJ/bit for movement at the
+tile, bank and global level; this module exposes that constant per hierarchy
+level plus a simple bandwidth model so that latency can be charged as well.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.arch.config import ArchitectureConfig
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_non_negative, check_positive
+
+
+class TransferScope(enum.Enum):
+    """Hierarchy level a transfer crosses (determines energy and bandwidth)."""
+
+    #: Between APs of the same tile (through the tile buffer).
+    INTRA_TILE = "intra_tile"
+    #: Between tiles of the same bank.
+    INTRA_BANK = "intra_bank"
+    #: Between banks (through the global buffer).
+    GLOBAL = "global"
+
+
+@dataclass(frozen=True)
+class TransferCost:
+    """Energy and latency of one data transfer."""
+
+    bits: float
+    energy_fj: float
+    latency_ns: float
+
+    def merge(self, other: "TransferCost") -> "TransferCost":
+        """Element-wise sum of two transfer cost records."""
+        return TransferCost(
+            bits=self.bits + other.bits,
+            energy_fj=self.energy_fj + other.energy_fj,
+            latency_ns=self.latency_ns + other.latency_ns,
+        )
+
+
+ZERO_TRANSFER = TransferCost(bits=0.0, energy_fj=0.0, latency_ns=0.0)
+
+
+@dataclass(frozen=True)
+class InterconnectModel:
+    """Per-level movement energy and bandwidth.
+
+    Attributes:
+        intra_tile_energy_fj_per_bit: AP-to-AP movement within a tile.
+        intra_bank_energy_fj_per_bit: tile-to-tile movement within a bank.
+        global_energy_fj_per_bit: bank-to-bank / global-buffer movement.
+        bus_width_bits: width of each link.
+        bus_frequency_ghz: link frequency (transfers per ns = width * freq).
+    """
+
+    intra_tile_energy_fj_per_bit: float = 1000.0
+    intra_bank_energy_fj_per_bit: float = 1000.0
+    global_energy_fj_per_bit: float = 1000.0
+    bus_width_bits: int = 256
+    bus_frequency_ghz: float = 1.0
+
+    def __post_init__(self) -> None:
+        check_non_negative("intra_tile_energy_fj_per_bit", self.intra_tile_energy_fj_per_bit)
+        check_non_negative("intra_bank_energy_fj_per_bit", self.intra_bank_energy_fj_per_bit)
+        check_non_negative("global_energy_fj_per_bit", self.global_energy_fj_per_bit)
+        check_positive("bus_width_bits", self.bus_width_bits)
+        check_positive("bus_frequency_ghz", self.bus_frequency_ghz)
+
+    @classmethod
+    def from_architecture(cls, config: ArchitectureConfig) -> "InterconnectModel":
+        """Build the model using the architecture's per-bit movement energy."""
+        per_bit = config.technology.movement_energy_fj_per_bit
+        return cls(
+            intra_tile_energy_fj_per_bit=per_bit,
+            intra_bank_energy_fj_per_bit=per_bit,
+            global_energy_fj_per_bit=per_bit,
+        )
+
+    # ------------------------------------------------------------------
+    def energy_per_bit(self, scope: TransferScope) -> float:
+        """Energy per moved bit for a given hierarchy scope."""
+        if scope is TransferScope.INTRA_TILE:
+            return self.intra_tile_energy_fj_per_bit
+        if scope is TransferScope.INTRA_BANK:
+            return self.intra_bank_energy_fj_per_bit
+        if scope is TransferScope.GLOBAL:
+            return self.global_energy_fj_per_bit
+        raise ConfigurationError(f"unknown transfer scope {scope!r}")
+
+    def transfer(self, bits: float, scope: TransferScope = TransferScope.INTRA_TILE) -> TransferCost:
+        """Cost of moving ``bits`` bits across one link of the given scope."""
+        if bits < 0:
+            raise ConfigurationError(f"bits must be >= 0, got {bits}")
+        energy = bits * self.energy_per_bit(scope)
+        bits_per_ns = self.bus_width_bits * self.bus_frequency_ghz
+        latency = bits / bits_per_ns if bits else 0.0
+        return TransferCost(bits=bits, energy_fj=energy, latency_ns=latency)

@@ -1,0 +1,37 @@
+"""Comparison baselines used in the paper's evaluation.
+
+* :mod:`repro.baselines.crossbar` - an analytical RRAM-crossbar CIM model in
+  the style of DNN+NeuroSim [14]: 8-bit weights on 256x256 arrays, 5-bit
+  ADCs, bit-serial input streaming, with the peripheral / interconnect /
+  accumulation energy split the paper discusses.
+* :mod:`repro.baselines.deepcam` - a DeepCAM-style [4] fully CAM-based
+  accelerator that approximates dot products with hashed binary signatures.
+* :mod:`repro.baselines.adc` - ADC quantization models shared by the crossbar
+  baseline and the accuracy experiment.
+"""
+
+from repro.baselines.adc import ADCQuantizer
+from repro.baselines.crossbar import (
+    CrossbarConfig,
+    CrossbarLayerResult,
+    CrossbarModelResult,
+    evaluate_crossbar_model,
+)
+from repro.baselines.deepcam import (
+    DeepCAMConfig,
+    DeepCAMResult,
+    evaluate_deepcam_model,
+    hashed_dot_product,
+)
+
+__all__ = [
+    "ADCQuantizer",
+    "CrossbarConfig",
+    "CrossbarLayerResult",
+    "CrossbarModelResult",
+    "evaluate_crossbar_model",
+    "DeepCAMConfig",
+    "DeepCAMResult",
+    "evaluate_deepcam_model",
+    "hashed_dot_product",
+]

@@ -1,0 +1,89 @@
+"""Analog-to-digital conversion models.
+
+Crossbar CIM accelerators read an analog column current that encodes a
+partial dot product and digitise it with a low-resolution ADC (5 bits in the
+paper's DNN+NeuroSim baseline).  The quantization error this introduces is the
+mechanism behind the accuracy loss of the crossbar rows in Table II; the RTM-
+AP needs no ADC and therefore keeps software accuracy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.utils.validation import check_positive
+
+
+@dataclass
+class ADCQuantizer:
+    """Uniform ADC model applied to (partial) matrix-product outputs.
+
+    Args:
+        bits: ADC resolution.
+        rows_per_partial: number of crossbar rows summed per analog read.  A
+            full dot product over more rows is split into several partials
+            that are each quantized and then accumulated digitally - more
+            partials means more quantization noise, which is what limits
+            crossbar accuracy for deep networks.
+        clip_sigma: the ADC full-scale range is set to ``clip_sigma`` standard
+            deviations of the observed partial sums (a typical NeuroSim-style
+            calibration).
+    """
+
+    bits: int = 5
+    rows_per_partial: int = 256
+    clip_sigma: float = 3.0
+
+    def __post_init__(self) -> None:
+        check_positive("bits", self.bits)
+        check_positive("rows_per_partial", self.rows_per_partial)
+        check_positive("clip_sigma", self.clip_sigma)
+
+    @property
+    def levels(self) -> int:
+        """Number of ADC output codes."""
+        return 1 << self.bits
+
+    # ------------------------------------------------------------------
+    def quantize(self, values: np.ndarray) -> np.ndarray:
+        """Quantize a tensor of analog partial sums to ADC codes and back."""
+        values = np.asarray(values, dtype=np.float64)
+        scale = float(np.std(values))
+        if scale == 0.0:
+            return values.copy()
+        full_scale = self.clip_sigma * scale
+        step = 2.0 * full_scale / self.levels
+        clipped = np.clip(values, -full_scale, full_scale)
+        return np.round(clipped / step) * step
+
+    def perturb_matmul(
+        self, pre_activations: np.ndarray, num_partials: Optional[int] = None
+    ) -> np.ndarray:
+        """Emulate ADC read-out of a matrix product.
+
+        The product of a layer with ``F`` input features is physically
+        computed as ``ceil(F / rows_per_partial)`` analog partials, each
+        digitised separately.  Splitting the *result* into that many equal
+        shares and quantizing each share approximates the same error without
+        needing the original operands.
+        """
+        pre_activations = np.asarray(pre_activations, dtype=np.float64)
+        partials = num_partials if num_partials is not None else 1
+        if partials < 1:
+            raise ConfigurationError(f"num_partials must be >= 1, got {partials}")
+        if partials == 1:
+            return self.quantize(pre_activations)
+        share = pre_activations / partials
+        return sum(self.quantize(share) for _ in range(partials))
+
+    def make_perturbation(self, num_partials: int = 1):
+        """A callable suitable for ``QuantMLP.evaluate(matmul_perturbation=...)``."""
+
+        def perturbation(pre_activations: np.ndarray) -> np.ndarray:
+            return self.perturb_matmul(pre_activations, num_partials)
+
+        return perturbation

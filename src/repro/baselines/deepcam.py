@@ -1,0 +1,153 @@
+"""DeepCAM-style fully CAM-based baseline [4].
+
+DeepCAM replaces exact dot products with an approximation: weights and
+activations are hashed into binary signatures of configurable length and the
+CAM's match-line discharge timing yields (approximately) their Hamming
+similarity, which stands in for the dot product.  This is very cheap per
+operation but (a) the approximation costs accuracy, especially on complex
+tasks like ImageNet, and (b) it relies on large arrays (up to 512x1024) whose
+efficiency does not scale well to deeper networks - both points the paper
+raises in Sec. V-A.
+
+This module provides an analytical energy/latency model (for the Table II row)
+and a functional hashed dot product (for the accuracy experiment).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.stats import ConvLayerSpec
+from repro.perf.breakdown import EnergyBreakdown, LatencyBreakdown
+from repro.utils.rng import RngLike, make_rng
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class DeepCAMConfig:
+    """Parameters of the DeepCAM-style baseline."""
+
+    #: Binary signature (hash) length per vector; DeepCAM's "variable hash lengths".
+    hash_length: int = 64
+    #: CAM array geometry (DeepCAM depends on large arrays).
+    array_rows: int = 512
+    array_columns: int = 1024
+    #: Energy of one CAM search per bit (fJ) - CMOS CAM, slightly above RTM.
+    search_energy_fj_per_bit: float = 4.0
+    #: Energy of the time-to-digital / sensing peripheral per query (fJ).
+    sensing_energy_fj: float = 400.0
+    #: Search latency per query (ns).
+    search_latency_ns: float = 0.3
+    #: Interconnect energy per moved bit (fJ).
+    interconnect_energy_fj_per_bit: float = 1000.0
+
+    def __post_init__(self) -> None:
+        check_positive("hash_length", self.hash_length)
+        check_positive("array_rows", self.array_rows)
+        check_positive("array_columns", self.array_columns)
+
+
+@dataclass
+class DeepCAMResult:
+    """End-to-end DeepCAM estimate for one network."""
+
+    name: str
+    energy: EnergyBreakdown
+    latency: LatencyBreakdown
+    arrays: int
+    queries: float
+
+    @property
+    def energy_uj(self) -> float:
+        """Energy per inference (microjoules)."""
+        return self.energy.total_uj
+
+    @property
+    def latency_ms(self) -> float:
+        """Latency per inference (milliseconds)."""
+        return self.latency.total_ms
+
+
+def evaluate_deepcam_model(
+    specs: Sequence[ConvLayerSpec],
+    config: Optional[DeepCAMConfig] = None,
+    name: str = "deepcam",
+) -> DeepCAMResult:
+    """Analytical DeepCAM-style estimate for a network.
+
+    Every output value is produced by one hashed similarity query of
+    ``hash_length`` bits against the filters resident in the CAM; queries for
+    the filters that fit in one array run in parallel.
+    """
+    config = config or DeepCAMConfig()
+    total_queries = 0.0
+    total_search_bits = 0.0
+    total_movement_bits = 0.0
+    total_latency_ns = 0.0
+    max_arrays = 0
+    for spec in specs:
+        queries = float(spec.output_positions) * spec.in_channels
+        filters_per_array = max(1, config.array_rows)
+        arrays = -(-spec.out_channels // filters_per_array)
+        max_arrays = max(max_arrays, arrays * -(-spec.patch_size * config.hash_length // config.array_columns))
+        total_queries += queries
+        total_search_bits += queries * config.hash_length * min(spec.out_channels, filters_per_array)
+        total_movement_bits += queries * config.hash_length
+        total_latency_ns += queries / max(1, arrays) * config.search_latency_ns
+    energy = EnergyBreakdown(
+        dfg_fj=total_search_bits * config.search_energy_fj_per_bit,
+        accumulation_fj=total_queries * config.sensing_energy_fj,
+        peripherals_fj=0.0,
+        movement_fj=total_movement_bits * config.interconnect_energy_fj_per_bit,
+    )
+    latency = LatencyBreakdown(dfg_ns=total_latency_ns)
+    return DeepCAMResult(
+        name=name,
+        energy=energy,
+        latency=latency,
+        arrays=max_arrays,
+        queries=total_queries,
+    )
+
+
+# ----------------------------------------------------------------------
+# Functional hashed dot product (accuracy experiment)
+# ----------------------------------------------------------------------
+def hashed_dot_product(
+    x: np.ndarray,
+    weights: np.ndarray,
+    hash_length: int = 64,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Approximate ``x @ weights.T`` with random-projection binary signatures.
+
+    Both operands are hashed with the same random hyperplanes (SimHash); the
+    Hamming similarity of the signatures estimates the angle between the
+    vectors, which - scaled by the operand norms - approximates the dot
+    product.  Shorter hashes are cheaper but noisier, reproducing DeepCAM's
+    accuracy/efficiency trade-off.
+    """
+    if hash_length <= 0:
+        raise ConfigurationError(f"hash_length must be > 0, got {hash_length}")
+    x = np.asarray(x, dtype=np.float64)
+    weights = np.asarray(weights, dtype=np.float64)
+    if x.ndim != 2 or weights.ndim != 2 or x.shape[1] != weights.shape[1]:
+        raise ConfigurationError(
+            f"incompatible shapes for hashed dot product: {x.shape} and {weights.shape}"
+        )
+    rng = make_rng(rng)
+    planes = rng.normal(0.0, 1.0, size=(hash_length, x.shape[1]))
+    x_signs = np.sign(x @ planes.T)
+    w_signs = np.sign(weights @ planes.T)
+    # Fraction of agreeing hyperplanes -> angle estimate -> cosine estimate.
+    agreement = (x_signs @ w_signs.T) / hash_length
+    angle = np.pi / 2.0 * (1.0 - agreement)
+    cosine = np.cos(angle)
+    x_norms = np.linalg.norm(x, axis=1, keepdims=True)
+    w_norms = np.linalg.norm(weights, axis=1, keepdims=True)
+    return cosine * x_norms * w_norms.T

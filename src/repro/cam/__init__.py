@@ -1,0 +1,14 @@
+"""Content-addressable memory (CAM) array substrate.
+
+A :class:`CAMArray` models one AP's storage: ``rows x columns`` cells where
+each cell is an RTM nanowire holding ``domains`` bits.  Each column behaves as
+a domain-wall block cluster: all rows of a column shift in lockstep, so a
+masked search compares the currently-aligned bit of the selected columns
+across every row in parallel, and a tagged write updates the aligned bit of
+the selected columns in every tagged row in parallel.
+"""
+
+from repro.cam.stats import CAMStats
+from repro.cam.array import CAMArray
+
+__all__ = ["CAMArray", "CAMStats"]

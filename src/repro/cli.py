@@ -1,0 +1,163 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Exposes the main workflows as commands so the paper's experiments can be
+regenerated without writing Python:
+
+* ``compile``   - compile a benchmark network and print op counts / mapping,
+* ``table2``    - regenerate Table II,
+* ``fig4``      - regenerate the Fig. 4 layer-by-layer comparison,
+* ``accuracy``  - run the accuracy-vs-precision experiment,
+* ``endurance`` - print the write-endurance analysis.
+"""
+
+from __future__ import annotations
+
+import argparse
+from typing import List, Optional, Sequence
+
+from repro.core.compiler import CompilerConfig, compile_model
+from repro.core.frontend import specs_for_network
+from repro.core.report import compare_configurations
+from repro.eval.accuracy import run_accuracy_experiment
+from repro.eval.fig4 import generate_fig4
+from repro.eval.reporting import format_table
+from repro.eval.table2 import PAPER_BENCHMARKS, generate_table2
+from repro.nn.models.registry import available_models
+from repro.perf.endurance import endurance_report
+from repro.perf.model import PerformanceModelConfig, evaluate_model
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Build the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Full-Stack Optimization for CAM-Only DNN Inference'",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    compile_parser = subparsers.add_parser(
+        "compile", help="compile a network for the RTM-AP and print its statistics"
+    )
+    compile_parser.add_argument("--model", choices=available_models(), default="vgg9")
+    compile_parser.add_argument("--sparsity", type=float, default=None,
+                                help="ternary weight sparsity (default: the paper's setting)")
+    compile_parser.add_argument("--bits", type=int, default=4, help="activation precision")
+    compile_parser.add_argument("--slices", type=int, default=None,
+                                help="sample this many input-channel slices per layer")
+    compile_parser.add_argument("--batch", type=int, default=1,
+                                help="images processed per layer pass")
+
+    table2_parser = subparsers.add_parser("table2", help="regenerate Table II")
+    table2_parser.add_argument("--slices", type=int, default=12)
+    table2_parser.add_argument("--networks", nargs="*", default=None,
+                               choices=available_models(),
+                               help="restrict to a subset of networks")
+    table2_parser.add_argument("--with-accuracy", action="store_true")
+
+    fig4_parser = subparsers.add_parser("fig4", help="regenerate the Fig. 4 comparison")
+    fig4_parser.add_argument("--model", choices=available_models(), default="resnet18")
+    fig4_parser.add_argument("--bits", type=int, default=4)
+    fig4_parser.add_argument("--slices", type=int, default=12)
+
+    accuracy_parser = subparsers.add_parser("accuracy", help="accuracy-vs-precision experiment")
+    accuracy_parser.add_argument("--epochs", type=int, default=20)
+    accuracy_parser.add_argument("--seed", type=int, default=5)
+
+    subparsers.add_parser("endurance", help="write-endurance analysis")
+    return parser
+
+
+def _run_compile(arguments: argparse.Namespace) -> str:
+    specs = specs_for_network(arguments.model, sparsity=arguments.sparsity, rng=0)
+    unroll = compile_model(
+        specs,
+        CompilerConfig(enable_cse=False, activation_bits=arguments.bits,
+                       max_slices_per_layer=arguments.slices),
+        name=arguments.model,
+    )
+    cse = compile_model(
+        specs,
+        CompilerConfig(enable_cse=True, activation_bits=arguments.bits,
+                       max_slices_per_layer=arguments.slices),
+        name=arguments.model,
+    )
+    performance = evaluate_model(
+        cse, config=PerformanceModelConfig(batch_size=arguments.batch)
+    )
+    lines = [compare_configurations(unroll, cse).to_text(), ""]
+    lines.append(
+        format_table(
+            ["metric", "value"],
+            [
+                ["CAM arrays (256x256)", cse.arrays_required],
+                ["energy / batch (uJ)", performance.energy_uj],
+                ["latency / batch (ms)", performance.latency_ms],
+                ["energy / image (uJ)", performance.energy_per_image_uj],
+                ["latency / image (ms)", performance.latency_per_image_ms],
+                ["data-movement share", f"{performance.movement_fraction * 100:.1f}%"],
+            ],
+            title=f"{arguments.model} on the RTM-AP "
+                  f"({arguments.bits}-bit activations, batch {arguments.batch})",
+        )
+    )
+    return "\n".join(lines)
+
+
+def _run_table2(arguments: argparse.Namespace) -> str:
+    benchmarks = PAPER_BENCHMARKS
+    if arguments.networks:
+        benchmarks = tuple(
+            entry for entry in PAPER_BENCHMARKS if entry[0] in set(arguments.networks)
+        )
+    accuracy = run_accuracy_experiment() if arguments.with_accuracy else None
+    table = generate_table2(
+        benchmarks=benchmarks, max_slices_per_layer=arguments.slices, accuracy=accuracy, rng=0
+    )
+    return table.to_text()
+
+
+def _run_fig4(arguments: argparse.Namespace) -> str:
+    data = generate_fig4(
+        arguments.model, activation_bits=arguments.bits,
+        max_slices_per_layer=arguments.slices, rng=0,
+    )
+    return data.to_text()
+
+
+def _run_accuracy(arguments: argparse.Namespace) -> str:
+    summary = run_accuracy_experiment(epochs=arguments.epochs, seed=arguments.seed)
+    return summary.to_text()
+
+
+def _run_endurance(_: argparse.Namespace) -> str:
+    report = endurance_report()
+    return format_table(
+        ["quantity", "value", "paper"],
+        [
+            ["rewrite interval (ns)", report.paper_style.mean_rewrite_interval_ns, "~100 ns"],
+            ["lifetime (years)", report.paper_style_years, "~31 years"],
+        ],
+        title="RTM write-endurance analysis (Sec. V-C)",
+    )
+
+
+_COMMANDS = {
+    "compile": _run_compile,
+    "table2": _run_table2,
+    "fig4": _run_fig4,
+    "accuracy": _run_accuracy,
+    "endurance": _run_endurance,
+}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """Entry point used by ``python -m repro`` (returns a process exit code)."""
+    parser = build_parser()
+    arguments = parser.parse_args(argv)
+    output = _COMMANDS[arguments.command](arguments)
+    print(output)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__.py
+    raise SystemExit(main())

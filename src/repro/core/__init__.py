@@ -1,0 +1,61 @@
+"""Compilation flow for RTM-APs (the paper's primary contribution, Sec. IV).
+
+The flow takes trained ternary-weight layers and produces optimized AP
+programs plus the statistics the performance model consumes:
+
+1. constant weight folding - ternary weights become signed add/sub terms
+   (:mod:`repro.core.folding`),
+2. common-subexpression elimination over each input channel's
+   ``Cout x Fh x Fw`` weight slice (:mod:`repro.core.cse`),
+3. minimal bit-width annotation of every DFG value
+   (:mod:`repro.core.bitwidth`),
+4. channel-wise data-flow graph construction (:mod:`repro.core.dfg`),
+5. scheduling: in-/out-of-place selection and CAM-column allocation by graph
+   coloring (:mod:`repro.core.scheduling`),
+6. code generation into :class:`~repro.ap.isa.APProgram` streams
+   (:mod:`repro.core.codegen`),
+7. input mapping / array-count modelling (:mod:`repro.core.mapping`),
+8. the end-to-end driver (:mod:`repro.core.compiler`).
+"""
+
+from repro.core.expr import LinearExpression, Term
+from repro.core.folding import fold_weight_slice, unrolled_op_count
+from repro.core.cse import CSEResult, eliminate_common_subexpressions
+from repro.core.bitwidth import ValueRange, activation_range
+from repro.core.dfg import ChannelDFG, DFGNode, build_channel_dfg
+from repro.core.mapping import LayerMapping, map_layer
+from repro.core.compiler import (
+    CompilerConfig,
+    CompiledLayer,
+    CompiledModel,
+    CompiledSlice,
+    compile_layer,
+    compile_model,
+    compile_slice,
+)
+from repro.core.report import CompilationReport, compare_configurations
+
+__all__ = [
+    "LinearExpression",
+    "Term",
+    "fold_weight_slice",
+    "unrolled_op_count",
+    "CSEResult",
+    "eliminate_common_subexpressions",
+    "ValueRange",
+    "activation_range",
+    "ChannelDFG",
+    "DFGNode",
+    "build_channel_dfg",
+    "LayerMapping",
+    "map_layer",
+    "CompilerConfig",
+    "CompiledSlice",
+    "CompiledLayer",
+    "CompiledModel",
+    "compile_slice",
+    "compile_layer",
+    "compile_model",
+    "CompilationReport",
+    "compare_configurations",
+]

@@ -1,0 +1,88 @@
+"""Minimal bit-width annotation of DFG values (paper Sec. IV-A, last step).
+
+The AP supports arbitrary integer widths, so every value is stored and
+processed with the smallest two's-complement width that can represent its
+worst-case range.  Ranges are propagated through the signed-sum structure of
+the folded expressions: an activation quantized to ``a`` unsigned bits lies in
+``[0, 2^a - 1]``; a sum/difference of ranges is the interval sum/difference.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import CompilationError, QuantizationError
+from repro.utils.bitops import bits_for_signed_range
+
+
+@dataclass(frozen=True)
+class ValueRange:
+    """Closed integer interval ``[lo, hi]`` tracked for a DFG value."""
+
+    lo: int
+    hi: int
+
+    def __post_init__(self) -> None:
+        if self.lo > self.hi:
+            raise CompilationError(f"empty value range [{self.lo}, {self.hi}]")
+
+    # ------------------------------------------------------------------
+    def __add__(self, other: "ValueRange") -> "ValueRange":
+        return ValueRange(self.lo + other.lo, self.hi + other.hi)
+
+    def __sub__(self, other: "ValueRange") -> "ValueRange":
+        return ValueRange(self.lo - other.hi, self.hi - other.lo)
+
+    def __neg__(self) -> "ValueRange":
+        return ValueRange(-self.hi, -self.lo)
+
+    def scaled(self, count: int) -> "ValueRange":
+        """Range of the sum of ``count`` values drawn from this range."""
+        if count < 0:
+            raise CompilationError(f"count must be >= 0, got {count}")
+        return ValueRange(self.lo * count, self.hi * count)
+
+    @property
+    def width(self) -> int:
+        """Minimal signed two's-complement width holding every value in the range."""
+        return bits_for_signed_range(self.lo, self.hi)
+
+    @property
+    def span(self) -> int:
+        """Number of representable integers in the range."""
+        return self.hi - self.lo + 1
+
+    def union(self, other: "ValueRange") -> "ValueRange":
+        """Smallest range containing both operands."""
+        return ValueRange(min(self.lo, other.lo), max(self.hi, other.hi))
+
+
+ZERO_RANGE = ValueRange(0, 0)
+
+
+def activation_range(bits: int, signed: bool = False) -> ValueRange:
+    """Range of an activation quantized to ``bits`` bits.
+
+    Post-ReLU LSQ activations are unsigned (``[0, 2^bits - 1]``); the signed
+    variant is provided for inputs that keep a sign (e.g. the network input
+    after symmetric quantization).
+    """
+    if bits <= 0:
+        raise QuantizationError(f"activation bits must be > 0, got {bits}")
+    if signed:
+        return ValueRange(-(1 << (bits - 1)), (1 << (bits - 1)) - 1)
+    return ValueRange(0, (1 << bits) - 1)
+
+
+def accumulate_range(term_range: ValueRange, positive_terms: int, negative_terms: int) -> ValueRange:
+    """Worst-case range of ``sum of positive_terms - sum of negative_terms`` values.
+
+    Used to size the per-output-channel accumulators of a whole layer without
+    walking every DFG: the accumulator receives ``positive_terms`` additions
+    and ``negative_terms`` subtractions of activation-range values.
+    """
+    if positive_terms < 0 or negative_terms < 0:
+        raise CompilationError("term counts must be >= 0")
+    positive = term_range.scaled(positive_terms)
+    negative = term_range.scaled(negative_terms)
+    return ValueRange(positive.lo - negative.hi, positive.hi - negative.lo)

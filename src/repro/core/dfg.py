@@ -1,0 +1,223 @@
+"""Channel-wise data-flow graphs (paper Fig. 3e).
+
+After folding and (optionally) CSE, the work of one input channel is a small
+DFG: input nodes are the ``Fh*Fw`` patch elements, operation nodes are binary
+adds/subs (the CSE temporaries and the per-output-channel accumulation
+chains), and each output channel maps to one node together with a sign (the
+negative-output operations of the paper are represented as a sign carried to
+the consumer, at no extra cost).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.bitwidth import ValueRange, activation_range
+from repro.core.cse import CSEResult
+from repro.core.expr import LinearExpression, Term
+from repro.errors import CompilationError
+
+#: Reference to a node with a sign: (node_id, +1/-1).
+SignedNode = Tuple[int, int]
+
+
+@dataclass
+class DFGNode:
+    """One value in a channel DFG."""
+
+    node_id: int
+    #: "input" for patch elements, "op" for add/sub results.
+    kind: str
+    #: Operation ("add"/"sub") for op nodes; empty for inputs.
+    op: str = ""
+    #: Left/right operands (signed references) for op nodes.
+    lhs: Optional[SignedNode] = None
+    rhs: Optional[SignedNode] = None
+    #: Worst-case value range of the node (drives the bit width).
+    value_range: ValueRange = field(default_factory=lambda: ValueRange(0, 0))
+    #: Human-readable label ("x3", "t1", "y7-chain0").
+    label: str = ""
+
+    @property
+    def width(self) -> int:
+        """Minimal two's-complement width of the node's value."""
+        return self.value_range.width
+
+    @property
+    def is_op(self) -> bool:
+        """True for add/sub nodes."""
+        return self.kind == "op"
+
+
+@dataclass
+class ChannelDFG:
+    """The DFG of one (layer, input channel) weight slice."""
+
+    nodes: Dict[int, DFGNode] = field(default_factory=dict)
+    #: Patch element index -> input node id.
+    input_nodes: Dict[int, int] = field(default_factory=dict)
+    #: CSE temporary index -> op node id.
+    temp_nodes: Dict[int, int] = field(default_factory=dict)
+    #: Output channel -> signed node reference (None for all-zero rows).
+    outputs: Dict[int, Optional[SignedNode]] = field(default_factory=dict)
+    #: Op node ids in emission (topological) order.
+    op_order: List[int] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def add_node(self, node: DFGNode) -> int:
+        """Insert a node and return its id."""
+        if node.node_id in self.nodes:
+            raise CompilationError(f"duplicate DFG node id {node.node_id}")
+        self.nodes[node.node_id] = node
+        if node.is_op:
+            self.op_order.append(node.node_id)
+        return node.node_id
+
+    @property
+    def num_operations(self) -> int:
+        """Number of add/sub nodes in the DFG."""
+        return len(self.op_order)
+
+    def op_width_histogram(self) -> Dict[int, int]:
+        """Histogram ``width -> count`` over the op nodes."""
+        histogram: Dict[int, int] = {}
+        for node_id in self.op_order:
+            width = self.nodes[node_id].width
+            histogram[width] = histogram.get(width, 0) + 1
+        return histogram
+
+    def use_counts(self) -> Dict[int, int]:
+        """Number of consumers of every node (op operands plus outputs)."""
+        counts: Dict[int, int] = {node_id: 0 for node_id in self.nodes}
+        for node_id in self.op_order:
+            node = self.nodes[node_id]
+            for operand in (node.lhs, node.rhs):
+                if operand is not None:
+                    counts[operand[0]] += 1
+        for output in self.outputs.values():
+            if output is not None:
+                counts[output[0]] += 1
+        return counts
+
+    def max_output_width(self) -> int:
+        """Largest width among the per-output-channel partial results."""
+        widths = [
+            self.nodes[ref[0]].width for ref in self.outputs.values() if ref is not None
+        ]
+        return max(widths, default=1)
+
+
+def build_channel_dfg(
+    rows: Sequence[LinearExpression],
+    definitions: Optional[CSEResult] = None,
+    activation_bits: int = 4,
+    signed_activations: bool = False,
+) -> ChannelDFG:
+    """Build the channel DFG from folded rows (and optional CSE definitions).
+
+    Args:
+        rows: per-output-channel expressions.  When ``definitions`` is given
+            these must be the *rewritten* rows of that CSE result.
+        definitions: result of :func:`~repro.core.cse.eliminate_common_subexpressions`;
+            omit for the ``unroll`` (no-CSE) configuration.
+        activation_bits: precision of the patch elements.
+        signed_activations: whether patch elements are signed.
+    """
+    dfg = ChannelDFG()
+    input_range = activation_range(activation_bits, signed=signed_activations)
+    next_id = 0
+
+    def new_id() -> int:
+        nonlocal next_id
+        value = next_id
+        next_id += 1
+        return value
+
+    def input_node(index: int) -> int:
+        if index not in dfg.input_nodes:
+            node = DFGNode(
+                node_id=new_id(),
+                kind="input",
+                value_range=input_range,
+                label=f"x{index}",
+            )
+            dfg.add_node(node)
+            dfg.input_nodes[index] = node.node_id
+        return dfg.input_nodes[index]
+
+    def resolve(term: Term) -> int:
+        if term.kind == "input":
+            return input_node(term.index)
+        if term.index not in dfg.temp_nodes:
+            raise CompilationError(
+                f"temporary {term.symbol} used before its definition"
+            )
+        return dfg.temp_nodes[term.index]
+
+    def emit_binary(lhs: SignedNode, rhs: SignedNode, label: str) -> SignedNode:
+        """Emit one add/sub node computing ``lhs + rhs`` (signs included).
+
+        Returns a signed reference to the stored node: when both signs are
+        negative the stored node holds the magnitude (a + b) and the returned
+        sign is -1 (negative output carried to the consumer).
+        """
+        (lhs_id, lhs_sign), (rhs_id, rhs_sign) = lhs, rhs
+        lhs_range = dfg.nodes[lhs_id].value_range
+        rhs_range = dfg.nodes[rhs_id].value_range
+        if lhs_sign > 0 and rhs_sign > 0:
+            op, rng, out_sign = "add", lhs_range + rhs_range, 1
+            operands = ((lhs_id, 1), (rhs_id, 1))
+        elif lhs_sign > 0 and rhs_sign < 0:
+            op, rng, out_sign = "sub", lhs_range - rhs_range, 1
+            operands = ((lhs_id, 1), (rhs_id, -1))
+        elif lhs_sign < 0 and rhs_sign > 0:
+            op, rng, out_sign = "sub", rhs_range - lhs_range, 1
+            operands = ((rhs_id, 1), (lhs_id, -1))
+        else:
+            # -(a + b): store a + b and carry the negation to the consumer.
+            op, rng, out_sign = "add", lhs_range + rhs_range, -1
+            operands = ((lhs_id, 1), (rhs_id, 1))
+        node = DFGNode(
+            node_id=new_id(),
+            kind="op",
+            op=op,
+            lhs=operands[0],
+            rhs=operands[1],
+            value_range=rng,
+            label=label,
+        )
+        dfg.add_node(node)
+        return node.node_id, out_sign
+
+    # 1. CSE temporaries (each is a single binary operation).
+    if definitions is not None:
+        for definition in definitions.definitions:
+            first_term, first_sign = definition.first
+            second_term, second_sign = definition.second
+            lhs = (resolve(first_term), first_sign)
+            rhs = (resolve(second_term), second_sign)
+            node_id, out_sign = emit_binary(lhs, rhs, label=definition.temp.symbol)
+            if out_sign < 0:
+                # CSE canonicalises the first sign to +1, so this cannot occur.
+                raise CompilationError(
+                    f"CSE definition {definition!r} produced a negated temporary"
+                )
+            dfg.temp_nodes[definition.temp.index] = node_id
+
+    # 2. Per-output-channel accumulation chains.
+    for channel, row in enumerate(rows):
+        terms = row.terms()
+        if not terms:
+            dfg.outputs[channel] = None
+            continue
+        first_term, first_sign = terms[0]
+        accumulator: SignedNode = (resolve(first_term), first_sign)
+        for chain_index, (term, sign) in enumerate(terms[1:]):
+            operand = (resolve(term), sign)
+            accumulator = emit_binary(
+                accumulator, operand, label=f"y{channel}.{chain_index}"
+            )
+        dfg.outputs[channel] = accumulator
+
+    return dfg

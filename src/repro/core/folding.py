@@ -1,0 +1,76 @@
+"""Constant weight folding (paper Sec. IV-A, Fig. 3c).
+
+With ternary weights known at compile time, the multiplications of a
+convolution disappear: a weight of +1 contributes ``+x_k``, a weight of -1
+contributes ``-x_k`` and a weight of 0 contributes nothing.  Folding a weight
+slice (the ``Cout x (Fh*Fw)`` weights of one input channel) therefore yields
+one :class:`~repro.core.expr.LinearExpression` per output channel over the
+patch elements ``x_0 .. x_{Fh*Fw-1}``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from repro.core.expr import LinearExpression, Term
+from repro.errors import CompilationError
+from repro.utils.validation import check_ternary
+
+
+def fold_weight_slice(weight_slice: np.ndarray) -> List[LinearExpression]:
+    """Fold a ternary weight slice into per-output-channel expressions.
+
+    Args:
+        weight_slice: array of shape ``(Cout, K)`` with values in {-1, 0, +1},
+            where ``K = Fh * Fw`` is the patch size.
+
+    Returns:
+        One expression per output channel (row), in row order.
+    """
+    weight_slice = check_ternary(np.asarray(weight_slice), name="weight slice")
+    if weight_slice.ndim != 2:
+        raise CompilationError(
+            f"weight slice must be 2-D (Cout, Fh*Fw), got shape {weight_slice.shape}"
+        )
+    expressions: List[LinearExpression] = []
+    for row in weight_slice:
+        expression = LinearExpression()
+        for patch_index, weight in enumerate(row):
+            if weight == 0:
+                continue
+            expression.add_term(Term.input(patch_index), int(weight))
+        expressions.append(expression)
+    return expressions
+
+
+def unrolled_op_count(weight_slice: np.ndarray, fused_accumulation: bool = True) -> int:
+    """Add/sub count of the *unroll* configuration for one weight slice.
+
+    With loop unrolling and constant folding (and no CSE), every non-zero
+    weight becomes exactly one addition or subtraction that accumulates its
+    (possibly negated) patch element into the output channel's running sum
+    (paper Fig. 3c).  With ``fused_accumulation=False`` the count instead uses
+    the standalone-MVM convention (``n - 1`` operations for an ``n``-term
+    output), which is the convention of the paper's Eq. 1 example.
+    """
+    weight_slice = check_ternary(np.asarray(weight_slice), name="weight slice")
+    if weight_slice.ndim != 2:
+        raise CompilationError(
+            f"weight slice must be 2-D (Cout, Fh*Fw), got shape {weight_slice.shape}"
+        )
+    nonzeros_per_row = np.count_nonzero(weight_slice, axis=1)
+    if fused_accumulation:
+        return int(nonzeros_per_row.sum())
+    return int(np.maximum(nonzeros_per_row - 1, 0).sum())
+
+
+def slice_density_histogram(weight_slice: np.ndarray) -> dict[int, int]:
+    """Histogram of per-output-channel non-zero counts (diagnostics/reports)."""
+    weight_slice = check_ternary(np.asarray(weight_slice), name="weight slice")
+    counts = np.count_nonzero(weight_slice, axis=1)
+    histogram: dict[int, int] = {}
+    for count in counts:
+        histogram[int(count)] = histogram.get(int(count), 0) + 1
+    return histogram

@@ -1,0 +1,48 @@
+"""Compiler frontend: from a model definition to ternary layer specifications.
+
+The paper's flow starts from a trained TWN in ONNX form; this reproduction
+starts from the NumPy model zoo.  The frontend extracts the ternary weight
+tensors and layer geometry (:class:`~repro.nn.stats.ConvLayerSpec`) and offers
+simple filtering (e.g. compile only the convolutional layers when studying
+Fig. 4, which reports the 20 ResNet-18 convolutions).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+from repro.nn.layers import Module
+from repro.nn.models.registry import build_model, model_record
+from repro.nn.stats import ConvLayerSpec, model_layer_specs
+from repro.utils.rng import RngLike
+
+
+def specs_from_model(
+    model: Module,
+    input_shape: Tuple[int, int, int],
+    convolutions_only: bool = False,
+) -> List[ConvLayerSpec]:
+    """Extract layer specs from an instantiated model."""
+    specs = model_layer_specs(model, input_shape)
+    if convolutions_only:
+        specs = [spec for spec in specs if spec.patch_size > 1 or spec.input_height > 1]
+    return specs
+
+
+def specs_for_network(
+    name: str,
+    sparsity: Optional[float] = None,
+    convolutions_only: bool = False,
+    rng: RngLike = None,
+) -> List[ConvLayerSpec]:
+    """Build a registry network and extract its layer specs in one step."""
+    model, input_shape = build_model(name, sparsity=sparsity, rng=rng)
+    return specs_from_model(model, input_shape, convolutions_only=convolutions_only)
+
+
+def benchmark_description(name: str) -> str:
+    """Human-readable "model/dataset" label used in Table II."""
+    record = model_record(name)
+    dataset = "ImageNet" if record.dataset == "imagenet" else "CIFAR10"
+    pretty = {"resnet18": "ResNet18", "vgg9": "VGG-9", "vgg11": "VGG-11"}[record.name]
+    return f"{pretty}/{dataset}"

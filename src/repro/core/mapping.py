@@ -1,0 +1,226 @@
+"""Input mapping of convolution layers onto CAM arrays (paper Sec. IV-B).
+
+The im2col-transformed input of one layer is mapped as:
+
+* CAM **rows** hold output spatial positions (``Hout * Wout``); a layer whose
+  output exceeds the 256 rows of one AP uses ``ceil(Hout*Wout / rows)``
+  *row tiles* on different APs operating in lockstep.
+* CAM **columns** hold the ``Fh*Fw`` patch elements of one input channel plus
+  the temporaries and per-output-channel accumulators of the compiled DFG.
+* The **domain axis** of each nanowire stacks the N-bit values of several
+  input channels (``domains / activation_bits`` channel values per cell,
+  paper Fig. 2d), so one AP typically holds *all* input channels of a layer
+  and accumulates them locally.  Only when the per-row storage (input patches
+  + accumulators + temporaries) exceeds the AP's column x domain capacity is
+  the channel dimension split across several APs (*channel groups*), whose
+  partial results are then merged by the adder-tree accumulation phase.
+
+The paper's "# Arrays" column is the row-tile demand of the worst layer:
+``ceil(112*112/256) = 49`` for ResNet-18 and ``ceil(32*32/256) = 4`` for the
+CIFAR-10 VGGs, which this module reproduces exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.arch.allocator import LayerDemand
+from repro.arch.config import ArchitectureConfig
+from repro.core.bitwidth import ValueRange, accumulate_range, activation_range
+from repro.errors import MappingError
+from repro.nn.stats import ConvLayerSpec
+
+
+@dataclass(frozen=True)
+class LayerMapping:
+    """How one layer occupies the accelerator."""
+
+    layer_name: str
+    #: Input / output channel counts of the layer.
+    in_channels: int
+    out_channels: int
+    #: Output positions Hout*Wout (the SIMD dimension).
+    output_positions: int
+    #: Input positions Hin*Win (used to size the raw input-feature-map load).
+    input_positions: int
+    #: Rows provided by one AP.
+    rows_per_ap: int
+    #: ceil(output_positions / rows_per_ap).
+    row_tiles: int
+    #: Input channels whose activations share one nanowire (domain stacking).
+    channels_per_nanowire: int
+    #: Number of APs the channel dimension is split across (capacity-driven).
+    channel_groups: int
+    #: Patch size Fh*Fw (input columns per channel).
+    patch_columns: int
+    #: Bit width of the layer's output accumulators.
+    accumulator_width: int
+    #: Activation precision of the inputs stored in the CAM.
+    activation_bits: int
+    #: Per-row storage demand (bits) and capacity (bits) of one AP.
+    storage_bits_per_row: int
+    capacity_bits_per_row: int
+    #: Sequential output-channel tiles (1 unless the accumulators alone exceed
+    #: the per-row capacity, e.g. very wide FC layers at high precision).
+    output_tiles: int = 1
+
+    # ------------------------------------------------------------------
+    @property
+    def rows_used_in_last_tile(self) -> int:
+        """Active rows of the last (possibly partial) row tile."""
+        remainder = self.output_positions % self.rows_per_ap
+        return remainder if remainder else self.rows_per_ap
+
+    @property
+    def row_utilization(self) -> float:
+        """Average fraction of CAM rows holding valid data."""
+        return self.output_positions / (self.row_tiles * self.rows_per_ap)
+
+    @property
+    def arrays_for_full_parallelism(self) -> int:
+        """APs needed to run every row tile and channel group concurrently."""
+        return self.row_tiles * self.channel_groups
+
+    @property
+    def channels_per_group(self) -> int:
+        """Input channels handled by one channel group (one AP per row tile)."""
+        return -(-self.in_channels // self.channel_groups)
+
+    def demand(self) -> LayerDemand:
+        """The allocator-facing demand of this layer."""
+        return LayerDemand(
+            name=self.layer_name,
+            row_tiles=self.row_tiles,
+            channel_groups=self.channel_groups,
+            max_output_tiles=self.out_channels,
+        )
+
+
+def accumulator_range_for_layer(
+    spec: ConvLayerSpec, activation_bits: int, signed_activations: bool = False
+) -> ValueRange:
+    """Worst-case range of the per-output-channel accumulator of a layer.
+
+    The accumulator of output channel ``o`` receives one signed activation per
+    non-zero weight of that filter; the worst-case channel determines the
+    width every accumulator column is allocated with.
+    """
+    term_range = activation_range(activation_bits, signed=signed_activations)
+    flat = spec.weights.reshape(spec.out_channels, -1)
+    positive = (flat > 0).sum(axis=1)
+    negative = (flat < 0).sum(axis=1)
+    worst = ValueRange(0, 0)
+    for pos, neg in zip(positive, negative):
+        worst = worst.union(accumulate_range(term_range, int(pos), int(neg)))
+    return worst
+
+
+def _per_row_storage_bits(
+    channels: int,
+    patch_columns: int,
+    out_channels: int,
+    activation_bits: int,
+    accumulator_width: int,
+) -> int:
+    """Per-CAM-row storage (bits) for ``channels`` resident input channels.
+
+    Input patches occupy ``channels * patch * activation_bits`` bits; the
+    per-output-channel accumulators occupy ``Cout * accumulator_width`` bits;
+    a margin of one patch worth of accumulator-width temporaries covers the
+    CSE temporaries and the carry column.
+    """
+    inputs = channels * patch_columns * activation_bits
+    accumulators = out_channels * accumulator_width
+    temporaries = (patch_columns + 1) * accumulator_width
+    return inputs + accumulators + temporaries
+
+
+def map_layer(
+    spec: ConvLayerSpec,
+    config: Optional[ArchitectureConfig] = None,
+    signed_activations: bool = False,
+) -> LayerMapping:
+    """Map one layer onto the architecture described by ``config``."""
+    config = config or ArchitectureConfig()
+    rows = config.ap.rows
+    positions = spec.output_positions
+    if positions <= 0:
+        raise MappingError(f"layer {spec.name!r} has no output positions")
+    row_tiles = -(-positions // rows)
+    activation_bits = config.activation_bits
+    channels_per_nanowire = config.channels_per_column_group
+    accumulator = accumulator_range_for_layer(spec, activation_bits, signed_activations)
+    capacity = config.ap.usable_columns * config.technology.domains_per_nanowire
+
+    if spec.patch_size * activation_bits > config.technology.domains_per_nanowire * config.ap.usable_columns:
+        raise MappingError(
+            f"layer {spec.name!r}: one input patch does not fit in a single AP"
+        )
+
+    # Output-channel tiling: only needed when the accumulators alone exceed
+    # the per-row capacity (very wide layers at high precision).  Tiles are
+    # processed sequentially and do not change operation counts.
+    output_tiles = 1
+    while output_tiles < spec.out_channels:
+        fixed = _per_row_storage_bits(
+            1, spec.patch_size, -(-spec.out_channels // output_tiles),
+            activation_bits, accumulator.width,
+        )
+        if fixed <= capacity:
+            break
+        output_tiles += 1
+    resident_outputs = -(-spec.out_channels // output_tiles)
+    if _per_row_storage_bits(
+        1, spec.patch_size, resident_outputs, activation_bits, accumulator.width
+    ) > capacity:
+        raise MappingError(
+            f"layer {spec.name!r} does not fit in one AP even with a single "
+            f"input channel and a single output channel resident"
+        )
+
+    channel_groups = 1
+    while channel_groups < spec.in_channels:
+        resident = -(-spec.in_channels // channel_groups)
+        storage = _per_row_storage_bits(
+            resident, spec.patch_size, resident_outputs, activation_bits,
+            accumulator.width,
+        )
+        if storage <= capacity:
+            break
+        channel_groups += 1
+    resident = -(-spec.in_channels // channel_groups)
+    storage = _per_row_storage_bits(
+        resident, spec.patch_size, resident_outputs, activation_bits, accumulator.width
+    )
+
+    return LayerMapping(
+        layer_name=spec.name,
+        in_channels=spec.in_channels,
+        out_channels=spec.out_channels,
+        output_positions=positions,
+        input_positions=spec.input_height * spec.input_width,
+        rows_per_ap=rows,
+        row_tiles=row_tiles,
+        channels_per_nanowire=channels_per_nanowire,
+        channel_groups=channel_groups,
+        patch_columns=spec.patch_size,
+        accumulator_width=accumulator.width,
+        activation_bits=activation_bits,
+        storage_bits_per_row=storage,
+        capacity_bits_per_row=capacity,
+        output_tiles=output_tiles,
+    )
+
+
+def arrays_required(
+    specs: Sequence[ConvLayerSpec], config: Optional[ArchitectureConfig] = None
+) -> int:
+    """The paper's "# Arrays" metric: the worst layer's row-tile demand."""
+    config = config or ArchitectureConfig()
+    return max(
+        (map_layer(spec, config).row_tiles for spec in specs),
+        default=0,
+    )

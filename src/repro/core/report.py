@@ -1,0 +1,110 @@
+"""Compilation reports: op-count comparisons between compiler configurations.
+
+Backs the paper's per-network #Adds/Subs columns of Table II and the "CSE
+reduces the number of additions by ~31 % on average" claim (Sec. V-A).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.compiler import CompiledModel
+from repro.errors import CompilationError
+
+
+@dataclass(frozen=True)
+class LayerComparison:
+    """Operation counts of one layer under two compiler configurations."""
+
+    name: str
+    baseline_ops: int
+    optimized_ops: int
+
+    @property
+    def reduction(self) -> float:
+        """Fraction of operations removed by the optimized configuration."""
+        if self.baseline_ops == 0:
+            return 0.0
+        return 1.0 - self.optimized_ops / self.baseline_ops
+
+
+@dataclass
+class CompilationReport:
+    """Network-level comparison between two compiled configurations."""
+
+    model_name: str
+    baseline_name: str
+    optimized_name: str
+    layers: List[LayerComparison]
+
+    @property
+    def baseline_total(self) -> int:
+        """Total ops of the baseline configuration."""
+        return sum(layer.baseline_ops for layer in self.layers)
+
+    @property
+    def optimized_total(self) -> int:
+        """Total ops of the optimized configuration."""
+        return sum(layer.optimized_ops for layer in self.layers)
+
+    @property
+    def total_reduction(self) -> float:
+        """Network-wide fraction of operations removed."""
+        if self.baseline_total == 0:
+            return 0.0
+        return 1.0 - self.optimized_total / self.baseline_total
+
+    @property
+    def mean_layer_reduction(self) -> float:
+        """Average per-layer reduction (the paper's "average 31 %" metric)."""
+        if not self.layers:
+            return 0.0
+        return sum(layer.reduction for layer in self.layers) / len(self.layers)
+
+    def to_text(self) -> str:
+        """Human-readable table of the per-layer comparison."""
+        lines = [
+            f"Model: {self.model_name}",
+            f"{'layer':<28} {self.baseline_name:>12} {self.optimized_name:>12} {'reduction':>10}",
+        ]
+        for layer in self.layers:
+            lines.append(
+                f"{layer.name:<28} {layer.baseline_ops:>12} {layer.optimized_ops:>12} "
+                f"{layer.reduction * 100.0:>9.1f}%"
+            )
+        lines.append(
+            f"{'TOTAL':<28} {self.baseline_total:>12} {self.optimized_total:>12} "
+            f"{self.total_reduction * 100.0:>9.1f}%"
+        )
+        return "\n".join(lines)
+
+
+def compare_configurations(
+    baseline: CompiledModel, optimized: CompiledModel
+) -> CompilationReport:
+    """Compare two compilations of the same network (e.g. unroll vs unroll+CSE)."""
+    if len(baseline.layers) != len(optimized.layers):
+        raise CompilationError(
+            "cannot compare compilations with different layer counts: "
+            f"{len(baseline.layers)} vs {len(optimized.layers)}"
+        )
+    layers: List[LayerComparison] = []
+    for base_layer, opt_layer in zip(baseline.layers, optimized.layers):
+        if base_layer.name != opt_layer.name:
+            raise CompilationError(
+                f"layer mismatch: {base_layer.name!r} vs {opt_layer.name!r}"
+            )
+        layers.append(
+            LayerComparison(
+                name=base_layer.name,
+                baseline_ops=base_layer.total_ops,
+                optimized_ops=opt_layer.total_ops,
+            )
+        )
+    return CompilationReport(
+        model_name=baseline.name,
+        baseline_name=baseline.config.configuration_name,
+        optimized_name=optimized.config.configuration_name,
+        layers=layers,
+    )

@@ -1,0 +1,39 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by this library derive from :class:`ReproError` so that
+callers can catch library failures without catching unrelated exceptions.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An architecture, technology or compiler configuration is invalid."""
+
+
+class CompilationError(ReproError):
+    """The compiler could not lower a layer or model to AP instructions."""
+
+
+class MappingError(ReproError):
+    """A tensor or workload cannot be mapped onto the requested hardware."""
+
+
+class CapacityError(MappingError):
+    """A hardware resource (rows, columns, domains, APs) was exceeded."""
+
+
+class SimulationError(ReproError):
+    """The functional simulator reached an inconsistent state."""
+
+
+class QuantizationError(ReproError):
+    """Weights or activations violate the expected quantized format."""
+
+
+class ModelDefinitionError(ReproError):
+    """A neural-network model definition is malformed."""

@@ -1,0 +1,28 @@
+"""Evaluation harness: regenerates the paper's tables and figures.
+
+* :mod:`repro.eval.table2` - Table II (accuracy / energy / latency / #arrays /
+  #adds for every network, against the crossbar and DeepCAM baselines).
+* :mod:`repro.eval.fig4` - Fig. 4 (layer-by-layer energy and latency breakdown
+  of ResNet-18 for unroll, unroll+CSE and the crossbar baseline).
+* :mod:`repro.eval.accuracy` - the accuracy-vs-precision experiment backing
+  the accuracy columns of Table II.
+* :mod:`repro.eval.reporting` - plain-text table formatting shared by the
+  benchmarks and examples.
+"""
+
+from repro.eval.reporting import format_table
+from repro.eval.accuracy import AccuracySummary, run_accuracy_experiment
+from repro.eval.table2 import Table2, Table2Entry, generate_table2
+from repro.eval.fig4 import Fig4Data, Fig4Layer, generate_fig4
+
+__all__ = [
+    "format_table",
+    "AccuracySummary",
+    "run_accuracy_experiment",
+    "Table2",
+    "Table2Entry",
+    "generate_table2",
+    "Fig4Data",
+    "Fig4Layer",
+    "generate_fig4",
+]

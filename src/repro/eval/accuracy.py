@@ -1,0 +1,135 @@
+"""Accuracy-vs-precision experiment (experiment E9, Table II accuracy columns).
+
+The paper's accuracy claims are:
+
+1. Ternary weights with 4-bit LSQ activations retain full-precision accuracy
+   (ResNet-18: 70.5 % FP vs 70.6 % at 4/8 bits).
+2. The crossbar baseline loses accuracy because of ADC quantization
+   (VGG-9: 93.2 % FP vs 90.2 %/89.7 %).
+3. The DeepCAM-style hashed approximation loses even more on complex tasks.
+
+Training BIPROP on ImageNet is out of scope (see DESIGN.md, Substitutions);
+the same three effects are demonstrated on a small, fully-reproducible
+classification task with a straight-through-estimator QAT loop
+(:mod:`repro.nn.training`), ADC perturbation (:mod:`repro.baselines.adc`) and
+hashed dot products (:mod:`repro.baselines.deepcam`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.baselines.adc import ADCQuantizer
+from repro.baselines.deepcam import hashed_dot_product
+from repro.eval.reporting import format_table
+from repro.nn.datasets import ClassificationDataset, make_cluster_classification
+from repro.nn.training import QuantMLP, TrainingConfig, train_mlp
+from repro.utils.rng import make_rng
+
+
+@dataclass
+class AccuracySummary:
+    """Test accuracies of every evaluated configuration."""
+
+    #: Configuration name -> top-1 test accuracy.
+    accuracies: Dict[str, float] = field(default_factory=dict)
+
+    def __getitem__(self, name: str) -> float:
+        return self.accuracies[name]
+
+    @property
+    def fp_accuracy(self) -> float:
+        """Full-precision reference accuracy."""
+        return self.accuracies["fp32"]
+
+    def degradation(self, name: str) -> float:
+        """Accuracy drop of a configuration relative to full precision."""
+        return self.fp_accuracy - self.accuracies[name]
+
+    def to_text(self) -> str:
+        """Readable table of the results."""
+        rows = [
+            (name, f"{value * 100:.1f}%", f"{(value - self.fp_accuracy) * 100:+.1f}%")
+            for name, value in self.accuracies.items()
+        ]
+        return format_table(
+            ["configuration", "top-1 accuracy", "vs FP32"],
+            rows,
+            title="Accuracy vs precision (synthetic classification task)",
+        )
+
+
+def _evaluate_with_hashed_matmul(
+    model: QuantMLP,
+    dataset: ClassificationDataset,
+    hash_length: int,
+    seed: int = 0,
+) -> float:
+    """Evaluate a trained MLP with DeepCAM-style hashed dot products."""
+    x = dataset.test_x.reshape(dataset.test_x.shape[0], -1)
+    w1, _ = model._effective(model.w1)
+    w2, _ = model._effective(model.w2)
+    rng = make_rng(seed)
+    hidden = np.maximum(hashed_dot_product(x, w1, hash_length, rng) + model.b1, 0.0)
+    logits = hashed_dot_product(hidden, w2, hash_length, rng) + model.b2
+    predictions = logits.argmax(axis=1)
+    return float((predictions == dataset.test_y).mean())
+
+
+def run_accuracy_experiment(
+    epochs: int = 25,
+    seed: int = 7,
+    adc_bits: int = 5,
+    hash_length: int = 48,
+    dataset: Optional[ClassificationDataset] = None,
+) -> AccuracySummary:
+    """Train/evaluate every configuration of the accuracy experiment.
+
+    Returns a summary with the configurations:
+
+    * ``fp32`` - full-precision weights and activations,
+    * ``ternary`` - ternary weights, full-precision activations,
+    * ``ternary-a8`` / ``ternary-a4`` - ternary weights with 8-/4-bit LSQ-style
+      activations (the RTM-AP operating points),
+    * ``crossbar-adc5`` - the ternary-a8 model evaluated through a 5-bit ADC
+      (the DNN+NeuroSim-style baseline),
+    * ``deepcam-hash`` - the ternary model evaluated with hashed dot products.
+    """
+    dataset = dataset or make_cluster_classification(rng=seed)
+    summary = AccuracySummary()
+
+    fp_config = TrainingConfig(
+        epochs=epochs, activation_bits=None, ternary_weights=False, seed=seed
+    )
+    fp_model, fp_result = train_mlp(dataset, fp_config)
+    summary.accuracies["fp32"] = fp_result.test_accuracy
+
+    ternary_config = TrainingConfig(
+        epochs=epochs, activation_bits=None, ternary_weights=True, seed=seed
+    )
+    ternary_model, ternary_result = train_mlp(dataset, ternary_config)
+    summary.accuracies["ternary"] = ternary_result.test_accuracy
+
+    for bits in (8, 4):
+        config = TrainingConfig(
+            epochs=epochs, activation_bits=bits, ternary_weights=True, seed=seed
+        )
+        _, result = train_mlp(dataset, config)
+        summary.accuracies[f"ternary-a{bits}"] = result.test_accuracy
+
+    # Crossbar baseline: the quantized model read out through a low-resolution
+    # ADC; partial sums over more than 256 rows are digitised separately.
+    adc = ADCQuantizer(bits=adc_bits, rows_per_partial=256)
+    partials = max(1, -(-dataset.num_features // adc.rows_per_partial))
+    summary.accuracies[f"crossbar-adc{adc_bits}"] = ternary_model.evaluate(
+        dataset.test_x, dataset.test_y, matmul_perturbation=adc.make_perturbation(partials)
+    )
+
+    # DeepCAM-style hashed dot products.
+    summary.accuracies["deepcam-hash"] = _evaluate_with_hashed_matmul(
+        ternary_model, dataset, hash_length=hash_length, seed=seed
+    )
+    return summary

@@ -1,0 +1,186 @@
+"""Fig. 4 generator (experiment E4): layer-by-layer ResNet-18 breakdown.
+
+The paper's Fig. 4 shows, for every convolutional layer of ResNet-18, the
+energy and latency of the ``unroll`` and ``unroll+CSE`` RTM-AP configurations
+against the DNN+NeuroSim crossbar baseline, split into component categories
+(DFG, accumulation, peripherals, data movement).  :func:`generate_fig4`
+computes exactly those series; the benches and examples print them as text
+tables (the library keeps no plotting dependency).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.baselines.crossbar import CrossbarConfig, CrossbarLayerResult, evaluate_crossbar_model
+from repro.core.compiler import CompilerConfig, compile_model
+from repro.core.frontend import specs_for_network
+from repro.eval.reporting import format_table
+from repro.perf.model import LayerPerformance, evaluate_model
+from repro.utils.rng import RngLike
+
+
+@dataclass
+class Fig4Layer:
+    """One layer's data point: the three evaluated configurations."""
+
+    index: int
+    name: str
+    unroll: LayerPerformance
+    unroll_cse: LayerPerformance
+    crossbar: CrossbarLayerResult
+
+    @property
+    def cse_energy_saving(self) -> float:
+        """Fractional energy saved by CSE on this layer."""
+        baseline = self.unroll.energy_uj
+        return 1.0 - self.unroll_cse.energy_uj / baseline if baseline else 0.0
+
+    @property
+    def rtm_faster_than_crossbar(self) -> bool:
+        """Whether the RTM-AP (unroll+CSE) beats the crossbar latency here."""
+        return self.unroll_cse.latency_ms <= self.crossbar.latency_ms
+
+
+@dataclass
+class Fig4Data:
+    """All layer series of Fig. 4."""
+
+    network: str
+    activation_bits: int
+    layers: List[Fig4Layer] = field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    def totals(self) -> Dict[str, float]:
+        """End-to-end sums of the three configurations."""
+        return {
+            "unroll_energy_uj": sum(l.unroll.energy_uj for l in self.layers),
+            "cse_energy_uj": sum(l.unroll_cse.energy_uj for l in self.layers),
+            "crossbar_energy_uj": sum(l.crossbar.energy_uj for l in self.layers),
+            "unroll_latency_ms": sum(l.unroll.latency_ms for l in self.layers),
+            "cse_latency_ms": sum(l.unroll_cse.latency_ms for l in self.layers),
+            "crossbar_latency_ms": sum(l.crossbar.latency_ms for l in self.layers),
+        }
+
+    def energy_table(self) -> str:
+        """Per-layer energy table with component breakdown (uJ)."""
+        rows = []
+        for layer in self.layers:
+            cse = layer.unroll_cse.energy.as_uj_dict()
+            rows.append(
+                [
+                    layer.index,
+                    layer.name,
+                    layer.unroll.energy_uj,
+                    layer.unroll_cse.energy_uj,
+                    layer.crossbar.energy_uj,
+                    cse["dfg"],
+                    cse["accumulation"],
+                    cse["peripherals"],
+                    cse["movement"],
+                ]
+            )
+        return format_table(
+            [
+                "#",
+                "layer",
+                "unroll (uJ)",
+                "unroll+CSE (uJ)",
+                "crossbar (uJ)",
+                "CSE: dfg",
+                "CSE: accum",
+                "CSE: periph",
+                "CSE: move",
+            ],
+            rows,
+            title=f"Fig. 4 (energy) - {self.network}, {self.activation_bits}-bit activations",
+        )
+
+    def latency_table(self) -> str:
+        """Per-layer latency table (ms)."""
+        rows = [
+            [
+                layer.index,
+                layer.name,
+                layer.unroll.latency_ms,
+                layer.unroll_cse.latency_ms,
+                layer.crossbar.latency_ms,
+                layer.unroll_cse.active_rows,
+                layer.unroll_cse.aps_used,
+            ]
+            for layer in self.layers
+        ]
+        return format_table(
+            ["#", "layer", "unroll (ms)", "unroll+CSE (ms)", "crossbar (ms)", "rows", "APs"],
+            rows,
+            title=f"Fig. 4 (latency) - {self.network}, {self.activation_bits}-bit activations",
+        )
+
+    def to_text(self) -> str:
+        """Both tables plus the end-to-end totals."""
+        totals = self.totals()
+        summary = format_table(
+            ["metric", "unroll", "unroll+CSE", "crossbar"],
+            [
+                [
+                    "energy (uJ)",
+                    totals["unroll_energy_uj"],
+                    totals["cse_energy_uj"],
+                    totals["crossbar_energy_uj"],
+                ],
+                [
+                    "latency (ms)",
+                    totals["unroll_latency_ms"],
+                    totals["cse_latency_ms"],
+                    totals["crossbar_latency_ms"],
+                ],
+            ],
+            title="End-to-end totals",
+        )
+        return "\n\n".join([self.energy_table(), self.latency_table(), summary])
+
+
+def generate_fig4(
+    network: str = "resnet18",
+    activation_bits: int = 4,
+    sparsity: Optional[float] = None,
+    max_slices_per_layer: Optional[int] = None,
+    rng: RngLike = 0,
+) -> Fig4Data:
+    """Regenerate the Fig. 4 layer-by-layer comparison.
+
+    Only the convolutional layers are included (20 for ResNet-18), matching
+    the paper's figure.
+    """
+    specs = specs_for_network(network, sparsity=sparsity, convolutions_only=True, rng=rng)
+    cse_config = CompilerConfig(
+        enable_cse=True, activation_bits=activation_bits,
+        max_slices_per_layer=max_slices_per_layer,
+    )
+    unroll_config = CompilerConfig(
+        enable_cse=False, activation_bits=activation_bits,
+        max_slices_per_layer=max_slices_per_layer,
+    )
+    compiled_cse = compile_model(specs, cse_config, name=network)
+    compiled_unroll = compile_model(specs, unroll_config, name=network)
+    perf_cse = evaluate_model(compiled_cse)
+    perf_unroll = evaluate_model(compiled_unroll)
+    crossbar = evaluate_crossbar_model(
+        specs, CrossbarConfig(), activation_bits=activation_bits, name=network
+    )
+
+    data = Fig4Data(network=network, activation_bits=activation_bits)
+    for index, (unroll_layer, cse_layer, crossbar_layer) in enumerate(
+        zip(perf_unroll.layers, perf_cse.layers, crossbar.layers), start=1
+    ):
+        data.layers.append(
+            Fig4Layer(
+                index=index,
+                name=cse_layer.name,
+                unroll=unroll_layer,
+                unroll_cse=cse_layer,
+                crossbar=crossbar_layer,
+            )
+        )
+    return data

@@ -1,0 +1,52 @@
+"""Plain-text reporting helpers used by the evaluation harness and benchmarks."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+
+def _format_cell(value) -> str:
+    """Render one table cell."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 100:
+            return f"{value:.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Format a fixed-width text table (the library has no plotting deps)."""
+    rendered_rows: List[List[str]] = [[_format_cell(cell) for cell in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in rendered_rows:
+        for index, cell in enumerate(row):
+            if index < len(widths):
+                widths[index] = max(widths[index], len(cell))
+            else:
+                widths.append(len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(str(h).ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * widths[i] for i in range(len(headers))))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_ratio(numerator: float, denominator: float) -> str:
+    """Render a speed-up / improvement ratio like "7.5x"."""
+    if denominator == 0:
+        return "inf"
+    return f"{numerator / denominator:.1f}x"

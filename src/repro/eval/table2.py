@@ -1,0 +1,260 @@
+"""Table II generator (experiment E3/E8).
+
+For every evaluated network the paper reports: weight sparsity, top-1 accuracy
+(FP / 4-bit / 8-bit activations), energy per inference (uJ), latency (ms),
+number of 256x256 arrays and #Adds/Subs for the ``unroll`` and ``unroll+CSE``
+compiler configurations - next to the DNN+NeuroSim crossbar baseline and (for
+VGG-11) the DeepCAM baseline.  :func:`generate_table2` regenerates all of it
+from this library's models.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.baselines.crossbar import CrossbarConfig, evaluate_crossbar_model
+from repro.baselines.deepcam import DeepCAMConfig, evaluate_deepcam_model
+from repro.core.compiler import CompilerConfig, compile_model
+from repro.core.frontend import benchmark_description, specs_for_network
+from repro.eval.accuracy import AccuracySummary
+from repro.eval.reporting import format_table
+from repro.perf.model import evaluate_model
+from repro.utils.rng import RngLike
+
+#: The (network, sparsities) pairs evaluated in the paper's Table II.
+PAPER_BENCHMARKS: Tuple[Tuple[str, Tuple[float, ...]], ...] = (
+    ("resnet18", (0.8,)),
+    ("vgg9", (0.85, 0.9)),
+    ("vgg11", (0.85, 0.9)),
+)
+
+
+@dataclass
+class Table2Entry:
+    """One row of Table II."""
+
+    network: str
+    system: str
+    sparsity: Optional[float]
+    accuracy_fp: Optional[float] = None
+    accuracy_4bit: Optional[float] = None
+    accuracy_8bit: Optional[float] = None
+    energy_uj_4bit: Optional[float] = None
+    energy_uj_8bit: Optional[float] = None
+    latency_ms_4bit: Optional[float] = None
+    latency_ms_8bit: Optional[float] = None
+    arrays: Optional[int] = None
+    adds_unroll_k: Optional[float] = None
+    adds_cse_k: Optional[float] = None
+
+    def as_row(self) -> List[object]:
+        """Row representation for the text table."""
+        return [
+            self.network,
+            self.system,
+            self.sparsity,
+            None if self.accuracy_fp is None else round(self.accuracy_fp * 100, 1),
+            None if self.accuracy_4bit is None else round(self.accuracy_4bit * 100, 1),
+            None if self.accuracy_8bit is None else round(self.accuracy_8bit * 100, 1),
+            self.energy_uj_4bit,
+            self.energy_uj_8bit,
+            self.latency_ms_4bit,
+            self.latency_ms_8bit,
+            self.arrays,
+            self.adds_unroll_k,
+            self.adds_cse_k,
+        ]
+
+
+@dataclass
+class Table2:
+    """The regenerated Table II plus the headline ratios derived from it."""
+
+    entries: List[Table2Entry] = field(default_factory=list)
+
+    HEADERS = (
+        "network",
+        "system",
+        "sparsity",
+        "acc FP%",
+        "acc 4b%",
+        "acc 8b%",
+        "E 4b (uJ)",
+        "E 8b (uJ)",
+        "lat 4b (ms)",
+        "lat 8b (ms)",
+        "#arrays",
+        "#adds unroll (K)",
+        "#adds +CSE (K)",
+    )
+
+    def to_text(self) -> str:
+        """Render the table as fixed-width text."""
+        return format_table(
+            self.HEADERS,
+            [entry.as_row() for entry in self.entries],
+            title="Table II - accuracy, energy, latency, arrays and op counts",
+        )
+
+    # ------------------------------------------------------------------
+    def entry(self, network: str, system: str, sparsity: Optional[float] = None) -> Table2Entry:
+        """Look up a row by network and system name."""
+        for candidate in self.entries:
+            if candidate.network == network and candidate.system == system:
+                if sparsity is None or candidate.sparsity == sparsity:
+                    return candidate
+        raise KeyError(f"no Table II entry for {network!r} / {system!r}")
+
+    def improvement_over_crossbar(
+        self, network: str, activation_bits: int = 4
+    ) -> Dict[str, float]:
+        """Latency / energy / energy-efficiency ratios of RTM-AP vs the crossbar.
+
+        The paper's headline: ResNet-18 runs ~3x faster at ~2.5x lower energy,
+        i.e. ~7.5x better energy efficiency (energy-delay product).
+        """
+        ours = self.entry(network, "RTM-AP (unroll+CSE)")
+        baseline = self.entry(network, "Crossbar (NeuroSim-style)")
+        if activation_bits == 4:
+            energy_ratio = (baseline.energy_uj_4bit or 0.0) / max(1e-12, ours.energy_uj_4bit or 1.0)
+            latency_ratio = (baseline.latency_ms_4bit or 0.0) / max(1e-12, ours.latency_ms_4bit or 1.0)
+        else:
+            energy_ratio = (baseline.energy_uj_8bit or 0.0) / max(1e-12, ours.energy_uj_8bit or 1.0)
+            latency_ratio = (baseline.latency_ms_8bit or 0.0) / max(1e-12, ours.latency_ms_8bit or 1.0)
+        return {
+            "latency": latency_ratio,
+            "energy": energy_ratio,
+            "energy_efficiency": latency_ratio * energy_ratio,
+        }
+
+
+def _rtm_ap_entry(
+    network: str,
+    sparsity: float,
+    activation_precisions: Sequence[int],
+    max_slices_per_layer: Optional[int],
+    accuracy: Optional[AccuracySummary],
+    rng: RngLike,
+) -> Table2Entry:
+    """Build the RTM-AP (unroll+CSE) row plus the unroll op count."""
+    specs = specs_for_network(network, sparsity=sparsity, rng=rng)
+    entry = Table2Entry(
+        network=benchmark_description(network),
+        system="RTM-AP (unroll+CSE)",
+        sparsity=sparsity,
+    )
+    unroll_counts: Dict[int, int] = {}
+    for bits in activation_precisions:
+        cse_config = CompilerConfig(
+            enable_cse=True, activation_bits=bits, max_slices_per_layer=max_slices_per_layer
+        )
+        unroll_config = CompilerConfig(
+            enable_cse=False, activation_bits=bits, max_slices_per_layer=max_slices_per_layer
+        )
+        compiled_cse = compile_model(specs, cse_config, name=network)
+        compiled_unroll = compile_model(specs, unroll_config, name=network)
+        performance = evaluate_model(compiled_cse)
+        unroll_counts[bits] = compiled_unroll.total_ops
+        if bits == 4:
+            entry.energy_uj_4bit = performance.energy_uj
+            entry.latency_ms_4bit = performance.latency_ms
+        else:
+            entry.energy_uj_8bit = performance.energy_uj
+            entry.latency_ms_8bit = performance.latency_ms
+        entry.arrays = compiled_cse.arrays_required
+        entry.adds_cse_k = compiled_cse.total_ops / 1e3
+        entry.adds_unroll_k = compiled_unroll.total_ops / 1e3
+    if accuracy is not None:
+        entry.accuracy_fp = accuracy.accuracies.get("ternary")
+        entry.accuracy_4bit = accuracy.accuracies.get("ternary-a4")
+        entry.accuracy_8bit = accuracy.accuracies.get("ternary-a8")
+    return entry
+
+
+def _crossbar_entry(
+    network: str,
+    activation_precisions: Sequence[int],
+    accuracy: Optional[AccuracySummary],
+    rng: RngLike,
+) -> Table2Entry:
+    """Build the DNN+NeuroSim-style crossbar baseline row."""
+    specs = specs_for_network(network, rng=rng)
+    entry = Table2Entry(
+        network=benchmark_description(network),
+        system="Crossbar (NeuroSim-style)",
+        sparsity=None,
+    )
+    for bits in activation_precisions:
+        result = evaluate_crossbar_model(specs, CrossbarConfig(), activation_bits=bits, name=network)
+        if bits == 4:
+            entry.energy_uj_4bit = result.energy_uj
+            entry.latency_ms_4bit = result.latency_ms
+        else:
+            entry.energy_uj_8bit = result.energy_uj
+            entry.latency_ms_8bit = result.latency_ms
+        entry.arrays = result.arrays_used
+    if accuracy is not None:
+        entry.accuracy_fp = accuracy.accuracies.get("fp32")
+        adc = accuracy.accuracies.get("crossbar-adc5")
+        entry.accuracy_4bit = adc
+        entry.accuracy_8bit = adc
+    return entry
+
+
+def _deepcam_entry(
+    network: str, accuracy: Optional[AccuracySummary], rng: RngLike
+) -> Table2Entry:
+    """Build the DeepCAM-style baseline row (the paper reports it for VGG-11)."""
+    specs = specs_for_network(network, rng=rng)
+    result = evaluate_deepcam_model(specs, DeepCAMConfig(), name=network)
+    entry = Table2Entry(
+        network=benchmark_description(network),
+        system="DeepCAM-style",
+        sparsity=None,
+        energy_uj_4bit=result.energy_uj,
+        energy_uj_8bit=result.energy_uj,
+        latency_ms_4bit=result.latency_ms,
+        latency_ms_8bit=result.latency_ms,
+        arrays=result.arrays,
+    )
+    if accuracy is not None:
+        entry.accuracy_fp = accuracy.accuracies.get("fp32")
+        entry.accuracy_4bit = accuracy.accuracies.get("deepcam-hash")
+        entry.accuracy_8bit = accuracy.accuracies.get("deepcam-hash")
+    return entry
+
+
+def generate_table2(
+    benchmarks: Sequence[Tuple[str, Sequence[float]]] = PAPER_BENCHMARKS,
+    activation_precisions: Sequence[int] = (4, 8),
+    max_slices_per_layer: Optional[int] = None,
+    accuracy: Optional[AccuracySummary] = None,
+    rng: RngLike = 0,
+) -> Table2:
+    """Regenerate Table II.
+
+    Args:
+        benchmarks: (network, sparsities) pairs; defaults to the paper's set.
+        activation_precisions: activation bit widths to evaluate (4 and 8).
+        max_slices_per_layer: optional slice sampling to speed up large models
+            (statistics are scaled; see ``CompilerConfig``).
+        accuracy: optional result of :func:`repro.eval.accuracy.run_accuracy_experiment`
+            used to fill the accuracy columns (proxy task - see DESIGN.md).
+        rng: seed for the synthetic ternary weights.
+    """
+    table = Table2()
+    for network, sparsities in benchmarks:
+        for sparsity in sparsities:
+            table.entries.append(
+                _rtm_ap_entry(
+                    network, sparsity, activation_precisions, max_slices_per_layer,
+                    accuracy, rng,
+                )
+            )
+        table.entries.append(
+            _crossbar_entry(network, activation_precisions, accuracy, rng)
+        )
+        if network == "vgg11":
+            table.entries.append(_deepcam_entry(network, accuracy, rng))
+    return table

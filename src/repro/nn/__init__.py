@@ -1,0 +1,51 @@
+"""NumPy neural-network substrate.
+
+Provides everything the compiler and the evaluation need from the "software
+side" of the paper: functional conv/linear/pool/norm operators, im2col, LSQ-
+style activation quantization, ternary weight generation at a target sparsity
+(standing in for BIPROP training), the VGG-9 / VGG-11 / ResNet-18 model zoo,
+synthetic datasets and a small quantization-aware training loop used by the
+accuracy experiment.
+"""
+
+from repro.nn.im2col import im2col, conv_output_size
+from repro.nn.quantization import ActivationQuantizer, QuantizationConfig
+from repro.nn.ternary import ternarize_weights, synthetic_ternary_weights, sparsity_of
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    Linear,
+    MaxPool2d,
+    Module,
+    ReLU,
+    TernaryConv2d,
+    TernaryLinear,
+)
+from repro.nn.model import Sequential
+from repro.nn.stats import ConvLayerSpec, LayerShapeSummary, model_layer_specs
+
+__all__ = [
+    "im2col",
+    "conv_output_size",
+    "ActivationQuantizer",
+    "QuantizationConfig",
+    "ternarize_weights",
+    "synthetic_ternary_weights",
+    "sparsity_of",
+    "Module",
+    "Conv2d",
+    "TernaryConv2d",
+    "Linear",
+    "TernaryLinear",
+    "BatchNorm2d",
+    "ReLU",
+    "MaxPool2d",
+    "AvgPool2d",
+    "Flatten",
+    "Sequential",
+    "ConvLayerSpec",
+    "LayerShapeSummary",
+    "model_layer_specs",
+]

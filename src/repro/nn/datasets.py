@@ -1,0 +1,124 @@
+"""Synthetic datasets.
+
+The energy/latency/op-count experiments only need tensors with the right
+*shapes* (CIFAR-10: 3x32x32, ImageNet: 3x224x224); the accuracy experiment
+needs a small classification task a NumPy training loop can actually learn.
+Both are generated deterministically here - see DESIGN.md (Substitutions) for
+why this preserves the behaviours the paper measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+import numpy as np
+
+from repro.errors import ConfigurationError
+from repro.nn.models.registry import DATASET_SHAPES
+from repro.utils.rng import RngLike, make_rng
+
+
+def synthetic_images(
+    dataset: str, batch_size: int = 1, rng: RngLike = None
+) -> np.ndarray:
+    """Random images with the shape of a named dataset (``cifar10``/``imagenet``)."""
+    key = dataset.lower()
+    if key not in DATASET_SHAPES:
+        raise ConfigurationError(
+            f"unknown dataset {dataset!r}; available: {', '.join(sorted(DATASET_SHAPES))}"
+        )
+    if batch_size <= 0:
+        raise ConfigurationError(f"batch_size must be > 0, got {batch_size}")
+    channels, height, width = DATASET_SHAPES[key]
+    rng = make_rng(rng)
+    return rng.uniform(0.0, 1.0, size=(batch_size, channels, height, width))
+
+
+@dataclass(frozen=True)
+class ClassificationDataset:
+    """A small in-memory classification dataset used by the accuracy experiment."""
+
+    train_x: np.ndarray
+    train_y: np.ndarray
+    test_x: np.ndarray
+    test_y: np.ndarray
+
+    @property
+    def num_classes(self) -> int:
+        """Number of distinct classes."""
+        return int(self.train_y.max()) + 1
+
+    @property
+    def num_features(self) -> int:
+        """Flattened feature dimensionality."""
+        return int(np.prod(self.train_x.shape[1:]))
+
+
+def make_cluster_classification(
+    num_classes: int = 10,
+    features: int = 64,
+    train_per_class: int = 100,
+    test_per_class: int = 40,
+    noise: float = 0.55,
+    rng: RngLike = None,
+) -> ClassificationDataset:
+    """Gaussian-cluster classification task (learnable by a small MLP/CNN).
+
+    Each class is an isotropic Gaussian around a random prototype; ``noise``
+    controls class overlap so that quantization-induced accuracy differences
+    are visible without being swamped by task randomness.
+    """
+    if num_classes < 2:
+        raise ConfigurationError(f"need at least 2 classes, got {num_classes}")
+    if features < 2 or train_per_class < 1 or test_per_class < 1:
+        raise ConfigurationError("invalid dataset geometry")
+    rng = make_rng(rng)
+    prototypes = rng.normal(0.0, 1.0, size=(num_classes, features))
+
+    def sample(per_class: int) -> Tuple[np.ndarray, np.ndarray]:
+        xs, ys = [], []
+        for label in range(num_classes):
+            points = prototypes[label] + rng.normal(0.0, noise, size=(per_class, features))
+            xs.append(points)
+            ys.append(np.full(per_class, label, dtype=np.int64))
+        x = np.concatenate(xs, axis=0)
+        y = np.concatenate(ys, axis=0)
+        order = rng.permutation(len(y))
+        return x[order], y[order]
+
+    train_x, train_y = sample(train_per_class)
+    test_x, test_y = sample(test_per_class)
+    return ClassificationDataset(train_x, train_y, test_x, test_y)
+
+
+def make_patch_classification(
+    num_classes: int = 10,
+    image_size: int = 8,
+    channels: int = 3,
+    train_per_class: int = 80,
+    test_per_class: int = 30,
+    noise: float = 0.5,
+    rng: RngLike = None,
+) -> ClassificationDataset:
+    """Tiny image-shaped classification task for the convolutional QAT experiment.
+
+    Each class is defined by a random spatial prototype so that convolutional
+    feature extraction genuinely helps; samples are noisy copies.
+    """
+    rng = make_rng(rng)
+    base = make_cluster_classification(
+        num_classes=num_classes,
+        features=channels * image_size * image_size,
+        train_per_class=train_per_class,
+        test_per_class=test_per_class,
+        noise=noise,
+        rng=rng,
+    )
+    shape = (-1, channels, image_size, image_size)
+    return ClassificationDataset(
+        train_x=base.train_x.reshape(shape),
+        train_y=base.train_y,
+        test_x=base.test_x.reshape(shape),
+        test_y=base.test_y,
+    )

@@ -1,0 +1,300 @@
+"""Layer classes of the NumPy NN substrate.
+
+The layer system is intentionally small: modules hold parameters, implement a
+``forward`` on NumPy arrays, know their output shape, and can enumerate their
+compute layers so the compiler frontend can extract per-layer convolution
+specifications (shapes + ternary weights) without running data through the
+network.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ModelDefinitionError
+from repro.nn import functional as F
+from repro.nn.im2col import conv_output_size
+from repro.nn.ternary import synthetic_ternary_weights, sparsity_of
+from repro.utils.rng import RngLike, make_rng
+
+#: Shape of one (un-batched) activation tensor: (C, H, W) or (features,).
+ShapeLike = Tuple[int, ...]
+
+
+class Module:
+    """Base class of every layer and composite model."""
+
+    #: Human-readable name assigned by the parent container.
+    name: str = ""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        """Run the layer on a batched input."""
+        raise NotImplementedError
+
+    def __call__(self, x: np.ndarray) -> np.ndarray:
+        return self.forward(x)
+
+    def output_shape(self, input_shape: ShapeLike) -> ShapeLike:
+        """Shape of the (un-batched) output given an (un-batched) input shape."""
+        raise NotImplementedError
+
+    def compute_layers(self, input_shape: ShapeLike, prefix: str = ""):
+        """Yield ``(name, layer, input_shape)`` for every conv/linear layer.
+
+        Leaf layers yield themselves when they carry weights; containers
+        override this to recurse in forward order while threading shapes.
+        """
+        if isinstance(self, (Conv2d, Linear)):
+            yield prefix or self.__class__.__name__.lower(), self, input_shape
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return f"{self.__class__.__name__}()"
+
+
+# ----------------------------------------------------------------------
+# Convolution and linear layers
+# ----------------------------------------------------------------------
+class Conv2d(Module):
+    """2-D convolution with real-valued weights.
+
+    Args:
+        in_channels / out_channels: channel counts.
+        kernel_size: square kernel size.
+        stride: spatial stride.
+        padding: symmetric zero padding.
+        bias: include a per-channel bias.
+        rng: generator used for the (He-style) weight initialisation.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        bias: bool = False,
+        rng: RngLike = None,
+    ) -> None:
+        if in_channels <= 0 or out_channels <= 0 or kernel_size <= 0:
+            raise ModelDefinitionError(
+                f"invalid Conv2d geometry: {in_channels}->{out_channels}, k={kernel_size}"
+            )
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.kernel_size = kernel_size
+        self.stride = stride
+        self.padding = padding
+        generator = make_rng(rng)
+        fan_in = in_channels * kernel_size * kernel_size
+        self.weights = generator.normal(
+            0.0, np.sqrt(2.0 / fan_in), size=(out_channels, in_channels, kernel_size, kernel_size)
+        )
+        self.bias = np.zeros(out_channels) if bias else None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.conv2d(x, self.effective_weights(), self.bias, self.stride, self.padding)
+
+    def effective_weights(self) -> np.ndarray:
+        """Weights actually used by the forward pass (overridden by ternary layers)."""
+        return self.weights
+
+    def output_shape(self, input_shape: ShapeLike) -> ShapeLike:
+        channels, height, width = input_shape
+        if channels != self.in_channels:
+            raise ModelDefinitionError(
+                f"{self.name or 'Conv2d'}: expected {self.in_channels} input channels, "
+                f"got {channels}"
+            )
+        out_h = conv_output_size(height, self.kernel_size, self.stride, self.padding)
+        out_w = conv_output_size(width, self.kernel_size, self.stride, self.padding)
+        return (self.out_channels, out_h, out_w)
+
+
+class TernaryConv2d(Conv2d):
+    """Convolution whose weights are ternary {-1, 0, +1} with a scale factor.
+
+    The ternary weights stand in for a BIPROP-trained layer; ``scale`` models
+    the real-valued rescaling that batch-norm folds back in.
+    """
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        kernel_size: int,
+        stride: int = 1,
+        padding: int = 0,
+        sparsity: float = 0.8,
+        scale: float = 1.0,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__(
+            in_channels, out_channels, kernel_size, stride, padding, bias=False, rng=rng
+        )
+        self.sparsity_target = sparsity
+        self.scale = scale
+        self.ternary_weights = synthetic_ternary_weights(
+            (out_channels, in_channels, kernel_size, kernel_size), sparsity, rng=make_rng(rng)
+        )
+
+    def effective_weights(self) -> np.ndarray:
+        return self.ternary_weights.astype(np.float64) * self.scale
+
+    @property
+    def sparsity(self) -> float:
+        """Realised sparsity of the ternary weights."""
+        return sparsity_of(self.ternary_weights)
+
+    def set_ternary_weights(self, weights: np.ndarray, scale: float = 1.0) -> None:
+        """Install externally-provided ternary weights (e.g. from QAT)."""
+        weights = np.asarray(weights)
+        if weights.shape != self.ternary_weights.shape:
+            raise ModelDefinitionError(
+                f"ternary weights of shape {weights.shape} do not match layer shape "
+                f"{self.ternary_weights.shape}"
+            )
+        self.ternary_weights = weights.astype(np.int8)
+        self.scale = scale
+
+
+class Linear(Module):
+    """Fully-connected layer with real-valued weights."""
+
+    def __init__(
+        self, in_features: int, out_features: int, bias: bool = True, rng: RngLike = None
+    ) -> None:
+        if in_features <= 0 or out_features <= 0:
+            raise ModelDefinitionError(
+                f"invalid Linear geometry: {in_features}->{out_features}"
+            )
+        self.in_features = in_features
+        self.out_features = out_features
+        generator = make_rng(rng)
+        self.weights = generator.normal(
+            0.0, np.sqrt(2.0 / in_features), size=(out_features, in_features)
+        )
+        self.bias = np.zeros(out_features) if bias else None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.linear(x, self.effective_weights(), self.bias)
+
+    def effective_weights(self) -> np.ndarray:
+        """Weights actually used by the forward pass (overridden by ternary layers)."""
+        return self.weights
+
+    def output_shape(self, input_shape: ShapeLike) -> ShapeLike:
+        if len(input_shape) != 1 or input_shape[0] != self.in_features:
+            raise ModelDefinitionError(
+                f"{self.name or 'Linear'}: expected ({self.in_features},), got {input_shape}"
+            )
+        return (self.out_features,)
+
+
+class TernaryLinear(Linear):
+    """Fully-connected layer with ternary weights and a scale factor."""
+
+    def __init__(
+        self,
+        in_features: int,
+        out_features: int,
+        sparsity: float = 0.8,
+        scale: float = 1.0,
+        rng: RngLike = None,
+    ) -> None:
+        super().__init__(in_features, out_features, bias=False, rng=rng)
+        self.sparsity_target = sparsity
+        self.scale = scale
+        self.ternary_weights = synthetic_ternary_weights(
+            (out_features, in_features), sparsity, rng=make_rng(rng)
+        )
+
+    def effective_weights(self) -> np.ndarray:
+        return self.ternary_weights.astype(np.float64) * self.scale
+
+    @property
+    def sparsity(self) -> float:
+        """Realised sparsity of the ternary weights."""
+        return sparsity_of(self.ternary_weights)
+
+
+# ----------------------------------------------------------------------
+# Parameter-free layers
+# ----------------------------------------------------------------------
+class ReLU(Module):
+    """Rectified linear unit."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.relu(x)
+
+    def output_shape(self, input_shape: ShapeLike) -> ShapeLike:
+        return input_shape
+
+
+class MaxPool2d(Module):
+    """Max pooling."""
+
+    def __init__(self, kernel_size: int, stride: Optional[int] = None) -> None:
+        self.kernel_size = kernel_size
+        self.stride = stride or kernel_size
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.max_pool2d(x, self.kernel_size, self.stride)
+
+    def output_shape(self, input_shape: ShapeLike) -> ShapeLike:
+        channels, height, width = input_shape
+        return (
+            channels,
+            conv_output_size(height, self.kernel_size, self.stride, 0),
+            conv_output_size(width, self.kernel_size, self.stride, 0),
+        )
+
+
+class AvgPool2d(MaxPool2d):
+    """Average pooling."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.avg_pool2d(x, self.kernel_size, self.stride)
+
+
+class GlobalAvgPool2d(Module):
+    """Global average pooling collapsing spatial dimensions to a vector."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.global_avg_pool2d(x)
+
+    def output_shape(self, input_shape: ShapeLike) -> ShapeLike:
+        channels, _, _ = input_shape
+        return (channels,)
+
+
+class BatchNorm2d(Module):
+    """Inference-mode batch normalisation (identity-initialised)."""
+
+    def __init__(self, num_features: int, eps: float = 1e-5) -> None:
+        self.num_features = num_features
+        self.eps = eps
+        self.gamma = np.ones(num_features)
+        self.beta = np.zeros(num_features)
+        self.running_mean = np.zeros(num_features)
+        self.running_var = np.ones(num_features)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return F.batch_norm2d(
+            x, self.running_mean, self.running_var, self.gamma, self.beta, self.eps
+        )
+
+    def output_shape(self, input_shape: ShapeLike) -> ShapeLike:
+        return input_shape
+
+
+class Flatten(Module):
+    """Flatten the (C, H, W) dimensions into a feature vector."""
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return x.reshape(x.shape[0], -1)
+
+    def output_shape(self, input_shape: ShapeLike) -> ShapeLike:
+        return (int(np.prod(input_shape)),)

@@ -1,0 +1,110 @@
+"""Model containers: Sequential and residual building blocks."""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ModelDefinitionError
+from repro.nn import functional as F
+from repro.nn.layers import (
+    BatchNorm2d,
+    Conv2d,
+    Module,
+    ReLU,
+    ShapeLike,
+    TernaryConv2d,
+)
+
+
+class Sequential(Module):
+    """A chain of layers executed in order."""
+
+    def __init__(self, layers: Sequence[Module], name: str = "sequential") -> None:
+        if not layers:
+            raise ModelDefinitionError("Sequential needs at least one layer")
+        self.layers: List[Module] = list(layers)
+        self.name = name
+        for index, layer in enumerate(self.layers):
+            if not layer.name:
+                layer.name = f"{name}.{index}"
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        for layer in self.layers:
+            x = layer(x)
+        return x
+
+    def output_shape(self, input_shape: ShapeLike) -> ShapeLike:
+        shape = input_shape
+        for layer in self.layers:
+            shape = layer.output_shape(shape)
+        return shape
+
+    def compute_layers(self, input_shape: ShapeLike, prefix: str = ""):
+        prefix = prefix or self.name
+        shape = input_shape
+        for index, layer in enumerate(self.layers):
+            child_prefix = f"{prefix}.{index}" if prefix else str(index)
+            yield from layer.compute_layers(shape, child_prefix)
+            shape = layer.output_shape(shape)
+
+    def __iter__(self) -> Iterator[Module]:
+        return iter(self.layers)
+
+    def __len__(self) -> int:
+        return len(self.layers)
+
+
+class BasicBlock(Module):
+    """ResNet basic block: two 3x3 convolutions with an identity/projection shortcut."""
+
+    def __init__(
+        self,
+        in_channels: int,
+        out_channels: int,
+        stride: int = 1,
+        sparsity: float = 0.8,
+        rng=None,
+    ) -> None:
+        self.in_channels = in_channels
+        self.out_channels = out_channels
+        self.stride = stride
+        self.conv1 = TernaryConv2d(
+            in_channels, out_channels, kernel_size=3, stride=stride, padding=1,
+            sparsity=sparsity, rng=rng,
+        )
+        self.bn1 = BatchNorm2d(out_channels)
+        self.relu = ReLU()
+        self.conv2 = TernaryConv2d(
+            out_channels, out_channels, kernel_size=3, stride=1, padding=1,
+            sparsity=sparsity, rng=rng,
+        )
+        self.bn2 = BatchNorm2d(out_channels)
+        self.downsample_conv: Optional[TernaryConv2d] = None
+        self.downsample_bn: Optional[BatchNorm2d] = None
+        if stride != 1 or in_channels != out_channels:
+            self.downsample_conv = TernaryConv2d(
+                in_channels, out_channels, kernel_size=1, stride=stride, padding=0,
+                sparsity=sparsity, rng=rng,
+            )
+            self.downsample_bn = BatchNorm2d(out_channels)
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        identity = x
+        out = self.relu(self.bn1(self.conv1(x)))
+        out = self.bn2(self.conv2(out))
+        if self.downsample_conv is not None:
+            identity = self.downsample_bn(self.downsample_conv(x))
+        return F.relu(out + identity)
+
+    def output_shape(self, input_shape: ShapeLike) -> ShapeLike:
+        return self.conv2.output_shape(self.conv1.output_shape(input_shape))
+
+    def compute_layers(self, input_shape: ShapeLike, prefix: str = ""):
+        prefix = prefix or self.name or "block"
+        mid_shape = self.conv1.output_shape(input_shape)
+        yield f"{prefix}.conv1", self.conv1, input_shape
+        yield f"{prefix}.conv2", self.conv2, mid_shape
+        if self.downsample_conv is not None:
+            yield f"{prefix}.downsample", self.downsample_conv, input_shape

@@ -1,0 +1,14 @@
+"""Model zoo: the networks evaluated in the paper (VGG-9, VGG-11, ResNet-18)."""
+
+from repro.nn.models.vgg import build_vgg9, build_vgg11
+from repro.nn.models.resnet import ResNet18, build_resnet18
+from repro.nn.models.registry import available_models, build_model
+
+__all__ = [
+    "build_vgg9",
+    "build_vgg11",
+    "ResNet18",
+    "build_resnet18",
+    "available_models",
+    "build_model",
+]

@@ -1,0 +1,109 @@
+"""Model registry: build the paper's benchmark networks by name.
+
+The registry resolves the (model, dataset) pairs evaluated in the paper -
+ResNet-18/ImageNet, VGG-9/CIFAR-10 and VGG-11/CIFAR-10 - to concrete module
+trees with synthetic ternary weights at the requested sparsity, together with
+the dataset's input shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.errors import ModelDefinitionError
+from repro.nn.layers import Module
+from repro.nn.models.resnet import build_resnet18
+from repro.nn.models.vgg import build_vgg11, build_vgg9
+from repro.utils.rng import RngLike
+
+#: Un-batched input shapes of the evaluated datasets.
+DATASET_SHAPES: Dict[str, Tuple[int, int, int]] = {
+    "imagenet": (3, 224, 224),
+    "cifar10": (3, 32, 32),
+}
+
+#: Number of classes per dataset.
+DATASET_CLASSES: Dict[str, int] = {
+    "imagenet": 1000,
+    "cifar10": 10,
+}
+
+
+@dataclass(frozen=True)
+class ModelRecord:
+    """One entry of the registry."""
+
+    name: str
+    dataset: str
+    builder: Callable[..., Module]
+    default_sparsity: float
+
+    @property
+    def input_shape(self) -> Tuple[int, int, int]:
+        """Un-batched input shape for the model's dataset."""
+        return DATASET_SHAPES[self.dataset]
+
+    @property
+    def num_classes(self) -> int:
+        """Number of output classes for the model's dataset."""
+        return DATASET_CLASSES[self.dataset]
+
+
+_REGISTRY: Dict[str, ModelRecord] = {
+    "resnet18": ModelRecord(
+        name="resnet18", dataset="imagenet", builder=build_resnet18, default_sparsity=0.8
+    ),
+    "vgg9": ModelRecord(
+        name="vgg9", dataset="cifar10", builder=build_vgg9, default_sparsity=0.85
+    ),
+    "vgg11": ModelRecord(
+        name="vgg11", dataset="cifar10", builder=build_vgg11, default_sparsity=0.85
+    ),
+}
+
+
+def available_models() -> Tuple[str, ...]:
+    """Names of the registered benchmark models."""
+    return tuple(sorted(_REGISTRY))
+
+
+def model_record(name: str) -> ModelRecord:
+    """Look up the registry record for a model name."""
+    try:
+        return _REGISTRY[name.lower()]
+    except KeyError as exc:
+        raise ModelDefinitionError(
+            f"unknown model {name!r}; available: {', '.join(available_models())}"
+        ) from exc
+
+
+def build_model(
+    name: str,
+    sparsity: float | None = None,
+    rng: RngLike = None,
+) -> Tuple[Module, Tuple[int, int, int]]:
+    """Instantiate a benchmark model.
+
+    Args:
+        name: one of :func:`available_models`.
+        sparsity: ternary weight sparsity; defaults to the paper's setting for
+            that model (0.8 for ResNet-18, 0.85 for the VGGs).
+        rng: seed or generator for the synthetic weights.
+
+    Returns:
+        ``(model, input_shape)`` where ``input_shape`` is the un-batched
+        ``(C, H, W)`` shape of the model's dataset.
+    """
+    record = model_record(name)
+    sparsity = record.default_sparsity if sparsity is None else sparsity
+    if record.name == "resnet18":
+        model = record.builder(num_classes=record.num_classes, sparsity=sparsity, rng=rng)
+    else:
+        model = record.builder(
+            num_classes=record.num_classes,
+            input_size=record.input_shape[1],
+            sparsity=sparsity,
+            rng=rng,
+        )
+    return model, record.input_shape

@@ -1,0 +1,107 @@
+"""ResNet-18 for ImageNet with ternary weights.
+
+The standard ResNet-18 topology: a 7x7/stride-2 stem convolution, 3x3 max
+pooling, four stages of two basic blocks each (64, 128, 256, 512 channels,
+stride-2 projection shortcuts at stage transitions), global average pooling
+and a final fully-connected classifier.  All convolutions and the classifier
+use ternary weights at the configured sparsity; this gives the 20 convolution
+layers whose layer-by-layer breakdown the paper reports in Fig. 4.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from repro.nn import functional as F
+from repro.nn.layers import (
+    BatchNorm2d,
+    GlobalAvgPool2d,
+    MaxPool2d,
+    Module,
+    ReLU,
+    ShapeLike,
+    TernaryConv2d,
+    TernaryLinear,
+)
+from repro.nn.model import BasicBlock
+from repro.utils.rng import RngLike, derive_rng, make_rng
+
+#: (out_channels, num_blocks, first_stride) per ResNet-18 stage.
+RESNET18_STAGES: Tuple[Tuple[int, int, int], ...] = (
+    (64, 2, 1),
+    (128, 2, 2),
+    (256, 2, 2),
+    (512, 2, 2),
+)
+
+
+class ResNet18(Module):
+    """ResNet-18 with ternary weights (ImageNet geometry by default)."""
+
+    def __init__(
+        self,
+        num_classes: int = 1000,
+        sparsity: float = 0.8,
+        rng: RngLike = None,
+    ) -> None:
+        rng = make_rng(rng)
+        self.name = "resnet18"
+        self.sparsity_target = sparsity
+        self.conv1 = TernaryConv2d(
+            3, 64, kernel_size=7, stride=2, padding=3, sparsity=sparsity,
+            rng=derive_rng(rng, 0),
+        )
+        self.bn1 = BatchNorm2d(64)
+        self.relu = ReLU()
+        self.maxpool = MaxPool2d(kernel_size=3, stride=2)
+        self.stages: List[List[BasicBlock]] = []
+        in_channels = 64
+        stream = 1
+        for out_channels, num_blocks, first_stride in RESNET18_STAGES:
+            blocks: List[BasicBlock] = []
+            for block_index in range(num_blocks):
+                stride = first_stride if block_index == 0 else 1
+                block = BasicBlock(
+                    in_channels, out_channels, stride=stride, sparsity=sparsity,
+                    rng=derive_rng(rng, stream),
+                )
+                block.name = f"layer{len(self.stages) + 1}.{block_index}"
+                blocks.append(block)
+                in_channels = out_channels
+                stream += 1
+            self.stages.append(blocks)
+        self.avgpool = GlobalAvgPool2d()
+        self.fc = TernaryLinear(512, num_classes, sparsity=sparsity, rng=derive_rng(rng, 99))
+
+    # ------------------------------------------------------------------
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        out = self.maxpool(self.relu(self.bn1(self.conv1(x))))
+        for blocks in self.stages:
+            for block in blocks:
+                out = block(out)
+        out = self.avgpool(out)
+        return self.fc(out)
+
+    def output_shape(self, input_shape: ShapeLike) -> ShapeLike:
+        return (self.fc.out_features,)
+
+    def compute_layers(self, input_shape: ShapeLike, prefix: str = ""):
+        prefix = prefix or self.name
+        yield f"{prefix}.conv1", self.conv1, input_shape
+        shape = self.maxpool.output_shape(self.conv1.output_shape(input_shape))
+        for stage_index, blocks in enumerate(self.stages, start=1):
+            for block_index, block in enumerate(blocks):
+                block_prefix = f"{prefix}.layer{stage_index}.{block_index}"
+                yield from block.compute_layers(shape, block_prefix)
+                shape = block.output_shape(shape)
+        features = self.avgpool.output_shape(shape)
+        yield f"{prefix}.fc", self.fc, features
+
+
+def build_resnet18(
+    num_classes: int = 1000, sparsity: float = 0.8, rng: RngLike = None
+) -> ResNet18:
+    """Factory mirroring the VGG builders."""
+    return ResNet18(num_classes=num_classes, sparsity=sparsity, rng=rng)

@@ -1,0 +1,117 @@
+"""Activation quantization in the style of Learned Step-size Quantization (LSQ).
+
+The paper quantizes activations to 4 or 8 bits with LSQ [Esser et al.] and
+keeps ternary weights, so a convolution becomes a sum/difference of small
+integers which the AP computes exactly.  For inference we model LSQ as a
+uniform quantizer with a per-tensor step size; for the accuracy experiment the
+step size is trained together with the weights through a straight-through
+estimator (see :mod:`repro.nn.training`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.utils.validation import check_positive
+
+
+@dataclass(frozen=True)
+class QuantizationConfig:
+    """Uniform activation quantization settings.
+
+    Attributes:
+        bits: number of bits of the quantized activation.
+        signed: whether the quantized range is symmetric around zero.  After a
+            ReLU the activations are non-negative and an unsigned range is
+            used, which matches LSQ's treatment of post-ReLU tensors.
+    """
+
+    bits: int = 4
+    signed: bool = False
+
+    def __post_init__(self) -> None:
+        check_positive("bits", self.bits)
+        if self.bits > 16:
+            raise QuantizationError(f"activation precision of {self.bits} bits is unsupported")
+
+    @property
+    def qmin(self) -> int:
+        """Smallest representable quantized integer."""
+        return -(1 << (self.bits - 1)) if self.signed else 0
+
+    @property
+    def qmax(self) -> int:
+        """Largest representable quantized integer."""
+        return (1 << (self.bits - 1)) - 1 if self.signed else (1 << self.bits) - 1
+
+    @property
+    def num_levels(self) -> int:
+        """Number of representable levels."""
+        return self.qmax - self.qmin + 1
+
+
+class ActivationQuantizer:
+    """Per-tensor uniform quantizer with an LSQ-style learned step size.
+
+    Args:
+        config: precision/signedness of the quantizer.
+        step: initial step size; when ``None`` it is calibrated from data on
+            the first call to :meth:`calibrate`.
+    """
+
+    def __init__(self, config: QuantizationConfig, step: Optional[float] = None) -> None:
+        self.config = config
+        self.step = step
+
+    # ------------------------------------------------------------------
+    def calibrate(self, x: np.ndarray) -> float:
+        """Initialise the step size from a tensor (LSQ initialisation rule).
+
+        LSQ initialises ``s = 2 * mean(|x|) / sqrt(qmax)``.
+        """
+        magnitude = float(np.mean(np.abs(x)))
+        qmax = max(1, self.config.qmax)
+        step = 2.0 * magnitude / np.sqrt(qmax)
+        self.step = max(step, 1e-8)
+        return self.step
+
+    def _require_step(self) -> float:
+        if self.step is None or self.step <= 0:
+            raise QuantizationError(
+                "quantizer step size is not set; call calibrate() or pass step="
+            )
+        return self.step
+
+    # ------------------------------------------------------------------
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        """Return the integer codes of ``x`` (clamped to the representable range)."""
+        step = self._require_step()
+        codes = np.round(x / step)
+        return np.clip(codes, self.config.qmin, self.config.qmax).astype(np.int64)
+
+    def dequantize(self, codes: np.ndarray) -> np.ndarray:
+        """Map integer codes back to real values."""
+        step = self._require_step()
+        return codes.astype(np.float64) * step
+
+    def fake_quantize(self, x: np.ndarray) -> np.ndarray:
+        """Quantize-dequantize round trip (the training-time view of the tensor)."""
+        return self.dequantize(self.quantize(x))
+
+    def quantization_error(self, x: np.ndarray) -> float:
+        """Root-mean-square error introduced by quantizing ``x``."""
+        return float(np.sqrt(np.mean((self.fake_quantize(x) - x) ** 2)))
+
+
+def quantize_to_int(
+    x: np.ndarray, bits: int, signed: bool = False, step: Optional[float] = None
+) -> Tuple[np.ndarray, float]:
+    """Convenience helper: quantize a tensor and return ``(codes, step)``."""
+    quantizer = ActivationQuantizer(QuantizationConfig(bits=bits, signed=signed), step=step)
+    if step is None:
+        quantizer.calibrate(x)
+    return quantizer.quantize(x), float(quantizer.step)

@@ -1,0 +1,197 @@
+"""Per-layer convolution specifications consumed by the compiler.
+
+A :class:`ConvLayerSpec` is the hand-off format between the NN substrate and
+the compilation flow: it captures exactly what the paper's "DNN model (ONNX
+format, ternary sparse weights)" box in Fig. 3a provides - the ternary weight
+tensor and the layer geometry.  Fully-connected layers are represented as 1x1
+convolutions over a 1x1 spatial extent so that the same flow compiles them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import ModelDefinitionError
+from repro.nn.im2col import conv_output_size
+from repro.nn.layers import Conv2d, Linear, Module, TernaryConv2d, TernaryLinear
+from repro.nn.ternary import sparsity_of
+from repro.utils.validation import check_ternary
+
+
+@dataclass(frozen=True)
+class ConvLayerSpec:
+    """Geometry and ternary weights of one convolutional (or FC) layer."""
+
+    name: str
+    weights: np.ndarray  # (Cout, Cin, Fh, Fw), ternary int8
+    input_height: int
+    input_width: int
+    stride: int = 1
+    padding: int = 0
+
+    def __post_init__(self) -> None:
+        weights = np.asarray(self.weights)
+        if weights.ndim != 4:
+            raise ModelDefinitionError(
+                f"layer {self.name!r}: weights must be 4-D (Cout, Cin, Fh, Fw), "
+                f"got shape {weights.shape}"
+            )
+        check_ternary(weights, name=f"{self.name} weights")
+
+    # ------------------------------------------------------------------
+    @property
+    def out_channels(self) -> int:
+        """Number of output channels (filters)."""
+        return int(self.weights.shape[0])
+
+    @property
+    def in_channels(self) -> int:
+        """Number of input channels."""
+        return int(self.weights.shape[1])
+
+    @property
+    def kernel_height(self) -> int:
+        """Filter height ``Fh``."""
+        return int(self.weights.shape[2])
+
+    @property
+    def kernel_width(self) -> int:
+        """Filter width ``Fw``."""
+        return int(self.weights.shape[3])
+
+    @property
+    def output_height(self) -> int:
+        """Output feature-map height ``Hout``."""
+        return conv_output_size(self.input_height, self.kernel_height, self.stride, self.padding)
+
+    @property
+    def output_width(self) -> int:
+        """Output feature-map width ``Wout``."""
+        return conv_output_size(self.input_width, self.kernel_width, self.stride, self.padding)
+
+    @property
+    def output_positions(self) -> int:
+        """Number of output spatial positions ``Hout * Wout`` (CAM rows needed)."""
+        return self.output_height * self.output_width
+
+    @property
+    def patch_size(self) -> int:
+        """Window size ``Fh * Fw`` (CAM columns holding one channel's patch)."""
+        return self.kernel_height * self.kernel_width
+
+    @property
+    def nonzero_weights(self) -> int:
+        """Number of non-zero ternary weights."""
+        return int(np.count_nonzero(self.weights))
+
+    @property
+    def sparsity(self) -> float:
+        """Realised weight sparsity."""
+        return sparsity_of(self.weights)
+
+    @property
+    def macs(self) -> int:
+        """Dense multiply-accumulate count of the layer (for reference)."""
+        return self.out_channels * self.in_channels * self.patch_size * self.output_positions
+
+    def weight_slice(self, input_channel: int) -> np.ndarray:
+        """Ternary weight slice for one input channel: shape ``(Cout, Fh*Fw)``.
+
+        This is the region the paper's CSE operates on (the slice convolved
+        with the same input patch, reused across all output channels).
+        """
+        if not (0 <= input_channel < self.in_channels):
+            raise ModelDefinitionError(
+                f"input channel {input_channel} outside [0, {self.in_channels})"
+            )
+        return self.weights[:, input_channel, :, :].reshape(self.out_channels, -1)
+
+    @classmethod
+    def from_linear(
+        cls, name: str, weights: np.ndarray, stride: int = 1
+    ) -> "ConvLayerSpec":
+        """Wrap a fully-connected weight matrix ``(out, in)`` as a 1x1 conv spec."""
+        weights = np.asarray(weights)
+        if weights.ndim != 2:
+            raise ModelDefinitionError(
+                f"linear weights must be 2-D, got shape {weights.shape}"
+            )
+        reshaped = weights.reshape(weights.shape[0], weights.shape[1], 1, 1)
+        return cls(
+            name=name,
+            weights=reshaped,
+            input_height=1,
+            input_width=1,
+            stride=stride,
+            padding=0,
+        )
+
+
+@dataclass(frozen=True)
+class LayerShapeSummary:
+    """Lightweight per-layer summary used by reports."""
+
+    name: str
+    in_channels: int
+    out_channels: int
+    kernel: Tuple[int, int]
+    output_positions: int
+    nonzero_weights: int
+    sparsity: float
+
+
+def model_layer_specs(
+    model: Module, input_shape: Tuple[int, int, int]
+) -> List[ConvLayerSpec]:
+    """Extract :class:`ConvLayerSpec` objects from every weight layer of a model.
+
+    Args:
+        model: a module tree built from the layers in :mod:`repro.nn.layers`.
+        input_shape: un-batched input shape ``(C, H, W)``.
+    """
+    specs: List[ConvLayerSpec] = []
+    for name, layer, shape in model.compute_layers(input_shape):
+        if isinstance(layer, (TernaryConv2d, Conv2d)) and not isinstance(layer, Linear):
+            weights = (
+                layer.ternary_weights
+                if isinstance(layer, TernaryConv2d)
+                else np.sign(layer.weights).astype(np.int8)
+            )
+            channels, height, width = shape
+            specs.append(
+                ConvLayerSpec(
+                    name=name,
+                    weights=weights,
+                    input_height=height,
+                    input_width=width,
+                    stride=layer.stride,
+                    padding=layer.padding,
+                )
+            )
+        elif isinstance(layer, (TernaryLinear, Linear)):
+            weights = (
+                layer.ternary_weights
+                if isinstance(layer, TernaryLinear)
+                else np.sign(layer.weights).astype(np.int8)
+            )
+            specs.append(ConvLayerSpec.from_linear(name, weights))
+    return specs
+
+
+def summarize_specs(specs: Sequence[ConvLayerSpec]) -> List[LayerShapeSummary]:
+    """Compact summaries of a list of layer specs (for reports and examples)."""
+    return [
+        LayerShapeSummary(
+            name=spec.name,
+            in_channels=spec.in_channels,
+            out_channels=spec.out_channels,
+            kernel=(spec.kernel_height, spec.kernel_width),
+            output_positions=spec.output_positions,
+            nonzero_weights=spec.nonzero_weights,
+            sparsity=spec.sparsity,
+        )
+        for spec in specs
+    ]

@@ -1,0 +1,94 @@
+"""Ternary weight generation and projection.
+
+The paper assumes trained ternary-weight networks (TWNs) obtained with BIPROP
+[Diffenderfer & Kailkhura]: weights take values in {-1, 0, +1} and a large
+fraction (the *sparsity*) is exactly zero.  Training BIPROP on ImageNet is out
+of scope for this reproduction (see DESIGN.md, Substitutions); instead this
+module provides
+
+* :func:`ternarize_weights` - magnitude-based projection of real weights onto
+  the ternary grid at a target sparsity (used by the small QAT experiments),
+* :func:`synthetic_ternary_weights` - deterministic synthetic ternary tensors
+  with a target sparsity (used to build the model zoo whose *shapes* drive the
+  compiler and the performance model).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro.errors import QuantizationError
+from repro.utils.rng import RngLike, make_rng
+from repro.utils.validation import check_probability, check_ternary
+
+
+def sparsity_of(weights: np.ndarray) -> float:
+    """Fraction of exactly-zero entries in a weight tensor."""
+    weights = np.asarray(weights)
+    if weights.size == 0:
+        raise QuantizationError("cannot compute sparsity of an empty tensor")
+    return float(np.mean(weights == 0))
+
+
+def ternarize_weights(
+    weights: np.ndarray, sparsity: float = 0.8
+) -> Tuple[np.ndarray, float]:
+    """Project real-valued weights onto {-1, 0, +1} at a target sparsity.
+
+    The smallest-magnitude fraction ``sparsity`` of the weights becomes zero
+    and the remainder keeps its sign (multi-prize-ticket style pruning +
+    binarization).  Returns ``(ternary_weights, scale)`` where ``scale`` is the
+    mean magnitude of the surviving weights - the factor a BN/rescaling layer
+    absorbs so that the ternary network approximates the real one.
+    """
+    check_probability("sparsity", sparsity)
+    weights = np.asarray(weights, dtype=np.float64)
+    if weights.size == 0:
+        raise QuantizationError("cannot ternarize an empty tensor")
+    magnitudes = np.abs(weights)
+    if sparsity <= 0.0:
+        threshold = -np.inf
+    elif sparsity >= 1.0:
+        threshold = np.inf
+    else:
+        threshold = float(np.quantile(magnitudes, sparsity))
+    mask = magnitudes > threshold
+    ternary = np.where(mask, np.sign(weights), 0.0).astype(np.int8)
+    surviving = magnitudes[mask]
+    scale = float(surviving.mean()) if surviving.size else 0.0
+    return ternary, scale
+
+
+def synthetic_ternary_weights(
+    shape: Tuple[int, ...],
+    sparsity: float = 0.8,
+    rng: RngLike = None,
+) -> np.ndarray:
+    """Deterministic synthetic ternary weights with (approximately) the target sparsity.
+
+    Non-zero positions are chosen uniformly at random and assigned ±1 with
+    equal probability.  The exact number of zeros is ``round(size * sparsity)``
+    so that the realised sparsity matches the target as closely as possible -
+    this is what keeps the op-count experiments comparable to the paper's
+    sparsity settings.
+    """
+    check_probability("sparsity", sparsity)
+    rng = make_rng(rng)
+    size = int(np.prod(shape))
+    if size == 0:
+        raise QuantizationError(f"cannot build weights with empty shape {shape}")
+    num_zero = int(round(size * sparsity))
+    num_nonzero = size - num_zero
+    values = np.zeros(size, dtype=np.int8)
+    if num_nonzero:
+        positions = rng.choice(size, size=num_nonzero, replace=False)
+        signs = rng.integers(0, 2, size=num_nonzero) * 2 - 1
+        values[positions] = signs.astype(np.int8)
+    return values.reshape(shape)
+
+
+def ternary_matrix_from_rows(rows) -> np.ndarray:
+    """Build and validate a ternary matrix from a nested list (testing helper)."""
+    return check_ternary(np.asarray(rows), name="ternary matrix")

@@ -1,0 +1,29 @@
+"""Analytical performance and energy model of the RTM-AP accelerator.
+
+Takes compiled models (operation counts, widths, mapping) and the architecture
+description and produces per-layer and end-to-end energy/latency figures with
+the component breakdown the paper reports in Fig. 4 (DFG, accumulation,
+peripherals, data movement), plus the endurance/lifetime analysis of Sec. V-C.
+"""
+
+from repro.perf.breakdown import EnergyBreakdown, LatencyBreakdown
+from repro.perf.model import (
+    LayerPerformance,
+    ModelPerformance,
+    PerformanceModelConfig,
+    evaluate_layer,
+    evaluate_model,
+)
+from repro.perf.endurance import endurance_report, EnduranceReport
+
+__all__ = [
+    "EnergyBreakdown",
+    "LatencyBreakdown",
+    "LayerPerformance",
+    "ModelPerformance",
+    "PerformanceModelConfig",
+    "evaluate_layer",
+    "evaluate_model",
+    "endurance_report",
+    "EnduranceReport",
+]

@@ -1,0 +1,97 @@
+"""Energy and latency breakdown records (the Fig. 4 component categories)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+#: femtojoules per microjoule.
+FJ_PER_UJ = 1e9
+#: nanoseconds per millisecond.
+NS_PER_MS = 1e6
+
+
+@dataclass
+class EnergyBreakdown:
+    """Energy split into the component categories of the paper's Fig. 4."""
+
+    #: Channel-wise DFG phase (AP search/write/shift work).
+    dfg_fj: float = 0.0
+    #: Accumulation phase (local accumulate + inter-AP adder tree).
+    accumulation_fj: float = 0.0
+    #: Controller, instruction cache and buffer accesses.
+    peripherals_fj: float = 0.0
+    #: Interconnect data movement (partial sums, input load).
+    movement_fj: float = 0.0
+
+    @property
+    def total_fj(self) -> float:
+        """Total energy in femtojoules."""
+        return self.dfg_fj + self.accumulation_fj + self.peripherals_fj + self.movement_fj
+
+    @property
+    def total_uj(self) -> float:
+        """Total energy in microjoules (the paper's unit)."""
+        return self.total_fj / FJ_PER_UJ
+
+    @property
+    def movement_fraction(self) -> float:
+        """Fraction of the energy spent on data movement (paper: ~3 %)."""
+        total = self.total_fj
+        return self.movement_fj / total if total else 0.0
+
+    def merge(self, other: "EnergyBreakdown") -> "EnergyBreakdown":
+        """Element-wise sum of two breakdowns."""
+        return EnergyBreakdown(
+            dfg_fj=self.dfg_fj + other.dfg_fj,
+            accumulation_fj=self.accumulation_fj + other.accumulation_fj,
+            peripherals_fj=self.peripherals_fj + other.peripherals_fj,
+            movement_fj=self.movement_fj + other.movement_fj,
+        )
+
+    def as_uj_dict(self) -> Dict[str, float]:
+        """Component values in microjoules (for tables and plots)."""
+        return {
+            "dfg": self.dfg_fj / FJ_PER_UJ,
+            "accumulation": self.accumulation_fj / FJ_PER_UJ,
+            "peripherals": self.peripherals_fj / FJ_PER_UJ,
+            "movement": self.movement_fj / FJ_PER_UJ,
+        }
+
+
+@dataclass
+class LatencyBreakdown:
+    """Latency split by execution phase."""
+
+    #: Channel-wise DFG phase.
+    dfg_ns: float = 0.0
+    #: Accumulation phase (local + adder tree).
+    accumulation_ns: float = 0.0
+    #: Data movement not overlapped with computation.
+    movement_ns: float = 0.0
+
+    @property
+    def total_ns(self) -> float:
+        """Total latency in nanoseconds."""
+        return self.dfg_ns + self.accumulation_ns + self.movement_ns
+
+    @property
+    def total_ms(self) -> float:
+        """Total latency in milliseconds (the paper's unit)."""
+        return self.total_ns / NS_PER_MS
+
+    def merge(self, other: "LatencyBreakdown") -> "LatencyBreakdown":
+        """Element-wise sum of two breakdowns."""
+        return LatencyBreakdown(
+            dfg_ns=self.dfg_ns + other.dfg_ns,
+            accumulation_ns=self.accumulation_ns + other.accumulation_ns,
+            movement_ns=self.movement_ns + other.movement_ns,
+        )
+
+    def as_ms_dict(self) -> Dict[str, float]:
+        """Component values in milliseconds (for tables and plots)."""
+        return {
+            "dfg": self.dfg_ns / NS_PER_MS,
+            "accumulation": self.accumulation_ns / NS_PER_MS,
+            "movement": self.movement_ns / NS_PER_MS,
+        }

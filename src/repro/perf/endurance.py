@@ -1,0 +1,88 @@
+"""Write-endurance / lifetime analysis of the RTM-AP (paper Sec. V-C).
+
+The paper argues: RTM endures ~1e16 writes; each AP operation writes at most
+two columns; execution is spread over 256 columns, so a given column is
+rewritten roughly every ~100 ns, giving a lifetime of roughly 31 years.  This
+module reproduces that calculation from first principles and also derives the
+effective operation interval from a measured (compiled + evaluated) workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.arch.config import ArchitectureConfig
+from repro.errors import ConfigurationError
+from repro.perf.model import ModelPerformance
+from repro.rtm.endurance import LifetimeEstimate, estimate_lifetime
+from repro.rtm.timing import RTMTechnology
+
+
+@dataclass(frozen=True)
+class EnduranceReport:
+    """Lifetime analysis under a sustained inference workload."""
+
+    #: Lifetime using the paper's idealised argument (columns share the load).
+    paper_style: LifetimeEstimate
+    #: Lifetime using the measured average operation interval of the workload.
+    workload: Optional[LifetimeEstimate]
+
+    @property
+    def paper_style_years(self) -> float:
+        """Idealised lifetime in years (paper: ~31)."""
+        return self.paper_style.lifetime_years
+
+    @property
+    def workload_years(self) -> Optional[float]:
+        """Workload-derived lifetime in years (None when no workload given)."""
+        return self.workload.lifetime_years if self.workload else None
+
+
+def endurance_report(
+    architecture: Optional[ArchitectureConfig] = None,
+    performance: Optional[ModelPerformance] = None,
+    writes_per_operation: float = 2.0,
+    operation_interval_ns: float = 0.8,
+) -> EnduranceReport:
+    """Build the endurance report.
+
+    Args:
+        architecture: supplies the column count and endurance limit (defaults
+            to the paper's 256-column, 1e16-cycle RTM).
+        performance: optional evaluated workload; its average op interval
+            (latency / static ops, per AP) refines the rewrite-interval estimate.
+        writes_per_operation: columns written per AP operation (2 for Table I).
+        operation_interval_ns: back-to-back operation time (0.8 ns in-place).
+    """
+    architecture = architecture or ArchitectureConfig()
+    technology: RTMTechnology = architecture.technology
+    columns = architecture.ap.columns
+    paper_style = estimate_lifetime(
+        writes_per_operation=writes_per_operation,
+        operation_interval_ns=operation_interval_ns,
+        columns_sharing_load=columns,
+        technology=technology,
+    )
+    workload_estimate: Optional[LifetimeEstimate] = None
+    if performance is not None:
+        if performance.total_ops <= 0:
+            raise ConfigurationError("performance result contains no operations")
+        # Average time between operations issued by one AP while the network
+        # runs continuously (back-to-back inferences).
+        busiest_ops = max(
+            layer.total_ops / max(1, layer.allocation.parallel_channel_groups)
+            for layer in performance.layers
+        )
+        total_latency_ns = performance.latency.total_ns
+        interval_ns = total_latency_ns / max(1.0, float(performance.total_ops))
+        # The busiest AP sees a shorter effective interval than the average.
+        interval_ns = max(interval_ns, operation_interval_ns)
+        workload_estimate = estimate_lifetime(
+            writes_per_operation=writes_per_operation,
+            operation_interval_ns=interval_ns,
+            columns_sharing_load=columns,
+            technology=technology,
+        )
+        del busiest_ops
+    return EnduranceReport(paper_style=paper_style, workload=workload_estimate)

@@ -1,0 +1,22 @@
+"""Racetrack-memory (RTM) device substrate.
+
+Models the magnetic nanowires ("tracks") backing each CAM cell: domains,
+access ports, shift behaviour, per-event timing/energy figures of merit and
+write endurance.  The figures of merit default to the 45 nm RTM TCAM design
+the paper uses as its baseline (Sec. V of the paper).
+"""
+
+from repro.rtm.timing import RTMTechnology
+from repro.rtm.nanowire import Nanowire, NanowireStats
+from repro.rtm.dbc import DomainBlockCluster
+from repro.rtm.endurance import EnduranceTracker, LifetimeEstimate, estimate_lifetime
+
+__all__ = [
+    "RTMTechnology",
+    "Nanowire",
+    "NanowireStats",
+    "DomainBlockCluster",
+    "EnduranceTracker",
+    "LifetimeEstimate",
+    "estimate_lifetime",
+]

@@ -1,0 +1,93 @@
+"""Domain-wall block clusters (DBCs).
+
+A DBC groups several nanowires that are shifted in lockstep and accessed in
+parallel (paper Sec. II-C).  In the RTM-AP, the nanowires of one CAM row form
+a DBC: aligning bit position ``b`` of every operand of the row requires a
+single shift command applied to the whole cluster.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+import numpy as np
+
+from repro.errors import CapacityError, SimulationError
+from repro.rtm.nanowire import Nanowire, NanowireStats
+from repro.rtm.timing import RTMTechnology
+
+
+class DomainBlockCluster:
+    """A group of nanowires shifted in lockstep.
+
+    Args:
+        num_tracks: number of nanowires in the cluster.
+        technology: shared device parameters.
+    """
+
+    def __init__(self, num_tracks: int, technology: RTMTechnology | None = None) -> None:
+        if num_tracks <= 0:
+            raise CapacityError(f"a DBC needs at least one track, got {num_tracks}")
+        self.technology = technology or RTMTechnology()
+        self.tracks: List[Nanowire] = [
+            Nanowire(self.technology) for _ in range(num_tracks)
+        ]
+        self._port_position = 0
+        self.lockstep_shifts = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def num_tracks(self) -> int:
+        """Number of nanowires in the cluster."""
+        return len(self.tracks)
+
+    @property
+    def num_domains(self) -> int:
+        """Domains per nanowire (identical for all tracks)."""
+        return self.tracks[0].num_domains
+
+    @property
+    def port_position(self) -> int:
+        """Domain index currently aligned with the access ports."""
+        return self._port_position
+
+    # ------------------------------------------------------------------
+    def shift_to(self, position: int) -> int:
+        """Align ``position`` with the access ports of every track.
+
+        Returns the number of lockstep shift steps (each step moves every
+        track by one domain simultaneously).
+        """
+        if not (0 <= position < self.num_domains):
+            raise CapacityError(
+                f"domain index {position} out of range [0, {self.num_domains})"
+            )
+        steps = abs(position - self._port_position)
+        self.lockstep_shifts += steps
+        for track in self.tracks:
+            track.shift_to(position)
+        self._port_position = position
+        return steps
+
+    def read_row(self, position: int) -> np.ndarray:
+        """Read the aligned bit of every track at ``position``."""
+        self.shift_to(position)
+        return np.array([track.read(position) for track in self.tracks], dtype=np.uint8)
+
+    def write_row(self, position: int, bits: Iterable[int]) -> None:
+        """Write one bit per track at ``position``."""
+        bits = list(bits)
+        if len(bits) != self.num_tracks:
+            raise SimulationError(
+                f"expected {self.num_tracks} bits for the cluster, got {len(bits)}"
+            )
+        self.shift_to(position)
+        for track, bit in zip(self.tracks, bits):
+            track.write(position, int(bit))
+
+    def aggregate_stats(self) -> NanowireStats:
+        """Sum of the event counters of every track in the cluster."""
+        total = NanowireStats()
+        for track in self.tracks:
+            total = total.merge(track.stats)
+        return total

@@ -1,0 +1,142 @@
+"""Functional model of a single racetrack nanowire (track).
+
+A nanowire stores up to ``domains_per_nanowire`` bits as magnetic domains.
+To access a specific domain it must first be shifted so that the domain is
+aligned with an access port.  The model tracks the current port alignment and
+counts shifts, reads and writes so that higher layers can derive timing,
+energy and endurance figures.
+
+In the RTM-AP execution model (paper Fig. 2d/e) each CAM *column cell* of a
+row is one nanowire, operands are stored bit-serially along the nanowire and
+all nanowires of an AP shift in lockstep so that the same bit position of
+every operand is aligned with the access ports at any given time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import CapacityError, SimulationError
+from repro.rtm.timing import RTMTechnology
+
+
+@dataclass
+class NanowireStats:
+    """Event counters for a single nanowire."""
+
+    shifts: int = 0
+    reads: int = 0
+    writes: int = 0
+
+    def merge(self, other: "NanowireStats") -> "NanowireStats":
+        """Return the element-wise sum of two counter sets."""
+        return NanowireStats(
+            shifts=self.shifts + other.shifts,
+            reads=self.reads + other.reads,
+            writes=self.writes + other.writes,
+        )
+
+
+class Nanowire:
+    """A single racetrack track with one access port.
+
+    Args:
+        technology: device figures of merit (defines the number of domains).
+        initial_bits: optional initial content (LSB-first, length <= domains).
+    """
+
+    def __init__(
+        self,
+        technology: RTMTechnology | None = None,
+        initial_bits: np.ndarray | None = None,
+    ) -> None:
+        self.technology = technology or RTMTechnology()
+        self._domains = np.zeros(self.technology.domains_per_nanowire, dtype=np.uint8)
+        if initial_bits is not None:
+            initial_bits = np.asarray(initial_bits, dtype=np.uint8)
+            if initial_bits.size > self._domains.size:
+                raise CapacityError(
+                    f"initial content of {initial_bits.size} bits exceeds the "
+                    f"{self._domains.size} domains of the nanowire"
+                )
+            self._domains[: initial_bits.size] = initial_bits
+        self._port_position = 0
+        self.stats = NanowireStats()
+
+    # ------------------------------------------------------------------
+    @property
+    def num_domains(self) -> int:
+        """Total number of domains (bits) on the track."""
+        return int(self._domains.size)
+
+    @property
+    def port_position(self) -> int:
+        """Domain index currently aligned with the access port."""
+        return self._port_position
+
+    def _check_position(self, position: int) -> None:
+        if not (0 <= position < self.num_domains):
+            raise CapacityError(
+                f"domain index {position} out of range [0, {self.num_domains})"
+            )
+
+    # ------------------------------------------------------------------
+    def shifts_to(self, position: int) -> int:
+        """Number of single-domain shifts needed to align ``position`` with the port."""
+        self._check_position(position)
+        return abs(position - self._port_position)
+
+    def shift_to(self, position: int) -> int:
+        """Shift the track until ``position`` is under the access port.
+
+        Returns the number of single-domain shifts performed.
+        """
+        shifts = self.shifts_to(position)
+        self.stats.shifts += shifts
+        self._port_position = position
+        return shifts
+
+    def read(self, position: int) -> int:
+        """Read the bit stored at ``position`` (shifting the track if needed)."""
+        self.shift_to(position)
+        self.stats.reads += 1
+        return int(self._domains[position])
+
+    def write(self, position: int, bit: int) -> None:
+        """Write ``bit`` at ``position`` (shifting the track if needed)."""
+        if bit not in (0, 1):
+            raise SimulationError(f"bit value must be 0 or 1, got {bit!r}")
+        self.shift_to(position)
+        self.stats.writes += 1
+        self._domains[position] = bit
+
+    def peek(self, position: int) -> int:
+        """Read a bit without modelling the shift (debug/observation only)."""
+        self._check_position(position)
+        return int(self._domains[position])
+
+    def load(self, bits: np.ndarray, offset: int = 0) -> None:
+        """Bulk-load content starting at ``offset`` without counting AP events.
+
+        Used to model the initial placement of activations, which is accounted
+        for separately as input data movement by the performance model.
+        """
+        bits = np.asarray(bits, dtype=np.uint8)
+        if offset < 0 or offset + bits.size > self.num_domains:
+            raise CapacityError(
+                f"cannot load {bits.size} bits at offset {offset} into a track "
+                f"with {self.num_domains} domains"
+            )
+        self._domains[offset : offset + bits.size] = bits
+
+    def dump(self) -> np.ndarray:
+        """Return a copy of the full track content (LSB-first)."""
+        return self._domains.copy()
+
+    def __repr__(self) -> str:  # pragma: no cover - debug helper
+        return (
+            f"Nanowire(domains={self.num_domains}, port={self._port_position}, "
+            f"shifts={self.stats.shifts})"
+        )

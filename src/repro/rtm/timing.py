@@ -1,0 +1,94 @@
+"""Technology parameters for racetrack-memory-based CAM cells.
+
+The defaults reproduce the figures of merit the paper quotes for its baseline
+45 nm RTM TCAM design (Sec. V):
+
+* 256x256 CAM arrays,
+* search delay under 200 ps,
+* per-bit search energy of about 3 fJ,
+* 64 domains per nanowire,
+* 1 pJ/bit for internal data movement (tile/bank/global),
+* RTM write endurance of 1e16 cycles.
+
+The in-place adder takes 8 search/write phases (0.8 ns per bit position) and
+the out-of-place adder takes 10 phases (1.0 ns per bit position), matching the
+cycle counts in Sec. IV-C and the 0.8 ns / 1 ns figures in Sec. V-C.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.utils.validation import check_non_negative, check_positive
+
+
+@dataclass(frozen=True)
+class RTMTechnology:
+    """Per-device figures of merit for RTM-backed CAM cells.
+
+    Energies are expressed in femtojoules (fJ) and latencies in nanoseconds
+    (ns) so that the numbers stay close to the values quoted in the paper and
+    in the referenced TCAM designs.
+    """
+
+    #: Number of magnetic domains (bits) stored on one nanowire.
+    domains_per_nanowire: int = 64
+    #: Number of access ports per nanowire (1 is the dense default).
+    access_ports_per_nanowire: int = 1
+    #: Latency of a single one-domain shift (ns).
+    shift_latency_ns: float = 0.5
+    #: Energy of shifting one nanowire by one domain (fJ).
+    shift_energy_fj: float = 0.2
+    #: Latency of one parallel CAM search phase (ns).  Paper: < 200 ps.
+    search_latency_ns: float = 0.1
+    #: Energy of comparing one bit during a search (fJ).  Paper: ~3 fJ/bit.
+    search_energy_fj_per_bit: float = 3.0
+    #: Latency of one tagged parallel write phase (ns).
+    write_latency_ns: float = 0.1
+    #: Energy of writing one bit into a tagged row (fJ).
+    write_energy_fj_per_bit: float = 1.5
+    #: Energy of reading one bit through the access port (fJ).
+    read_energy_fj_per_bit: float = 1.0
+    #: Energy of moving one bit across tile/bank/global interconnect (fJ).
+    #: Paper assumes a conservative 1 pJ/bit = 1000 fJ/bit.
+    movement_energy_fj_per_bit: float = 1000.0
+    #: Number of write cycles an RTM cell endures before wear-out.
+    write_endurance_cycles: float = 1e16
+    #: Static leakage power per CAM array (mW); kept small, RTM is non-volatile.
+    leakage_power_mw: float = 0.05
+
+    def __post_init__(self) -> None:
+        check_positive("domains_per_nanowire", self.domains_per_nanowire)
+        check_positive("access_ports_per_nanowire", self.access_ports_per_nanowire)
+        check_non_negative("shift_latency_ns", self.shift_latency_ns)
+        check_non_negative("shift_energy_fj", self.shift_energy_fj)
+        check_positive("search_latency_ns", self.search_latency_ns)
+        check_non_negative("search_energy_fj_per_bit", self.search_energy_fj_per_bit)
+        check_positive("write_latency_ns", self.write_latency_ns)
+        check_non_negative("write_energy_fj_per_bit", self.write_energy_fj_per_bit)
+        check_non_negative("read_energy_fj_per_bit", self.read_energy_fj_per_bit)
+        check_non_negative("movement_energy_fj_per_bit", self.movement_energy_fj_per_bit)
+        check_positive("write_endurance_cycles", self.write_endurance_cycles)
+        check_non_negative("leakage_power_mw", self.leakage_power_mw)
+
+    # ------------------------------------------------------------------
+    # Derived per-operation figures used by the AP and performance models.
+    # ------------------------------------------------------------------
+    @property
+    def phase_latency_ns(self) -> float:
+        """Latency of a single AP phase (one search or one write)."""
+        return max(self.search_latency_ns, self.write_latency_ns)
+
+    def pass_latency_ns(self, num_phases: int) -> float:
+        """Latency of an AP pass made of ``num_phases`` search/write phases."""
+        check_positive("num_phases", num_phases)
+        return num_phases * self.phase_latency_ns
+
+    def shift_cost(self, num_shifts: int) -> tuple[float, float]:
+        """Latency (ns) and energy (fJ) of ``num_shifts`` single-domain shifts."""
+        check_non_negative("num_shifts", num_shifts)
+        return num_shifts * self.shift_latency_ns, num_shifts * self.shift_energy_fj
+
+
+#: Default technology node used throughout the library and the benchmarks.
+DEFAULT_RTM_TECHNOLOGY = RTMTechnology()

@@ -1,0 +1,43 @@
+"""Shared low-level utilities: bit manipulation, validation and RNG helpers."""
+
+from repro.utils.bitops import (
+    bits_for_signed_range,
+    bits_for_unsigned_max,
+    bits_to_int,
+    from_twos_complement,
+    int_to_bits,
+    min_signed_value,
+    max_signed_value,
+    max_unsigned_value,
+    sign_extend,
+    to_twos_complement,
+)
+from repro.utils.validation import (
+    check_in_range,
+    check_non_negative,
+    check_positive,
+    check_power_of_two,
+    check_probability,
+    check_ternary,
+)
+from repro.utils.rng import make_rng
+
+__all__ = [
+    "bits_for_signed_range",
+    "bits_for_unsigned_max",
+    "bits_to_int",
+    "from_twos_complement",
+    "int_to_bits",
+    "min_signed_value",
+    "max_signed_value",
+    "max_unsigned_value",
+    "sign_extend",
+    "to_twos_complement",
+    "check_in_range",
+    "check_non_negative",
+    "check_positive",
+    "check_power_of_two",
+    "check_probability",
+    "check_ternary",
+    "make_rng",
+]

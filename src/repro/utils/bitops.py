@@ -1,0 +1,150 @@
+"""Two's-complement and bit-width helpers.
+
+The associative processor operates bit-serially on two's-complement integers
+stored one bit per racetrack domain.  These helpers are the single place where
+the library converts between Python integers, two's-complement codes and
+LSB-first bit vectors, so that the functional simulator, the compiler's
+bit-width inference and the performance model all agree on the encoding.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+import numpy as np
+
+from repro.errors import QuantizationError
+
+
+def bits_for_unsigned_max(max_value: int) -> int:
+    """Number of bits needed to store unsigned values in ``[0, max_value]``.
+
+    ``bits_for_unsigned_max(0) == 1`` by convention (a value still occupies a
+    bit in the CAM).
+    """
+    if max_value < 0:
+        raise ValueError(f"max_value must be non-negative, got {max_value}")
+    if max_value == 0:
+        return 1
+    return int(max_value).bit_length()
+
+
+def bits_for_signed_range(lo: int, hi: int) -> int:
+    """Minimal two's-complement width representing every value in ``[lo, hi]``.
+
+    Always returns at least 1.  A purely non-negative range still gets a sign
+    bit only when needed (e.g. ``[0, 7]`` fits in 4 bits unsigned but the AP
+    stores partial sums as signed values, so ``[0, 7]`` -> 4 bits signed).
+    """
+    if lo > hi:
+        raise ValueError(f"empty range [{lo}, {hi}]")
+    width = 1
+    while not (min_signed_value(width) <= lo and hi <= max_signed_value(width)):
+        width += 1
+    return width
+
+
+def min_signed_value(width: int) -> int:
+    """Smallest value representable in ``width``-bit two's complement."""
+    _check_width(width)
+    return -(1 << (width - 1))
+
+
+def max_signed_value(width: int) -> int:
+    """Largest value representable in ``width``-bit two's complement."""
+    _check_width(width)
+    return (1 << (width - 1)) - 1
+
+
+def max_unsigned_value(width: int) -> int:
+    """Largest value representable in ``width`` unsigned bits."""
+    _check_width(width)
+    return (1 << width) - 1
+
+
+def to_twos_complement(value: int, width: int) -> int:
+    """Encode a signed integer as an unsigned ``width``-bit two's-complement code."""
+    _check_width(width)
+    lo, hi = min_signed_value(width), max_signed_value(width)
+    if not (lo <= value <= hi):
+        raise QuantizationError(
+            f"value {value} does not fit in {width}-bit two's complement [{lo}, {hi}]"
+        )
+    return value & ((1 << width) - 1)
+
+
+def from_twos_complement(code: int, width: int) -> int:
+    """Decode an unsigned ``width``-bit two's-complement code to a signed integer."""
+    _check_width(width)
+    if not (0 <= code < (1 << width)):
+        raise QuantizationError(f"code {code} is not a valid {width}-bit pattern")
+    if code & (1 << (width - 1)):
+        return code - (1 << width)
+    return code
+
+
+def sign_extend(code: int, from_width: int, to_width: int) -> int:
+    """Sign-extend a two's-complement code from ``from_width`` to ``to_width`` bits."""
+    if to_width < from_width:
+        raise ValueError(
+            f"cannot sign-extend from {from_width} bits down to {to_width} bits"
+        )
+    value = from_twos_complement(code, from_width)
+    return to_twos_complement(value, to_width)
+
+
+def int_to_bits(value: int, width: int) -> np.ndarray:
+    """LSB-first bit vector (dtype uint8) of a signed integer in two's complement."""
+    code = to_twos_complement(value, width)
+    return np.array([(code >> i) & 1 for i in range(width)], dtype=np.uint8)
+
+
+def bits_to_int(bits: Sequence[int] | np.ndarray, signed: bool = True) -> int:
+    """Convert an LSB-first bit vector back to an integer.
+
+    Args:
+        bits: iterable of 0/1 values, least-significant bit first.
+        signed: interpret the most-significant bit as a two's-complement sign.
+    """
+    bit_list = [int(b) for b in bits]
+    if not bit_list:
+        raise ValueError("empty bit vector")
+    if any(b not in (0, 1) for b in bit_list):
+        raise ValueError(f"bit vector must contain only 0/1, got {bit_list}")
+    code = 0
+    for i, bit in enumerate(bit_list):
+        code |= bit << i
+    if signed:
+        return from_twos_complement(code, len(bit_list))
+    return code
+
+
+def vector_to_bit_matrix(values: Iterable[int], width: int) -> np.ndarray:
+    """Encode a vector of signed integers into an LSB-first bit matrix.
+
+    Returns an array of shape ``(len(values), width)`` with dtype uint8, where
+    row ``i`` holds the bits of ``values[i]`` with column 0 being the LSB.
+    This is the layout used to load operands column-by-column into the CAM.
+    """
+    values = list(values)
+    out = np.zeros((len(values), width), dtype=np.uint8)
+    for i, value in enumerate(values):
+        out[i, :] = int_to_bits(int(value), width)
+    return out
+
+
+def bit_matrix_to_vector(bits: np.ndarray, signed: bool = True) -> np.ndarray:
+    """Decode an LSB-first bit matrix ``(n, width)`` into an int64 vector."""
+    bits = np.asarray(bits)
+    if bits.ndim != 2:
+        raise ValueError(f"expected 2-D bit matrix, got shape {bits.shape}")
+    n, width = bits.shape
+    out = np.zeros(n, dtype=np.int64)
+    for i in range(n):
+        out[i] = bits_to_int(bits[i, :], signed=signed)
+    return out
+
+
+def _check_width(width: int) -> None:
+    if width < 1:
+        raise ValueError(f"bit width must be >= 1, got {width}")

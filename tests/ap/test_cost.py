@@ -1,0 +1,116 @@
+"""Tests for the analytical per-instruction cost model."""
+
+import numpy as np
+import pytest
+
+from repro.ap.core import AssociativeProcessor
+from repro.ap.cost import InstructionCost, instruction_cost, program_cost
+from repro.ap.isa import APInstruction, APOpcode, APProgram, ColumnRegion
+from repro.errors import ConfigurationError
+from repro.rtm.timing import RTMTechnology
+
+
+def add_instruction(width=6, inplace=False, extra=0):
+    a = ColumnRegion(column=1, width=width)
+    b = ColumnRegion(column=2, width=width)
+    if inplace:
+        return APInstruction(opcode=APOpcode.ADD_INPLACE, dest=b, src_a=a, src_b=b)
+    dest = ColumnRegion(column=3, width=width)
+    extras = tuple(ColumnRegion(column=4 + i, width=width) for i in range(extra))
+    return APInstruction(
+        opcode=APOpcode.ADD_OUTOFPLACE, dest=dest, src_a=a, src_b=b, extra_dests=extras
+    )
+
+
+class TestInstructionCost:
+    def test_inplace_phase_count_matches_table1(self):
+        cost = instruction_cost(add_instruction(width=6, inplace=True), rows=10)
+        # 4 passes/bit * 6 bits searches, same number of writes plus carry clear.
+        assert cost.search_phases == 24
+        assert cost.write_phases == 25
+        assert cost.total_phases == 49
+
+    def test_outofplace_phase_count_matches_table1(self):
+        cost = instruction_cost(add_instruction(width=6, inplace=False), rows=10)
+        assert cost.search_phases == 30
+        assert cost.write_phases == 31
+
+    def test_searched_bits_scale_with_rows(self):
+        small = instruction_cost(add_instruction(), rows=10)
+        large = instruction_cost(add_instruction(), rows=100)
+        assert large.searched_bits == pytest.approx(small.searched_bits * 10)
+
+    def test_extra_destinations_increase_written_bits_only(self):
+        base = instruction_cost(add_instruction(extra=0), rows=10)
+        multi = instruction_cost(add_instruction(extra=2), rows=10)
+        assert multi.total_phases == base.total_phases
+        assert multi.written_bits > base.written_bits
+
+    def test_copy_cost(self):
+        src = ColumnRegion(column=1, width=4)
+        dst = ColumnRegion(column=2, width=4)
+        instr = APInstruction(opcode=APOpcode.COPY, dest=dst, src_a=src)
+        cost = instruction_cost(instr, rows=8)
+        assert cost.search_phases == 8
+        assert cost.write_phases == 8
+
+    def test_clear_cost(self):
+        instr = APInstruction(opcode=APOpcode.CLEAR, dest=ColumnRegion(column=2, width=4))
+        cost = instruction_cost(instr, rows=8)
+        assert cost.search_phases == 0
+        assert cost.write_phases == 4
+        assert cost.written_bits == pytest.approx(32)
+
+    def test_invalid_rows(self):
+        with pytest.raises(ConfigurationError):
+            instruction_cost(add_instruction(), rows=0)
+
+    def test_invalid_match_probability(self):
+        with pytest.raises(ConfigurationError):
+            instruction_cost(add_instruction(), rows=4, match_probability=2.0)
+
+    def test_energy_and_latency_positive(self):
+        technology = RTMTechnology()
+        cost = instruction_cost(add_instruction(), rows=16)
+        assert cost.energy_fj(technology) > 0
+        assert cost.latency_ns(technology) > 0
+
+    def test_inplace_cheaper_than_outofplace(self):
+        technology = RTMTechnology()
+        inplace = instruction_cost(add_instruction(inplace=True), rows=16)
+        outofplace = instruction_cost(add_instruction(inplace=False), rows=16)
+        assert inplace.latency_ns(technology) < outofplace.latency_ns(technology)
+        assert inplace.energy_fj(technology) < outofplace.energy_fj(technology)
+
+    def test_merge_and_scale(self):
+        cost = instruction_cost(add_instruction(), rows=4)
+        doubled = cost.merge(cost)
+        assert doubled.search_phases == 2 * cost.search_phases
+        scaled = cost.scaled(3)
+        assert scaled.search_phases == 3 * cost.search_phases
+
+
+class TestProgramCost:
+    def test_program_cost_sums_instructions(self):
+        program = APProgram()
+        program.append(add_instruction(width=4))
+        program.append(add_instruction(width=4, inplace=True))
+        total = program_cost(program, rows=8)
+        parts = instruction_cost(add_instruction(width=4), 8).merge(
+            instruction_cost(add_instruction(width=4, inplace=True), 8)
+        )
+        assert total.total_phases == parts.total_phases
+
+    def test_phase_count_matches_functional_simulator(self, rng):
+        """The analytical phase count must exactly match the functional AP."""
+        ap = AssociativeProcessor(rows=8, columns=8)
+        a = rng.integers(-10, 10, 8)
+        b = rng.integers(-10, 10, 8)
+        ap.add_vectors(a, b, width=6, inplace=True)
+        functional = ap.stats
+        analytical = instruction_cost(add_instruction(width=6, inplace=True), rows=8)
+        assert functional.search_phases == analytical.search_phases
+        # Write phases differ only by passes that matched no row at all, so
+        # the analytical count is an upper bound within the pass count.
+        assert functional.write_phases <= analytical.write_phases
+        assert functional.write_phases >= analytical.write_phases - 24

@@ -1,0 +1,157 @@
+"""Tests for the Table-I lookup tables (experiment E1)."""
+
+import pytest
+
+from repro.ap.lut import (
+    LookupTable,
+    LUTEntry,
+    all_luts,
+    get_lut,
+    inplace_add_lut,
+    inplace_sub_lut,
+    outofplace_add_lut,
+    outofplace_sub_lut,
+    paper_printed_outofplace_add_entries,
+    reference_bit_op,
+    simulate_lut_passes,
+    validate_lut,
+)
+from repro.errors import SimulationError
+
+
+class TestReferenceBitOp:
+    @pytest.mark.parametrize(
+        "a,b,carry,expected",
+        [
+            (0, 0, 0, (0, 0)),
+            (1, 0, 0, (1, 0)),
+            (1, 1, 0, (0, 1)),
+            (1, 1, 1, (1, 1)),
+        ],
+    )
+    def test_full_adder(self, a, b, carry, expected):
+        assert reference_bit_op("add", a, b, carry) == expected
+
+    @pytest.mark.parametrize(
+        "a,b,borrow,expected",
+        [
+            (0, 0, 0, (0, 0)),
+            (1, 0, 0, (1, 1)),  # 0 - 1 = -1 -> bit 1, borrow 1
+            (0, 1, 0, (1, 0)),
+            (1, 1, 1, (1, 1)),  # 1 - 1 - 1 = -1
+        ],
+    )
+    def test_full_subtractor(self, a, b, borrow, expected):
+        assert reference_bit_op("sub", a, b, borrow) == expected
+
+    def test_unknown_kind(self):
+        with pytest.raises(SimulationError):
+            reference_bit_op("mul", 0, 0, 0)
+
+
+class TestTableOneStructure:
+    """Cycle counts of Table I: 8 cycles in-place, 10 cycles out-of-place."""
+
+    def test_inplace_add_has_four_passes(self):
+        assert inplace_add_lut().passes_per_bit == 4
+        assert inplace_add_lut().phases_per_bit == 8
+
+    def test_inplace_sub_has_four_passes(self):
+        assert inplace_sub_lut().passes_per_bit == 4
+        assert inplace_sub_lut().phases_per_bit == 8
+
+    def test_outofplace_add_has_five_passes(self):
+        assert outofplace_add_lut().passes_per_bit == 5
+        assert outofplace_add_lut().phases_per_bit == 10
+
+    def test_outofplace_sub_has_five_passes(self):
+        assert outofplace_sub_lut().passes_per_bit == 5
+        assert outofplace_sub_lut().phases_per_bit == 10
+
+    def test_write_roles(self):
+        assert inplace_add_lut().write_roles == ("carry", "b")
+        assert outofplace_add_lut().write_roles == ("carry", "r")
+
+    def test_inplace_add_pass_order_matches_paper(self):
+        """The printed order of the in-place adder: (0,1,1), (0,0,1), (1,0,0), (1,1,0)."""
+        searches = [entry.search for entry in inplace_add_lut().entries]
+        assert searches == [(0, 1, 1), (0, 0, 1), (1, 0, 0), (1, 1, 0)]
+
+    def test_inplace_sub_pass_order_matches_paper(self):
+        searches = [entry.search for entry in inplace_sub_lut().entries]
+        assert searches == [(0, 0, 1), (0, 1, 1), (1, 1, 0), (1, 0, 0)]
+
+
+class TestLUTCorrectness:
+    @pytest.mark.parametrize("lut", all_luts(), ids=lambda lut: lut.name)
+    def test_exhaustive_validation(self, lut):
+        validate_lut(lut)
+
+    @pytest.mark.parametrize("kind", ["add", "sub"])
+    @pytest.mark.parametrize("inplace", [True, False])
+    def test_get_lut_round_trip(self, kind, inplace):
+        lut = get_lut(kind, inplace)
+        assert lut.kind == kind
+        assert lut.inplace == inplace
+
+    def test_get_lut_unknown(self):
+        with pytest.raises(SimulationError):
+            get_lut("xor", True)
+
+    def test_simulate_passes_produces_reference(self):
+        lut = inplace_add_lut()
+        for carry in (0, 1):
+            for b in (0, 1):
+                for a in (0, 1):
+                    expected_result, expected_carry = reference_bit_op("add", a, b, carry)
+                    got_carry, got_result = simulate_lut_passes(lut, carry, b, a)
+                    assert (got_carry, got_result) == (expected_carry, expected_result)
+
+    def test_paper_printed_outofplace_add_is_inconsistent(self):
+        """Documents the transcription artifact in the printed out-of-place adder.
+
+        The printed pass set misses the carry flip of (Cr,B,A)=(0,1,1); the
+        corrected LUT used by the library fixes it at the same 10-cycle cost.
+        """
+        printed = LookupTable(
+            name="add-outofplace-printed",
+            kind="add",
+            inplace=False,
+            entries=paper_printed_outofplace_add_entries(),
+        )
+        with pytest.raises(SimulationError):
+            validate_lut(printed)
+
+    def test_wrong_pass_order_detected(self):
+        """Swapping passes so a rewritten row is re-matched must fail validation."""
+        entries = (
+            LUTEntry(search=(0, 1, 1), write=(1, 0)),
+            LUTEntry(search=(0, 0, 1), write=(0, 1)),
+            LUTEntry(search=(1, 0, 0), write=(0, 1)),
+            LUTEntry(search=(1, 1, 1), write=(1, 1)),
+            LUTEntry(search=(0, 1, 0), write=(0, 1)),
+        )
+        broken = LookupTable(name="broken", kind="add", inplace=False, entries=entries)
+        with pytest.raises(SimulationError):
+            validate_lut(broken)
+
+
+class TestEntryValidation:
+    def test_bad_search_pattern(self):
+        with pytest.raises(SimulationError):
+            LUTEntry(search=(0, 1), write=(0, 1))
+
+    def test_bad_write_pattern(self):
+        with pytest.raises(SimulationError):
+            LUTEntry(search=(0, 1, 0), write=(2, 0))
+
+    def test_empty_lut_rejected(self):
+        with pytest.raises(SimulationError):
+            LookupTable(name="empty", kind="add", inplace=True, entries=())
+
+    def test_bad_kind_rejected(self):
+        with pytest.raises(SimulationError):
+            LookupTable(
+                name="bad", kind="mul", inplace=True,
+                entries=(LUTEntry((0, 0, 1), (0, 1)),),
+            )

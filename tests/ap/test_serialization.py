@@ -1,0 +1,61 @@
+"""Tests for AP program serialization."""
+
+import numpy as np
+import pytest
+
+from repro.ap.core import AssociativeProcessor
+from repro.ap.serialization import (
+    instruction_from_dict,
+    program_from_dict,
+    program_from_json,
+    program_to_dict,
+    program_to_json,
+)
+from repro.core.compiler import CompilerConfig, compile_slice
+from repro.errors import CompilationError
+
+
+@pytest.fixture
+def compiled_program(paper_eq1_matrix):
+    return compile_slice(paper_eq1_matrix, CompilerConfig(activation_bits=4)).program
+
+
+class TestRoundTrip:
+    def test_dict_round_trip_preserves_structure(self, compiled_program):
+        restored = program_from_dict(program_to_dict(compiled_program))
+        assert restored.name == compiled_program.name
+        assert len(restored) == len(compiled_program)
+        assert restored.instructions == compiled_program.instructions
+        assert restored.input_columns == compiled_program.input_columns
+        assert restored.output_columns == compiled_program.output_columns
+        assert restored.output_negated == compiled_program.output_negated
+
+    def test_json_round_trip_executes_identically(self, compiled_program, paper_eq1_matrix, rng):
+        restored = program_from_json(program_to_json(compiled_program))
+        activations = rng.integers(0, 16, size=(6, 10))
+        inputs = {name: activations[int(name[1:])] for name in restored.input_columns}
+        original_out = AssociativeProcessor(rows=10, columns=32).run_program(
+            compiled_program, inputs
+        )
+        restored_out = AssociativeProcessor(rows=10, columns=32).run_program(restored, inputs)
+        for name in original_out:
+            assert np.array_equal(original_out[name], restored_out[name])
+
+    def test_json_is_text(self, compiled_program):
+        text = program_to_json(compiled_program)
+        assert '"instructions"' in text
+        assert '"format_version"' in text
+
+
+class TestErrorHandling:
+    def test_unknown_opcode_rejected(self):
+        with pytest.raises(CompilationError):
+            instruction_from_dict(
+                {"opcode": "mul", "dest": {"column": 1, "width": 4, "domain_offset": 0}}
+            )
+
+    def test_wrong_version_rejected(self, compiled_program):
+        data = program_to_dict(compiled_program)
+        data["format_version"] = 99
+        with pytest.raises(CompilationError):
+            program_from_dict(data)

@@ -1,0 +1,59 @@
+"""Tests for the bank/tile/AP hierarchy."""
+
+import pytest
+
+from repro.arch.accelerator import Accelerator
+from repro.arch.config import APConfig, ArchitectureConfig
+from repro.arch.interconnect import TransferScope
+from repro.errors import CapacityError
+
+
+@pytest.fixture
+def accelerator(tiny_architecture) -> Accelerator:
+    return Accelerator(tiny_architecture)
+
+
+class TestHierarchy:
+    def test_structure_counts(self, accelerator, tiny_architecture):
+        assert accelerator.num_aps == tiny_architecture.total_aps
+        addresses = list(accelerator.ap_addresses())
+        assert len(addresses) == tiny_architecture.total_aps
+        assert len(set(addresses)) == tiny_architecture.total_aps
+
+    def test_validate_address(self, accelerator):
+        accelerator.validate_address((0, 0, 0))
+        with pytest.raises(CapacityError):
+            accelerator.validate_address((5, 0, 0))
+        with pytest.raises(CapacityError):
+            accelerator.validate_address((0, 9, 0))
+        with pytest.raises(CapacityError):
+            accelerator.validate_address((0, 0, 9))
+
+    def test_describe_mentions_dimensions(self, accelerator):
+        text = accelerator.describe()
+        assert "APs" in text
+        assert "64x64" in text
+
+
+class TestFunctionalAPs:
+    def test_lazily_instantiated_and_cached(self, accelerator):
+        ap_a = accelerator.functional_ap((0, 0, 0))
+        ap_b = accelerator.functional_ap((0, 0, 0))
+        assert ap_a is ap_b
+        assert ap_a.rows == accelerator.config.ap.rows
+
+    def test_different_addresses_get_different_aps(self, accelerator):
+        assert accelerator.functional_ap((0, 0, 0)) is not accelerator.functional_ap((0, 0, 1))
+
+
+class TestTransferScopes:
+    def test_intra_tile(self, accelerator):
+        assert accelerator.transfer_scope((0, 0, 0), (0, 0, 1)) is TransferScope.INTRA_TILE
+
+    def test_intra_bank(self, accelerator):
+        assert accelerator.transfer_scope((0, 0, 0), (0, 1, 0)) is TransferScope.INTRA_BANK
+
+    def test_global_scope(self):
+        config = ArchitectureConfig(ap=APConfig(rows=16, columns=16), num_banks=2)
+        accelerator = Accelerator(config)
+        assert accelerator.transfer_scope((0, 0, 0), (1, 0, 0)) is TransferScope.GLOBAL

@@ -1,0 +1,107 @@
+"""Tests for the hardware-aware layer allocator."""
+
+import pytest
+
+from repro.arch.allocator import (
+    AllocationPlan,
+    LayerDemand,
+    allocate_layer,
+    allocate_model,
+)
+from repro.arch.config import ArchitectureConfig
+from repro.errors import ConfigurationError
+
+
+class TestLayerDemand:
+    def test_full_parallelism(self):
+        demand = LayerDemand(name="l", row_tiles=4, channel_groups=2)
+        assert demand.aps_for_full_parallelism == 8
+
+    def test_output_limit_defaults_to_one(self):
+        demand = LayerDemand(name="l", row_tiles=1, channel_groups=1)
+        assert demand.output_parallelism_limit == 1
+
+    def test_invalid_values(self):
+        with pytest.raises(ConfigurationError):
+            LayerDemand(name="l", row_tiles=0, channel_groups=1)
+        with pytest.raises(ConfigurationError):
+            LayerDemand(name="l", row_tiles=1, channel_groups=0)
+
+
+class TestAllocateLayer:
+    def test_row_tiles_must_fit(self):
+        demand = LayerDemand(name="big", row_tiles=50, channel_groups=1)
+        with pytest.raises(ConfigurationError):
+            allocate_layer(demand, available_aps=49)
+
+    def test_channel_groups_parallel_when_possible(self):
+        demand = LayerDemand(name="l", row_tiles=2, channel_groups=3)
+        allocation = allocate_layer(demand, available_aps=12)
+        assert allocation.parallel_channel_groups == 3
+        assert allocation.sequential_rounds == 1
+
+    def test_channel_groups_serialized_when_starved(self):
+        demand = LayerDemand(name="l", row_tiles=4, channel_groups=4)
+        allocation = allocate_layer(demand, available_aps=8)
+        assert allocation.parallel_channel_groups == 2
+        assert allocation.sequential_rounds == 2
+
+    def test_output_parallelism_uses_idle_aps(self):
+        demand = LayerDemand(name="deep", row_tiles=1, channel_groups=1, max_output_tiles=512)
+        allocation = allocate_layer(demand, available_aps=49, max_output_tiles=8)
+        assert allocation.parallel_output_tiles == 8
+        assert allocation.aps_used == 8
+        assert allocation.compute_parallelism == 8
+
+    def test_output_parallelism_bounded_by_available(self):
+        demand = LayerDemand(name="deep", row_tiles=1, channel_groups=1, max_output_tiles=512)
+        allocation = allocate_layer(demand, available_aps=3, max_output_tiles=8)
+        assert allocation.parallel_output_tiles == 3
+
+    def test_output_parallelism_disabled(self):
+        demand = LayerDemand(name="deep", row_tiles=1, channel_groups=1, max_output_tiles=512)
+        allocation = allocate_layer(
+            demand, available_aps=49, use_idle_aps_for_output_parallelism=False
+        )
+        assert allocation.parallel_output_tiles == 1
+
+    def test_tile_budget_shared_with_channel_groups(self):
+        demand = LayerDemand(
+            name="deep", row_tiles=1, channel_groups=2, max_output_tiles=512
+        )
+        allocation = allocate_layer(demand, available_aps=49, max_output_tiles=8)
+        assert allocation.parallel_channel_groups == 2
+        assert allocation.parallel_output_tiles == 4
+        assert allocation.aps_used == 8
+
+
+class TestAllocateModel:
+    def _demands(self):
+        return [
+            LayerDemand(name="conv1", row_tiles=49, channel_groups=1, max_output_tiles=64),
+            LayerDemand(name="conv2", row_tiles=13, channel_groups=1, max_output_tiles=64),
+            LayerDemand(name="conv3", row_tiles=1, channel_groups=2, max_output_tiles=512),
+        ]
+
+    def test_default_budget_is_worst_layer(self):
+        plan = allocate_model(self._demands())
+        assert plan.available_aps == 49
+        assert plan.max_row_tiles == 49
+
+    def test_budget_from_architecture(self):
+        config = ArchitectureConfig(aps_per_tile=8, tiles_per_bank=8, num_banks=2)
+        plan = allocate_model(self._demands(), config=config)
+        assert plan.available_aps == config.total_aps
+
+    def test_by_name_lookup(self):
+        plan = allocate_model(self._demands())
+        assert plan.by_name()["conv3"].demand.name == "conv3"
+
+    def test_max_aps_used(self):
+        plan = allocate_model(self._demands())
+        assert plan.max_aps_used >= 49
+
+    def test_empty_plan(self):
+        plan = AllocationPlan()
+        assert plan.max_aps_used == 0
+        assert plan.max_row_tiles == 0

@@ -1,0 +1,67 @@
+"""Tests for architecture configuration dataclasses."""
+
+import pytest
+
+from repro.arch.config import APConfig, ArchitectureConfig, PAPER_ARCHITECTURE
+from repro.errors import ConfigurationError
+from repro.rtm.timing import RTMTechnology
+
+
+class TestAPConfig:
+    def test_paper_defaults(self):
+        config = APConfig()
+        assert config.rows == 256
+        assert config.columns == 256
+        assert config.usable_columns == 254
+
+    def test_invalid_dimensions(self):
+        with pytest.raises(ConfigurationError):
+            APConfig(rows=0)
+        with pytest.raises(ConfigurationError):
+            APConfig(columns=-1)
+
+    def test_reserved_columns_bounds(self):
+        with pytest.raises(ConfigurationError):
+            APConfig(columns=8, reserved_columns=8)
+
+
+class TestArchitectureConfig:
+    def test_total_aps(self):
+        config = ArchitectureConfig(aps_per_tile=4, tiles_per_bank=2, num_banks=3)
+        assert config.total_aps == 24
+        assert config.total_rows == 24 * 256
+
+    def test_channels_per_column_group(self):
+        config = ArchitectureConfig(activation_bits=4)
+        assert config.channels_per_column_group == 16
+        config8 = ArchitectureConfig(activation_bits=8)
+        assert config8.channels_per_column_group == 8
+
+    def test_activation_bits_cannot_exceed_domains(self):
+        with pytest.raises(ConfigurationError):
+            ArchitectureConfig(
+                technology=RTMTechnology(domains_per_nanowire=4), activation_bits=8
+            )
+
+    def test_with_activation_bits(self):
+        config = ArchitectureConfig(activation_bits=4)
+        other = config.with_activation_bits(8)
+        assert other.activation_bits == 8
+        assert other.ap == config.ap
+        assert config.activation_bits == 4  # original unchanged
+
+    def test_with_total_aps_grows_banks(self):
+        config = ArchitectureConfig(aps_per_tile=8, tiles_per_bank=8, num_banks=1)
+        grown = config.with_total_aps(200)
+        assert grown.total_aps >= 200
+        assert grown.aps_per_tile == 8
+
+    def test_invalid_hierarchy(self):
+        with pytest.raises(ConfigurationError):
+            ArchitectureConfig(num_banks=0)
+        with pytest.raises(ConfigurationError):
+            ArchitectureConfig(instruction_cache_energy_fj=-1)
+
+    def test_paper_architecture_constant(self):
+        assert PAPER_ARCHITECTURE.ap.rows == 256
+        assert PAPER_ARCHITECTURE.technology.domains_per_nanowire == 64

@@ -1,0 +1,58 @@
+"""Tests for the interconnect cost model."""
+
+import pytest
+
+from repro.arch.config import ArchitectureConfig
+from repro.arch.interconnect import InterconnectModel, TransferScope, ZERO_TRANSFER
+from repro.errors import ConfigurationError
+from repro.rtm.timing import RTMTechnology
+
+
+class TestInterconnectModel:
+    def test_paper_default_is_1pj_per_bit(self):
+        model = InterconnectModel.from_architecture(ArchitectureConfig())
+        for scope in TransferScope:
+            assert model.energy_per_bit(scope) == pytest.approx(1000.0)
+
+    def test_from_architecture_uses_technology(self):
+        config = ArchitectureConfig(
+            technology=RTMTechnology(movement_energy_fj_per_bit=500.0)
+        )
+        model = InterconnectModel.from_architecture(config)
+        assert model.energy_per_bit(TransferScope.GLOBAL) == pytest.approx(500.0)
+
+    def test_transfer_energy_scales_with_bits(self):
+        model = InterconnectModel()
+        small = model.transfer(100, TransferScope.INTRA_TILE)
+        large = model.transfer(1000, TransferScope.INTRA_TILE)
+        assert large.energy_fj == pytest.approx(small.energy_fj * 10)
+
+    def test_transfer_latency_uses_bus(self):
+        model = InterconnectModel(bus_width_bits=256, bus_frequency_ghz=1.0)
+        cost = model.transfer(2560, TransferScope.GLOBAL)
+        assert cost.latency_ns == pytest.approx(10.0)
+
+    def test_zero_transfer(self):
+        model = InterconnectModel()
+        cost = model.transfer(0)
+        assert cost.energy_fj == 0.0
+        assert cost.latency_ns == 0.0
+        assert ZERO_TRANSFER.bits == 0.0
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            InterconnectModel().transfer(-1)
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ConfigurationError):
+            InterconnectModel(bus_width_bits=0)
+        with pytest.raises(ConfigurationError):
+            InterconnectModel(global_energy_fj_per_bit=-5)
+
+    def test_merge(self):
+        model = InterconnectModel()
+        a = model.transfer(100)
+        b = model.transfer(200)
+        merged = a.merge(b)
+        assert merged.bits == 300
+        assert merged.energy_fj == pytest.approx(a.energy_fj + b.energy_fj)

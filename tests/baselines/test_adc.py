@@ -1,0 +1,57 @@
+"""Tests for the ADC quantization model."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.adc import ADCQuantizer
+from repro.errors import ConfigurationError
+
+
+class TestADCQuantizer:
+    def test_levels(self):
+        assert ADCQuantizer(bits=5).levels == 32
+
+    def test_quantization_introduces_bounded_error(self, rng):
+        adc = ADCQuantizer(bits=5)
+        values = rng.normal(0, 10, 2000)
+        quantized = adc.quantize(values)
+        error = np.abs(quantized - values)
+        # Within the clipping range the error is at most half a step.
+        full_scale = adc.clip_sigma * values.std()
+        step = 2 * full_scale / adc.levels
+        inside = np.abs(values) <= full_scale - step
+        assert np.all(error[inside] <= step / 2 + 1e-9)
+
+    def test_more_bits_less_error(self, rng):
+        values = rng.normal(0, 5, 5000)
+        coarse = np.abs(ADCQuantizer(bits=3).quantize(values) - values).mean()
+        fine = np.abs(ADCQuantizer(bits=8).quantize(values) - values).mean()
+        assert fine < coarse
+
+    def test_constant_input_passthrough(self):
+        adc = ADCQuantizer(bits=5)
+        values = np.full(10, 3.0)
+        assert np.allclose(adc.quantize(values), values)
+
+    def test_perturb_matmul_partials(self, rng):
+        adc = ADCQuantizer(bits=4)
+        values = rng.normal(0, 3, (16, 8))
+        one = adc.perturb_matmul(values, num_partials=1)
+        many = adc.perturb_matmul(values, num_partials=4)
+        assert one.shape == values.shape
+        assert many.shape == values.shape
+        # More partials -> more accumulated quantization noise on average.
+        assert np.abs(many - values).mean() >= np.abs(one - values).mean() * 0.5
+
+    def test_invalid_partials(self, rng):
+        with pytest.raises(ConfigurationError):
+            ADCQuantizer().perturb_matmul(rng.normal(size=(2, 2)), num_partials=0)
+
+    def test_make_perturbation_callable(self, rng):
+        perturbation = ADCQuantizer(bits=5).make_perturbation(2)
+        values = rng.normal(0, 1, (4, 4))
+        assert perturbation(values).shape == values.shape
+
+    def test_invalid_config(self):
+        with pytest.raises(Exception):
+            ADCQuantizer(bits=0)

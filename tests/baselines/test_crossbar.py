@@ -1,0 +1,91 @@
+"""Tests for the NeuroSim-style crossbar baseline."""
+
+import pytest
+
+from repro.baselines.crossbar import (
+    CrossbarConfig,
+    evaluate_crossbar_layer,
+    evaluate_crossbar_model,
+)
+from repro.core.frontend import specs_for_network
+from repro.errors import ConfigurationError
+from repro.nn.stats import ConvLayerSpec
+from repro.nn.ternary import synthetic_ternary_weights
+
+
+def make_spec(cout=16, cin=8, k=3, size=16, name="conv"):
+    weights = synthetic_ternary_weights((cout, cin, k, k), 0.5, rng=0)
+    return ConvLayerSpec(name, weights, size, size, 1, 1)
+
+
+class TestCrossbarConfig:
+    def test_paper_baseline_parameters(self):
+        config = CrossbarConfig()
+        assert config.array_rows == 256
+        assert config.weight_bits == 8
+        assert config.adc_bits == 5
+        assert config.columns_per_weight == 4
+
+    def test_with_activation_bits(self):
+        config = CrossbarConfig().with_activation_bits(4)
+        assert config.activation_bits == 4
+        assert config.adc_bits == 5
+
+    def test_invalid_cell_bits(self):
+        with pytest.raises(ConfigurationError):
+            CrossbarConfig(cell_bits=16, weight_bits=8)
+
+
+class TestCrossbarLayer:
+    def test_energy_components_positive(self):
+        result = evaluate_crossbar_layer(make_spec(), CrossbarConfig())
+        assert result.energy_uj > 0
+        assert result.latency_ms > 0
+        assert result.arrays >= 1
+        assert result.adc_conversions > 0
+
+    def test_arrays_scale_with_layer_size(self):
+        small = evaluate_crossbar_layer(make_spec(cout=16, cin=8), CrossbarConfig())
+        large = evaluate_crossbar_layer(make_spec(cout=256, cin=256), CrossbarConfig())
+        assert large.arrays > small.arrays
+
+    def test_latency_scales_with_activation_bits(self):
+        spec = make_spec()
+        low = evaluate_crossbar_layer(spec, CrossbarConfig(activation_bits=4))
+        high = evaluate_crossbar_layer(spec, CrossbarConfig(activation_bits=8))
+        assert high.latency_ms > low.latency_ms
+        assert high.energy_uj > low.energy_uj
+
+
+class TestCrossbarModel:
+    def test_totals_are_sums(self):
+        specs = [make_spec(name="a"), make_spec(cout=32, name="b")]
+        result = evaluate_crossbar_model(specs, CrossbarConfig())
+        assert result.energy_uj == pytest.approx(sum(l.energy_uj for l in result.layers))
+        assert result.arrays_used == sum(l.arrays for l in result.layers)
+
+    def test_activation_bits_override(self):
+        specs = [make_spec()]
+        result = evaluate_crossbar_model(specs, activation_bits=4)
+        assert result.activation_bits == 4
+
+    def test_communication_fraction_matches_paper_ballpark(self):
+        """The paper quotes ~41 % communication energy for the crossbar baseline."""
+        specs = specs_for_network("resnet18", convolutions_only=True, rng=0)
+        result = evaluate_crossbar_model(specs, activation_bits=8)
+        assert 0.15 < result.communication_fraction < 0.6
+
+    def test_resnet18_latency_in_paper_range(self):
+        """The baseline's ResNet-18 latency should land near NeuroSim's ~10-12 ms."""
+        specs = specs_for_network("resnet18", convolutions_only=True, rng=0)
+        low = evaluate_crossbar_model(specs, activation_bits=4)
+        high = evaluate_crossbar_model(specs, activation_bits=8)
+        assert 5.0 < low.latency_ms < 20.0
+        assert low.latency_ms < high.latency_ms < 25.0
+
+    def test_energy_delay_product(self):
+        specs = [make_spec()]
+        result = evaluate_crossbar_model(specs)
+        assert result.energy_delay_product == pytest.approx(
+            result.energy_uj * result.latency_ms
+        )

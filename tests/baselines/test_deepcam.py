@@ -1,0 +1,71 @@
+"""Tests for the DeepCAM-style baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.deepcam import (
+    DeepCAMConfig,
+    evaluate_deepcam_model,
+    hashed_dot_product,
+)
+from repro.errors import ConfigurationError
+from repro.nn.stats import ConvLayerSpec
+from repro.nn.ternary import synthetic_ternary_weights
+
+
+def make_specs():
+    return [
+        ConvLayerSpec(
+            "conv", synthetic_ternary_weights((32, 16, 3, 3), 0.5, rng=0), 16, 16, 1, 1
+        )
+    ]
+
+
+class TestDeepCAMModel:
+    def test_energy_and_latency_positive(self):
+        result = evaluate_deepcam_model(make_specs(), DeepCAMConfig())
+        assert result.energy_uj > 0
+        assert result.latency_ms > 0
+        assert result.queries > 0
+
+    def test_longer_hashes_cost_more(self):
+        short = evaluate_deepcam_model(make_specs(), DeepCAMConfig(hash_length=32))
+        long = evaluate_deepcam_model(make_specs(), DeepCAMConfig(hash_length=128))
+        assert long.energy_uj > short.energy_uj
+
+    def test_invalid_config(self):
+        with pytest.raises(Exception):
+            DeepCAMConfig(hash_length=0)
+
+
+class TestHashedDotProduct:
+    def test_shapes(self, rng):
+        x = rng.normal(size=(10, 32))
+        w = rng.normal(size=(5, 32))
+        approx = hashed_dot_product(x, w, hash_length=64, rng=0)
+        assert approx.shape == (10, 5)
+
+    def test_longer_hash_is_more_accurate(self, rng):
+        x = rng.normal(size=(50, 64))
+        w = rng.normal(size=(20, 64))
+        exact = x @ w.T
+        scale = np.abs(exact).mean()
+        short_err = np.abs(hashed_dot_product(x, w, 16, rng=0) - exact).mean() / scale
+        long_err = np.abs(hashed_dot_product(x, w, 512, rng=0) - exact).mean() / scale
+        assert long_err < short_err
+
+    def test_approximation_correlates_with_exact(self, rng):
+        x = rng.normal(size=(40, 32))
+        w = rng.normal(size=(10, 32))
+        exact = (x @ w.T).ravel()
+        approx = hashed_dot_product(x, w, 256, rng=0).ravel()
+        correlation = np.corrcoef(exact, approx)[0, 1]
+        assert correlation > 0.8
+
+    def test_incompatible_shapes(self, rng):
+        with pytest.raises(ConfigurationError):
+            hashed_dot_product(rng.normal(size=(4, 8)), rng.normal(size=(2, 9)))
+
+    def test_invalid_hash_length(self, rng):
+        with pytest.raises(ConfigurationError):
+            hashed_dot_product(rng.normal(size=(4, 8)), rng.normal(size=(2, 8)), 0)

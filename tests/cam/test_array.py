@@ -1,0 +1,128 @@
+"""Tests for the CAM array primitives (masked search, tagged write)."""
+
+import numpy as np
+import pytest
+
+from repro.cam.array import CAMArray
+from repro.errors import CapacityError, SimulationError
+from repro.rtm.timing import RTMTechnology
+
+
+@pytest.fixture
+def cam() -> CAMArray:
+    return CAMArray(rows=8, columns=4, technology=RTMTechnology(domains_per_nanowire=16))
+
+
+class TestConstruction:
+    def test_invalid_dimensions(self):
+        with pytest.raises(CapacityError):
+            CAMArray(rows=0, columns=4)
+        with pytest.raises(CapacityError):
+            CAMArray(rows=4, columns=0)
+
+    def test_domains_from_technology(self, cam):
+        assert cam.domains == 16
+
+
+class TestOperandAccess:
+    def test_load_and_read_signed(self, cam):
+        values = [-4, -1, 0, 1, 2, 3, -2, 7]
+        cam.load_operand(column=1, values=values, bitwidth=4)
+        out = cam.read_operand(column=1, bitwidth=4)
+        assert list(out) == values
+
+    def test_load_with_offsets(self, cam):
+        cam.load_operand(column=2, values=[1, 2, 3], bitwidth=4, domain_offset=8, row_offset=2)
+        out = cam.read_operand(column=2, bitwidth=4, domain_offset=8, row_offset=2, num_rows=3)
+        assert list(out) == [1, 2, 3]
+
+    def test_load_capacity_checks(self, cam):
+        with pytest.raises(CapacityError):
+            cam.load_operand(0, list(range(9)), bitwidth=4)  # too many rows
+        with pytest.raises(CapacityError):
+            cam.load_operand(0, [0], bitwidth=20)  # too many domains
+        with pytest.raises(CapacityError):
+            cam.load_operand(9, [0], bitwidth=2)  # bad column
+
+    def test_clear_operand(self, cam):
+        cam.load_operand(0, [7] * 8, bitwidth=4)
+        cam.clear_operand(0, bitwidth=4)
+        assert list(cam.read_operand(0, bitwidth=4)) == [0] * 8
+
+    def test_loaded_bits_counted(self, cam):
+        cam.load_operand(0, [1, 2, 3, 4], bitwidth=4)
+        assert cam.stats.loaded_bits == 16
+
+
+class TestMaskedSearch:
+    def test_single_column_match(self, cam):
+        # Searching the LSB (domain 0) of alternating 1/0 values.
+        cam.load_operand(0, [1, 0, 1, 0, 1, 0, 1, 0], bitwidth=2)
+        tag = cam.masked_search(key={0: 1}, positions={0: 0})
+        assert list(tag) == [True, False] * 4
+
+    def test_multi_column_match_is_conjunction(self, cam):
+        cam.load_operand(0, [1, 1, 0, 0, 1, 1, 0, 0], bitwidth=2)
+        cam.load_operand(1, [1, 0, 1, 0, 1, 0, 1, 0], bitwidth=2)
+        tag = cam.masked_search(key={0: 1, 1: 1}, positions={0: 0, 1: 0})
+        assert list(tag) == [True, False, False, False, True, False, False, False]
+
+    def test_search_requires_key(self, cam):
+        with pytest.raises(SimulationError):
+            cam.masked_search(key={}, positions={})
+
+    def test_search_rejects_bad_bit(self, cam):
+        with pytest.raises(SimulationError):
+            cam.masked_search(key={0: 2}, positions={0: 0})
+
+    def test_search_requires_positions(self, cam):
+        with pytest.raises(SimulationError):
+            cam.masked_search(key={0: 1}, positions={})
+
+    def test_search_counts_events(self, cam):
+        cam.masked_search(key={0: 0, 1: 0}, positions={0: 0, 1: 0})
+        assert cam.stats.search_phases == 1
+        assert cam.stats.searched_bits == 2 * cam.rows
+
+
+class TestTaggedWrite:
+    def test_write_only_tagged_rows(self, cam):
+        tag = np.zeros(8, dtype=bool)
+        tag[[1, 3]] = True
+        written = cam.tagged_write(tag, values={2: 1}, positions={2: 0})
+        assert written == 2
+        content = [cam.peek_bit(row, 2, 0) for row in range(8)]
+        assert content == [0, 1, 0, 1, 0, 0, 0, 0]
+
+    def test_write_multiple_columns_one_phase(self, cam):
+        tag = np.ones(8, dtype=bool)
+        cam.tagged_write(tag, values={0: 1, 3: 1}, positions={0: 2, 3: 5})
+        assert cam.stats.write_phases == 1
+        assert cam.stats.written_bits == 16
+
+    def test_write_rejects_bad_tag(self, cam):
+        with pytest.raises(SimulationError):
+            cam.tagged_write(np.ones(4, dtype=bool), values={0: 1}, positions={0: 0})
+
+    def test_write_requires_values(self, cam):
+        with pytest.raises(SimulationError):
+            cam.tagged_write(np.ones(8, dtype=bool), values={}, positions={})
+
+
+class TestAlignment:
+    def test_align_counts_shifts(self, cam):
+        steps = cam.align(0, 5)
+        assert steps == 5
+        assert cam.port_position(0) == 5
+        assert cam.stats.lockstep_shift_steps == 5
+        assert cam.stats.track_shifts == 5 * cam.rows
+
+    def test_align_is_idempotent(self, cam):
+        cam.align(0, 5)
+        assert cam.align(0, 5) == 0
+
+    def test_stats_reset(self, cam):
+        cam.align(0, 3)
+        stats = cam.reset_stats()
+        assert stats.lockstep_shift_steps == 3
+        assert cam.stats.lockstep_shift_steps == 0

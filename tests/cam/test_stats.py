@@ -1,0 +1,51 @@
+"""Tests for CAM event counters and their energy/latency conversion."""
+
+import pytest
+
+from repro.cam.stats import CAMStats
+from repro.rtm.timing import RTMTechnology
+
+
+class TestCAMStats:
+    def test_merge_adds_all_fields(self):
+        a = CAMStats(1, 2, 3, 4, 5, 6, 7, 8)
+        b = CAMStats(10, 20, 30, 40, 50, 60, 70, 80)
+        merged = a.merge(b)
+        assert merged.search_phases == 11
+        assert merged.searched_bits == 22
+        assert merged.write_phases == 33
+        assert merged.written_bits == 44
+        assert merged.lockstep_shift_steps == 55
+        assert merged.track_shifts == 66
+        assert merged.read_bits == 77
+        assert merged.loaded_bits == 88
+
+    def test_total_phases(self):
+        assert CAMStats(search_phases=3, write_phases=4).total_phases == 7
+
+    def test_energy_uses_technology(self):
+        technology = RTMTechnology(
+            search_energy_fj_per_bit=2.0,
+            write_energy_fj_per_bit=1.0,
+            shift_energy_fj=0.5,
+            read_energy_fj_per_bit=0.25,
+        )
+        stats = CAMStats(searched_bits=10, written_bits=4, track_shifts=8, read_bits=4)
+        assert stats.energy_fj(technology) == pytest.approx(10 * 2 + 4 * 1 + 8 * 0.5 + 4 * 0.25)
+
+    def test_latency_phase_bound(self):
+        technology = RTMTechnology(search_latency_ns=0.1, write_latency_ns=0.1, shift_latency_ns=0.5)
+        stats = CAMStats(search_phases=10, write_phases=10, lockstep_shift_steps=1)
+        # Phase time (2.0 ns) dominates the single overlapped shift.
+        assert stats.latency_ns(technology) == pytest.approx(2.0)
+
+    def test_latency_shift_bound(self):
+        technology = RTMTechnology(search_latency_ns=0.1, write_latency_ns=0.1, shift_latency_ns=0.5)
+        stats = CAMStats(search_phases=1, write_phases=1, lockstep_shift_steps=10)
+        assert stats.latency_ns(technology) == pytest.approx(5.0)
+
+    def test_zero_stats_zero_cost(self):
+        stats = CAMStats()
+        technology = RTMTechnology()
+        assert stats.energy_fj(technology) == 0.0
+        assert stats.latency_ns(technology) == 0.0

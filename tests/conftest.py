@@ -1,0 +1,60 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.config import APConfig, ArchitectureConfig
+from repro.nn.stats import ConvLayerSpec
+from repro.nn.ternary import synthetic_ternary_weights
+from repro.rtm.timing import RTMTechnology
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """Deterministic generator for the tests."""
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture
+def paper_eq1_matrix() -> np.ndarray:
+    """The 6x6 ternary matrix of the paper's Eq. 1 (with the x8 sign fixed)."""
+    return np.array(
+        [
+            [1, -1, 0, 1, 0, -1],
+            [0, 0, -1, 1, 0, -1],
+            [0, 0, 0, -1, 0, 1],
+            [0, -1, 0, -1, 0, 1],
+            [1, -1, 0, -1, 0, 0],
+            [1, -1, -1, 1, 0, -1],
+        ],
+        dtype=np.int8,
+    )
+
+
+@pytest.fixture
+def small_conv_spec(rng) -> ConvLayerSpec:
+    """A small ternary convolution layer (8 filters, 4 channels, 3x3, 8x8 input)."""
+    weights = synthetic_ternary_weights((8, 4, 3, 3), sparsity=0.6, rng=rng)
+    return ConvLayerSpec(
+        name="small_conv",
+        weights=weights,
+        input_height=8,
+        input_width=8,
+        stride=1,
+        padding=1,
+    )
+
+
+@pytest.fixture
+def tiny_architecture() -> ArchitectureConfig:
+    """A small architecture that keeps functional tests fast."""
+    return ArchitectureConfig(
+        ap=APConfig(rows=64, columns=64, reserved_columns=2),
+        aps_per_tile=2,
+        tiles_per_bank=2,
+        num_banks=1,
+        technology=RTMTechnology(domains_per_nanowire=64),
+        activation_bits=4,
+    )

@@ -1,0 +1,73 @@
+"""Tests for value-range / bit-width inference."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.bitwidth import ValueRange, accumulate_range, activation_range
+from repro.errors import CompilationError, QuantizationError
+
+
+class TestValueRange:
+    def test_add_and_sub(self):
+        a = ValueRange(0, 15)
+        b = ValueRange(0, 15)
+        assert (a + b).hi == 30
+        assert (a - b).lo == -15
+        assert (-a).lo == -15
+
+    def test_empty_range_rejected(self):
+        with pytest.raises(CompilationError):
+            ValueRange(5, 4)
+
+    def test_width_examples(self):
+        assert ValueRange(0, 15).width == 5  # needs a sign bit in two's complement
+        assert ValueRange(-8, 7).width == 4
+        assert ValueRange(0, 0).width == 1
+
+    def test_scaled(self):
+        assert ValueRange(0, 15).scaled(3) == ValueRange(0, 45)
+        with pytest.raises(CompilationError):
+            ValueRange(0, 1).scaled(-1)
+
+    def test_union_and_span(self):
+        assert ValueRange(-3, 2).union(ValueRange(0, 8)) == ValueRange(-3, 8)
+        assert ValueRange(-3, 2).span == 6
+
+    @given(
+        st.integers(-100, 100), st.integers(0, 100),
+        st.integers(-100, 100), st.integers(0, 100),
+    )
+    def test_property_add_width_at_most_one_more(self, lo1, d1, lo2, d2):
+        a = ValueRange(lo1, lo1 + d1)
+        b = ValueRange(lo2, lo2 + d2)
+        assert (a + b).width <= max(a.width, b.width) + 1
+
+
+class TestActivationRange:
+    def test_unsigned(self):
+        assert activation_range(4) == ValueRange(0, 15)
+        assert activation_range(8) == ValueRange(0, 255)
+
+    def test_signed(self):
+        assert activation_range(4, signed=True) == ValueRange(-8, 7)
+
+    def test_invalid_bits(self):
+        with pytest.raises(QuantizationError):
+            activation_range(0)
+
+
+class TestAccumulateRange:
+    def test_mixed_signs(self):
+        term = activation_range(4)
+        total = accumulate_range(term, positive_terms=3, negative_terms=2)
+        assert total == ValueRange(-30, 45)
+
+    def test_width_grows_logarithmically(self):
+        term = activation_range(4)
+        few = accumulate_range(term, 4, 4).width
+        many = accumulate_range(term, 64, 64).width
+        assert many == few + 4
+
+    def test_invalid_counts(self):
+        with pytest.raises(CompilationError):
+            accumulate_range(activation_range(4), -1, 0)

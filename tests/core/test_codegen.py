@@ -1,0 +1,98 @@
+"""Tests for AP code generation (compile_slice end-to-end correctness)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ap.core import AssociativeProcessor
+from repro.core.compiler import CompilerConfig, compile_slice
+from repro.nn.ternary import synthetic_ternary_weights
+
+
+def run_slice_on_ap(weight_slice, activations, activation_bits=4, enable_cse=True, rows=None, columns=96):
+    """Compile a weight slice, run it on a functional AP, return the outputs."""
+    config = CompilerConfig(enable_cse=enable_cse, activation_bits=activation_bits)
+    compiled = compile_slice(np.asarray(weight_slice), config)
+    num_positions = activations.shape[1]
+    rows = rows or max(8, num_positions)
+    ap = AssociativeProcessor(rows=rows, columns=columns)
+    inputs = {f"x{k}": activations[k] for k in range(activations.shape[0])}
+    outputs = ap.run_program(compiled.program, inputs)
+    result = np.stack(
+        [outputs[f"y{o}"] for o in range(weight_slice.shape[0])], axis=0
+    )
+    return compiled, result
+
+
+class TestCompiledSliceCorrectness:
+    def test_paper_eq1_matches_reference(self, paper_eq1_matrix, rng):
+        activations = rng.integers(0, 16, size=(6, 20))
+        compiled, result = run_slice_on_ap(paper_eq1_matrix, activations)
+        assert np.array_equal(result, paper_eq1_matrix @ activations)
+        assert compiled.program.num_arithmetic_ops == 7
+
+    @pytest.mark.parametrize("enable_cse", [True, False])
+    def test_random_slice_matches_reference(self, rng, enable_cse):
+        weight_slice = synthetic_ternary_weights((10, 9), 0.6, rng=1)
+        activations = rng.integers(0, 16, size=(9, 30))
+        _, result = run_slice_on_ap(weight_slice, activations, enable_cse=enable_cse)
+        assert np.array_equal(result, weight_slice.astype(np.int64) @ activations)
+
+    def test_8bit_activations(self, rng):
+        weight_slice = synthetic_ternary_weights((6, 9), 0.5, rng=2)
+        activations = rng.integers(0, 256, size=(9, 12))
+        _, result = run_slice_on_ap(weight_slice, activations, activation_bits=8)
+        assert np.array_equal(result, weight_slice.astype(np.int64) @ activations)
+
+    def test_all_zero_filter_outputs_zero(self, rng):
+        weight_slice = np.zeros((3, 4), dtype=np.int8)
+        weight_slice[1, 2] = 1
+        activations = rng.integers(0, 16, size=(4, 10))
+        _, result = run_slice_on_ap(weight_slice, activations)
+        assert np.all(result[0] == 0)
+        assert np.all(result[2] == 0)
+        assert np.array_equal(result[1], activations[2])
+
+    def test_all_negative_filter(self, rng):
+        weight_slice = np.array([[-1, -1, -1, 0]], dtype=np.int8)
+        activations = rng.integers(0, 16, size=(4, 10))
+        _, result = run_slice_on_ap(weight_slice, activations)
+        assert np.array_equal(result, weight_slice.astype(np.int64) @ activations)
+
+    @settings(max_examples=12, deadline=None)
+    @given(seed=st.integers(0, 500), sparsity=st.floats(0.2, 0.9))
+    def test_property_compiled_slice_is_exact(self, seed, sparsity):
+        """Any compiled slice computes exactly the ternary MVM (accuracy claim)."""
+        rng = np.random.default_rng(seed)
+        weight_slice = synthetic_ternary_weights((6, 6), sparsity, rng=seed)
+        activations = rng.integers(0, 16, size=(6, 8))
+        _, result = run_slice_on_ap(weight_slice, activations, columns=64)
+        assert np.array_equal(result, weight_slice.astype(np.int64) @ activations)
+
+
+class TestGeneratedProgramStructure:
+    def test_instruction_count_matches_statistics(self, paper_eq1_matrix):
+        config = CompilerConfig(enable_cse=True, activation_bits=4)
+        compiled = compile_slice(paper_eq1_matrix, config)
+        assert compiled.program.num_arithmetic_ops == compiled.statistics.dfg_ops
+
+    def test_unroll_has_more_instructions_than_cse(self, rng):
+        weight_slice = synthetic_ternary_weights((16, 9), 0.5, rng=5)
+        cse = compile_slice(weight_slice, CompilerConfig(enable_cse=True))
+        unroll = compile_slice(weight_slice, CompilerConfig(enable_cse=False))
+        assert cse.program.num_arithmetic_ops <= unroll.program.num_arithmetic_ops
+
+    def test_inplace_ops_present(self, paper_eq1_matrix):
+        compiled = compile_slice(paper_eq1_matrix, CompilerConfig())
+        assert compiled.program.num_inplace_ops >= 1
+
+    def test_input_and_output_columns_names(self, paper_eq1_matrix):
+        compiled = compile_slice(paper_eq1_matrix, CompilerConfig())
+        # x4 is an all-zero weight column in Eq. 1, so it is never loaded.
+        assert set(compiled.program.input_columns) == {"x0", "x1", "x2", "x3", "x5"}
+        assert set(compiled.program.output_columns) == {f"y{o}" for o in range(6)}
+
+    def test_listing_is_printable(self, paper_eq1_matrix):
+        compiled = compile_slice(paper_eq1_matrix, CompilerConfig())
+        listing = compiled.program.listing()
+        assert "instructions" in listing

@@ -1,0 +1,99 @@
+"""Tests for channel DFG construction."""
+
+import numpy as np
+import pytest
+
+from repro.core.cse import eliminate_common_subexpressions
+from repro.core.dfg import build_channel_dfg
+from repro.core.folding import fold_weight_slice
+from repro.errors import CompilationError
+
+
+class TestBuildChannelDFG:
+    def test_simple_row_chain(self):
+        rows = fold_weight_slice(np.array([[1, 1, 1]]))
+        dfg = build_channel_dfg(rows, activation_bits=4)
+        assert dfg.num_operations == 2
+        assert len(dfg.input_nodes) == 3
+        node_id, sign = dfg.outputs[0]
+        assert sign == 1
+        assert dfg.nodes[node_id].value_range.hi == 45
+
+    def test_all_negative_row_carries_sign(self):
+        rows = fold_weight_slice(np.array([[-1, -1, 0]]))
+        dfg = build_channel_dfg(rows, activation_bits=4)
+        node_id, sign = dfg.outputs[0]
+        assert sign == -1
+        # The stored node holds the positive magnitude x0 + x1.
+        assert dfg.nodes[node_id].op == "add"
+        assert dfg.nodes[node_id].value_range.hi == 30
+
+    def test_mixed_sign_row_uses_sub(self):
+        rows = fold_weight_slice(np.array([[1, -1, 0]]))
+        dfg = build_channel_dfg(rows, activation_bits=4)
+        node_id, sign = dfg.outputs[0]
+        assert sign == 1
+        assert dfg.nodes[node_id].op == "sub"
+        assert dfg.nodes[node_id].value_range == dfg.nodes[node_id].value_range
+
+    def test_empty_row_maps_to_none(self):
+        rows = fold_weight_slice(np.array([[0, 0, 0], [1, 0, 0]]))
+        dfg = build_channel_dfg(rows, activation_bits=4)
+        assert dfg.outputs[0] is None
+        node_id, sign = dfg.outputs[1]
+        assert dfg.nodes[node_id].kind == "input"
+
+    def test_single_negative_term_row(self):
+        rows = fold_weight_slice(np.array([[0, -1, 0]]))
+        dfg = build_channel_dfg(rows, activation_bits=4)
+        node_id, sign = dfg.outputs[0]
+        assert sign == -1
+        assert dfg.nodes[node_id].kind == "input"
+
+    def test_with_cse_definitions(self, paper_eq1_matrix):
+        rows = fold_weight_slice(paper_eq1_matrix)
+        cse = eliminate_common_subexpressions(rows)
+        dfg = build_channel_dfg(cse.rows, definitions=cse, activation_bits=4)
+        # The DFG op count equals the Eq. 1 operation count (7).
+        assert dfg.num_operations == cse.total_operations == 7
+        assert set(dfg.temp_nodes) == {d.temp.index for d in cse.definitions}
+
+    def test_widths_grow_towards_outputs(self, paper_eq1_matrix):
+        rows = fold_weight_slice(paper_eq1_matrix)
+        dfg = build_channel_dfg(rows, activation_bits=4)
+        input_width = next(iter(dfg.nodes.values())).width
+        assert dfg.max_output_width() >= input_width
+
+    def test_activation_bits_change_widths(self, paper_eq1_matrix):
+        rows = fold_weight_slice(paper_eq1_matrix)
+        narrow = build_channel_dfg(rows, activation_bits=4).max_output_width()
+        wide = build_channel_dfg(rows, activation_bits=8).max_output_width()
+        assert wide == narrow + 4
+
+    def test_op_width_histogram_counts_all_ops(self, paper_eq1_matrix):
+        rows = fold_weight_slice(paper_eq1_matrix)
+        dfg = build_channel_dfg(rows, activation_bits=4)
+        histogram = dfg.op_width_histogram()
+        assert sum(histogram.values()) == dfg.num_operations
+
+    def test_use_counts(self):
+        rows = fold_weight_slice(np.array([[1, 1, 0], [1, 1, 0]]))
+        cse = eliminate_common_subexpressions(rows)
+        dfg = build_channel_dfg(cse.rows, definitions=cse, activation_bits=4)
+        counts = dfg.use_counts()
+        temp_node = dfg.temp_nodes[0]
+        assert counts[temp_node] == 2  # consumed by both outputs
+
+    def test_signed_activations(self):
+        rows = fold_weight_slice(np.array([[1, 1, 0]]))
+        dfg = build_channel_dfg(rows, activation_bits=4, signed_activations=True)
+        node_id, _ = dfg.outputs[0]
+        assert dfg.nodes[node_id].value_range.lo == -16
+
+    def test_duplicate_node_id_rejected(self):
+        from repro.core.dfg import ChannelDFG, DFGNode
+
+        dfg = ChannelDFG()
+        dfg.add_node(DFGNode(node_id=0, kind="input"))
+        with pytest.raises(CompilationError):
+            dfg.add_node(DFGNode(node_id=0, kind="input"))

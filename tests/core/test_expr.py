@@ -1,0 +1,109 @@
+"""Tests for signed linear expressions."""
+
+import pytest
+
+from repro.core.expr import LinearExpression, Term
+from repro.errors import CompilationError
+
+
+class TestTerm:
+    def test_symbols(self):
+        assert Term.input(3).symbol == "x3"
+        assert Term.temp(1).symbol == "t1"
+
+    def test_ordering(self):
+        assert Term.input(1) < Term.input(2)
+        assert sorted([Term.temp(0), Term.input(5)])[0].kind == "input"
+
+    def test_invalid(self):
+        with pytest.raises(CompilationError):
+            Term("weight", 0)
+        with pytest.raises(CompilationError):
+            Term.input(-1)
+
+
+class TestLinearExpression:
+    def test_add_and_query_terms(self):
+        expr = LinearExpression([(Term.input(0), 1), (Term.input(3), -1)])
+        assert len(expr) == 2
+        assert expr.sign_of(Term.input(3)) == -1
+        assert Term.input(0) in expr
+        assert Term.input(1) not in expr
+
+    def test_opposite_signs_cancel(self):
+        expr = LinearExpression([(Term.input(0), 1)])
+        expr.add_term(Term.input(0), -1)
+        assert len(expr) == 0
+
+    def test_same_sign_twice_rejected(self):
+        expr = LinearExpression([(Term.input(0), 1)])
+        with pytest.raises(CompilationError):
+            expr.add_term(Term.input(0), 1)
+
+    def test_invalid_sign_rejected(self):
+        with pytest.raises(CompilationError):
+            LinearExpression([(Term.input(0), 2)])
+
+    def test_remove_term(self):
+        expr = LinearExpression([(Term.input(0), -1)])
+        assert expr.remove_term(Term.input(0)) == -1
+        with pytest.raises(CompilationError):
+            expr.remove_term(Term.input(0))
+
+    def test_num_operations(self):
+        assert LinearExpression().num_operations == 0
+        assert LinearExpression([(Term.input(0), 1)]).num_operations == 0
+        expr = LinearExpression([(Term.input(k), 1) for k in range(4)])
+        assert expr.num_operations == 3
+
+    def test_copy_is_independent(self):
+        expr = LinearExpression([(Term.input(0), 1)])
+        clone = expr.copy()
+        clone.add_term(Term.input(1), 1)
+        assert len(expr) == 1
+        assert len(clone) == 2
+
+    def test_repr(self):
+        expr = LinearExpression([(Term.input(0), 1), (Term.input(1), -1)])
+        assert repr(expr) == "x0 - x1"
+        assert repr(LinearExpression()) == "0"
+        negated = LinearExpression([(Term.input(2), -1)])
+        assert repr(negated) == "-x2"
+
+
+class TestSubstitutePair:
+    def _expr(self):
+        return LinearExpression(
+            [(Term.input(0), 1), (Term.input(1), -1), (Term.input(2), 1)]
+        )
+
+    def test_positive_polarity(self):
+        expr = self._expr()
+        polarity = expr.substitute_pair(
+            (Term.input(0), 1), (Term.input(1), -1), Term.temp(0)
+        )
+        assert polarity == 1
+        assert Term.temp(0) in expr
+        assert len(expr) == 2
+
+    def test_negative_polarity(self):
+        expr = LinearExpression([(Term.input(0), -1), (Term.input(1), 1)])
+        polarity = expr.substitute_pair(
+            (Term.input(0), 1), (Term.input(1), -1), Term.temp(0)
+        )
+        assert polarity == -1
+        assert expr.sign_of(Term.temp(0)) == -1
+
+    def test_mismatched_signs_not_substituted(self):
+        expr = self._expr()
+        polarity = expr.substitute_pair(
+            (Term.input(0), 1), (Term.input(1), 1), Term.temp(0)
+        )
+        assert polarity is None
+        assert len(expr) == 3
+
+    def test_missing_term_not_substituted(self):
+        expr = self._expr()
+        assert expr.substitute_pair(
+            (Term.input(5), 1), (Term.input(1), -1), Term.temp(0)
+        ) is None

@@ -1,0 +1,59 @@
+"""Tests for constant weight folding."""
+
+import numpy as np
+import pytest
+
+from repro.core.expr import Term
+from repro.core.folding import fold_weight_slice, slice_density_histogram, unrolled_op_count
+from repro.errors import CompilationError
+
+
+class TestFoldWeightSlice:
+    def test_signs_and_terms(self):
+        weight_slice = np.array([[1, 0, -1], [0, 0, 0]])
+        rows = fold_weight_slice(weight_slice)
+        assert len(rows) == 2
+        assert rows[0].sign_of(Term.input(0)) == 1
+        assert rows[0].sign_of(Term.input(2)) == -1
+        assert Term.input(1) not in rows[0]
+        assert len(rows[1]) == 0
+
+    def test_no_multiplications_remain(self):
+        """Folding produces only +/-1 coefficients - multiplication-free."""
+        weight_slice = np.array([[1, -1, 1, 0, -1]])
+        rows = fold_weight_slice(weight_slice)
+        assert all(sign in (-1, 1) for _, sign in rows[0])
+
+    def test_rejects_non_ternary(self):
+        with pytest.raises(Exception):
+            fold_weight_slice(np.array([[2, 0]]))
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(CompilationError):
+            fold_weight_slice(np.array([1, 0, -1]))
+
+
+class TestUnrolledOpCount:
+    def test_fused_count_is_nonzeros(self):
+        weight_slice = np.array([[1, -1, 0], [0, 1, 0], [0, 0, 0]])
+        assert unrolled_op_count(weight_slice) == 3
+
+    def test_mvm_convention(self):
+        weight_slice = np.array([[1, -1, 0], [0, 1, 0], [0, 0, 0]])
+        assert unrolled_op_count(weight_slice, fused_accumulation=False) == 1
+
+    def test_paper_eq1_nonzeros(self, paper_eq1_matrix):
+        """Eq. 1's matrix has ~20 non-zero weights (the paper quotes 19 ops)."""
+        assert unrolled_op_count(paper_eq1_matrix) == 20
+        assert unrolled_op_count(paper_eq1_matrix, fused_accumulation=False) == 14
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(CompilationError):
+            unrolled_op_count(np.zeros(3, dtype=np.int8))
+
+
+class TestDensityHistogram:
+    def test_histogram(self):
+        weight_slice = np.array([[1, -1, 0], [0, 1, 0], [0, 0, 0]])
+        histogram = slice_density_histogram(weight_slice)
+        assert histogram == {2: 1, 1: 1, 0: 1}

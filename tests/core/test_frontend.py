@@ -1,0 +1,36 @@
+"""Tests for the compiler frontend."""
+
+import pytest
+
+from repro.core.frontend import benchmark_description, specs_for_network, specs_from_model
+from repro.nn.models.registry import build_model
+
+
+class TestSpecsForNetwork:
+    def test_vgg9_specs(self):
+        specs = specs_for_network("vgg9", rng=0)
+        assert len(specs) == 7
+
+    def test_convolutions_only_filter(self):
+        specs = specs_for_network("resnet18", convolutions_only=True, rng=0)
+        assert len(specs) == 20
+        assert all(spec.input_height > 1 or spec.patch_size > 1 for spec in specs)
+
+    def test_sparsity_override(self):
+        sparse = specs_for_network("vgg9", sparsity=0.95, rng=0)
+        dense = specs_for_network("vgg9", sparsity=0.5, rng=0)
+        assert sum(s.nonzero_weights for s in sparse) < sum(s.nonzero_weights for s in dense)
+
+
+class TestSpecsFromModel:
+    def test_matches_registry_path(self):
+        model, shape = build_model("vgg9", rng=0)
+        specs = specs_from_model(model, shape)
+        assert len(specs) == len(specs_for_network("vgg9", rng=0))
+
+
+class TestBenchmarkDescription:
+    def test_labels(self):
+        assert benchmark_description("resnet18") == "ResNet18/ImageNet"
+        assert benchmark_description("vgg9") == "VGG-9/CIFAR10"
+        assert benchmark_description("vgg11") == "VGG-11/CIFAR10"

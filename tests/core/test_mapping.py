@@ -1,0 +1,108 @@
+"""Tests for the CAM mapping model (array counts, channel groups, widths)."""
+
+import numpy as np
+import pytest
+
+from repro.arch.config import APConfig, ArchitectureConfig
+from repro.core.frontend import specs_for_network
+from repro.core.mapping import (
+    accumulator_range_for_layer,
+    arrays_required,
+    map_layer,
+)
+from repro.errors import MappingError
+from repro.nn.stats import ConvLayerSpec
+from repro.nn.ternary import synthetic_ternary_weights
+
+
+def make_spec(cout=8, cin=4, k=3, size=16, stride=1, padding=1, sparsity=0.5, name="layer"):
+    weights = synthetic_ternary_weights((cout, cin, k, k), sparsity, rng=0)
+    return ConvLayerSpec(name, weights, size, size, stride, padding)
+
+
+class TestPaperArrayCounts:
+    """Experiment E3 structural check: the paper's '# Arrays' column."""
+
+    def test_resnet18_needs_49_arrays(self):
+        specs = specs_for_network("resnet18", rng=0)
+        assert arrays_required(specs) == 49
+
+    def test_vgg9_needs_4_arrays(self):
+        specs = specs_for_network("vgg9", rng=0)
+        assert arrays_required(specs) == 4
+
+    def test_vgg11_needs_4_arrays(self):
+        specs = specs_for_network("vgg11", rng=0)
+        assert arrays_required(specs) == 4
+
+
+class TestMapLayer:
+    def test_row_tiles(self):
+        spec = make_spec(size=32)  # 32x32 -> 1024 positions -> 4 tiles of 256
+        mapping = map_layer(spec)
+        assert mapping.output_positions == 1024
+        assert mapping.row_tiles == 4
+        assert mapping.row_utilization == pytest.approx(1.0)
+
+    def test_partial_last_tile(self):
+        spec = make_spec(size=17, padding=1)  # 17x17=289 -> 2 tiles, last partial
+        mapping = map_layer(spec)
+        assert mapping.row_tiles == 2
+        assert mapping.rows_used_in_last_tile == 289 - 256
+        assert mapping.row_utilization < 1.0
+
+    def test_channel_groups_single_when_small(self):
+        mapping = map_layer(make_spec(cin=16, cout=32))
+        assert mapping.channel_groups == 1
+
+    def test_channel_groups_grow_with_channels(self):
+        spec = make_spec(cin=512, cout=512, size=8)
+        mapping4 = map_layer(spec, ArchitectureConfig(activation_bits=4))
+        mapping8 = map_layer(spec, ArchitectureConfig(activation_bits=8))
+        assert mapping4.channel_groups >= 2
+        assert mapping8.channel_groups >= mapping4.channel_groups
+
+    def test_channels_per_nanowire(self):
+        mapping = map_layer(make_spec(), ArchitectureConfig(activation_bits=4))
+        assert mapping.channels_per_nanowire == 16
+
+    def test_accumulator_width_grows_with_activation_bits(self):
+        spec = make_spec()
+        width4 = map_layer(spec, ArchitectureConfig(activation_bits=4)).accumulator_width
+        width8 = map_layer(spec, ArchitectureConfig(activation_bits=8)).accumulator_width
+        assert width8 == width4 + 4
+
+    def test_storage_fits_capacity(self):
+        mapping = map_layer(make_spec(cin=256, cout=256, size=8))
+        assert mapping.storage_bits_per_row <= mapping.capacity_bits_per_row
+
+    def test_demand_conversion(self):
+        mapping = map_layer(make_spec(size=32, cout=64))
+        demand = mapping.demand()
+        assert demand.row_tiles == mapping.row_tiles
+        assert demand.max_output_tiles == 64
+
+    def test_output_tiles_for_wide_fc(self):
+        weights = synthetic_ternary_weights((4096, 64), 0.5, rng=0)
+        spec = ConvLayerSpec.from_linear("fc", weights)
+        mapping = map_layer(spec, ArchitectureConfig(activation_bits=8))
+        assert mapping.output_tiles >= 2
+
+    def test_patch_too_large_rejected(self):
+        tiny = ArchitectureConfig(
+            ap=APConfig(rows=16, columns=4, reserved_columns=1), activation_bits=4
+        )
+        spec = make_spec(k=9, size=16, padding=4)
+        with pytest.raises(MappingError):
+            map_layer(spec, tiny)
+
+
+class TestAccumulatorRange:
+    def test_range_covers_worst_filter(self):
+        weights = np.zeros((2, 1, 2, 2), dtype=np.int8)
+        weights[0, 0] = [[1, 1], [1, 1]]
+        weights[1, 0] = [[-1, -1], [0, 0]]
+        spec = ConvLayerSpec("w", weights, 4, 4, 1, 0)
+        value_range = accumulator_range_for_layer(spec, activation_bits=4)
+        assert value_range.hi == 4 * 15
+        assert value_range.lo == -2 * 15

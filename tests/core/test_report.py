@@ -1,0 +1,61 @@
+"""Tests for compilation comparison reports."""
+
+import pytest
+
+from repro.core.compiler import CompilerConfig, compile_model
+from repro.core.report import compare_configurations
+from repro.errors import CompilationError
+from repro.nn.stats import ConvLayerSpec
+from repro.nn.ternary import synthetic_ternary_weights
+
+
+def specs():
+    return [
+        ConvLayerSpec(
+            "conv1", synthetic_ternary_weights((16, 4, 3, 3), 0.5, rng=0), 8, 8, 1, 1
+        ),
+        ConvLayerSpec(
+            "conv2", synthetic_ternary_weights((32, 16, 3, 3), 0.5, rng=1), 8, 8, 1, 1
+        ),
+    ]
+
+
+class TestCompareConfigurations:
+    def test_report_totals(self):
+        layer_specs = specs()
+        unroll = compile_model(layer_specs, CompilerConfig(enable_cse=False), name="m")
+        cse = compile_model(layer_specs, CompilerConfig(enable_cse=True), name="m")
+        report = compare_configurations(unroll, cse)
+        assert report.baseline_total == unroll.total_ops
+        assert report.optimized_total == cse.total_ops
+        assert 0.0 <= report.total_reduction < 1.0
+        assert len(report.layers) == 2
+
+    def test_text_rendering(self):
+        layer_specs = specs()
+        unroll = compile_model(layer_specs, CompilerConfig(enable_cse=False), name="m")
+        cse = compile_model(layer_specs, CompilerConfig(enable_cse=True), name="m")
+        text = compare_configurations(unroll, cse).to_text()
+        assert "conv1" in text
+        assert "TOTAL" in text
+
+    def test_mean_layer_reduction(self):
+        layer_specs = specs()
+        unroll = compile_model(layer_specs, CompilerConfig(enable_cse=False), name="m")
+        cse = compile_model(layer_specs, CompilerConfig(enable_cse=True), name="m")
+        report = compare_configurations(unroll, cse)
+        assert 0.0 <= report.mean_layer_reduction <= 1.0
+
+    def test_mismatched_models_rejected(self):
+        layer_specs = specs()
+        one = compile_model(layer_specs[:1], CompilerConfig(enable_cse=False), name="m")
+        two = compile_model(layer_specs, CompilerConfig(enable_cse=True), name="m")
+        with pytest.raises(CompilationError):
+            compare_configurations(one, two)
+
+    def test_empty_report_degenerate_values(self):
+        from repro.core.report import CompilationReport
+
+        report = CompilationReport("m", "a", "b", layers=[])
+        assert report.total_reduction == 0.0
+        assert report.mean_layer_reduction == 0.0

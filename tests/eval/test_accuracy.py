@@ -1,0 +1,43 @@
+"""Tests for the accuracy-vs-precision experiment (experiment E9)."""
+
+import pytest
+
+from repro.eval.accuracy import AccuracySummary, run_accuracy_experiment
+from repro.nn.datasets import make_cluster_classification
+
+
+@pytest.fixture(scope="module")
+def summary() -> AccuracySummary:
+    dataset = make_cluster_classification(
+        num_classes=6, features=32, train_per_class=50, test_per_class=25, noise=0.6, rng=3
+    )
+    return run_accuracy_experiment(epochs=12, seed=3, dataset=dataset, hash_length=24)
+
+
+class TestAccuracyExperiment:
+    def test_all_configurations_present(self, summary):
+        expected = {"fp32", "ternary", "ternary-a8", "ternary-a4", "crossbar-adc5", "deepcam-hash"}
+        assert expected.issubset(summary.accuracies)
+
+    def test_fp_beats_chance(self, summary):
+        assert summary.fp_accuracy > 0.5
+
+    def test_ternary_4bit_close_to_fp(self, summary):
+        """Paper claim: 4-bit activations with ternary weights retain accuracy."""
+        assert summary.degradation("ternary-a4") < 0.12
+
+    def test_ternary_8bit_close_to_fp(self, summary):
+        assert summary.degradation("ternary-a8") < 0.12
+
+    def test_deepcam_hash_loses_more_than_rtm_ap(self, summary):
+        """The hashed approximation should lose at least as much accuracy as the exact AP."""
+        assert summary.accuracies["deepcam-hash"] <= summary.accuracies["ternary-a4"] + 0.02
+
+    def test_crossbar_adc_does_not_beat_exact(self, summary):
+        assert summary.accuracies["crossbar-adc5"] <= summary.accuracies["ternary-a8"] + 0.02
+
+    def test_getitem_and_text(self, summary):
+        assert summary["fp32"] == summary.fp_accuracy
+        text = summary.to_text()
+        assert "fp32" in text
+        assert "%" in text

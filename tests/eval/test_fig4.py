@@ -1,0 +1,49 @@
+"""Tests for the Fig. 4 generator (experiment E4)."""
+
+import pytest
+
+from repro.eval.fig4 import generate_fig4
+
+
+@pytest.fixture(scope="module")
+def fig4_data():
+    """ResNet-18 layer-by-layer data with aggressive slice sampling for speed."""
+    return generate_fig4("resnet18", activation_bits=4, max_slices_per_layer=4, rng=0)
+
+
+class TestGenerateFig4:
+    def test_has_20_convolution_layers(self, fig4_data):
+        assert len(fig4_data.layers) == 20
+
+    def test_layer_indices_sequential(self, fig4_data):
+        assert [layer.index for layer in fig4_data.layers] == list(range(1, 21))
+
+    def test_cse_never_worse_than_unroll(self, fig4_data):
+        for layer in fig4_data.layers:
+            assert layer.unroll_cse.energy_uj <= layer.unroll.energy_uj * 1.001
+
+    def test_first_layer_benefits_most_from_cse(self, fig4_data):
+        """Paper: the 7x7 stem allows the most subexpression elimination."""
+        first = fig4_data.layers[0].cse_energy_saving
+        rest = [layer.cse_energy_saving for layer in fig4_data.layers[1:]]
+        assert first >= max(rest) - 0.05
+
+    def test_early_layers_faster_than_crossbar(self, fig4_data):
+        first = fig4_data.layers[0]
+        assert first.unroll_cse.latency_ms < first.crossbar.latency_ms
+
+    def test_deep_layers_slower_than_crossbar(self, fig4_data):
+        """Paper: layers 16-20 are slower on the RTM-AP due to low row utilization."""
+        deep = fig4_data.layers[15:]
+        slower = [not layer.rtm_faster_than_crossbar for layer in deep if "downsample" not in layer.name]
+        assert any(slower)
+
+    def test_totals_consistent(self, fig4_data):
+        totals = fig4_data.totals()
+        assert totals["cse_energy_uj"] <= totals["unroll_energy_uj"]
+        assert totals["crossbar_energy_uj"] > totals["cse_energy_uj"]
+
+    def test_text_tables_render(self, fig4_data):
+        text = fig4_data.to_text()
+        assert "Fig. 4" in text
+        assert "End-to-end totals" in text

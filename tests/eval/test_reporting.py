@@ -1,0 +1,32 @@
+"""Tests for the plain-text reporting helpers."""
+
+from repro.eval.reporting import format_ratio, format_table
+
+
+class TestFormatTable:
+    def test_basic_table(self):
+        text = format_table(["a", "bb"], [[1, 2.5], ["x", None]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "-" in lines[2]
+        assert "1" in lines[3]
+        assert lines[4].strip().endswith("-")
+
+    def test_number_formatting(self):
+        text = format_table(["v"], [[1234.5678], [0.1234], [12.345]])
+        assert "1235" in text or "1234" in text
+        assert "0.123" in text
+        assert "12.35" in text or "12.34" in text
+
+    def test_handles_more_cells_than_headers(self):
+        text = format_table(["only"], [[1, 2, 3]])
+        assert "1" in text
+
+
+class TestFormatRatio:
+    def test_ratio(self):
+        assert format_ratio(15.0, 2.0) == "7.5x"
+
+    def test_zero_denominator(self):
+        assert format_ratio(1.0, 0.0) == "inf"

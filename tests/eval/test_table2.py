@@ -1,0 +1,61 @@
+"""Tests for the Table II generator (experiments E3/E8)."""
+
+import pytest
+
+from repro.eval.table2 import Table2, Table2Entry, generate_table2
+
+
+@pytest.fixture(scope="module")
+def vgg9_table() -> Table2:
+    """A reduced Table II (VGG-9 only, sampled slices) to keep test time low."""
+    return generate_table2(
+        benchmarks=(("vgg9", (0.85,)),),
+        activation_precisions=(4, 8),
+        max_slices_per_layer=8,
+        rng=0,
+    )
+
+
+class TestGenerateTable2:
+    def test_contains_rtm_and_crossbar_rows(self, vgg9_table):
+        systems = {entry.system for entry in vgg9_table.entries}
+        assert "RTM-AP (unroll+CSE)" in systems
+        assert "Crossbar (NeuroSim-style)" in systems
+
+    def test_rtm_row_fields_filled(self, vgg9_table):
+        entry = vgg9_table.entry("VGG-9/CIFAR10", "RTM-AP (unroll+CSE)")
+        assert entry.energy_uj_4bit > 0
+        assert entry.energy_uj_8bit > entry.energy_uj_4bit
+        assert entry.latency_ms_4bit > 0
+        assert entry.arrays == 4
+        assert entry.adds_unroll_k > entry.adds_cse_k > 0
+
+    def test_crossbar_row_energy_larger_than_rtm(self, vgg9_table):
+        ours = vgg9_table.entry("VGG-9/CIFAR10", "RTM-AP (unroll+CSE)")
+        baseline = vgg9_table.entry("VGG-9/CIFAR10", "Crossbar (NeuroSim-style)")
+        assert baseline.energy_uj_4bit > ours.energy_uj_4bit
+        assert baseline.energy_uj_8bit > ours.energy_uj_8bit
+
+    def test_improvement_ratios(self, vgg9_table):
+        ratios = vgg9_table.improvement_over_crossbar("VGG-9/CIFAR10", activation_bits=4)
+        assert ratios["energy"] > 1.0
+        assert ratios["energy_efficiency"] == pytest.approx(
+            ratios["energy"] * ratios["latency"]
+        )
+
+    def test_text_rendering(self, vgg9_table):
+        text = vgg9_table.to_text()
+        assert "VGG-9/CIFAR10" in text
+        assert "#arrays" in text
+
+    def test_missing_entry_raises(self, vgg9_table):
+        with pytest.raises(KeyError):
+            vgg9_table.entry("VGG-9/CIFAR10", "TPU")
+
+    def test_deepcam_row_only_for_vgg11(self, vgg9_table):
+        systems = {entry.system for entry in vgg9_table.entries}
+        assert "DeepCAM-style" not in systems
+
+    def test_entry_as_row_length_matches_headers(self, vgg9_table):
+        for entry in vgg9_table.entries:
+            assert len(entry.as_row()) == len(Table2.HEADERS)

@@ -1,0 +1,169 @@
+"""Integration tests: compiled AP programs against the software reference.
+
+These tests exercise the whole stack - ternary layer specs, the compilation
+flow (folding, CSE, scheduling, column allocation, code generation), the
+functional CAM/AP simulator and the accumulation across input channels - and
+check bit-exactness against the NumPy reference convolution.  This is the
+mechanism behind the paper's "retaining software accuracy" claim: the RTM-AP
+computes exact integers, so it cannot lose accuracy.
+"""
+
+import numpy as np
+import pytest
+
+from repro.ap.core import AssociativeProcessor
+from repro.core.compiler import CompilerConfig, compile_layer, compile_slice
+from repro.nn import functional as F
+from repro.nn.im2col import im2col
+from repro.nn.stats import ConvLayerSpec
+from repro.nn.ternary import synthetic_ternary_weights
+
+
+def simulate_layer_on_ap(spec: ConvLayerSpec, activations: np.ndarray, config: CompilerConfig):
+    """Run a full ternary conv layer through compiled AP programs.
+
+    Each input channel's slice program runs on a functional AP (the channel-
+    wise DFG phase); the per-channel partial OFMs are then accumulated, which
+    emulates the accumulation phase.
+    """
+    compiled = compile_layer(spec, config, emit_programs=True)
+    columns = im2col(
+        activations[None, ...],
+        (spec.kernel_height, spec.kernel_width),
+        spec.stride,
+        spec.padding,
+    )[0]
+    positions = spec.output_positions
+    output = np.zeros((spec.out_channels, positions), dtype=np.int64)
+    for compiled_slice in compiled.slices:
+        channel = compiled_slice.channel_index
+        program = compiled_slice.program
+        ap = AssociativeProcessor(rows=positions, columns=128)
+        inputs = {
+            name: columns[channel, int(name[1:]), :]
+            for name in program.input_columns
+        }
+        outputs = ap.run_program(program, inputs, num_rows=positions)
+        for name, values in outputs.items():
+            output[int(name[1:])] += values
+    return compiled, output.reshape(spec.out_channels, spec.output_height, spec.output_width)
+
+
+def reference_layer(spec: ConvLayerSpec, activations: np.ndarray) -> np.ndarray:
+    result = F.conv2d(
+        activations[None, ...].astype(np.int64),
+        spec.weights.astype(np.int64),
+        stride=spec.stride,
+        padding=spec.padding,
+    )
+    return result[0]
+
+
+class TestCompiledLayerBitExactness:
+    @pytest.mark.parametrize("enable_cse", [True, False])
+    def test_small_conv_layer_exact(self, small_conv_spec, rng, enable_cse):
+        activations = rng.integers(0, 16, size=(small_conv_spec.in_channels, 8, 8))
+        config = CompilerConfig(enable_cse=enable_cse, activation_bits=4)
+        _, ap_output = simulate_layer_on_ap(small_conv_spec, activations, config)
+        reference = reference_layer(small_conv_spec, activations)
+        assert np.array_equal(ap_output, reference)
+
+    def test_strided_layer_exact(self, rng):
+        weights = synthetic_ternary_weights((6, 3, 3, 3), 0.5, rng=9)
+        spec = ConvLayerSpec("strided", weights, 9, 9, stride=2, padding=1)
+        activations = rng.integers(0, 16, size=(3, 9, 9))
+        _, ap_output = simulate_layer_on_ap(
+            spec, activations, CompilerConfig(enable_cse=True, activation_bits=4)
+        )
+        assert np.array_equal(ap_output, reference_layer(spec, activations))
+
+    def test_8bit_activations_exact(self, rng):
+        weights = synthetic_ternary_weights((4, 2, 3, 3), 0.4, rng=4)
+        spec = ConvLayerSpec("conv8b", weights, 6, 6, stride=1, padding=1)
+        activations = rng.integers(0, 256, size=(2, 6, 6))
+        _, ap_output = simulate_layer_on_ap(
+            spec, activations, CompilerConfig(enable_cse=True, activation_bits=8)
+        )
+        assert np.array_equal(ap_output, reference_layer(spec, activations))
+
+    def test_dense_weights_exact(self, rng):
+        """Zero sparsity stresses the widest accumulators and longest chains."""
+        weights = synthetic_ternary_weights((4, 2, 3, 3), 0.0, rng=5)
+        spec = ConvLayerSpec("dense", weights, 5, 5, stride=1, padding=0)
+        activations = rng.integers(0, 16, size=(2, 5, 5))
+        _, ap_output = simulate_layer_on_ap(
+            spec, activations, CompilerConfig(enable_cse=True, activation_bits=4)
+        )
+        assert np.array_equal(ap_output, reference_layer(spec, activations))
+
+    def test_1x1_convolution_exact(self, rng):
+        weights = synthetic_ternary_weights((8, 6, 1, 1), 0.5, rng=6)
+        spec = ConvLayerSpec("pointwise", weights, 4, 4, stride=1, padding=0)
+        activations = rng.integers(0, 16, size=(6, 4, 4))
+        _, ap_output = simulate_layer_on_ap(
+            spec, activations, CompilerConfig(enable_cse=True, activation_bits=4)
+        )
+        assert np.array_equal(ap_output, reference_layer(spec, activations))
+
+    def test_cse_and_unroll_agree(self, small_conv_spec, rng):
+        activations = rng.integers(0, 16, size=(small_conv_spec.in_channels, 8, 8))
+        _, cse_out = simulate_layer_on_ap(
+            small_conv_spec, activations, CompilerConfig(enable_cse=True, activation_bits=4)
+        )
+        _, unroll_out = simulate_layer_on_ap(
+            small_conv_spec, activations, CompilerConfig(enable_cse=False, activation_bits=4)
+        )
+        assert np.array_equal(cse_out, unroll_out)
+
+
+class TestFunctionalVsAnalyticalCost:
+    def test_phase_counts_match_cost_model(self, paper_eq1_matrix, rng):
+        """The analytical cost model agrees with the functional simulator."""
+        from repro.ap.cost import program_cost
+
+        config = CompilerConfig(enable_cse=True, activation_bits=4)
+        compiled = compile_slice(paper_eq1_matrix, config)
+        rows = 12
+        ap = AssociativeProcessor(rows=rows, columns=64)
+        inputs = {
+            name: rng.integers(0, 16, rows) for name in compiled.program.input_columns
+        }
+        ap.run_program(compiled.program, inputs)
+        functional = ap.stats
+        analytical = program_cost(compiled.program, rows=rows)
+        assert functional.search_phases == analytical.search_phases
+        # Write phases can only differ by skipped all-miss passes.
+        assert functional.write_phases <= analytical.write_phases
+
+    def test_energy_estimates_same_order(self, paper_eq1_matrix, rng):
+        from repro.ap.cost import program_cost
+        from repro.rtm.timing import RTMTechnology
+
+        config = CompilerConfig(enable_cse=True, activation_bits=4)
+        compiled = compile_slice(paper_eq1_matrix, config)
+        rows = 16
+        ap = AssociativeProcessor(rows=rows, columns=64)
+        inputs = {
+            name: rng.integers(0, 16, rows) for name in compiled.program.input_columns
+        }
+        ap.run_program(compiled.program, inputs)
+        technology = RTMTechnology()
+        functional_energy = ap.stats.energy_fj(technology)
+        analytical_energy = program_cost(compiled.program, rows=rows).energy_fj(technology)
+        assert analytical_energy == pytest.approx(functional_energy, rel=0.5)
+
+
+class TestStructuralPaperNumbers:
+    """Cheap structural checks against numbers stated in the paper."""
+
+    def test_inplace_faster_than_outofplace_by_paper_ratio(self):
+        from repro.ap.lut import inplace_add_lut, outofplace_add_lut
+
+        assert inplace_add_lut().phases_per_bit / outofplace_add_lut().phases_per_bit == pytest.approx(0.8)
+
+    def test_endurance_paper_interval(self):
+        """Rewriting the same column roughly every ~100 ns (Sec. V-C)."""
+        from repro.rtm.endurance import estimate_lifetime
+
+        estimate = estimate_lifetime(2.0, 0.8, 256)
+        assert 80.0 < estimate.mean_rewrite_interval_ns < 130.0

@@ -1,0 +1,68 @@
+"""Tests for synthetic datasets."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.datasets import (
+    make_cluster_classification,
+    make_patch_classification,
+    synthetic_images,
+)
+
+
+class TestSyntheticImages:
+    def test_cifar_shape(self):
+        assert synthetic_images("cifar10", batch_size=2).shape == (2, 3, 32, 32)
+
+    def test_imagenet_shape(self):
+        assert synthetic_images("imagenet").shape == (1, 3, 224, 224)
+
+    def test_unknown_dataset(self):
+        with pytest.raises(ConfigurationError):
+            synthetic_images("mnist")
+
+    def test_invalid_batch(self):
+        with pytest.raises(ConfigurationError):
+            synthetic_images("cifar10", batch_size=0)
+
+    def test_deterministic(self):
+        a = synthetic_images("cifar10", rng=5)
+        b = synthetic_images("cifar10", rng=5)
+        assert np.array_equal(a, b)
+
+
+class TestClusterClassification:
+    def test_shapes_and_labels(self):
+        data = make_cluster_classification(num_classes=4, features=16, train_per_class=10, test_per_class=5, rng=0)
+        assert data.train_x.shape == (40, 16)
+        assert data.test_x.shape == (20, 16)
+        assert data.num_classes == 4
+        assert data.num_features == 16
+
+    def test_labels_cover_all_classes(self):
+        data = make_cluster_classification(num_classes=5, rng=0)
+        assert set(np.unique(data.train_y)) == set(range(5))
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ConfigurationError):
+            make_cluster_classification(num_classes=1)
+        with pytest.raises(ConfigurationError):
+            make_cluster_classification(features=1)
+
+    def test_task_is_learnable_by_nearest_prototype(self):
+        """Low noise clusters should be nearly separable (sanity of the task)."""
+        data = make_cluster_classification(num_classes=5, noise=0.2, rng=0)
+        prototypes = np.stack(
+            [data.train_x[data.train_y == label].mean(axis=0) for label in range(5)]
+        )
+        distances = ((data.test_x[:, None, :] - prototypes[None]) ** 2).sum(axis=2)
+        accuracy = (distances.argmin(axis=1) == data.test_y).mean()
+        assert accuracy > 0.95
+
+
+class TestPatchClassification:
+    def test_image_shaped(self):
+        data = make_patch_classification(num_classes=3, image_size=8, channels=2, rng=0)
+        assert data.train_x.shape[1:] == (2, 8, 8)
+        assert data.num_features == 2 * 8 * 8

@@ -1,0 +1,81 @@
+"""Tests for the im2col transformation."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelDefinitionError
+from repro.nn.im2col import conv_output_size, im2col, im2col_matrix, pad_input
+
+
+class TestConvOutputSize:
+    def test_basic(self):
+        assert conv_output_size(8, 3, 1, 1) == 8
+        assert conv_output_size(8, 3, 1, 0) == 6
+        assert conv_output_size(32, 3, 2, 1) == 16
+        assert conv_output_size(224, 7, 2, 3) == 112
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ModelDefinitionError):
+            conv_output_size(0, 3)
+        with pytest.raises(ModelDefinitionError):
+            conv_output_size(4, 3, 1, -1)
+        with pytest.raises(ModelDefinitionError):
+            conv_output_size(2, 5, 1, 0)
+
+
+class TestPadInput:
+    def test_zero_padding_is_identity(self, rng):
+        x = rng.normal(size=(1, 2, 4, 4))
+        assert pad_input(x, 0) is x
+
+    def test_padding_adds_border(self, rng):
+        x = rng.normal(size=(1, 2, 4, 4))
+        padded = pad_input(x, 2)
+        assert padded.shape == (1, 2, 8, 8)
+        assert np.all(padded[:, :, :2, :] == 0)
+
+
+class TestIm2col:
+    def test_shape(self, rng):
+        x = rng.normal(size=(2, 3, 8, 8))
+        columns = im2col(x, (3, 3), stride=1, padding=1)
+        assert columns.shape == (2, 3, 9, 64)
+
+    def test_values_match_manual_patch(self, rng):
+        x = rng.integers(0, 10, size=(1, 1, 5, 5)).astype(float)
+        columns = im2col(x, (3, 3), stride=1, padding=0)
+        # Output position (1, 1) corresponds to the patch centred at (2, 2).
+        position = 1 * 3 + 1
+        patch = x[0, 0, 1:4, 1:4].reshape(-1)
+        assert np.allclose(columns[0, 0, :, position], patch)
+
+    def test_stride(self, rng):
+        x = rng.normal(size=(1, 2, 8, 8))
+        columns = im2col(x, (3, 3), stride=2, padding=1)
+        assert columns.shape == (1, 2, 9, 16)
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ModelDefinitionError):
+            im2col(np.zeros((3, 8, 8)), (3, 3))
+
+    def test_matrix_layout(self, rng):
+        x = rng.normal(size=(1, 2, 6, 6))
+        matrix = im2col_matrix(x, (3, 3), padding=1)
+        assert matrix.shape == (1, 2 * 9, 36)
+
+    def test_gemm_equals_direct_convolution(self, rng):
+        """im2col + GEMM must equal the naive convolution definition."""
+        from repro.nn.functional import conv2d
+
+        x = rng.normal(size=(1, 3, 6, 6))
+        w = rng.normal(size=(4, 3, 3, 3))
+        out = conv2d(x, w, stride=1, padding=1)
+        # Naive reference.
+        padded = pad_input(x, 1)
+        reference = np.zeros_like(out)
+        for o in range(4):
+            for i in range(6):
+                for j in range(6):
+                    patch = padded[0, :, i : i + 3, j : j + 3]
+                    reference[0, o, i, j] = np.sum(patch * w[o])
+        assert np.allclose(out, reference)

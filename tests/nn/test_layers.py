@@ -1,0 +1,170 @@
+"""Tests for layer modules."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelDefinitionError
+from repro.nn.layers import (
+    AvgPool2d,
+    BatchNorm2d,
+    Conv2d,
+    Flatten,
+    GlobalAvgPool2d,
+    Linear,
+    MaxPool2d,
+    ReLU,
+    TernaryConv2d,
+    TernaryLinear,
+)
+from repro.nn.model import BasicBlock, Sequential
+
+
+class TestConvLayers:
+    def test_conv_shapes(self, rng):
+        layer = Conv2d(3, 8, kernel_size=3, stride=1, padding=1, rng=rng)
+        x = rng.normal(size=(2, 3, 8, 8))
+        assert layer(x).shape == (2, 8, 8, 8)
+        assert layer.output_shape((3, 8, 8)) == (8, 8, 8)
+
+    def test_conv_channel_check(self):
+        layer = Conv2d(3, 8, 3)
+        with pytest.raises(ModelDefinitionError):
+            layer.output_shape((4, 8, 8))
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ModelDefinitionError):
+            Conv2d(0, 8, 3)
+
+    def test_ternary_conv_weights_are_ternary(self, rng):
+        layer = TernaryConv2d(3, 8, 3, sparsity=0.7, rng=rng)
+        assert set(np.unique(layer.ternary_weights)).issubset({-1, 0, 1})
+        assert layer.sparsity == pytest.approx(0.7, abs=0.02)
+
+    def test_ternary_conv_forward_uses_scale(self, rng):
+        layer = TernaryConv2d(2, 4, 3, sparsity=0.0, scale=2.0, rng=rng)
+        x = np.ones((1, 2, 5, 5))
+        doubled = layer(x)
+        layer.scale = 1.0
+        assert np.allclose(doubled, 2.0 * layer(x))
+
+    def test_set_ternary_weights(self, rng):
+        layer = TernaryConv2d(2, 4, 3, rng=rng)
+        new = np.zeros_like(layer.ternary_weights)
+        layer.set_ternary_weights(new, scale=0.5)
+        assert layer.sparsity == 1.0
+        with pytest.raises(ModelDefinitionError):
+            layer.set_ternary_weights(np.zeros((1, 1, 1, 1)))
+
+
+class TestLinearLayers:
+    def test_linear_forward(self, rng):
+        layer = Linear(8, 4, rng=rng)
+        x = rng.normal(size=(3, 8))
+        assert layer(x).shape == (3, 4)
+        assert layer.output_shape((8,)) == (4,)
+
+    def test_linear_shape_check(self):
+        layer = Linear(8, 4)
+        with pytest.raises(ModelDefinitionError):
+            layer.output_shape((9,))
+
+    def test_ternary_linear(self, rng):
+        layer = TernaryLinear(16, 4, sparsity=0.5, rng=rng)
+        assert set(np.unique(layer.ternary_weights)).issubset({-1, 0, 1})
+        assert layer.sparsity == pytest.approx(0.5, abs=0.05)
+
+
+class TestSimpleLayers:
+    def test_relu(self):
+        assert np.all(ReLU()(np.array([-1.0, 1.0])) == np.array([0.0, 1.0]))
+
+    def test_pooling_shapes(self, rng):
+        x = rng.normal(size=(1, 2, 8, 8))
+        assert MaxPool2d(2)(x).shape == (1, 2, 4, 4)
+        assert AvgPool2d(2)(x).shape == (1, 2, 4, 4)
+        assert MaxPool2d(2).output_shape((2, 8, 8)) == (2, 4, 4)
+
+    def test_global_avg_pool(self, rng):
+        x = rng.normal(size=(2, 5, 4, 4))
+        layer = GlobalAvgPool2d()
+        assert layer(x).shape == (2, 5)
+        assert layer.output_shape((5, 4, 4)) == (5,)
+
+    def test_flatten(self, rng):
+        x = rng.normal(size=(2, 3, 4, 4))
+        layer = Flatten()
+        assert layer(x).shape == (2, 48)
+        assert layer.output_shape((3, 4, 4)) == (48,)
+
+    def test_batchnorm_shapes(self, rng):
+        layer = BatchNorm2d(3)
+        x = rng.normal(size=(2, 3, 4, 4))
+        assert layer(x).shape == x.shape
+        assert layer.output_shape((3, 4, 4)) == (3, 4, 4)
+
+
+class TestSequential:
+    def test_forward_and_shape(self, rng):
+        model = Sequential(
+            [
+                TernaryConv2d(3, 8, 3, padding=1, rng=rng),
+                BatchNorm2d(8),
+                ReLU(),
+                MaxPool2d(2),
+                Flatten(),
+                TernaryLinear(8 * 4 * 4, 10, rng=rng),
+            ],
+            name="tiny",
+        )
+        x = rng.normal(size=(2, 3, 8, 8))
+        assert model(x).shape == (2, 10)
+        assert model.output_shape((3, 8, 8)) == (10,)
+
+    def test_compute_layers_enumeration(self, rng):
+        model = Sequential(
+            [
+                TernaryConv2d(3, 8, 3, padding=1, rng=rng),
+                ReLU(),
+                Flatten(),
+                TernaryLinear(8 * 4 * 4, 2, rng=rng),
+            ],
+            name="t",
+        )
+        layers = list(model.compute_layers((3, 4, 4)))
+        assert len(layers) == 2
+        assert layers[0][2] == (3, 4, 4)
+        assert layers[1][2] == (8 * 4 * 4,)
+
+    def test_empty_sequential_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            Sequential([])
+
+    def test_len_and_iter(self, rng):
+        model = Sequential([ReLU(), ReLU()])
+        assert len(model) == 2
+        assert all(isinstance(layer, ReLU) for layer in model)
+
+
+class TestBasicBlock:
+    def test_identity_block_shapes(self, rng):
+        block = BasicBlock(8, 8, stride=1, rng=rng)
+        x = rng.normal(size=(1, 8, 8, 8))
+        assert block(x).shape == (1, 8, 8, 8)
+        assert block.downsample_conv is None
+
+    def test_downsample_block(self, rng):
+        block = BasicBlock(8, 16, stride=2, rng=rng)
+        x = rng.normal(size=(1, 8, 8, 8))
+        assert block(x).shape == (1, 16, 4, 4)
+        assert block.downsample_conv is not None
+
+    def test_compute_layers_counts_convs(self, rng):
+        block = BasicBlock(8, 16, stride=2, rng=rng)
+        layers = list(block.compute_layers((8, 8, 8), prefix="b"))
+        names = [name for name, _, _ in layers]
+        assert names == ["b.conv1", "b.conv2", "b.downsample"]
+
+    def test_output_nonnegative_after_relu(self, rng):
+        block = BasicBlock(4, 4, rng=rng)
+        out = block(rng.normal(size=(2, 4, 6, 6)))
+        assert out.min() >= 0.0

@@ -1,0 +1,107 @@
+"""Tests for the model zoo (VGG-9, VGG-11, ResNet-18) and the registry."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelDefinitionError
+from repro.nn.models.registry import available_models, build_model, model_record
+from repro.nn.models.resnet import build_resnet18
+from repro.nn.models.vgg import build_vgg9, build_vgg11
+from repro.nn.stats import model_layer_specs
+
+
+class TestRegistry:
+    def test_available_models(self):
+        assert set(available_models()) == {"resnet18", "vgg9", "vgg11"}
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(ModelDefinitionError):
+            model_record("lenet")
+
+    def test_build_model_shapes(self):
+        model, shape = build_model("vgg9", rng=0)
+        assert shape == (3, 32, 32)
+        model, shape = build_model("resnet18", rng=0)
+        assert shape == (3, 224, 224)
+
+    def test_default_sparsities(self):
+        assert model_record("resnet18").default_sparsity == pytest.approx(0.8)
+        assert model_record("vgg9").default_sparsity == pytest.approx(0.85)
+
+
+class TestVGG:
+    def test_vgg9_weight_layer_count(self):
+        model = build_vgg9(rng=0)
+        specs = model_layer_specs(model, (3, 32, 32))
+        conv_specs = [s for s in specs if s.patch_size > 1]
+        assert len(conv_specs) == 6
+        assert len(specs) == 7
+
+    def test_vgg11_weight_layer_count(self):
+        model = build_vgg11(rng=0)
+        specs = model_layer_specs(model, (3, 32, 32))
+        conv_specs = [s for s in specs if s.patch_size > 1]
+        assert len(conv_specs) == 8
+        assert len(specs) == 11
+
+    def test_vgg9_total_weights_match_paper_scale(self):
+        """~4.7M ternary weights -> ~700K non-zeros at 0.85 sparsity (paper: 696K)."""
+        model = build_vgg9(sparsity=0.85, rng=0)
+        specs = model_layer_specs(model, (3, 32, 32))
+        total = sum(s.weights.size for s in specs)
+        nonzero = sum(s.nonzero_weights for s in specs)
+        assert 4.0e6 < total < 5.5e6
+        assert 0.6e6 < nonzero < 0.8e6
+
+    def test_vgg_forward_pass(self, rng):
+        model = build_vgg9(rng=0)
+        x = rng.normal(size=(1, 3, 32, 32))
+        assert model(x).shape == (1, 10)
+
+    def test_vgg11_forward_pass(self, rng):
+        model = build_vgg11(rng=0)
+        x = rng.normal(size=(1, 3, 32, 32))
+        assert model(x).shape == (1, 10)
+
+    def test_sparsity_respected(self):
+        model = build_vgg9(sparsity=0.9, rng=0)
+        specs = model_layer_specs(model, (3, 32, 32))
+        realised = sum(s.nonzero_weights for s in specs) / sum(s.weights.size for s in specs)
+        assert realised == pytest.approx(0.1, abs=0.01)
+
+
+class TestResNet18:
+    def test_conv_layer_count_is_20(self):
+        """Fig. 4 of the paper shows 20 convolutional layers."""
+        model = build_resnet18(rng=0)
+        specs = model_layer_specs(model, (3, 224, 224))
+        conv_specs = [s for s in specs if s.input_height > 1]
+        assert len(conv_specs) == 20
+        assert len(specs) == 21  # plus the classifier
+
+    def test_total_weights_about_11_million(self):
+        model = build_resnet18(rng=0)
+        specs = model_layer_specs(model, (3, 224, 224))
+        total = sum(s.weights.size for s in specs)
+        assert 11.0e6 < total < 12.5e6
+
+    def test_first_layer_geometry(self):
+        model = build_resnet18(rng=0)
+        specs = model_layer_specs(model, (3, 224, 224))
+        stem = specs[0]
+        assert stem.kernel_height == 7
+        assert stem.stride == 2
+        assert stem.output_positions == 112 * 112
+
+    def test_stage_channels(self):
+        model = build_resnet18(rng=0)
+        specs = model_layer_specs(model, (3, 224, 224))
+        out_channels = {spec.out_channels for spec in specs[:-1]}
+        assert {64, 128, 256, 512}.issubset(out_channels)
+
+    @pytest.mark.slow
+    def test_forward_pass_small_input(self, rng):
+        """Functional forward on a reduced-resolution input (keeps runtime low)."""
+        model = build_resnet18(num_classes=10, rng=0)
+        x = rng.normal(size=(1, 3, 64, 64))
+        assert model(x).shape == (1, 10)

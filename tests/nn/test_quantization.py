@@ -1,0 +1,77 @@
+"""Tests for the LSQ-style activation quantizer."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import QuantizationError
+from repro.nn.quantization import ActivationQuantizer, QuantizationConfig, quantize_to_int
+
+
+class TestQuantizationConfig:
+    def test_unsigned_range(self):
+        config = QuantizationConfig(bits=4, signed=False)
+        assert (config.qmin, config.qmax) == (0, 15)
+        assert config.num_levels == 16
+
+    def test_signed_range(self):
+        config = QuantizationConfig(bits=4, signed=True)
+        assert (config.qmin, config.qmax) == (-8, 7)
+
+    def test_invalid_bits(self):
+        with pytest.raises(Exception):
+            QuantizationConfig(bits=0)
+        with pytest.raises(QuantizationError):
+            QuantizationConfig(bits=32)
+
+
+class TestActivationQuantizer:
+    def test_requires_step(self):
+        quantizer = ActivationQuantizer(QuantizationConfig(bits=4))
+        with pytest.raises(QuantizationError):
+            quantizer.quantize(np.ones(4))
+
+    def test_calibration_sets_step(self, rng):
+        quantizer = ActivationQuantizer(QuantizationConfig(bits=4))
+        step = quantizer.calibrate(rng.uniform(0, 1, 100))
+        assert step > 0
+        assert quantizer.step == step
+
+    def test_codes_within_range(self, rng):
+        quantizer = ActivationQuantizer(QuantizationConfig(bits=4))
+        x = rng.uniform(0, 10, 1000)
+        quantizer.calibrate(x)
+        codes = quantizer.quantize(x)
+        assert codes.min() >= 0
+        assert codes.max() <= 15
+
+    def test_dequantize_roundtrip_on_grid(self):
+        quantizer = ActivationQuantizer(QuantizationConfig(bits=4), step=0.5)
+        values = np.array([0.0, 0.5, 1.0, 7.5])
+        codes = quantizer.quantize(values)
+        assert np.allclose(quantizer.dequantize(codes), values)
+
+    def test_error_decreases_with_more_bits(self, rng):
+        x = rng.uniform(0, 1, 5000)
+        error4 = ActivationQuantizer(QuantizationConfig(bits=4))
+        error8 = ActivationQuantizer(QuantizationConfig(bits=8))
+        error4.calibrate(x)
+        error8.calibrate(x)
+        assert error8.quantization_error(x) < error4.quantization_error(x)
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(min_value=2, max_value=8))
+    def test_fake_quantize_idempotent(self, bits):
+        rng = np.random.default_rng(bits)
+        quantizer = ActivationQuantizer(QuantizationConfig(bits=bits))
+        x = rng.uniform(0, 1, 256)
+        quantizer.calibrate(x)
+        once = quantizer.fake_quantize(x)
+        twice = quantizer.fake_quantize(once)
+        assert np.allclose(once, twice)
+
+    def test_quantize_to_int_helper(self, rng):
+        x = rng.uniform(0, 1, 100)
+        codes, step = quantize_to_int(x, bits=4)
+        assert codes.max() <= 15
+        assert step > 0

@@ -1,0 +1,97 @@
+"""Tests for layer-spec extraction."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ModelDefinitionError
+from repro.nn.layers import TernaryConv2d, TernaryLinear
+from repro.nn.model import Sequential
+from repro.nn.stats import ConvLayerSpec, model_layer_specs, summarize_specs
+from repro.nn.ternary import synthetic_ternary_weights
+
+
+class TestConvLayerSpec:
+    def _spec(self, **kwargs):
+        defaults = dict(
+            name="conv",
+            weights=synthetic_ternary_weights((8, 4, 3, 3), 0.5, rng=0),
+            input_height=16,
+            input_width=16,
+            stride=1,
+            padding=1,
+        )
+        defaults.update(kwargs)
+        return ConvLayerSpec(**defaults)
+
+    def test_derived_geometry(self):
+        spec = self._spec()
+        assert spec.out_channels == 8
+        assert spec.in_channels == 4
+        assert spec.patch_size == 9
+        assert spec.output_positions == 256
+        assert spec.macs == 8 * 4 * 9 * 256
+
+    def test_strided_output(self):
+        spec = self._spec(stride=2)
+        assert spec.output_height == 8
+
+    def test_weight_slice_shape(self):
+        spec = self._spec()
+        weight_slice = spec.weight_slice(2)
+        assert weight_slice.shape == (8, 9)
+        assert np.array_equal(weight_slice, spec.weights[:, 2].reshape(8, 9))
+
+    def test_weight_slice_bounds(self):
+        with pytest.raises(ModelDefinitionError):
+            self._spec().weight_slice(4)
+
+    def test_rejects_non_ternary(self):
+        weights = np.full((2, 2, 3, 3), 2, dtype=np.int8)
+        with pytest.raises(Exception):
+            ConvLayerSpec("bad", weights, 8, 8)
+
+    def test_rejects_wrong_rank(self):
+        with pytest.raises(ModelDefinitionError):
+            ConvLayerSpec("bad", np.zeros((2, 2, 3), dtype=np.int8), 8, 8)
+
+    def test_from_linear(self):
+        weights = synthetic_ternary_weights((10, 64), 0.5, rng=0)
+        spec = ConvLayerSpec.from_linear("fc", weights)
+        assert spec.in_channels == 64
+        assert spec.out_channels == 10
+        assert spec.patch_size == 1
+        assert spec.output_positions == 1
+
+    def test_sparsity_and_nonzeros(self):
+        spec = self._spec()
+        assert spec.nonzero_weights == np.count_nonzero(spec.weights)
+        assert spec.sparsity == pytest.approx(0.5, abs=0.01)
+
+
+class TestModelLayerSpecs:
+    def test_sequential_extraction(self, rng):
+        model = Sequential(
+            [
+                TernaryConv2d(3, 8, 3, padding=1, rng=rng),
+                TernaryConv2d(8, 16, 3, padding=1, stride=2, rng=rng),
+            ],
+            name="m",
+        )
+        specs = model_layer_specs(model, (3, 16, 16))
+        assert len(specs) == 2
+        assert specs[0].input_height == 16
+        assert specs[1].in_channels == 8
+        assert specs[1].input_height == 16
+        assert specs[1].output_height == 8
+
+    def test_linear_becomes_1x1(self, rng):
+        model = Sequential([TernaryLinear(32, 10, rng=rng)], name="fc")
+        specs = model_layer_specs(model, (32,))
+        assert specs[0].patch_size == 1
+
+    def test_summaries(self, rng):
+        model = Sequential([TernaryConv2d(3, 8, 3, padding=1, rng=rng)], name="m")
+        specs = model_layer_specs(model, (3, 8, 8))
+        summaries = summarize_specs(specs)
+        assert summaries[0].out_channels == 8
+        assert summaries[0].kernel == (3, 3)

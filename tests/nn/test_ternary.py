@@ -1,0 +1,97 @@
+"""Tests for ternary weight generation and projection."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import QuantizationError
+from repro.nn.ternary import (
+    sparsity_of,
+    synthetic_ternary_weights,
+    ternarize_weights,
+    ternary_matrix_from_rows,
+)
+
+
+class TestSparsity:
+    def test_sparsity_of(self):
+        assert sparsity_of(np.array([0, 0, 1, -1])) == pytest.approx(0.5)
+
+    def test_empty_rejected(self):
+        with pytest.raises(QuantizationError):
+            sparsity_of(np.array([]))
+
+
+class TestTernarize:
+    def test_values_are_ternary(self, rng):
+        weights = rng.normal(size=(64, 32))
+        ternary, scale = ternarize_weights(weights, sparsity=0.7)
+        assert set(np.unique(ternary)).issubset({-1, 0, 1})
+        assert scale > 0
+
+    def test_target_sparsity_respected(self, rng):
+        weights = rng.normal(size=(100, 100))
+        ternary, _ = ternarize_weights(weights, sparsity=0.8)
+        assert sparsity_of(ternary) == pytest.approx(0.8, abs=0.02)
+
+    def test_signs_preserved(self):
+        weights = np.array([3.0, -2.0, 0.1, -0.1])
+        ternary, _ = ternarize_weights(weights, sparsity=0.5)
+        assert ternary[0] == 1
+        assert ternary[1] == -1
+
+    def test_zero_sparsity_keeps_all(self, rng):
+        weights = rng.normal(size=50) + 10  # all far from zero
+        ternary, _ = ternarize_weights(weights, sparsity=0.0)
+        assert sparsity_of(ternary) == 0.0
+
+    def test_full_sparsity_zeroes_all(self, rng):
+        ternary, scale = ternarize_weights(rng.normal(size=50), sparsity=1.0)
+        assert sparsity_of(ternary) == 1.0
+        assert scale == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(QuantizationError):
+            ternarize_weights(np.array([]), 0.5)
+
+
+class TestSyntheticWeights:
+    def test_exact_sparsity(self):
+        weights = synthetic_ternary_weights((100, 10), sparsity=0.85, rng=0)
+        assert sparsity_of(weights) == pytest.approx(0.85, abs=0.001)
+
+    def test_deterministic_for_same_seed(self):
+        a = synthetic_ternary_weights((8, 8), 0.5, rng=3)
+        b = synthetic_ternary_weights((8, 8), 0.5, rng=3)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = synthetic_ternary_weights((16, 16), 0.5, rng=1)
+        b = synthetic_ternary_weights((16, 16), 0.5, rng=2)
+        assert not np.array_equal(a, b)
+
+    def test_shape_preserved(self):
+        weights = synthetic_ternary_weights((4, 3, 3, 3), 0.8, rng=0)
+        assert weights.shape == (4, 3, 3, 3)
+        assert weights.dtype == np.int8
+
+    def test_both_signs_present(self):
+        weights = synthetic_ternary_weights((64, 64), 0.5, rng=0)
+        assert (weights == 1).any()
+        assert (weights == -1).any()
+
+    @settings(max_examples=20, deadline=None)
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    def test_sparsity_property(self, sparsity):
+        weights = synthetic_ternary_weights((40, 25), sparsity, rng=7)
+        assert sparsity_of(weights) == pytest.approx(sparsity, abs=0.002)
+
+
+class TestTernaryMatrixHelper:
+    def test_accepts_valid(self):
+        matrix = ternary_matrix_from_rows([[1, 0], [-1, 1]])
+        assert matrix.dtype == np.int8
+
+    def test_rejects_invalid(self):
+        with pytest.raises(QuantizationError):
+            ternary_matrix_from_rows([[2, 0]])

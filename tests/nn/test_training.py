@@ -1,0 +1,68 @@
+"""Tests for the small QAT training loop."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.nn.datasets import make_cluster_classification
+from repro.nn.training import QuantMLP, TrainingConfig, train_mlp
+
+
+@pytest.fixture(scope="module")
+def dataset():
+    return make_cluster_classification(
+        num_classes=5, features=24, train_per_class=40, test_per_class=20, noise=0.5, rng=11
+    )
+
+
+class TestTrainingConfig:
+    def test_invalid_values(self):
+        with pytest.raises(ConfigurationError):
+            TrainingConfig(epochs=0)
+        with pytest.raises(ConfigurationError):
+            TrainingConfig(learning_rate=0)
+
+
+class TestQuantMLP:
+    def test_forward_shapes(self, dataset):
+        model = QuantMLP(dataset.num_features, dataset.num_classes, TrainingConfig(epochs=1))
+        cache = model.forward(dataset.train_x[:8])
+        assert cache["logits"].shape == (8, dataset.num_classes)
+
+    def test_backward_gradient_shapes(self, dataset):
+        config = TrainingConfig(epochs=1, hidden_units=16)
+        model = QuantMLP(dataset.num_features, dataset.num_classes, config)
+        cache = model.forward(dataset.train_x[:8])
+        grads = model.backward(cache, dataset.train_y[:8])
+        assert grads["w1"].shape == model.w1.shape
+        assert grads["w2"].shape == model.w2.shape
+
+    def test_training_reduces_loss(self, dataset):
+        config = TrainingConfig(epochs=8, hidden_units=32, seed=0)
+        _, result = train_mlp(dataset, config)
+        assert result.losses[-1] < result.losses[0]
+
+    def test_trained_model_beats_chance(self, dataset):
+        config = TrainingConfig(epochs=12, hidden_units=32, seed=0)
+        _, result = train_mlp(dataset, config)
+        chance = 1.0 / dataset.num_classes
+        assert result.test_accuracy > 2 * chance
+
+    def test_ternary_with_4bit_close_to_fp(self, dataset):
+        """The core accuracy claim on the proxy task: 4-bit ternary ~ FP."""
+        fp_config = TrainingConfig(epochs=12, ternary_weights=False, activation_bits=None, seed=0)
+        q_config = TrainingConfig(epochs=12, ternary_weights=True, activation_bits=4, seed=0)
+        _, fp_result = train_mlp(dataset, fp_config)
+        _, q_result = train_mlp(dataset, q_config)
+        assert q_result.test_accuracy >= fp_result.test_accuracy - 0.12
+
+    def test_matmul_perturbation_changes_predictions(self, dataset):
+        config = TrainingConfig(epochs=6, seed=0)
+        model, _ = train_mlp(dataset, config)
+        clean = model.evaluate(dataset.test_x, dataset.test_y)
+        noisy = model.evaluate(
+            dataset.test_x,
+            dataset.test_y,
+            matmul_perturbation=lambda m: m + np.random.default_rng(0).normal(0, 5 * np.std(m), m.shape),
+        )
+        assert noisy <= clean

@@ -1,0 +1,53 @@
+"""Tests for batched evaluation (the paper's "multiple images per layer" idea)."""
+
+import pytest
+
+from repro.core.compiler import CompilerConfig, compile_model
+from repro.errors import ConfigurationError
+from repro.nn.stats import ConvLayerSpec
+from repro.nn.ternary import synthetic_ternary_weights
+from repro.perf.model import PerformanceModelConfig, evaluate_model
+
+
+@pytest.fixture(scope="module")
+def deep_layer_model():
+    """A 'deep-layer-like' model: many channels, few output positions."""
+    specs = [
+        ConvLayerSpec(
+            "deep",
+            synthetic_ternary_weights((64, 64, 3, 3), 0.7, rng=0),
+            7, 7, 1, 1,
+        )
+    ]
+    return compile_model(specs, CompilerConfig(enable_cse=True, activation_bits=4), name="deep")
+
+
+class TestBatching:
+    def test_invalid_batch_rejected(self, deep_layer_model):
+        with pytest.raises(ConfigurationError):
+            evaluate_model(deep_layer_model, config=PerformanceModelConfig(batch_size=0))
+
+    def test_batch_one_matches_default(self, deep_layer_model):
+        default = evaluate_model(deep_layer_model)
+        explicit = evaluate_model(deep_layer_model, config=PerformanceModelConfig(batch_size=1))
+        assert default.energy_uj == pytest.approx(explicit.energy_uj)
+        assert default.latency_ms == pytest.approx(explicit.latency_ms)
+
+    def test_batching_amortizes_latency_per_image(self, deep_layer_model):
+        """Filling the idle CAM rows of a row-starved layer improves throughput."""
+        single = evaluate_model(deep_layer_model, config=PerformanceModelConfig(batch_size=1))
+        batched = evaluate_model(deep_layer_model, config=PerformanceModelConfig(batch_size=4))
+        assert batched.batch_size == 4
+        assert batched.latency_per_image_ms < single.latency_per_image_ms
+        # Energy per image stays in the same range (same work per image).
+        assert batched.energy_per_image_uj == pytest.approx(single.energy_per_image_uj, rel=0.2)
+
+    def test_batch_energy_scales_with_images(self, deep_layer_model):
+        single = evaluate_model(deep_layer_model, config=PerformanceModelConfig(batch_size=1))
+        batched = evaluate_model(deep_layer_model, config=PerformanceModelConfig(batch_size=4))
+        assert batched.energy_uj > 2.5 * single.energy_uj
+
+    def test_per_image_properties_consistent(self, deep_layer_model):
+        batched = evaluate_model(deep_layer_model, config=PerformanceModelConfig(batch_size=2))
+        assert batched.energy_per_image_uj == pytest.approx(batched.energy_uj / 2)
+        assert batched.latency_per_image_ms == pytest.approx(batched.latency_ms / 2)

@@ -1,0 +1,45 @@
+"""Tests for energy/latency breakdown records."""
+
+import pytest
+
+from repro.perf.breakdown import EnergyBreakdown, LatencyBreakdown
+
+
+class TestEnergyBreakdown:
+    def test_total_and_units(self):
+        energy = EnergyBreakdown(dfg_fj=1e9, accumulation_fj=2e9, peripherals_fj=0.5e9, movement_fj=0.5e9)
+        assert energy.total_fj == pytest.approx(4e9)
+        assert energy.total_uj == pytest.approx(4.0)
+
+    def test_movement_fraction(self):
+        energy = EnergyBreakdown(dfg_fj=90.0, movement_fj=10.0)
+        assert energy.movement_fraction == pytest.approx(0.1)
+
+    def test_zero_energy_fraction(self):
+        assert EnergyBreakdown().movement_fraction == 0.0
+
+    def test_merge(self):
+        a = EnergyBreakdown(dfg_fj=1.0, accumulation_fj=2.0)
+        b = EnergyBreakdown(dfg_fj=3.0, movement_fj=4.0)
+        merged = a.merge(b)
+        assert merged.dfg_fj == 4.0
+        assert merged.accumulation_fj == 2.0
+        assert merged.movement_fj == 4.0
+
+    def test_uj_dict_keys(self):
+        keys = set(EnergyBreakdown().as_uj_dict())
+        assert keys == {"dfg", "accumulation", "peripherals", "movement"}
+
+
+class TestLatencyBreakdown:
+    def test_total_and_units(self):
+        latency = LatencyBreakdown(dfg_ns=1e6, accumulation_ns=2e6, movement_ns=0.0)
+        assert latency.total_ns == pytest.approx(3e6)
+        assert latency.total_ms == pytest.approx(3.0)
+
+    def test_merge(self):
+        merged = LatencyBreakdown(dfg_ns=1.0).merge(LatencyBreakdown(accumulation_ns=2.0))
+        assert merged.total_ns == pytest.approx(3.0)
+
+    def test_ms_dict_keys(self):
+        assert set(LatencyBreakdown().as_ms_dict()) == {"dfg", "accumulation", "movement"}

@@ -1,0 +1,43 @@
+"""Tests for the endurance / lifetime report (experiment E7)."""
+
+import pytest
+
+from repro.arch.config import ArchitectureConfig
+from repro.core.compiler import CompilerConfig, compile_model
+from repro.nn.stats import ConvLayerSpec
+from repro.nn.ternary import synthetic_ternary_weights
+from repro.perf.endurance import endurance_report
+from repro.perf.model import evaluate_model
+
+
+class TestEnduranceReport:
+    def test_paper_style_lifetime_about_31_years(self):
+        """Sec. V-C: the idealised analysis yields a ~31-year lifetime."""
+        report = endurance_report()
+        assert 20.0 < report.paper_style_years < 45.0
+        assert report.workload is None
+
+    def test_workload_lifetime_at_least_paper_style(self):
+        specs = [
+            ConvLayerSpec(
+                "conv", synthetic_ternary_weights((16, 8, 3, 3), 0.5, rng=0), 16, 16, 1, 1
+            )
+        ]
+        compiled = compile_model(specs, CompilerConfig(), name="m")
+        performance = evaluate_model(compiled)
+        report = endurance_report(performance=performance)
+        assert report.workload_years is not None
+        # A real workload cannot stress a column faster than back-to-back ops.
+        assert report.workload_years >= report.paper_style_years * 0.99
+
+    def test_architecture_columns_matter(self):
+        small = endurance_report(
+            architecture=ArchitectureConfig(), writes_per_operation=2.0
+        )
+        # Fewer columns sharing the load -> shorter lifetime.
+        from repro.arch.config import APConfig
+
+        narrow = endurance_report(
+            architecture=ArchitectureConfig(ap=APConfig(rows=256, columns=64))
+        )
+        assert narrow.paper_style_years < small.paper_style_years

@@ -1,0 +1,127 @@
+"""Tests for the analytical RTM-AP performance model."""
+
+import pytest
+
+from repro.arch.config import ArchitectureConfig
+from repro.core.compiler import CompilerConfig, compile_model
+from repro.errors import ConfigurationError
+from repro.nn.stats import ConvLayerSpec
+from repro.nn.ternary import synthetic_ternary_weights
+from repro.perf.model import PerformanceModelConfig, evaluate_model
+
+
+def make_specs(seed=0):
+    return [
+        ConvLayerSpec(
+            "conv1", synthetic_ternary_weights((16, 3, 3, 3), 0.5, rng=seed), 16, 16, 1, 1
+        ),
+        ConvLayerSpec(
+            "conv2",
+            synthetic_ternary_weights((32, 16, 3, 3), 0.6, rng=seed + 1),
+            16, 16, 2, 1,
+        ),
+        ConvLayerSpec(
+            "conv3",
+            synthetic_ternary_weights((64, 32, 3, 3), 0.7, rng=seed + 2),
+            8, 8, 1, 1,
+        ),
+    ]
+
+
+@pytest.fixture(scope="module")
+def compiled_pair():
+    specs = make_specs()
+    cse = compile_model(specs, CompilerConfig(enable_cse=True, activation_bits=4), name="m")
+    unroll = compile_model(specs, CompilerConfig(enable_cse=False, activation_bits=4), name="m")
+    return cse, unroll
+
+
+class TestEvaluateModel:
+    def test_positive_energy_and_latency(self, compiled_pair):
+        performance = evaluate_model(compiled_pair[0])
+        assert performance.energy_uj > 0
+        assert performance.latency_ms > 0
+        assert performance.total_ops == compiled_pair[0].total_ops
+
+    def test_layer_records_cover_all_layers(self, compiled_pair):
+        performance = evaluate_model(compiled_pair[0])
+        assert [layer.name for layer in performance.layers] == ["conv1", "conv2", "conv3"]
+        assert performance.layer_by_name("conv2").energy_uj > 0
+        with pytest.raises(ConfigurationError):
+            performance.layer_by_name("missing")
+
+    def test_cse_saves_energy_and_latency(self, compiled_pair):
+        cse, unroll = compiled_pair
+        cse_perf = evaluate_model(cse)
+        unroll_perf = evaluate_model(unroll)
+        assert cse_perf.energy_uj < unroll_perf.energy_uj
+        assert cse_perf.latency_ms <= unroll_perf.latency_ms * 1.01
+
+    def test_energy_grows_with_activation_bits(self):
+        specs = make_specs()
+        perf4 = evaluate_model(
+            compile_model(specs, CompilerConfig(True, activation_bits=4), name="m")
+        )
+        perf8 = evaluate_model(
+            compile_model(specs, CompilerConfig(True, activation_bits=8), name="m")
+        )
+        assert perf8.energy_uj > perf4.energy_uj
+
+    def test_component_breakdown_sums_to_total(self, compiled_pair):
+        performance = evaluate_model(compiled_pair[0])
+        components = performance.energy.as_uj_dict()
+        assert sum(components.values()) == pytest.approx(performance.energy_uj, rel=1e-9)
+
+    def test_movement_fraction_is_small(self, compiled_pair):
+        """Experiment E6: partial-result movement is a few percent of energy."""
+        performance = evaluate_model(compiled_pair[0])
+        assert performance.movement_fraction < 0.15
+
+    def test_energy_delay_product(self, compiled_pair):
+        performance = evaluate_model(compiled_pair[0])
+        assert performance.energy_delay_product == pytest.approx(
+            performance.energy_uj * performance.latency_ms
+        )
+
+    def test_arrays_used_reported(self, compiled_pair):
+        performance = evaluate_model(compiled_pair[0])
+        assert performance.arrays_used >= 1
+
+
+class TestPerformanceModelConfig:
+    def test_disable_input_load_reduces_movement(self, compiled_pair):
+        with_load = evaluate_model(
+            compiled_pair[0], config=PerformanceModelConfig(include_input_load=True)
+        )
+        without_load = evaluate_model(
+            compiled_pair[0], config=PerformanceModelConfig(include_input_load=False)
+        )
+        assert without_load.energy.movement_fj <= with_load.energy.movement_fj
+
+    def test_disable_buffer_traffic_reduces_peripherals(self, compiled_pair):
+        with_buffers = evaluate_model(
+            compiled_pair[0], config=PerformanceModelConfig(include_buffer_traffic=True)
+        )
+        without_buffers = evaluate_model(
+            compiled_pair[0], config=PerformanceModelConfig(include_buffer_traffic=False)
+        )
+        assert without_buffers.energy.peripherals_fj < with_buffers.energy.peripherals_fj
+
+    def test_output_parallelism_reduces_latency(self, compiled_pair):
+        parallel = evaluate_model(
+            compiled_pair[0],
+            config=PerformanceModelConfig(output_channel_parallelism=True, available_aps=16),
+        )
+        serial = evaluate_model(
+            compiled_pair[0],
+            config=PerformanceModelConfig(output_channel_parallelism=False, available_aps=16),
+        )
+        assert parallel.latency_ms <= serial.latency_ms
+        # Energy is not reduced by parallelism (same work).
+        assert parallel.energy_uj >= serial.energy_uj * 0.99
+
+    def test_explicit_ap_budget(self, compiled_pair):
+        performance = evaluate_model(
+            compiled_pair[0], config=PerformanceModelConfig(available_aps=2)
+        )
+        assert performance.allocation.available_aps == 2

@@ -1,0 +1,43 @@
+"""Tests for domain-wall block clusters."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CapacityError, SimulationError
+from repro.rtm.dbc import DomainBlockCluster
+from repro.rtm.timing import RTMTechnology
+
+
+class TestDomainBlockCluster:
+    def test_requires_at_least_one_track(self):
+        with pytest.raises(CapacityError):
+            DomainBlockCluster(0)
+
+    def test_lockstep_shift_moves_all_tracks(self):
+        cluster = DomainBlockCluster(4)
+        steps = cluster.shift_to(5)
+        assert steps == 5
+        assert cluster.port_position == 5
+        assert all(track.port_position == 5 for track in cluster.tracks)
+
+    def test_write_and_read_row(self):
+        cluster = DomainBlockCluster(3)
+        cluster.write_row(2, [1, 0, 1])
+        assert list(cluster.read_row(2)) == [1, 0, 1]
+
+    def test_write_row_length_mismatch(self):
+        cluster = DomainBlockCluster(3)
+        with pytest.raises(SimulationError):
+            cluster.write_row(0, [1, 0])
+
+    def test_shift_out_of_range(self):
+        cluster = DomainBlockCluster(2, RTMTechnology(domains_per_nanowire=8))
+        with pytest.raises(CapacityError):
+            cluster.shift_to(8)
+
+    def test_aggregate_stats_counts_all_tracks(self):
+        cluster = DomainBlockCluster(2)
+        cluster.write_row(3, [1, 1])
+        stats = cluster.aggregate_stats()
+        assert stats.writes == 2
+        assert stats.shifts == 6  # both tracks shifted by 3

@@ -1,0 +1,69 @@
+"""Tests for RTM write-endurance modelling."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rtm.endurance import EnduranceTracker, estimate_lifetime
+from repro.rtm.timing import RTMTechnology
+
+
+class TestEstimateLifetime:
+    def test_paper_argument_gives_about_31_years(self):
+        """Sec. V-C: 2 columns/op, ~0.8 ns ops, 256 columns, 1e16 cycles -> ~31 years."""
+        estimate = estimate_lifetime(
+            writes_per_operation=2.0,
+            operation_interval_ns=0.8,
+            columns_sharing_load=256,
+        )
+        assert estimate.mean_rewrite_interval_ns == pytest.approx(102.4)
+        assert 20.0 < estimate.lifetime_years < 45.0
+
+    def test_longer_interval_longer_lifetime(self):
+        short = estimate_lifetime(2.0, 0.8, 256)
+        long = estimate_lifetime(2.0, 8.0, 256)
+        assert long.lifetime_seconds > short.lifetime_seconds
+
+    def test_invalid_arguments_rejected(self):
+        with pytest.raises(ConfigurationError):
+            estimate_lifetime(0.0, 0.8, 256)
+        with pytest.raises(ConfigurationError):
+            estimate_lifetime(2.0, 0.0, 256)
+        with pytest.raises(ConfigurationError):
+            estimate_lifetime(2.0, 0.8, 0)
+
+    def test_endurance_limit_scales_lifetime(self):
+        weak = estimate_lifetime(2.0, 0.8, 256, RTMTechnology(write_endurance_cycles=1e12))
+        strong = estimate_lifetime(2.0, 0.8, 256, RTMTechnology(write_endurance_cycles=1e16))
+        assert strong.lifetime_seconds == pytest.approx(weak.lifetime_seconds * 1e4)
+
+
+class TestEnduranceTracker:
+    def test_hottest_cell(self):
+        tracker = EnduranceTracker()
+        tracker.record_write(0, 1, bits=3)
+        tracker.record_write(0, 2, bits=5)
+        cell, writes = tracker.hottest_cell
+        assert cell == (0, 2)
+        assert writes == 5
+        assert tracker.total_writes == 8
+
+    def test_empty_tracker(self):
+        tracker = EnduranceTracker()
+        assert tracker.hottest_cell == ((0, 0), 0)
+        assert tracker.wear_fraction() == 0.0
+        assert tracker.lifetime_at_duty_cycle(1.0) == float("inf")
+
+    def test_lifetime_extrapolation(self):
+        tracker = EnduranceTracker(RTMTechnology(write_endurance_cycles=1e6))
+        tracker.record_write(3, 4, bits=1000)
+        lifetime = tracker.lifetime_at_duty_cycle(elapsed_seconds=1.0)
+        assert lifetime == pytest.approx(1e3)
+
+    def test_invalid_elapsed_rejected(self):
+        tracker = EnduranceTracker()
+        with pytest.raises(ConfigurationError):
+            tracker.lifetime_at_duty_cycle(0.0)
+
+    def test_negative_bits_rejected(self):
+        with pytest.raises(ConfigurationError):
+            EnduranceTracker().record_write(0, 0, bits=-1)

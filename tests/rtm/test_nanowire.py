@@ -1,0 +1,83 @@
+"""Tests for the racetrack nanowire model."""
+
+import numpy as np
+import pytest
+
+from repro.errors import CapacityError, SimulationError
+from repro.rtm.nanowire import Nanowire, NanowireStats
+from repro.rtm.timing import RTMTechnology
+
+
+class TestNanowireBasics:
+    def test_default_has_64_domains(self):
+        assert Nanowire().num_domains == 64
+
+    def test_initial_content_loaded(self):
+        wire = Nanowire(initial_bits=np.array([1, 0, 1]))
+        assert wire.peek(0) == 1
+        assert wire.peek(1) == 0
+        assert wire.peek(2) == 1
+
+    def test_initial_content_too_long_rejected(self):
+        technology = RTMTechnology(domains_per_nanowire=4)
+        with pytest.raises(CapacityError):
+            Nanowire(technology, initial_bits=np.ones(5, dtype=np.uint8))
+
+    def test_write_then_read(self):
+        wire = Nanowire()
+        wire.write(10, 1)
+        assert wire.read(10) == 1
+
+    def test_write_rejects_non_bit(self):
+        with pytest.raises(SimulationError):
+            Nanowire().write(0, 2)
+
+    def test_out_of_range_position_rejected(self):
+        wire = Nanowire(RTMTechnology(domains_per_nanowire=8))
+        with pytest.raises(CapacityError):
+            wire.read(8)
+
+
+class TestShifting:
+    def test_shift_count_is_distance(self):
+        wire = Nanowire()
+        assert wire.shift_to(5) == 5
+        assert wire.shift_to(2) == 3
+        assert wire.port_position == 2
+
+    def test_shifts_accumulate_in_stats(self):
+        wire = Nanowire()
+        wire.read(3)
+        wire.write(7, 1)
+        assert wire.stats.shifts == 3 + 4
+        assert wire.stats.reads == 1
+        assert wire.stats.writes == 1
+
+    def test_shifts_to_does_not_move(self):
+        wire = Nanowire()
+        assert wire.shifts_to(9) == 9
+        assert wire.port_position == 0
+
+
+class TestBulkAccess:
+    def test_load_and_dump(self):
+        wire = Nanowire()
+        wire.load(np.array([1, 1, 0, 1]), offset=2)
+        dump = wire.dump()
+        assert list(dump[2:6]) == [1, 1, 0, 1]
+
+    def test_load_out_of_range(self):
+        wire = Nanowire(RTMTechnology(domains_per_nanowire=4))
+        with pytest.raises(CapacityError):
+            wire.load(np.ones(3, dtype=np.uint8), offset=2)
+
+    def test_load_does_not_count_events(self):
+        wire = Nanowire()
+        wire.load(np.ones(8, dtype=np.uint8))
+        assert wire.stats.writes == 0
+
+
+class TestStatsMerge:
+    def test_merge_adds_counters(self):
+        merged = NanowireStats(1, 2, 3).merge(NanowireStats(10, 20, 30))
+        assert (merged.shifts, merged.reads, merged.writes) == (11, 22, 33)

@@ -1,0 +1,45 @@
+"""Tests for RTM technology parameters."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.rtm.timing import DEFAULT_RTM_TECHNOLOGY, RTMTechnology
+
+
+class TestRTMTechnology:
+    def test_paper_defaults(self):
+        technology = RTMTechnology()
+        assert technology.domains_per_nanowire == 64
+        assert technology.search_energy_fj_per_bit == pytest.approx(3.0)
+        assert technology.search_latency_ns <= 0.2
+        assert technology.movement_energy_fj_per_bit == pytest.approx(1000.0)
+        assert technology.write_endurance_cycles == pytest.approx(1e16)
+
+    def test_invalid_domains_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RTMTechnology(domains_per_nanowire=0)
+
+    def test_invalid_energy_rejected(self):
+        with pytest.raises(ConfigurationError):
+            RTMTechnology(search_energy_fj_per_bit=-1.0)
+
+    def test_pass_latency_scales_with_phases(self):
+        technology = RTMTechnology()
+        assert technology.pass_latency_ns(10) == pytest.approx(
+            10 * technology.phase_latency_ns
+        )
+
+    def test_inplace_add_latency_matches_paper(self):
+        """8 phases at 0.1 ns = 0.8 ns per bit for the in-place adder (Sec. V-C)."""
+        technology = RTMTechnology()
+        assert technology.pass_latency_ns(8) == pytest.approx(0.8)
+        assert technology.pass_latency_ns(10) == pytest.approx(1.0)
+
+    def test_shift_cost(self):
+        technology = RTMTechnology()
+        latency, energy = technology.shift_cost(4)
+        assert latency == pytest.approx(4 * technology.shift_latency_ns)
+        assert energy == pytest.approx(4 * technology.shift_energy_fj)
+
+    def test_default_instance_exists(self):
+        assert DEFAULT_RTM_TECHNOLOGY.domains_per_nanowire == 64

@@ -1,0 +1,43 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_compile_defaults(self):
+        arguments = build_parser().parse_args(["compile"])
+        assert arguments.model == "vgg9"
+        assert arguments.bits == 4
+        assert arguments.batch == 1
+
+    def test_table2_network_filter(self):
+        arguments = build_parser().parse_args(["table2", "--networks", "vgg9"])
+        assert arguments.networks == ["vgg9"]
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compile", "--model", "alexnet"])
+
+
+class TestCommands:
+    def test_endurance_command(self, capsys):
+        assert main(["endurance"]) == 0
+        output = capsys.readouterr().out
+        assert "lifetime" in output
+
+    def test_compile_command_small(self, capsys):
+        assert main(["compile", "--model", "vgg9", "--slices", "2", "--batch", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "CAM arrays" in output
+        assert "unroll+CSE" in output
+
+    def test_fig4_command_sampled(self, capsys):
+        assert main(["fig4", "--model", "vgg9", "--slices", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "Fig. 4" in output

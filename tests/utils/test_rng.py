@@ -1,0 +1,42 @@
+"""Tests for the seeded RNG helpers."""
+
+import numpy as np
+import pytest
+
+from repro.utils.rng import derive_rng, make_rng
+
+
+class TestMakeRng:
+    def test_none_is_deterministic(self):
+        a = make_rng(None).integers(0, 1000, 10)
+        b = make_rng(None).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_integer_seed_is_deterministic(self):
+        a = make_rng(42).integers(0, 1000, 10)
+        b = make_rng(42).integers(0, 1000, 10)
+        assert np.array_equal(a, b)
+
+    def test_different_seeds_differ(self):
+        a = make_rng(1).integers(0, 1000, 10)
+        b = make_rng(2).integers(0, 1000, 10)
+        assert not np.array_equal(a, b)
+
+    def test_passthrough_generator(self):
+        generator = np.random.default_rng(7)
+        assert make_rng(generator) is generator
+
+
+class TestDeriveRng:
+    def test_streams_are_independent(self):
+        base = make_rng(3)
+        child_a = derive_rng(base, 0)
+        base2 = make_rng(3)
+        child_b = derive_rng(base2, 1)
+        assert not np.array_equal(
+            child_a.integers(0, 1000, 10), child_b.integers(0, 1000, 10)
+        )
+
+    def test_negative_stream_rejected(self):
+        with pytest.raises(ValueError):
+            derive_rng(make_rng(0), -1)

@@ -1,0 +1,54 @@
+"""Tests for argument validation helpers."""
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigurationError, QuantizationError
+from repro.utils import validation
+
+
+class TestScalarChecks:
+    def test_check_positive_accepts(self):
+        validation.check_positive("x", 3)
+
+    def test_check_positive_rejects_zero(self):
+        with pytest.raises(ConfigurationError):
+            validation.check_positive("x", 0)
+
+    def test_check_non_negative_accepts_zero(self):
+        validation.check_non_negative("x", 0)
+
+    def test_check_non_negative_rejects(self):
+        with pytest.raises(ConfigurationError):
+            validation.check_non_negative("x", -1)
+
+    def test_check_in_range(self):
+        validation.check_in_range("x", 5, 0, 10)
+        with pytest.raises(ConfigurationError):
+            validation.check_in_range("x", 11, 0, 10)
+
+    def test_check_probability(self):
+        validation.check_probability("p", 0.5)
+        with pytest.raises(ConfigurationError):
+            validation.check_probability("p", 1.5)
+
+    def test_check_power_of_two(self):
+        validation.check_power_of_two("n", 64)
+        with pytest.raises(ConfigurationError):
+            validation.check_power_of_two("n", 48)
+        with pytest.raises(ConfigurationError):
+            validation.check_power_of_two("n", 0)
+
+
+class TestTernaryCheck:
+    def test_accepts_ternary(self):
+        out = validation.check_ternary(np.array([[1, 0], [-1, 1]]))
+        assert out.dtype == np.int8
+
+    def test_rejects_non_ternary(self):
+        with pytest.raises(QuantizationError):
+            validation.check_ternary(np.array([0, 2]))
+
+    def test_rejects_fractional(self):
+        with pytest.raises(QuantizationError):
+            validation.check_ternary(np.array([0.5, 1.0]))
