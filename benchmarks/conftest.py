@@ -25,6 +25,25 @@ BENCH_SLICE_SAMPLING = 12
 OUTPUT_DIRECTORY = pathlib.Path(__file__).parent / "output"
 
 
+def pytest_addoption(parser):
+    """Benchmark-harness options (``pytest benchmarks --ap-backend=...``)."""
+    from repro.ap.backends import DEFAULT_BACKEND, available_backends
+
+    parser.addoption(
+        "--ap-backend",
+        action="store",
+        default=DEFAULT_BACKEND,
+        choices=available_backends(),
+        help="execution backend used by functional-AP benchmarks",
+    )
+
+
+@pytest.fixture(scope="session")
+def ap_backend(request) -> str:
+    """Execution backend selected for functional-AP benchmark runs."""
+    return request.config.getoption("--ap-backend")
+
+
 def _save_report(name: str, text: str) -> pathlib.Path:
     """Write a benchmark's textual report under ``benchmarks/output/``."""
     OUTPUT_DIRECTORY.mkdir(parents=True, exist_ok=True)

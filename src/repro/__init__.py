@@ -25,6 +25,7 @@ Quickstart::
     print(performance.energy_uj, performance.latency_ms)
 """
 
+from repro.ap.backends import ExecutionBackend, available_backends
 from repro.ap.core import AssociativeProcessor
 from repro.ap.isa import APInstruction, APOpcode, APProgram, ColumnRegion
 from repro.arch.config import APConfig, ArchitectureConfig
@@ -54,6 +55,8 @@ __version__ = "1.0.0"
 
 __all__ = [
     "AssociativeProcessor",
+    "ExecutionBackend",
+    "available_backends",
     "APInstruction",
     "APOpcode",
     "APProgram",

@@ -14,6 +14,9 @@ Public pieces:
   shared by the functional simulator and the analytical performance model.
 * :mod:`repro.ap.core` - the functional AP that executes programs on a
   :class:`~repro.cam.array.CAMArray` and produces bit-exact results.
+* :mod:`repro.ap.backends` - pluggable execution backends: the bit-exact
+  ``reference`` interpreter and the ``vectorized`` NumPy engine, both
+  producing identical results and identical event counters.
 """
 
 from repro.ap.lut import (
@@ -28,6 +31,14 @@ from repro.ap.lut import (
 )
 from repro.ap.isa import APInstruction, APOpcode, APProgram, ColumnRegion
 from repro.ap.cost import InstructionCost, instruction_cost, program_cost
+from repro.ap.backends import (
+    DEFAULT_BACKEND,
+    ExecutionBackend,
+    ReferenceBackend,
+    VectorizedBackend,
+    available_backends,
+    register_backend,
+)
 from repro.ap.core import AssociativeProcessor
 
 __all__ = [
@@ -47,4 +58,10 @@ __all__ = [
     "instruction_cost",
     "program_cost",
     "AssociativeProcessor",
+    "DEFAULT_BACKEND",
+    "ExecutionBackend",
+    "ReferenceBackend",
+    "VectorizedBackend",
+    "available_backends",
+    "register_backend",
 ]

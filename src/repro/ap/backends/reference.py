@@ -1,0 +1,149 @@
+"""Bit-exact interpreter backend (the AP hardware, pass by pass).
+
+This is the original execution engine of
+:class:`~repro.ap.core.AssociativeProcessor`, extracted behind the
+:class:`~repro.ap.backends.base.ExecutionBackend` interface.  Every Table-I
+LUT pass is simulated exactly as the hardware sequences it - one masked
+search over the (carry, B, A) columns followed by one tagged write into the
+result columns - so the primitive event counters accumulate as a physical AP
+would produce them.  It is the semantic ground truth that the faster backends
+are validated against.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.ap.backends.base import ExecutionBackend
+from repro.ap.isa import APInstruction, APOpcode, ColumnRegion
+from repro.ap.lut import LookupTable, get_lut
+from repro.errors import SimulationError
+
+
+class ReferenceBackend(ExecutionBackend):
+    """Masked-search / tagged-write interpreter (bit-serial, word-parallel)."""
+
+    name = "reference"
+
+    # ------------------------------------------------------------------
+    def execute(self, instruction: APInstruction, active_rows: int) -> None:
+        """Execute a single instruction on the current CAM contents."""
+        self._active_rows = active_rows
+        opcode = instruction.opcode
+        if opcode.is_arithmetic:
+            self._execute_arithmetic(instruction)
+        elif opcode is APOpcode.COPY:
+            self._execute_copy(instruction)
+        elif opcode is APOpcode.CLEAR:
+            self._execute_clear(instruction)
+        else:  # pragma: no cover - defensive, enum is closed
+            raise SimulationError(f"unsupported opcode {opcode!r}")
+
+    # ------------------------------------------------------------------
+    # Instruction implementations
+    # ------------------------------------------------------------------
+    def _all_rows_tag(self) -> np.ndarray:
+        tag = np.zeros(self.array.rows, dtype=bool)
+        tag[: self._active_rows] = True
+        return tag
+
+    def _clear_carry(self) -> None:
+        """Reset the carry/borrow column in every active row (one write phase)."""
+        self.array.tagged_write(
+            tag=self._all_rows_tag(),
+            values={self.carry_column: 0},
+            positions={self.carry_column: 0},
+        )
+
+    def _execute_arithmetic(self, instruction: APInstruction) -> None:
+        src_a, src_b = self._prepare_arithmetic(instruction)
+        dest = instruction.dest
+        opcode = instruction.opcode
+
+        if not opcode.is_inplace:
+            # Out-of-place results land in pre-zeroed columns.
+            self.array.clear_operand(dest.column, dest.width, dest.domain_offset)
+            for extra in instruction.extra_dests:
+                self.array.clear_operand(extra.column, extra.width, extra.domain_offset)
+
+        lut = get_lut(opcode.lut_kind, opcode.is_inplace)
+        self._clear_carry()
+
+        for bit in range(instruction.width):
+            self._apply_lut_bit(lut, bit, src_a, src_b, dest, instruction.extra_dests)
+
+    def _apply_lut_bit(
+        self,
+        lut: LookupTable,
+        bit: int,
+        src_a: ColumnRegion,
+        src_b: ColumnRegion,
+        dest: ColumnRegion,
+        extra_dests: Sequence[ColumnRegion],
+    ) -> None:
+        """Run every pass of ``lut`` for one bit position."""
+        pos_a = src_a.bit_position(bit)
+        pos_b = src_b.bit_position(bit)
+        pos_dest = dest.domain_offset + bit
+        if bit >= dest.width:
+            raise SimulationError(
+                f"bit {bit} exceeds destination width {dest.width}"
+            )
+        for entry in lut.entries:
+            carry_bit, b_bit, a_bit = entry.search
+            tag = self.array.masked_search(
+                key={
+                    self.carry_column: carry_bit,
+                    src_b.column: b_bit,
+                    src_a.column: a_bit,
+                },
+                positions={
+                    self.carry_column: 0,
+                    src_b.column: pos_b,
+                    src_a.column: pos_a,
+                },
+            )
+            # Only rows holding valid data participate.
+            tag &= self._all_rows_tag()
+            if not tag.any():
+                continue
+            carry_value, result_value = entry.write
+            if lut.inplace:
+                values = {self.carry_column: carry_value, src_b.column: result_value}
+                positions = {self.carry_column: 0, src_b.column: pos_b}
+            else:
+                values = {self.carry_column: carry_value, dest.column: result_value}
+                positions = {self.carry_column: 0, dest.column: pos_dest}
+                for extra in extra_dests:
+                    values[extra.column] = result_value
+                    positions[extra.column] = extra.domain_offset + bit
+            self.array.tagged_write(tag=tag, values=values, positions=positions)
+
+    def _execute_copy(self, instruction: APInstruction) -> None:
+        src = instruction.src_a
+        assert src is not None
+        dests = instruction.all_dests
+        for bit in range(instruction.width):
+            pos_src = src.bit_position(bit)
+            for bit_value in (1, 0):
+                tag = self.array.masked_search(
+                    key={src.column: bit_value}, positions={src.column: pos_src}
+                )
+                tag &= self._all_rows_tag()
+                if not tag.any():
+                    continue
+                values = {d.column: bit_value for d in dests}
+                positions = {d.column: d.domain_offset + bit for d in dests}
+                self.array.tagged_write(tag=tag, values=values, positions=positions)
+
+    def _execute_clear(self, instruction: APInstruction) -> None:
+        tag = self._all_rows_tag()
+        for dest in instruction.all_dests:
+            for bit in range(dest.width):
+                self.array.tagged_write(
+                    tag=tag,
+                    values={dest.column: 0},
+                    positions={dest.column: dest.domain_offset + bit},
+                )

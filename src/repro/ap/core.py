@@ -1,37 +1,50 @@
 """Functional associative processor.
 
 :class:`AssociativeProcessor` executes :class:`~repro.ap.isa.APProgram`
-streams on a :class:`~repro.cam.array.CAMArray`, bit-serially and
-word-parallel across the rows, using exactly the masked-search / tagged-write
-passes of the Table-I LUTs.  The results are bit-exact two's-complement
-integers, which is what lets the library demonstrate that the RTM-AP retains
-software accuracy: the hardware performs exact integer arithmetic, so the
-compiled network computes the same numbers as the quantized software
-reference.
+streams on a :class:`~repro.cam.array.CAMArray`.  The results are bit-exact
+two's-complement integers, which is what lets the library demonstrate that
+the RTM-AP retains software accuracy: the hardware performs exact integer
+arithmetic, so the compiled network computes the same numbers as the
+quantized software reference.
+
+Instruction semantics are provided by a pluggable execution backend
+(:mod:`repro.ap.backends`).  The default ``reference`` backend interprets
+the masked-search / tagged-write passes of the Table-I LUTs exactly as the
+hardware sequences them; the ``vectorized`` backend computes the same
+results word-parallel across rows and bit-parallel per LUT pass while
+charging identical :class:`~repro.cam.stats.CAMStats` event counts, so
+energy/latency numbers never depend on the backend choice.
 """
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence
 
 import numpy as np
 
+from repro.ap.backends import DEFAULT_BACKEND, BackendSpec, create_backend
 from repro.ap.isa import APInstruction, APOpcode, APProgram, ColumnRegion
-from repro.ap.lut import LookupTable, get_lut
 from repro.cam.array import CAMArray
 from repro.cam.stats import CAMStats
-from repro.errors import CapacityError, CompilationError, SimulationError
+from repro.errors import CapacityError, SimulationError
 from repro.rtm.timing import RTMTechnology
 
 
 class AssociativeProcessor:
     """One AP: a CAM array plus the controller that sequences LUT passes.
 
+    Instruction semantics live in a pluggable execution backend (see
+    :mod:`repro.ap.backends`): the default ``reference`` backend interprets
+    every masked-search/tagged-write pass, while ``vectorized`` computes the
+    same results word-parallel with identical event accounting.
+
     Args:
         rows: CAM rows (SIMD lanes, i.e. output spatial positions).
         columns: CAM columns (operand registers).
         technology: RTM figures of merit.
         carry_column: column reserved for the carry/borrow bit.
+        backend: execution backend name (``"reference"``/``"vectorized"``)
+            or an :class:`~repro.ap.backends.ExecutionBackend` subclass.
     """
 
     def __init__(
@@ -40,6 +53,7 @@ class AssociativeProcessor:
         columns: int = 256,
         technology: Optional[RTMTechnology] = None,
         carry_column: int = 0,
+        backend: BackendSpec = DEFAULT_BACKEND,
     ) -> None:
         self.technology = technology or RTMTechnology()
         self.array = CAMArray(rows=rows, columns=columns, technology=self.technology)
@@ -48,6 +62,7 @@ class AssociativeProcessor:
                 f"carry column {carry_column} outside the {columns}-column array"
             )
         self.carry_column = carry_column
+        self.backend = create_backend(backend, self.array, carry_column)
         #: Number of rows holding valid data (defaults to all rows).
         self.active_rows = rows
 
@@ -158,149 +173,7 @@ class AssociativeProcessor:
 
     def execute(self, instruction: APInstruction) -> None:
         """Execute a single instruction on the current CAM contents."""
-        opcode = instruction.opcode
-        if opcode.is_arithmetic:
-            self._execute_arithmetic(instruction)
-        elif opcode is APOpcode.COPY:
-            self._execute_copy(instruction)
-        elif opcode is APOpcode.CLEAR:
-            self._execute_clear(instruction)
-        else:  # pragma: no cover - defensive, enum is closed
-            raise SimulationError(f"unsupported opcode {opcode!r}")
-
-    # ------------------------------------------------------------------
-    # Instruction implementations
-    # ------------------------------------------------------------------
-    def _all_rows_tag(self) -> np.ndarray:
-        tag = np.zeros(self.rows, dtype=bool)
-        tag[: self.active_rows] = True
-        return tag
-
-    def _clear_carry(self) -> None:
-        """Reset the carry/borrow column in every active row (one write phase)."""
-        self.array.tagged_write(
-            tag=self._all_rows_tag(),
-            values={self.carry_column: 0},
-            positions={self.carry_column: 0},
-        )
-
-    def _execute_arithmetic(self, instruction: APInstruction) -> None:
-        src_a = instruction.src_a
-        src_b = instruction.src_b
-        dest = instruction.dest
-        opcode = instruction.opcode
-        assert src_a is not None and src_b is not None
-
-        if src_a.column == src_b.column:
-            raise CompilationError(
-                f"AP arithmetic needs distinct source columns, got column "
-                f"{src_a.column} twice ({instruction.comment!r})"
-            )
-        if opcode.lut_kind == "add" and opcode.is_inplace and dest == src_a:
-            # The in-place adder overwrites operand B; addition is commutative
-            # so swap the sources when the compiler chose to overwrite src_a.
-            src_a, src_b = src_b, src_a
-        if opcode.is_inplace and dest != src_b:
-            raise CompilationError(
-                f"in-place {opcode.lut_kind} must overwrite its B operand "
-                f"({instruction.comment!r})"
-            )
-        if not opcode.is_inplace:
-            overlapping = {dest.column} & {src_a.column, src_b.column}
-            if overlapping:
-                raise CompilationError(
-                    f"out-of-place destination column {overlapping} overlaps a "
-                    f"source ({instruction.comment!r})"
-                )
-            # Out-of-place results land in pre-zeroed columns.
-            self.array.clear_operand(dest.column, dest.width, dest.domain_offset)
-            for extra in instruction.extra_dests:
-                self.array.clear_operand(extra.column, extra.width, extra.domain_offset)
-        elif instruction.extra_dests:
-            raise CompilationError(
-                "multi-destination writes are only supported for out-of-place "
-                f"operations ({instruction.comment!r})"
-            )
-
-        lut = get_lut(opcode.lut_kind, opcode.is_inplace)
-        self._clear_carry()
-
-        for bit in range(instruction.width):
-            self._apply_lut_bit(lut, bit, src_a, src_b, dest, instruction.extra_dests)
-
-    def _apply_lut_bit(
-        self,
-        lut: LookupTable,
-        bit: int,
-        src_a: ColumnRegion,
-        src_b: ColumnRegion,
-        dest: ColumnRegion,
-        extra_dests: Sequence[ColumnRegion],
-    ) -> None:
-        """Run every pass of ``lut`` for one bit position."""
-        pos_a = src_a.bit_position(bit)
-        pos_b = src_b.bit_position(bit)
-        pos_dest = dest.domain_offset + bit
-        if bit >= dest.width:
-            raise SimulationError(
-                f"bit {bit} exceeds destination width {dest.width}"
-            )
-        for entry in lut.entries:
-            carry_bit, b_bit, a_bit = entry.search
-            tag = self.array.masked_search(
-                key={
-                    self.carry_column: carry_bit,
-                    src_b.column: b_bit,
-                    src_a.column: a_bit,
-                },
-                positions={
-                    self.carry_column: 0,
-                    src_b.column: pos_b,
-                    src_a.column: pos_a,
-                },
-            )
-            # Only rows holding valid data participate.
-            tag &= self._all_rows_tag()
-            if not tag.any():
-                continue
-            carry_value, result_value = entry.write
-            if lut.inplace:
-                values = {self.carry_column: carry_value, src_b.column: result_value}
-                positions = {self.carry_column: 0, src_b.column: pos_b}
-            else:
-                values = {self.carry_column: carry_value, dest.column: result_value}
-                positions = {self.carry_column: 0, dest.column: pos_dest}
-                for extra in extra_dests:
-                    values[extra.column] = result_value
-                    positions[extra.column] = extra.domain_offset + bit
-            self.array.tagged_write(tag=tag, values=values, positions=positions)
-
-    def _execute_copy(self, instruction: APInstruction) -> None:
-        src = instruction.src_a
-        assert src is not None
-        dests = instruction.all_dests
-        for bit in range(instruction.width):
-            pos_src = src.bit_position(bit)
-            for bit_value in (1, 0):
-                tag = self.array.masked_search(
-                    key={src.column: bit_value}, positions={src.column: pos_src}
-                )
-                tag &= self._all_rows_tag()
-                if not tag.any():
-                    continue
-                values = {d.column: bit_value for d in dests}
-                positions = {d.column: d.domain_offset + bit for d in dests}
-                self.array.tagged_write(tag=tag, values=values, positions=positions)
-
-    def _execute_clear(self, instruction: APInstruction) -> None:
-        tag = self._all_rows_tag()
-        for dest in instruction.all_dests:
-            for bit in range(dest.width):
-                self.array.tagged_write(
-                    tag=tag,
-                    values={dest.column: 0},
-                    positions={dest.column: dest.domain_offset + bit},
-                )
+        self.backend.execute(instruction, self.active_rows)
 
     # ------------------------------------------------------------------
     # Convenience single-op helpers (used by tests and examples)

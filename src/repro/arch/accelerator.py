@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro.ap.backends import DEFAULT_BACKEND, BackendSpec
 from repro.ap.core import AssociativeProcessor
 from repro.arch.config import ArchitectureConfig
 from repro.arch.interconnect import InterconnectModel, TransferScope
@@ -57,15 +58,20 @@ class Accelerator:
         config: architecture configuration (hierarchy shape, CAM geometry).
         interconnect: optional interconnect model; derived from the
             configuration when omitted.
+        backend: execution backend used by every lazily created functional
+            AP (see :mod:`repro.ap.backends`); event accounting is
+            backend-independent, so this only changes simulation speed.
     """
 
     def __init__(
         self,
         config: Optional[ArchitectureConfig] = None,
         interconnect: Optional[InterconnectModel] = None,
+        backend: BackendSpec = DEFAULT_BACKEND,
     ) -> None:
         self.config = config or ArchitectureConfig()
         self.interconnect = interconnect or InterconnectModel.from_architecture(self.config)
+        self.backend = backend
         self.banks: List[Bank] = [
             Bank(
                 bank_index=bank,
@@ -117,6 +123,7 @@ class Accelerator:
                 rows=self.config.ap.rows,
                 columns=self.config.ap.columns,
                 technology=self.config.technology,
+                backend=self.backend,
             )
         return self._functional_aps[address]
 

@@ -98,6 +98,31 @@ class CAMArray:
             self._port_positions[column] = position
         return steps
 
+    def align_run(self, column: int, first: int, last: int) -> int:
+        """Account a monotonic alignment run ``first -> last`` on one column.
+
+        Equivalent to calling :meth:`align` for every position of a
+        non-decreasing sequence starting at ``first`` and ending at ``last``
+        (the access pattern of bit-serial execution), but in O(1): the step
+        count is ``|first - port| + (last - first)``.  Used by vectorized
+        backends to charge shift events without replaying every position.
+
+        Returns the number of lockstep shift steps performed.
+        """
+        self._check_column(column)
+        self._check_domain(first)
+        self._check_domain(last)
+        if last < first:
+            raise SimulationError(
+                f"align_run needs first <= last, got {first} > {last}"
+            )
+        steps = int(abs(first - self._port_positions[column])) + (last - first)
+        if steps:
+            self.stats.lockstep_shift_steps += steps
+            self.stats.track_shifts += steps * self.rows
+            self._port_positions[column] = last
+        return steps
+
     def port_position(self, column: int) -> int:
         """Domain currently aligned at the access ports of ``column``."""
         self._check_column(column)
@@ -241,6 +266,74 @@ class CAMArray:
         ]
         self.stats.read_bits += num_rows * bitwidth
         return bit_matrix_to_vector(bit_matrix, signed=signed)
+
+    # ------------------------------------------------------------------
+    # Backend-internal state access (no hardware events)
+    # ------------------------------------------------------------------
+    def peek_operand_bits(
+        self,
+        column: int,
+        bitwidth: int,
+        domain_offset: int = 0,
+        num_rows: Optional[int] = None,
+    ) -> np.ndarray:
+        """Observe an operand region's raw bits without modelling any event.
+
+        Execution backends that compute results word-parallel use this to
+        inspect the model state; they remain responsible for accounting the
+        search/write/shift events the modelled hardware would have performed.
+        Returns a read-only ``(num_rows, bitwidth)`` uint8 view (LSB first).
+        """
+        self._check_column(column)
+        num_rows = self.rows if num_rows is None else num_rows
+        if not (0 <= num_rows <= self.rows):
+            raise CapacityError(
+                f"cannot peek {num_rows} rows from a CAM with {self.rows} rows"
+            )
+        if domain_offset < 0 or domain_offset + bitwidth > self.domains:
+            raise CapacityError(
+                f"operand of {bitwidth} bits at domain offset {domain_offset} "
+                f"exceeds {self.domains} domains per cell"
+            )
+        view = self._bits[:num_rows, column, domain_offset : domain_offset + bitwidth]
+        view = view.view()
+        view.flags.writeable = False
+        return view
+
+    def poke_operand_bits(
+        self,
+        column: int,
+        bits: np.ndarray,
+        domain_offset: int = 0,
+        row_offset: int = 0,
+    ) -> None:
+        """Overwrite an operand region's raw bits without modelling any event.
+
+        Counterpart of :meth:`peek_operand_bits` for execution backends: the
+        caller has already accounted the tagged-write events analytically and
+        commits the resulting state in bulk.  ``bits`` must be a
+        ``(num_rows, bitwidth)`` 0/1 matrix (LSB first).
+        """
+        self._check_column(column)
+        bits = np.asarray(bits, dtype=np.uint8)
+        if bits.ndim != 2:
+            raise SimulationError(f"expected a 2-D bit matrix, got shape {bits.shape}")
+        num_rows, bitwidth = bits.shape
+        if row_offset < 0 or row_offset + num_rows > self.rows:
+            raise CapacityError(
+                f"cannot poke {num_rows} rows at offset {row_offset} in a CAM "
+                f"with {self.rows} rows"
+            )
+        if domain_offset < 0 or domain_offset + bitwidth > self.domains:
+            raise CapacityError(
+                f"operand of {bitwidth} bits at domain offset {domain_offset} "
+                f"exceeds {self.domains} domains per cell"
+            )
+        self._bits[
+            row_offset : row_offset + num_rows,
+            column,
+            domain_offset : domain_offset + bitwidth,
+        ] = bits
 
     def peek_bit(self, row: int, column: int, position: int) -> int:
         """Observe one stored bit without modelling any hardware event."""

@@ -7,7 +7,8 @@ regenerated without writing Python:
 * ``table2``    - regenerate Table II,
 * ``fig4``      - regenerate the Fig. 4 layer-by-layer comparison,
 * ``accuracy``  - run the accuracy-vs-precision experiment,
-* ``endurance`` - print the write-endurance analysis.
+* ``endurance`` - print the write-endurance analysis,
+* ``apbench``   - benchmark / cross-validate the AP execution backends.
 """
 
 from __future__ import annotations
@@ -15,6 +16,7 @@ from __future__ import annotations
 import argparse
 from typing import List, Optional, Sequence
 
+from repro.ap.backends import available_backends
 from repro.core.compiler import CompilerConfig, compile_model
 from repro.core.frontend import specs_for_network
 from repro.core.report import compare_configurations
@@ -64,6 +66,24 @@ def build_parser() -> argparse.ArgumentParser:
     accuracy_parser.add_argument("--seed", type=int, default=5)
 
     subparsers.add_parser("endurance", help="write-endurance analysis")
+
+    apbench_parser = subparsers.add_parser(
+        "apbench",
+        help="benchmark the functional AP execution backends against each other",
+    )
+    apbench_parser.add_argument(
+        "--backend",
+        choices=available_backends() + ["all"],
+        default="all",
+        help="execution backend to run (default: all, with cross-validation)",
+    )
+    apbench_parser.add_argument("--rows", type=int, default=256,
+                                help="active CAM rows (SIMD lanes)")
+    apbench_parser.add_argument("--instructions", type=int, default=120,
+                                help="length of the randomized AP program")
+    apbench_parser.add_argument("--seed", type=int, default=0)
+    apbench_parser.add_argument("--repeats", type=int, default=3,
+                                help="timing repetitions (best run is reported)")
     return parser
 
 
@@ -141,12 +161,68 @@ def _run_endurance(_: argparse.Namespace) -> str:
     )
 
 
+def _run_apbench(arguments: argparse.Namespace) -> str:
+    from repro.ap.backends.harness import benchmark_backends, compare_runs
+    from repro.perf.model import PerformanceModelConfig, crosscheck_cost_model
+
+    backends = (
+        available_backends() if arguments.backend == "all" else [arguments.backend]
+    )
+    columns = 32
+    runs = benchmark_backends(
+        backends,
+        rows=arguments.rows,
+        columns=columns,
+        num_instructions=arguments.instructions,
+        seed=arguments.seed,
+        repeats=arguments.repeats,
+    )
+    baseline = runs.get("reference") or next(iter(runs.values()))
+    rows = []
+    for name, run in runs.items():
+        crosscheck = crosscheck_cost_model(
+            rows=arguments.rows,
+            config=PerformanceModelConfig(execution_backend=name),
+            seed=arguments.seed,
+        )
+        rows.append(
+            [
+                name,
+                f"{run.duration_s * 1e3:.2f}",
+                f"{arguments.instructions / run.duration_s:.0f}",
+                f"{baseline.duration_s / run.duration_s:.2f}x",
+                run.stats.total_phases,
+                "yes" if crosscheck.consistent else "NO",
+            ]
+        )
+    lines = [
+        format_table(
+            ["backend", "runtime (ms)", "instr/s", "speedup", "phases", "cost model ok"],
+            rows,
+            title=(
+                f"AP backend benchmark: {arguments.instructions} random "
+                f"instructions on {arguments.rows} rows (seed {arguments.seed})"
+            ),
+        )
+    ]
+    if len(backends) > 1:
+        # The benchmark runs already captured outputs, stats and final CAM
+        # state per backend; cross-validate those snapshots directly.
+        verdicts = [
+            compare_runs(runs[backends[0]], runs[candidate]).describe()
+            for candidate in backends[1:]
+        ]
+        lines.append("cross-validation: " + "; ".join(verdicts))
+    return "\n".join(lines)
+
+
 _COMMANDS = {
     "compile": _run_compile,
     "table2": _run_table2,
     "fig4": _run_fig4,
     "accuracy": _run_accuracy,
     "endurance": _run_endurance,
+    "apbench": _run_apbench,
 }
 
 

@@ -63,6 +63,11 @@ class PerformanceModelConfig:
     #: multiple images per layer"); reported energy/latency stay per-batch,
     #: use ``ModelPerformance.latency_per_image_ms`` for per-image figures.
     batch_size: int = 1
+    #: Execution backend used whenever the analytical expectations are
+    #: cross-checked against functional simulation (see
+    #: :func:`crosscheck_cost_model`).  The analytic numbers themselves are
+    #: backend-independent - every backend emits identical event counts.
+    execution_backend: str = "reference"
 
 
 def _arith_cost(
@@ -380,4 +385,96 @@ def evaluate_model(
         layers=layers,
         allocation=allocation_plan,
         batch_size=config.batch_size,
+    )
+
+
+# ----------------------------------------------------------------------
+# Functional cross-check of the analytical cost model
+# ----------------------------------------------------------------------
+@dataclass
+class CostModelCrosscheck:
+    """Exact functional event counts vs. the analytic expectation.
+
+    Search phases are data-independent, so ``search_phases_exact`` must hold
+    for any correct backend; write phases depend on which LUT passes fire and
+    are bounded above by the analytic count (which assumes no pass is ever
+    skipped).
+    """
+
+    backend: str
+    width: int
+    rows: int
+    measured_search_phases: int
+    measured_write_phases: int
+    predicted_search_phases: int
+    predicted_write_phases: int
+    measured_energy_fj: float
+    predicted_energy_fj: float
+
+    @property
+    def search_phases_exact(self) -> bool:
+        """Analytic search-phase count equals the functional count."""
+        return self.measured_search_phases == self.predicted_search_phases
+
+    @property
+    def write_phases_bounded(self) -> bool:
+        """Functional write phases never exceed the analytic expectation."""
+        return self.measured_write_phases <= self.predicted_write_phases
+
+    @property
+    def consistent(self) -> bool:
+        """True when the functional run stays within the model's envelope."""
+        return self.search_phases_exact and self.write_phases_bounded
+
+
+def crosscheck_cost_model(
+    width: int = 8,
+    rows: int = 64,
+    config: Optional[PerformanceModelConfig] = None,
+    architecture: Optional[ArchitectureConfig] = None,
+    seed: int = 0,
+) -> CostModelCrosscheck:
+    """Validate the analytic per-instruction costs against a functional AP.
+
+    Runs one representative in-place and one out-of-place addition on random
+    operands using ``config.execution_backend`` and compares the exact event
+    counters with :func:`repro.ap.cost.instruction_cost`.  Because every
+    execution backend must produce identical counters, this doubles as a
+    quick calibration check when switching backends.
+    """
+    import numpy as np
+
+    from repro.ap.core import AssociativeProcessor
+
+    config = config or PerformanceModelConfig()
+    architecture = architecture or ArchitectureConfig()
+    technology = architecture.technology
+    rng = np.random.default_rng(seed)
+
+    ap = AssociativeProcessor(
+        rows=rows,
+        columns=8,
+        technology=technology,
+        backend=config.execution_backend,
+    )
+    half = 1 << (width - 2)
+    a = rng.integers(-half, half, rows)
+    b = rng.integers(-half, half, rows)
+    ap.add_vectors(a, b, width=width, inplace=True)
+    ap.add_vectors(a, b, width=width, inplace=False)
+    measured = ap.reset_stats()
+
+    predicted = _arith_cost(width, rows, True, config.match_probability).merge(
+        _arith_cost(width, rows, False, config.match_probability)
+    )
+    return CostModelCrosscheck(
+        backend=ap.backend.name,
+        width=width,
+        rows=rows,
+        measured_search_phases=measured.search_phases,
+        measured_write_phases=measured.write_phases,
+        predicted_search_phases=predicted.search_phases,
+        predicted_write_phases=predicted.write_phases,
+        measured_energy_fj=measured.energy_fj(technology),
+        predicted_energy_fj=predicted.energy_fj(technology),
     )

@@ -126,11 +126,65 @@ def vector_to_bit_matrix(values: Iterable[int], width: int) -> np.ndarray:
     row ``i`` holds the bits of ``values[i]`` with column 0 being the LSB.
     This is the layout used to load operands column-by-column into the CAM.
     """
-    values = list(values)
-    out = np.zeros((len(values), width), dtype=np.uint8)
-    for i, value in enumerate(values):
-        out[i, :] = int_to_bits(int(value), width)
-    return out
+    _check_width(width)
+    array = np.asarray(values if isinstance(values, np.ndarray) else list(values))
+    if array.dtype.kind not in "iu" or width > 62:
+        # Exotic inputs (objects, floats, >62-bit words) take the exact
+        # per-element path; the int64 fast path below covers the simulator.
+        array = [int(value) for value in np.ravel(array)]
+        out = np.zeros((len(array), width), dtype=np.uint8)
+        for index, value in enumerate(array):
+            out[index, :] = int_to_bits(value, width)
+        return out
+    lo, hi = min_signed_value(width), max_signed_value(width)
+    if array.dtype.kind == "u":
+        # Check before the int64 cast: large unsigned values must raise, not
+        # wrap around into the valid signed range.
+        bad = array > hi
+        if bad.any():
+            value = int(array[bad][0])
+            raise QuantizationError(
+                f"value {value} does not fit in {width}-bit two's complement "
+                f"[{lo}, {hi}]"
+            )
+    array = array.astype(np.int64)
+    bad = (array < lo) | (array > hi)
+    if bad.any():
+        value = int(array[bad][0])
+        raise QuantizationError(
+            f"value {value} does not fit in {width}-bit two's complement [{lo}, {hi}]"
+        )
+    shifts = np.arange(width, dtype=np.int64)
+    return ((array[:, None] >> shifts) & 1).astype(np.uint8)
+
+
+#: Cached bit-weight vectors (``1 << k``) per width, shared by the packers.
+_BIT_WEIGHTS: dict = {}
+
+
+def _bit_weights(width: int) -> np.ndarray:
+    weights = _BIT_WEIGHTS.get(width)
+    if weights is None:
+        weights = _BIT_WEIGHTS[width] = np.int64(1) << np.arange(
+            width, dtype=np.int64
+        )
+    return weights
+
+
+def pack_bits_int64(bits: np.ndarray, signed: bool = True) -> np.ndarray:
+    """Fast-path decode of a *validated* LSB-first bit matrix (width <= 62).
+
+    Performs no 0/1 validation - callers own that invariant (the CAM stores
+    uint8 0/1 cells).  This is the single home of the vectorized
+    two's-complement decode, shared by :func:`bit_matrix_to_vector` and the
+    vectorized execution backend.
+    """
+    width = bits.shape[1]
+    code = bits @ _bit_weights(width)
+    if signed and width:
+        # Decode: subtract the weight of the sign bit twice.
+        return code - (bits[:, width - 1].astype(np.int64) << np.int64(width))
+    return code
 
 
 def bit_matrix_to_vector(bits: np.ndarray, signed: bool = True) -> np.ndarray:
@@ -139,10 +193,20 @@ def bit_matrix_to_vector(bits: np.ndarray, signed: bool = True) -> np.ndarray:
     if bits.ndim != 2:
         raise ValueError(f"expected 2-D bit matrix, got shape {bits.shape}")
     n, width = bits.shape
-    out = np.zeros(n, dtype=np.int64)
-    for i in range(n):
-        out[i] = bits_to_int(bits[i, :], signed=signed)
-    return out
+    if width == 0 and n:
+        raise ValueError("empty bit vector")
+    if width > 62:
+        out = np.zeros(n, dtype=np.int64)
+        for i in range(n):
+            out[i] = bits_to_int(bits[i, :], signed=signed)
+        return out
+    bits = bits.astype(np.int64)
+    if np.any((bits != 0) & (bits != 1)):
+        row = int(np.nonzero(np.any((bits != 0) & (bits != 1), axis=1))[0][0])
+        raise ValueError(
+            f"bit vector must contain only 0/1, got {[int(b) for b in bits[row]]}"
+        )
+    return pack_bits_int64(bits, signed=signed)
 
 
 def _check_width(width: int) -> None:

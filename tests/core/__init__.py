@@ -1,0 +1,1 @@
+"""Test package (needed so duplicate basenames like test_stats.py collect cleanly)."""

@@ -115,3 +115,32 @@ class TestBitVectors:
     def test_bit_matrix_to_vector_rejects_1d(self):
         with pytest.raises(ValueError):
             bitops.bit_matrix_to_vector(np.zeros(4))
+
+    def test_vector_to_bit_matrix_rejects_out_of_range(self):
+        with pytest.raises(QuantizationError):
+            bitops.vector_to_bit_matrix([16], 5)
+        with pytest.raises(QuantizationError):
+            bitops.vector_to_bit_matrix([-17], 5)
+
+    def test_vector_to_bit_matrix_rejects_huge_unsigned(self):
+        """uint64 values beyond int64 must raise, not wrap into range."""
+        with pytest.raises(QuantizationError):
+            bitops.vector_to_bit_matrix(np.array([2**64 - 1], dtype=np.uint64), 8)
+        with pytest.raises(QuantizationError):
+            bitops.vector_to_bit_matrix([2**64 - 1], 8)
+
+    def test_vector_to_bit_matrix_non_integer_values(self):
+        matrix = bitops.vector_to_bit_matrix([3.0, -2.0], 4)
+        assert list(bitops.bit_matrix_to_vector(matrix)) == [3, -2]
+
+    def test_wide_words_roundtrip(self):
+        values = [-(2**63), 2**63 - 1, 0, -1]
+        matrix = bitops.vector_to_bit_matrix(values, 64)
+        assert list(bitops.bit_matrix_to_vector(matrix, signed=True)) == values
+
+    def test_pack_bits_int64_matches_decoder(self):
+        matrix = bitops.vector_to_bit_matrix([-8, -1, 0, 3, 7], 5)
+        assert list(bitops.pack_bits_int64(matrix)) == [-8, -1, 0, 3, 7]
+        assert list(bitops.pack_bits_int64(matrix, signed=False)) == [
+            24, 31, 0, 3, 7,
+        ]
