@@ -25,14 +25,13 @@ from repro.eval.reporting import format_table
 ROWS = 256
 COLUMNS = 32
 INSTRUCTIONS = 120
-SEED = 0
 
 #: Minimum reference/vectorized runtime ratio accepted by the gate.
 REQUIRED_SPEEDUP = 3.0
 
 
-def test_backend_equivalence_on_benchmark_workload():
-    rng = np.random.default_rng(SEED)
+def test_backend_equivalence_on_benchmark_workload(ap_seed):
+    rng = np.random.default_rng(ap_seed)
     program = random_program(rng, num_instructions=INSTRUCTIONS, columns=COLUMNS)
     inputs = random_inputs(program, ROWS, rng)
     comparison = compare_backends(
@@ -41,19 +40,19 @@ def test_backend_equivalence_on_benchmark_workload():
     assert comparison.equivalent, comparison.describe()
 
 
-def test_backend_speedup(benchmark, save_report, ap_backend):
+def test_backend_speedup(benchmark, save_report, ap_backend, ap_seed):
     runs = benchmark_backends(
         available_backends(),
         rows=ROWS,
         columns=COLUMNS,
         num_instructions=INSTRUCTIONS,
-        seed=SEED,
+        seed=ap_seed,
         repeats=3,
     )
 
     # The pytest-benchmark timing tracks the backend selected on the command
     # line (--ap-backend); the speedup gate below always compares both.
-    rng = np.random.default_rng(SEED)
+    rng = np.random.default_rng(ap_seed)
     program = random_program(rng, num_instructions=INSTRUCTIONS, columns=COLUMNS)
     inputs = random_inputs(program, ROWS, rng)
 

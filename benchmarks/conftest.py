@@ -36,12 +36,26 @@ def pytest_addoption(parser):
         choices=available_backends(),
         help="execution backend used by functional-AP benchmarks",
     )
+    parser.addoption(
+        "--ap-seed",
+        action="store",
+        type=int,
+        default=0,
+        help="seed of the randomized functional-AP workloads (same seed = "
+             "byte-identical programs, inputs and event counters)",
+    )
 
 
 @pytest.fixture(scope="session")
 def ap_backend(request) -> str:
     """Execution backend selected for functional-AP benchmark runs."""
     return request.config.getoption("--ap-backend")
+
+
+@pytest.fixture(scope="session")
+def ap_seed(request) -> int:
+    """Workload seed selected for functional-AP benchmark runs."""
+    return request.config.getoption("--ap-seed")
 
 
 def _save_report(name: str, text: str) -> pathlib.Path:

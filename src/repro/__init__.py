@@ -9,6 +9,9 @@ The library implements the paper's full stack:
 * the compilation flow that lowers ternary-weight convolutions to AP
   instruction streams - constant folding, CSE, bit-width annotation, DFG
   scheduling, column allocation and code generation (:mod:`repro.core`),
+* the execution-plan runtime that functionally simulates whole networks on
+  many APs at once - serial or parallel executors, deterministic counters
+  (:mod:`repro.runtime`),
 * the NumPy neural-network substrate and model zoo (:mod:`repro.nn`),
 * the crossbar (DNN+NeuroSim-style) and DeepCAM-style baselines
   (:mod:`repro.baselines`),
@@ -25,9 +28,10 @@ Quickstart::
     print(performance.energy_uj, performance.latency_ms)
 """
 
-from repro.ap.backends import ExecutionBackend, available_backends
+from repro.ap.backends import DEFAULT_BACKEND, ExecutionBackend, available_backends
 from repro.ap.core import AssociativeProcessor
 from repro.ap.isa import APInstruction, APOpcode, APProgram, ColumnRegion
+from repro.arch.accelerator import Accelerator, APAddress
 from repro.arch.config import APConfig, ArchitectureConfig
 from repro.baselines.crossbar import CrossbarConfig, evaluate_crossbar_model
 from repro.baselines.deepcam import DeepCAMConfig, evaluate_deepcam_model
@@ -48,15 +52,39 @@ from repro.eval.table2 import generate_table2
 from repro.nn.models.registry import available_models, build_model
 from repro.nn.stats import ConvLayerSpec, model_layer_specs
 from repro.perf.endurance import endurance_report
-from repro.perf.model import PerformanceModelConfig, evaluate_model
+from repro.perf.model import (
+    PerformanceModelConfig,
+    crosscheck_cost_model,
+    crosscheck_execution,
+    evaluate_model,
+)
 from repro.rtm.timing import RTMTechnology
+from repro.runtime import (
+    ExecutionPlan,
+    PlanExecution,
+    Scheduler,
+    available_executors,
+    build_execution_plan,
+    execute_model,
+)
 
 __version__ = "1.0.0"
 
 __all__ = [
     "AssociativeProcessor",
     "ExecutionBackend",
+    "DEFAULT_BACKEND",
     "available_backends",
+    "Accelerator",
+    "APAddress",
+    "ExecutionPlan",
+    "PlanExecution",
+    "Scheduler",
+    "available_executors",
+    "build_execution_plan",
+    "execute_model",
+    "crosscheck_cost_model",
+    "crosscheck_execution",
     "APInstruction",
     "APOpcode",
     "APProgram",

@@ -12,15 +12,20 @@ state *and* :class:`~repro.cam.stats.CAMStats` event counters (see
 Available backends:
 
 * ``reference`` - bit-exact masked-search / tagged-write interpreter (the
-  hardware algorithm, pass by pass).  The default.
+  hardware algorithm, pass by pass).  The semantic ground truth.
 * ``vectorized`` - word-parallel x bit-parallel NumPy execution with
   analytic event accounting; typically an order of magnitude faster.
+  The default.
 
-Third-party backends can be added with :func:`register_backend`.
+The default can be overridden with the ``REPRO_AP_BACKEND`` environment
+variable (CI uses ``REPRO_AP_BACKEND=reference`` to run the whole suite on
+the ground-truth interpreter).  Third-party backends can be added with
+:func:`register_backend`.
 """
 
 from __future__ import annotations
 
+import os
 from typing import Dict, List, Type, Union
 
 from repro.ap.backends.base import ExecutionBackend
@@ -52,8 +57,31 @@ def register_backend(backend_class: Type[ExecutionBackend]) -> Type[ExecutionBac
 register_backend(ReferenceBackend)
 register_backend(VectorizedBackend)
 
+#: Environment variable overriding the default backend choice.
+BACKEND_ENV_VARIABLE = "REPRO_AP_BACKEND"
+
+
+def _default_backend() -> str:
+    """Default backend name, honouring ``REPRO_AP_BACKEND``.
+
+    Backends are byte-identical in outputs, stored state and event counters
+    (enforced by the equivalence suite), so the default is the fast
+    ``vectorized`` implementation; ``reference`` remains the ground truth
+    and can be forced globally through the environment.
+    """
+    name = os.environ.get(BACKEND_ENV_VARIABLE, "").strip()
+    if not name:
+        return VectorizedBackend.name
+    if name not in _BACKENDS:
+        raise ConfigurationError(
+            f"{BACKEND_ENV_VARIABLE}={name!r} is not a registered execution "
+            f"backend; available: {', '.join(sorted(_BACKENDS))}"
+        )
+    return name
+
+
 #: Name of the backend used when none is requested.
-DEFAULT_BACKEND = ReferenceBackend.name
+DEFAULT_BACKEND = _default_backend()
 
 
 def available_backends() -> List[str]:

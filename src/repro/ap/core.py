@@ -8,10 +8,10 @@ arithmetic, so the compiled network computes the same numbers as the
 quantized software reference.
 
 Instruction semantics are provided by a pluggable execution backend
-(:mod:`repro.ap.backends`).  The default ``reference`` backend interprets
-the masked-search / tagged-write passes of the Table-I LUTs exactly as the
-hardware sequences them; the ``vectorized`` backend computes the same
-results word-parallel across rows and bit-parallel per LUT pass while
+(:mod:`repro.ap.backends`).  The ``reference`` backend interprets the
+masked-search / tagged-write passes of the Table-I LUTs exactly as the
+hardware sequences them; the default ``vectorized`` backend computes the
+same results word-parallel across rows and bit-parallel per LUT pass while
 charging identical :class:`~repro.cam.stats.CAMStats` event counts, so
 energy/latency numbers never depend on the backend choice.
 """
@@ -34,9 +34,9 @@ class AssociativeProcessor:
     """One AP: a CAM array plus the controller that sequences LUT passes.
 
     Instruction semantics live in a pluggable execution backend (see
-    :mod:`repro.ap.backends`): the default ``reference`` backend interprets
-    every masked-search/tagged-write pass, while ``vectorized`` computes the
-    same results word-parallel with identical event accounting.
+    :mod:`repro.ap.backends`): the ``reference`` backend interprets every
+    masked-search/tagged-write pass, while the default ``vectorized`` backend
+    computes the same results word-parallel with identical event accounting.
 
     Args:
         rows: CAM rows (SIMD lanes, i.e. output spatial positions).

@@ -1,23 +1,35 @@
-"""Structural model of the bank / tile / AP hierarchy.
+"""The accelerator: AP provider and runtime host of the bank/tile hierarchy.
 
-The :class:`Accelerator` is mainly an organisational object: it knows how many
-APs exist, how they are grouped, and can lazily instantiate functional
-:class:`~repro.ap.core.AssociativeProcessor` instances for the (small)
-end-to-end runs used in integration tests and examples.  Full-network numbers
-never instantiate the functional APs; they use the analytical model in
-:mod:`repro.perf`.
+The :class:`Accelerator` models the full bank / tile / AP hierarchy (paper
+Fig. 2a) and acts as the execution-plan runtime's AP provider: it keeps a
+pool of functional :class:`~repro.ap.core.AssociativeProcessor` instances
+(leased and reset per tile program), aggregates the
+:class:`~repro.cam.stats.CAMStats` charged by every executed tile per
+``(bank, tile)``, meters interconnect traffic through its
+:class:`~repro.arch.interconnect.InterconnectModel`, and exposes
+:meth:`execute_plan` - the single entry point that runs an
+:class:`~repro.runtime.plan.ExecutionPlan` on a pluggable executor.
+
+Full-network *analytic* numbers still come from :mod:`repro.perf`; the
+functional path here is what validates them at layer granularity
+(:func:`repro.perf.model.crosscheck_execution`).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
 
-from repro.ap.backends import DEFAULT_BACKEND, BackendSpec
+from repro.ap.backends import DEFAULT_BACKEND, BackendSpec, resolve_backend
 from repro.ap.core import AssociativeProcessor
 from repro.arch.config import ArchitectureConfig
-from repro.arch.interconnect import InterconnectModel, TransferScope
+from repro.arch.interconnect import InterconnectModel, TransferCost, TransferScope
+from repro.cam.stats import CAMStats
 from repro.errors import CapacityError
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.runtime.plan import ExecutionPlan
+    from repro.runtime.scheduler import PlanExecution
 
 #: Address of one AP inside the hierarchy: (bank, tile, ap).
 APAddress = Tuple[int, int, int]
@@ -58,8 +70,8 @@ class Accelerator:
         config: architecture configuration (hierarchy shape, CAM geometry).
         interconnect: optional interconnect model; derived from the
             configuration when omitted.
-        backend: execution backend used by every lazily created functional
-            AP (see :mod:`repro.ap.backends`); event accounting is
+        backend: execution backend used by every pooled functional AP (see
+            :mod:`repro.ap.backends`); event accounting is
             backend-independent, so this only changes simulation speed.
     """
 
@@ -86,7 +98,12 @@ class Accelerator:
             )
             for bank in range(self.config.num_banks)
         ]
+        #: Pooled functional APs, keyed by address (leased via lease_ap).
         self._functional_aps: Dict[APAddress, AssociativeProcessor] = {}
+        #: Runtime ledger: exact CAM counters charged per (bank, tile).
+        self._tile_stats: Dict[Tuple[int, int], CAMStats] = {}
+        #: Runtime ledger: interconnect traffic charged per transfer scope.
+        self._movement: Dict[TransferScope, TransferCost] = {}
 
     # ------------------------------------------------------------------
     @property
@@ -111,11 +128,15 @@ class Accelerator:
             raise CapacityError(f"AP {ap} outside [0, {self.config.aps_per_tile})")
 
     # ------------------------------------------------------------------
+    # Pooled AP lifecycle
+    # ------------------------------------------------------------------
     def functional_ap(self, address: APAddress) -> AssociativeProcessor:
-        """Instantiate (or fetch) the functional AP at ``address``.
+        """Instantiate (or fetch) the pooled functional AP at ``address``.
 
         Functional APs are created lazily because a full configuration holds
-        hundreds of arrays and most workflows only simulate a handful.
+        hundreds of arrays and most workflows only simulate a handful.  The
+        returned AP keeps whatever state previous work left in it; use
+        :meth:`lease_ap` for a reset AP sized to a specific workload.
         """
         self.validate_address(address)
         if address not in self._functional_aps:
@@ -127,6 +148,138 @@ class Accelerator:
             )
         return self._functional_aps[address]
 
+    def lease_ap(
+        self,
+        address: APAddress,
+        rows: Optional[int] = None,
+        columns: Optional[int] = None,
+        backend: Optional[BackendSpec] = None,
+    ) -> AssociativeProcessor:
+        """Lease the pooled AP at ``address``, reset and sized for a workload.
+
+        The pool guarantees that a leased AP is indistinguishable from a
+        freshly constructed one: stored bits, port positions and counters are
+        wiped, and a cached instance whose geometry or backend does not match
+        the request is rebuilt.  This is what lets the serial executor reuse
+        pool APs while staying byte-identical to pool workers that build
+        fresh APs in their own process.
+        """
+        self.validate_address(address)
+        rows = rows if rows is not None else self.config.ap.rows
+        columns = columns if columns is not None else self.config.ap.columns
+        backend = backend if backend is not None else self.backend
+        if rows > self.config.ap.rows:
+            raise CapacityError(
+                f"lease of {rows} rows exceeds the {self.config.ap.rows}-row APs "
+                f"of this architecture"
+            )
+        if columns > self.config.ap.columns:
+            raise CapacityError(
+                f"lease of {columns} columns exceeds the "
+                f"{self.config.ap.columns}-column APs of this architecture"
+            )
+        cached = self._functional_aps.get(address)
+        if (
+            cached is None
+            or cached.rows != rows
+            or cached.columns != columns
+            or type(cached.backend) is not resolve_backend(backend)
+        ):
+            cached = AssociativeProcessor(
+                rows=rows,
+                columns=columns,
+                technology=self.config.technology,
+                backend=backend,
+            )
+            self._functional_aps[address] = cached
+        else:
+            cached.array.reset()
+            cached.active_rows = rows
+        return cached
+
+    def release_aps(self) -> int:
+        """Drop every pooled functional AP; returns how many were released."""
+        count = len(self._functional_aps)
+        self._functional_aps.clear()
+        return count
+
+    # ------------------------------------------------------------------
+    # Runtime ledgers: per-tile stats aggregation and interconnect traffic
+    # ------------------------------------------------------------------
+    def record_tile_stats(self, address: APAddress, stats: CAMStats) -> None:
+        """Charge one executed tile program's counters to its (bank, tile)."""
+        self.validate_address(address)
+        key = (address[0], address[1])
+        current = self._tile_stats.get(key)
+        self._tile_stats[key] = stats if current is None else current.merge(stats)
+
+    def tile_stats(self) -> Dict[Tuple[int, int], CAMStats]:
+        """Per-(bank, tile) counters charged by plan execution so far."""
+        return dict(self._tile_stats)
+
+    @property
+    def total_stats(self) -> CAMStats:
+        """Sum of every counter charged by plan execution so far."""
+        total = CAMStats()
+        for stats in self._tile_stats.values():
+            total = total.merge(stats)
+        return total
+
+    def charge_movement(
+        self, bits: float, scope: TransferScope = TransferScope.INTRA_TILE
+    ) -> TransferCost:
+        """Meter one interconnect transfer and add it to the traffic ledger."""
+        cost = self.interconnect.transfer(bits, scope)
+        current = self._movement.get(scope)
+        self._movement[scope] = cost if current is None else current.merge(cost)
+        return cost
+
+    def movement_ledger(self) -> Dict[TransferScope, TransferCost]:
+        """Interconnect traffic charged per scope by plan execution so far."""
+        return dict(self._movement)
+
+    def reset_ledgers(self) -> None:
+        """Clear the per-tile stats and interconnect traffic ledgers."""
+        self._tile_stats.clear()
+        self._movement.clear()
+
+    # ------------------------------------------------------------------
+    # Plan execution
+    # ------------------------------------------------------------------
+    def execute_plan(
+        self,
+        plan: "ExecutionPlan",
+        executor: str = "serial",
+        workers: Optional[int] = None,
+        backend: Optional[str] = None,
+    ) -> "PlanExecution":
+        """Run an execution plan on this accelerator.
+
+        The single runtime entry point: dispatches the plan's tile programs
+        through a :class:`~repro.runtime.scheduler.Scheduler` on the chosen
+        executor and returns the aggregated
+        :class:`~repro.runtime.scheduler.PlanExecution` (counters shaped like
+        :class:`~repro.perf.model.ModelPerformance`).
+
+        Args:
+            plan: output of :func:`repro.runtime.plan.build_execution_plan`.
+            executor: ``"serial"``, ``"parallel"`` (process pool) or
+                ``"thread"``.
+            workers: pool size for parallel executors (default: CPU count).
+            backend: execution backend override; defaults to the
+                accelerator's backend.
+        """
+        from repro.runtime.scheduler import Scheduler
+
+        scheduler = Scheduler(
+            self, executor=executor, workers=workers, backend=backend
+        )
+        try:
+            return scheduler.run(plan)
+        finally:
+            scheduler.close()
+
+    # ------------------------------------------------------------------
     def transfer_scope(self, src: APAddress, dst: APAddress) -> TransferScope:
         """Hierarchy level crossed when moving data from ``src`` to ``dst``."""
         self.validate_address(src)

@@ -18,7 +18,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from repro.arch.config import ArchitectureConfig
-from repro.errors import ConfigurationError
+from repro.errors import CapacityError
 from repro.utils.validation import check_positive
 
 
@@ -130,7 +130,7 @@ def allocate_layer(
     """
     check_positive("available_aps", available_aps)
     if demand.row_tiles > available_aps:
-        raise ConfigurationError(
+        raise CapacityError(
             f"layer {demand.name!r} needs {demand.row_tiles} row tiles but only "
             f"{available_aps} APs are available; enlarge the architecture "
             f"(e.g. ArchitectureConfig.with_total_aps)"

@@ -343,6 +343,17 @@ class CAMArray:
             raise CapacityError(f"row {row} out of range [0, {self.rows})")
         return int(self._bits[row, column, position])
 
+    def reset(self) -> None:
+        """Wipe stored bits, port positions and event counters.
+
+        Restores the array to its just-constructed state so that a pooled
+        array can be leased to a new workload and produce byte-identical
+        results (state *and* counters) to a freshly constructed array.
+        """
+        self._bits.fill(0)
+        self._port_positions.fill(0)
+        self.stats = CAMStats()
+
     def reset_stats(self) -> CAMStats:
         """Return the accumulated counters and reset them to zero."""
         stats = self.stats

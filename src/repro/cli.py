@@ -4,11 +4,16 @@ Exposes the main workflows as commands so the paper's experiments can be
 regenerated without writing Python:
 
 * ``compile``   - compile a benchmark network and print op counts / mapping,
+* ``run``       - functionally execute a network on the plan runtime
+  (serial or parallel executors, layer-granularity cost-model crosscheck),
 * ``table2``    - regenerate Table II,
 * ``fig4``      - regenerate the Fig. 4 layer-by-layer comparison,
 * ``accuracy``  - run the accuracy-vs-precision experiment,
 * ``endurance`` - print the write-endurance analysis,
 * ``apbench``   - benchmark / cross-validate the AP execution backends.
+
+Installed as the ``repro`` console script (``pip install -e .``) and runnable
+as ``python -m repro`` from a source tree (``PYTHONPATH=src``).
 """
 
 from __future__ import annotations
@@ -16,7 +21,8 @@ from __future__ import annotations
 import argparse
 from typing import List, Optional, Sequence
 
-from repro.ap.backends import available_backends
+from repro.ap.backends import DEFAULT_BACKEND, available_backends
+from repro.runtime import available_executors
 from repro.core.compiler import CompilerConfig, compile_model
 from repro.core.frontend import specs_for_network
 from repro.core.report import compare_configurations
@@ -48,6 +54,38 @@ def build_parser() -> argparse.ArgumentParser:
                                 help="sample this many input-channel slices per layer")
     compile_parser.add_argument("--batch", type=int, default=1,
                                 help="images processed per layer pass")
+
+    run_parser = subparsers.add_parser(
+        "run",
+        help="functionally execute a network on the execution-plan runtime",
+    )
+    run_parser.add_argument("--model", choices=available_models(), default="vgg9")
+    run_parser.add_argument("--sparsity", type=float, default=None,
+                            help="ternary weight sparsity (default: the paper's setting)")
+    run_parser.add_argument("--bits", type=int, default=4, help="activation precision")
+    run_parser.add_argument("--slices", type=int, default=2,
+                            help="input-channel slices simulated per layer "
+                                 "(sampling keeps full networks tractable)")
+    run_parser.add_argument("--layers", type=int, default=None,
+                            help="only run the first N layers")
+    run_parser.add_argument(
+        "--executor",
+        choices=available_executors(),
+        default="serial",
+        help="tile-program executor (parallel = process pool)",
+    )
+    run_parser.add_argument("--workers", type=int, default=None,
+                            help="worker count for pool executors (default: CPU count)")
+    run_parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=DEFAULT_BACKEND,
+        help="functional AP execution backend",
+    )
+    run_parser.add_argument("--seed", type=int, default=0,
+                            help="base seed of the deterministic tile inputs")
+    run_parser.add_argument("--no-crosscheck", action="store_true",
+                            help="skip the analytic cost-model crosscheck")
 
     table2_parser = subparsers.add_parser("table2", help="regenerate Table II")
     table2_parser.add_argument("--slices", type=int, default=12)
@@ -120,6 +158,78 @@ def _run_compile(arguments: argparse.Namespace) -> str:
                   f"({arguments.bits}-bit activations, batch {arguments.batch})",
         )
     )
+    return "\n".join(lines)
+
+
+def _run_run(arguments: argparse.Namespace) -> str:
+    from repro.arch.accelerator import Accelerator
+    from repro.perf.model import crosscheck_execution
+    from repro.runtime import build_execution_plan
+
+    specs = specs_for_network(arguments.model, sparsity=arguments.sparsity, rng=0)
+    if arguments.layers is not None:
+        specs = specs[: arguments.layers]
+    compiled = compile_model(
+        specs,
+        CompilerConfig(activation_bits=arguments.bits,
+                       max_slices_per_layer=arguments.slices),
+        name=arguments.model,
+        emit_programs=True,
+    )
+    accelerator = Accelerator(backend=arguments.backend)
+    plan = build_execution_plan(
+        compiled, accelerator=accelerator, base_seed=arguments.seed
+    )
+    execution = accelerator.execute_plan(
+        plan, executor=arguments.executor, workers=arguments.workers
+    )
+
+    rows = [
+        [
+            layer.name,
+            layer.tiles_executed,
+            layer.aps_used,
+            layer.rounds,
+            layer.stats.search_phases,
+            layer.stats.write_phases,
+            f"{layer.energy_uj:.4f}",
+            f"{layer.latency_ms:.5f}",
+        ]
+        for layer in execution.layers
+    ]
+    lines = [
+        plan.describe(),
+        "",
+        format_table(
+            ["layer", "tiles", "APs", "rounds", "search", "write",
+             "energy (uJ)", "latency (ms)"],
+            rows,
+            title=(
+                f"{arguments.model}: functional plan execution "
+                f"({execution.executor} executor, {execution.workers} worker(s), "
+                f"{execution.backend} backend, seed {arguments.seed})"
+            ),
+        ),
+        "",
+        format_table(
+            ["metric", "value"],
+            [
+                ["tile programs executed", plan.num_tiles],
+                ["instructions executed", plan.num_instructions],
+                ["peak APs used", execution.arrays_used],
+                ["functional energy (uJ)", f"{execution.energy_uj:.4f}"],
+                ["functional latency (ms)", f"{execution.latency_ms:.5f}"],
+                ["data-movement share", f"{execution.movement_fraction * 100:.2f}%"],
+                ["output checksum", execution.checksum],
+                ["host wall-clock (s)", f"{execution.wall_time_s:.3f}"],
+            ],
+            title="aggregate (sampled slices; scale factors recorded per layer)",
+        ),
+    ]
+    if not arguments.no_crosscheck:
+        check = crosscheck_execution(plan, execution)
+        lines.append("")
+        lines.append("crosscheck: " + check.describe())
     return "\n".join(lines)
 
 
@@ -218,6 +328,7 @@ def _run_apbench(arguments: argparse.Namespace) -> str:
 
 _COMMANDS = {
     "compile": _run_compile,
+    "run": _run_run,
     "table2": _run_table2,
     "fig4": _run_fig4,
     "accuracy": _run_accuracy,

@@ -53,6 +53,9 @@ class CompilerConfig:
         max_slices_per_layer: when set, only this many input-channel slices
             per layer are compiled and the statistics are scaled up - a
             documented speed/accuracy trade-off used by the large benchmarks.
+            The same sampling applies when programs are emitted
+            (``emit_programs=True``): the runtime's functional plan execution
+            then simulates the sampled subset and records the scale factor.
     """
 
     enable_cse: bool = True
@@ -346,7 +349,6 @@ def compile_layer(
     if (
         config.max_slices_per_layer is not None
         and spec.in_channels > config.max_slices_per_layer
-        and not emit_programs
     ):
         stride = spec.in_channels / config.max_slices_per_layer
         channel_indices = sorted({int(i * stride) for i in range(config.max_slices_per_layer)})

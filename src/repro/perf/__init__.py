@@ -8,9 +8,14 @@ peripherals, data movement), plus the endurance/lifetime analysis of Sec. V-C.
 
 from repro.perf.breakdown import EnergyBreakdown, LatencyBreakdown
 from repro.perf.model import (
+    CostModelCrosscheck,
+    ExecutionCrosscheck,
+    LayerCostCrosscheck,
     LayerPerformance,
     ModelPerformance,
     PerformanceModelConfig,
+    crosscheck_cost_model,
+    crosscheck_execution,
     evaluate_layer,
     evaluate_model,
 )
@@ -19,9 +24,14 @@ from repro.perf.endurance import endurance_report, EnduranceReport
 __all__ = [
     "EnergyBreakdown",
     "LatencyBreakdown",
+    "CostModelCrosscheck",
+    "ExecutionCrosscheck",
+    "LayerCostCrosscheck",
     "LayerPerformance",
     "ModelPerformance",
     "PerformanceModelConfig",
+    "crosscheck_cost_model",
+    "crosscheck_execution",
     "evaluate_layer",
     "evaluate_model",
     "endurance_report",

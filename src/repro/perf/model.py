@@ -28,7 +28,13 @@ import math
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
-from repro.ap.cost import DEFAULT_MATCH_PROBABILITY, InstructionCost, instruction_cost
+from repro.ap.backends import DEFAULT_BACKEND as DEFAULT_EXECUTION_BACKEND
+from repro.ap.cost import (
+    DEFAULT_MATCH_PROBABILITY,
+    InstructionCost,
+    instruction_cost,
+    program_cost,
+)
 from repro.ap.isa import APInstruction, APOpcode, ColumnRegion
 from repro.arch.allocator import (
     AllocationPlan,
@@ -67,7 +73,7 @@ class PerformanceModelConfig:
     #: cross-checked against functional simulation (see
     #: :func:`crosscheck_cost_model`).  The analytic numbers themselves are
     #: backend-independent - every backend emits identical event counts.
-    execution_backend: str = "reference"
+    execution_backend: str = DEFAULT_EXECUTION_BACKEND
 
 
 def _arith_cost(
@@ -478,3 +484,120 @@ def crosscheck_cost_model(
         measured_energy_fj=measured.energy_fj(technology),
         predicted_energy_fj=predicted.energy_fj(technology),
     )
+
+
+# ----------------------------------------------------------------------
+# Layer-granularity crosscheck against the execution-plan runtime
+# ----------------------------------------------------------------------
+@dataclass
+class LayerCostCrosscheck:
+    """One layer's functional counters vs. the analytic per-instruction costs.
+
+    The analytic prediction sums :func:`repro.ap.cost.program_cost` over every
+    tile program the runtime actually executed, so it compares the cost model
+    against functional execution at *layer* granularity (whole instruction
+    streams, many APs, partial row tiles) rather than single instructions.
+    The invariants are the same as :class:`CostModelCrosscheck`: search
+    phases are data-independent and must match exactly; write phases are
+    bounded above by the no-pass-skipped analytic count.
+    """
+
+    name: str
+    tiles: int
+    measured_search_phases: int
+    measured_write_phases: int
+    predicted_search_phases: int
+    predicted_write_phases: int
+    measured_energy_fj: float
+    predicted_energy_fj: float
+
+    @property
+    def search_phases_exact(self) -> bool:
+        """Analytic search-phase count equals the functional count."""
+        return self.measured_search_phases == self.predicted_search_phases
+
+    @property
+    def write_phases_bounded(self) -> bool:
+        """Functional write phases never exceed the analytic expectation."""
+        return self.measured_write_phases <= self.predicted_write_phases
+
+    @property
+    def consistent(self) -> bool:
+        """True when the functional run stays within the model's envelope."""
+        return self.search_phases_exact and self.write_phases_bounded
+
+
+@dataclass
+class ExecutionCrosscheck:
+    """Functional plan execution vs. the analytic cost model, per layer."""
+
+    backend: str
+    executor: str
+    layers: List[LayerCostCrosscheck] = field(default_factory=list)
+
+    @property
+    def consistent(self) -> bool:
+        """True when every layer stays within the model's envelope."""
+        return all(layer.consistent for layer in self.layers)
+
+    def describe(self) -> str:
+        """Human-readable verdict for reports and assertion messages."""
+        if self.consistent:
+            return (
+                f"cost model consistent with functional execution on "
+                f"{len(self.layers)} layers ({self.backend}/{self.executor})"
+            )
+        broken = [layer.name for layer in self.layers if not layer.consistent]
+        return "cost model diverges on layers: " + ", ".join(broken)
+
+
+def crosscheck_execution(
+    plan,
+    execution,
+    architecture: Optional[ArchitectureConfig] = None,
+    match_probability: float = DEFAULT_MATCH_PROBABILITY,
+) -> ExecutionCrosscheck:
+    """Cross-check a functional plan run against the analytic cost model.
+
+    Extends :func:`crosscheck_cost_model` from single instructions to whole
+    layers: for every layer of an executed
+    :class:`~repro.runtime.plan.ExecutionPlan`, the exact counters aggregated
+    by the runtime (:class:`~repro.runtime.scheduler.PlanExecution`) are
+    compared with the expectation obtained by costing the very tile programs
+    the runtime dispatched.
+
+    Args:
+        plan: the executed :class:`~repro.runtime.plan.ExecutionPlan`.
+        execution: the :class:`~repro.runtime.scheduler.PlanExecution`
+            returned by :meth:`~repro.arch.accelerator.Accelerator.execute_plan`.
+        architecture: architecture supplying the technology for the energy
+            figures; the plan's architecture when omitted.
+        match_probability: expected row-match fraction of the analytic model.
+    """
+    architecture = architecture or plan.architecture
+    technology = architecture.technology
+    result = ExecutionCrosscheck(
+        backend=execution.backend, executor=execution.executor
+    )
+    layer_results = {layer.name: layer for layer in execution.layers}
+    for planned in plan.layers:
+        measured = layer_results[planned.name].stats
+        predicted = InstructionCost()
+        for tile in planned.tiles:
+            for program in tile.programs:
+                predicted = predicted.merge(
+                    program_cost(program, rows=tile.rows, match_probability=match_probability)
+                )
+        result.layers.append(
+            LayerCostCrosscheck(
+                name=planned.name,
+                tiles=len(planned.tiles),
+                measured_search_phases=measured.search_phases,
+                measured_write_phases=measured.write_phases,
+                predicted_search_phases=predicted.search_phases,
+                predicted_write_phases=predicted.write_phases,
+                measured_energy_fj=measured.energy_fj(technology),
+                predicted_energy_fj=predicted.energy_fj(technology),
+            )
+        )
+    return result

@@ -1,0 +1,284 @@
+"""Pluggable executors: run tile programs serially or on worker pools.
+
+An executor takes a batch of :class:`~repro.runtime.plan.TileProgram` objects
+(one layer round's worth of concurrent work) and returns one
+:class:`TileResult` per tile, **in tile order**.  Three executors ship with
+the runtime:
+
+* ``serial`` - one tile after another in the calling process.  When handed an
+  :class:`~repro.arch.accelerator.Accelerator` it leases pooled functional
+  APs from it (reset between leases), which keeps large plans allocation-free.
+* ``parallel`` - a process pool (``workers`` processes); the default parallel
+  executor, immune to the GIL, intended for the Python-heavy ``reference``
+  backend and for many-tile plans.
+* ``thread`` - a thread pool; lighter start-up, useful when the ``vectorized``
+  backend spends its time in NumPy kernels that release the GIL.
+
+Determinism: a tile's result depends only on the tile itself (its programs
+and ``input_seed``) and the backend contract guarantees byte-identical
+:class:`~repro.cam.stats.CAMStats` across backends, so every executor -
+whatever its scheduling order - produces the same per-tile results and the
+same order-independent reductions.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Type, Union
+
+import numpy as np
+
+from repro.ap.backends import DEFAULT_BACKEND
+from repro.cam.stats import CAMStats
+from repro.errors import ConfigurationError
+from repro.rtm.timing import RTMTechnology
+from repro.runtime.plan import TileProgram
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
+    from repro.arch.accelerator import Accelerator
+
+
+@dataclass(frozen=True)
+class TileResult:
+    """Outcome of executing one tile program on one AP.
+
+    ``checksum`` folds every output vector of every slice program into one
+    integer; it is exact (Python integers), order-independent under summation
+    and byte-identical across backends, so executor and backend equivalence
+    can be asserted on aggregated results alone.
+    """
+
+    tile_index: int
+    layer_index: int
+    address: tuple
+    stats: CAMStats
+    checksum: int
+    duration_s: float
+
+
+def generate_tile_inputs(
+    program, rows: int, seed: int, activation_bits: int, signed: bool
+) -> Dict[str, np.ndarray]:
+    """Deterministic input activations for one slice program of a tile."""
+    rng = np.random.default_rng(seed)
+    if signed:
+        low, high = -(1 << (activation_bits - 1)), (1 << (activation_bits - 1))
+    else:
+        low, high = 0, 1 << activation_bits
+    return {
+        name: rng.integers(low, high, size=rows)
+        for name in program.input_columns
+    }
+
+
+def run_tile_program(
+    tile: TileProgram,
+    tile_index: int,
+    columns: int,
+    backend: str,
+    technology: Optional[RTMTechnology] = None,
+    ap=None,
+) -> TileResult:
+    """Execute one tile program and snapshot its counters.
+
+    All slice programs of the tile run back to back on one AP (the pooled
+    hardware AP holds every input channel of its group), so the tile's
+    counters include any cross-slice column reuse exactly as the hardware
+    would see it.  When ``ap`` is omitted a fresh functional AP is created -
+    a leased pooled AP (already reset) produces byte-identical results.
+    """
+    from repro.ap.core import AssociativeProcessor
+
+    start = time.perf_counter()
+    if ap is None:
+        ap = AssociativeProcessor(
+            rows=tile.rows,
+            columns=columns,
+            technology=technology,
+            backend=backend,
+        )
+    checksum = 0
+    for offset, program in enumerate(tile.programs):
+        inputs = generate_tile_inputs(
+            program,
+            tile.rows,
+            tile.input_seed + offset,
+            tile.activation_bits,
+            tile.signed_activations,
+        )
+        outputs = ap.run_program(program, inputs, num_rows=tile.rows)
+        for name in sorted(outputs):
+            checksum += int(np.asarray(outputs[name], dtype=np.int64).sum())
+    return TileResult(
+        tile_index=tile_index,
+        layer_index=tile.layer_index,
+        address=tuple(tile.address),
+        stats=ap.reset_stats(),
+        checksum=checksum,
+        duration_s=time.perf_counter() - start,
+    )
+
+
+def _pool_worker(payload) -> TileResult:
+    """Module-level worker so process pools can pickle the call."""
+    tile, tile_index, columns, backend, technology = payload
+    return run_tile_program(tile, tile_index, columns, backend, technology)
+
+
+class Executor:
+    """Base class of the tile-program executors."""
+
+    #: Registry name (e.g. ``"serial"``).
+    name = "abstract"
+
+    def run(
+        self,
+        tiles: Sequence[TileProgram],
+        columns: int,
+        backend: str = DEFAULT_BACKEND,
+        technology: Optional[RTMTechnology] = None,
+        accelerator: Optional["Accelerator"] = None,
+    ) -> List[TileResult]:
+        """Execute ``tiles`` and return their results in tile order."""
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release pooled workers (no-op for poolless executors)."""
+
+
+class SerialExecutor(Executor):
+    """Runs every tile in the calling process, one after another."""
+
+    name = "serial"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        # ``workers`` is accepted (and ignored) so executors are
+        # constructor-compatible; the serial executor always uses one.
+        self.workers = 1
+
+    def run(
+        self,
+        tiles: Sequence[TileProgram],
+        columns: int,
+        backend: str = DEFAULT_BACKEND,
+        technology: Optional[RTMTechnology] = None,
+        accelerator: Optional["Accelerator"] = None,
+    ) -> List[TileResult]:
+        results: List[TileResult] = []
+        for index, tile in enumerate(tiles):
+            ap = None
+            if accelerator is not None:
+                # Lease a pooled AP sized exactly like the fresh AP a pool
+                # worker would build, so counters stay byte-identical.
+                ap = accelerator.lease_ap(
+                    tile.address, rows=tile.rows, columns=columns, backend=backend
+                )
+            results.append(
+                run_tile_program(tile, index, columns, backend, technology, ap=ap)
+            )
+        return results
+
+
+class ParallelExecutor(Executor):
+    """Fans tiles out over a process pool (order-preserving ``map``)."""
+
+    name = "parallel"
+
+    def __init__(self, workers: Optional[int] = None) -> None:
+        import os
+
+        self.workers = max(1, workers if workers is not None else (os.cpu_count() or 1))
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            import multiprocessing
+
+            context = None
+            if "fork" in multiprocessing.get_all_start_methods():
+                context = multiprocessing.get_context("fork")
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.workers, mp_context=context
+            )
+        return self._pool
+
+    def run(
+        self,
+        tiles: Sequence[TileProgram],
+        columns: int,
+        backend: str = DEFAULT_BACKEND,
+        technology: Optional[RTMTechnology] = None,
+        accelerator: Optional["Accelerator"] = None,
+    ) -> List[TileResult]:
+        if self.workers <= 1 or len(tiles) <= 1:
+            return SerialExecutor().run(tiles, columns, backend, technology)
+        payloads = [
+            (tile, index, columns, backend, technology)
+            for index, tile in enumerate(tiles)
+        ]
+        pool = self._ensure_pool()
+        chunksize = max(1, len(payloads) // (self.workers * 4))
+        return list(pool.map(_pool_worker, payloads, chunksize=chunksize))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
+class ThreadExecutor(ParallelExecutor):
+    """Fans tiles out over a thread pool (shares the process heap)."""
+
+    name = "thread"
+
+    def _ensure_pool(self) -> ThreadPoolExecutor:  # type: ignore[override]
+        if self._pool is None:
+            self._pool = ThreadPoolExecutor(max_workers=self.workers)  # type: ignore[assignment]
+        return self._pool  # type: ignore[return-value]
+
+
+#: Specification accepted wherever an executor can be selected.
+ExecutorSpec = Union[str, Executor, Type[Executor]]
+
+_EXECUTORS: Dict[str, Type[Executor]] = {
+    SerialExecutor.name: SerialExecutor,
+    ParallelExecutor.name: ParallelExecutor,
+    ThreadExecutor.name: ThreadExecutor,
+}
+
+
+def available_executors() -> List[str]:
+    """Names of all registered executors, sorted."""
+    return sorted(_EXECUTORS)
+
+
+def resolve_executor(spec: ExecutorSpec, workers: Optional[int] = None) -> Executor:
+    """Resolve an executor specification (name, class or instance).
+
+    ``workers`` sizes the executor constructed from a name or class; an
+    already-constructed instance carries its own worker count, so combining
+    the two is rejected rather than silently ignoring one of them.
+    """
+    if isinstance(spec, Executor):
+        if workers is not None and workers != spec.workers:
+            raise ConfigurationError(
+                f"workers={workers} conflicts with the provided executor "
+                f"instance ({spec.name}, workers={spec.workers}); construct "
+                f"the instance with the desired worker count instead"
+            )
+        return spec
+    if isinstance(spec, str):
+        try:
+            return _EXECUTORS[spec](workers=workers)
+        except KeyError:
+            raise ConfigurationError(
+                f"unknown executor {spec!r}; "
+                f"available: {', '.join(available_executors())}"
+            ) from None
+    if isinstance(spec, type) and issubclass(spec, Executor):
+        return spec(workers=workers)
+    raise ConfigurationError(
+        f"executor must be a name, class or instance, got {spec!r}"
+    )

@@ -50,7 +50,13 @@ class TestRegistry:
     def test_available_backends(self):
         assert "reference" in available_backends()
         assert "vectorized" in available_backends()
-        assert DEFAULT_BACKEND == "reference"
+        # The fast backend is the default; the interpreter stays the
+        # ground truth and can be forced via REPRO_AP_BACKEND (which CI
+        # uses for a full-suite ground-truth run).
+        import os
+
+        expected = os.environ.get("REPRO_AP_BACKEND", "").strip() or "vectorized"
+        assert DEFAULT_BACKEND == expected
 
     def test_resolve_by_name_and_class(self):
         assert resolve_backend("vectorized") is VectorizedBackend
@@ -290,12 +296,24 @@ class TestAcceleratorThreading:
         ap = accelerator.functional_ap((0, 0, 0))
         assert ap.backend.name == "vectorized"
 
-    def test_default_backend_is_reference(self, tiny_architecture):
+    def test_default_backend_is_the_session_default(self, tiny_architecture):
+        from repro.ap.backends import DEFAULT_BACKEND
         from repro.arch.accelerator import Accelerator
 
         accelerator = Accelerator(config=tiny_architecture)
         ap = accelerator.functional_ap((0, 0, 0))
-        assert ap.backend.name == "reference"
+        assert ap.backend.name == DEFAULT_BACKEND
+
+    def test_env_override_selects_default(self, monkeypatch):
+        from repro.ap import backends as backends_module
+
+        monkeypatch.setenv(backends_module.BACKEND_ENV_VARIABLE, "reference")
+        assert backends_module._default_backend() == "reference"
+        monkeypatch.setenv(backends_module.BACKEND_ENV_VARIABLE, "no-such")
+        with pytest.raises(ConfigurationError):
+            backends_module._default_backend()
+        monkeypatch.delenv(backends_module.BACKEND_ENV_VARIABLE)
+        assert backends_module._default_backend() == "vectorized"
 
 
 class TestCostModelCrosscheck:

@@ -9,7 +9,7 @@ from repro.arch.allocator import (
     allocate_model,
 )
 from repro.arch.config import ArchitectureConfig
-from repro.errors import ConfigurationError
+from repro.errors import CapacityError, ConfigurationError
 
 
 class TestLayerDemand:
@@ -31,7 +31,7 @@ class TestLayerDemand:
 class TestAllocateLayer:
     def test_row_tiles_must_fit(self):
         demand = LayerDemand(name="big", row_tiles=50, channel_groups=1)
-        with pytest.raises(ConfigurationError):
+        with pytest.raises(CapacityError):
             allocate_layer(demand, available_aps=49)
 
     def test_channel_groups_parallel_when_possible(self):
@@ -105,3 +105,104 @@ class TestAllocateModel:
         plan = AllocationPlan()
         assert plan.max_aps_used == 0
         assert plan.max_row_tiles == 0
+
+
+class TestRowTilingBeyondOneAP:
+    """A layer whose output positions exceed one AP's rows must row-tile."""
+
+    def test_row_tiles_spread_over_aps(self):
+        # 100x100 output positions on 256-row APs: ceil(10000/256) = 40 tiles.
+        demand = LayerDemand(name="wide", row_tiles=40, channel_groups=1)
+        allocation = allocate_layer(demand, available_aps=40)
+        assert allocation.aps_used == 40
+        assert allocation.sequential_rounds == 1
+        assert allocation.utilization == 1.0
+
+    def test_row_tiles_with_channel_groups_share_budget(self):
+        demand = LayerDemand(name="wide", row_tiles=40, channel_groups=4)
+        allocation = allocate_layer(demand, available_aps=80)
+        # Two channel groups fit next to the 40 row tiles; the rest serialize.
+        assert allocation.parallel_channel_groups == 2
+        assert allocation.sequential_rounds == 2
+        assert allocation.aps_used == 80
+
+    def test_exact_fit_boundary(self):
+        demand = LayerDemand(name="edge", row_tiles=49, channel_groups=1)
+        allocation = allocate_layer(demand, available_aps=49)
+        assert allocation.aps_used == 49
+        with pytest.raises(CapacityError):
+            allocate_layer(
+                LayerDemand(name="edge", row_tiles=49, channel_groups=1),
+                available_aps=48,
+            )
+
+
+class TestDegenerateSingleAPPlans:
+    """1-AP, FC-only plans: utilization and compute_parallelism stay sane."""
+
+    def test_single_fc_layer_on_one_ap(self):
+        demand = LayerDemand(name="fc", row_tiles=1, channel_groups=1)
+        plan = allocate_model([demand], available_aps=1)
+        allocation = plan.layers[0]
+        assert allocation.aps_used == 1
+        assert allocation.compute_parallelism == 1
+        assert allocation.sequential_rounds == 1
+        assert allocation.utilization == 1.0
+        assert plan.max_aps_used == 1
+
+    def test_fc_stack_on_one_ap(self):
+        demands = [
+            LayerDemand(name=f"fc{i}", row_tiles=1, channel_groups=1)
+            for i in range(3)
+        ]
+        plan = allocate_model(demands, available_aps=1)
+        assert all(layer.utilization == 1.0 for layer in plan.layers)
+        assert all(layer.compute_parallelism == 1 for layer in plan.layers)
+
+    def test_fc_with_serialized_channel_groups(self):
+        # Storage forces 4 channel groups but only one AP exists: all four
+        # run as sequential rounds on the same AP, utilization 1/4.
+        demand = LayerDemand(name="fc", row_tiles=1, channel_groups=4)
+        allocation = allocate_layer(demand, available_aps=1)
+        assert allocation.parallel_channel_groups == 1
+        assert allocation.sequential_rounds == 4
+        assert allocation.compute_parallelism == 1
+        assert allocation.utilization == pytest.approx(0.25)
+
+    def test_output_parallelism_never_exceeds_limit_on_one_ap(self):
+        demand = LayerDemand(
+            name="fc", row_tiles=1, channel_groups=1, max_output_tiles=10
+        )
+        allocation = allocate_layer(demand, available_aps=1, max_output_tiles=8)
+        assert allocation.parallel_output_tiles == 1
+        assert allocation.utilization == 1.0
+
+
+class TestOversubscribedConfigs:
+    """Oversubscription surfaces as CapacityError (a MappingError)."""
+
+    def test_allocate_model_oversubscribed(self):
+        demands = [
+            LayerDemand(name="ok", row_tiles=2, channel_groups=1),
+            LayerDemand(name="too-big", row_tiles=8, channel_groups=1),
+        ]
+        with pytest.raises(CapacityError):
+            allocate_model(demands, available_aps=4)
+
+    def test_architecture_budget_oversubscribed(self):
+        config = ArchitectureConfig(aps_per_tile=2, tiles_per_bank=1, num_banks=1)
+        demand = LayerDemand(name="huge", row_tiles=3, channel_groups=1)
+        with pytest.raises(CapacityError):
+            allocate_model([demand], config=config)
+
+    def test_capacity_error_is_a_mapping_error(self):
+        from repro.errors import MappingError
+
+        demand = LayerDemand(name="huge", row_tiles=2, channel_groups=1)
+        with pytest.raises(MappingError):
+            allocate_layer(demand, available_aps=1)
+
+    def test_invalid_budget_still_configuration_error(self):
+        demand = LayerDemand(name="l", row_tiles=1, channel_groups=1)
+        with pytest.raises(ConfigurationError):
+            allocate_layer(demand, available_aps=0)

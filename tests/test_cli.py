@@ -24,6 +24,25 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["compile", "--model", "alexnet"])
 
+    def test_run_defaults(self):
+        arguments = build_parser().parse_args(["run"])
+        assert arguments.executor == "serial"
+        assert arguments.workers is None
+        assert arguments.seed == 0
+
+    def test_run_executor_choices(self):
+        arguments = build_parser().parse_args(
+            ["run", "--executor", "parallel", "--workers", "4"]
+        )
+        assert arguments.executor == "parallel"
+        assert arguments.workers == 4
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--executor", "bogus"])
+
+    def test_apbench_seed_flag(self):
+        arguments = build_parser().parse_args(["apbench", "--seed", "11"])
+        assert arguments.seed == 11
+
 
 class TestCommands:
     def test_endurance_command(self, capsys):
@@ -41,3 +60,45 @@ class TestCommands:
         assert main(["fig4", "--model", "vgg9", "--slices", "2"]) == 0
         output = capsys.readouterr().out
         assert "Fig. 4" in output
+
+    def test_run_command_serial(self, capsys):
+        assert main(["run", "--model", "vgg9", "--slices", "1",
+                     "--layers", "2", "--seed", "9"]) == 0
+        output = capsys.readouterr().out
+        assert "functional plan execution" in output
+        assert "cost model consistent" in output
+        assert "seed 9" in output
+
+    def test_run_command_parallel(self, capsys):
+        assert main(["run", "--model", "vgg9", "--slices", "1", "--layers", "2",
+                     "--executor", "parallel", "--workers", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "parallel executor, 2 worker(s)" in output
+
+
+def _apbench_phase_column(output: str):
+    """Extract the (backend, phases) pairs from an apbench report."""
+    rows = []
+    for line in output.splitlines():
+        cells = line.split()
+        if cells and cells[0] in ("reference", "vectorized"):
+            rows.append((cells[0], cells[4]))
+    return rows
+
+
+class TestApbenchSeedReproducibility:
+    """`apbench --seed` threads end-to-end into the fuzz program generator:
+    the same seed must reproduce the exact workload (and therefore the exact
+    event counts) run-to-run; a different seed must change the workload."""
+
+    def _phases(self, capsys, seed):
+        assert main(["apbench", "--backend", "vectorized", "--rows", "32",
+                     "--instructions", "16", "--repeats", "1",
+                     "--seed", str(seed)]) == 0
+        return _apbench_phase_column(capsys.readouterr().out)
+
+    def test_same_seed_is_reproducible(self, capsys):
+        assert self._phases(capsys, 5) == self._phases(capsys, 5)
+
+    def test_different_seed_changes_workload(self, capsys):
+        assert self._phases(capsys, 5) != self._phases(capsys, 6)
