@@ -1,9 +1,13 @@
-"""Batched inference ablation (paper Sec. V-B).
+"""Batched inference ablation (paper Sec. V-B) - analytic model.
 
 The paper notes that the latency penalty of the deep, row-starved ResNet-18
 layers "could be alleviated by processing multiple images per layer".  This
-benchmark quantifies that: batching fills the idle CAM rows, amortizing the
-per-layer instruction stream over several images.
+benchmark quantifies that with the *analytic* performance model: batching
+fills the idle CAM rows, amortizing the per-layer instruction stream over
+several images.  The **functional** counterpart -
+:mod:`benchmarks.bench_inference` - runs the real batched activation dataflow
+on the execution-plan runtime and gates its host-side throughput (batch of 4
+on >= 4 workers must beat 4 serial images by >= 2x).
 """
 
 import pytest

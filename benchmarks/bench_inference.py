@@ -1,0 +1,123 @@
+"""Batched end-to-end inference benchmark: real dataflow throughput gate.
+
+Unlike :mod:`benchmarks.bench_batching` (which prices batching with the
+*analytic* model), this benchmark runs the **real** batched dataflow: N
+images' quantized activations chained layer-to-layer through tile programs on
+the execution-plan runtime.  Two halves:
+
+* **Determinism** - batched parallel execution produces byte-identical logits
+  and CAMStats to the serial run (per-image activation streams are
+  independent, reductions are order-independent).
+* **Throughput** - processing a batch of 4 images on the ``parallel``
+  (process-pool) executor with >= 4 workers must be at least 2x faster
+  wall-clock than the serial run of the same batch, measured on the
+  Python-heavy ``reference`` backend (the workload the pool exists for).
+  The gate skips on hosts with fewer than 4 CPUs (CI provides the
+  multi-core run).
+"""
+
+import os
+import time
+
+import numpy as np
+import pytest
+
+from repro.eval.reporting import format_table
+from repro.inference import BatchedInference, quantized_reference_forward
+from repro.nn.models.vgg import build_vgg9
+
+#: Batch size of the gate (amortizes the per-layer fan-out).
+BATCH = 4
+#: Channel-width multiplier: the vgg9 topology, narrow enough for exact
+#: (every-slice) functional simulation at benchmark speed.
+WIDTH = 1 / 8
+#: Input spatial size (CIFAR-10 geometry shrunk once).
+INPUT_SIZE = 16
+
+#: Minimum serial/parallel wall-clock ratio accepted by the gate.
+REQUIRED_SPEEDUP = 2.0
+#: The gate measures the parallel executor at this worker count.
+GATE_WORKERS = 4
+
+INPUT_SHAPE = (3, INPUT_SIZE, INPUT_SIZE)
+
+
+@pytest.fixture(scope="module")
+def narrow_vgg9():
+    return build_vgg9(
+        num_classes=10,
+        input_size=INPUT_SIZE,
+        sparsity=0.85,
+        rng=0,
+        width_multiplier=WIDTH,
+    )
+
+
+@pytest.fixture(scope="module")
+def images(ap_seed):
+    rng = np.random.default_rng(ap_seed)
+    return rng.uniform(0.0, 1.0, size=(BATCH,) + INPUT_SHAPE)
+
+
+def _run(model, images, executor, workers=None, backend="reference"):
+    driver = BatchedInference(
+        model,
+        INPUT_SHAPE,
+        bits=4,
+        executor=executor,
+        workers=workers,
+        backend=backend,
+        name="vgg9-narrow",
+    )
+    try:
+        started = time.perf_counter()
+        result = driver.run(images)
+        return result, time.perf_counter() - started
+    finally:
+        driver.close()
+
+
+def test_batched_dataflow_matches_reference(narrow_vgg9, images):
+    """The batched AP dataflow reproduces the NumPy logits byte for byte."""
+    result, _ = _run(narrow_vgg9, images, "serial", backend="vectorized")
+    reference = quantized_reference_forward(narrow_vgg9, images, bits=4)
+    assert np.array_equal(result.logits, reference)
+
+
+@pytest.mark.skipif(
+    (os.cpu_count() or 1) < GATE_WORKERS,
+    reason=f"batched throughput gate needs >= {GATE_WORKERS} CPUs",
+)
+def test_batched_throughput(narrow_vgg9, images, save_report):
+    """Batch of 4 on >= 4 workers must be >= 2x faster than serial."""
+    serial, serial_s = _run(narrow_vgg9, images, "serial")
+    parallel, parallel_s = _run(narrow_vgg9, images, "parallel", workers=GATE_WORKERS)
+
+    assert np.array_equal(serial.logits, parallel.logits)
+    assert serial.execution.total_stats == parallel.execution.total_stats
+
+    speedup = serial_s / max(parallel_s, 1e-9)
+    text = format_table(
+        ["executor", "workers", "images", "wall (s)", "images/s", "speedup"],
+        [
+            ["serial", 1, BATCH, f"{serial_s:.2f}", f"{BATCH / serial_s:.2f}", "1.00x"],
+            [
+                "parallel",
+                GATE_WORKERS,
+                BATCH,
+                f"{parallel_s:.2f}",
+                f"{BATCH / parallel_s:.2f}",
+                f"{speedup:.2f}x",
+            ],
+        ],
+        title=(
+            f"batched inference: vgg9 topology at width x{WIDTH}, "
+            f"{BATCH} images, reference backend (real activation dataflow)"
+        ),
+    )
+    save_report("inference", text)
+
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"batched parallel inference is only {speedup:.2f}x faster than "
+        f"serial on {GATE_WORKERS} workers (required: {REQUIRED_SPEEDUP}x)"
+    )

@@ -12,6 +12,10 @@ The library implements the paper's full stack:
 * the execution-plan runtime that functionally simulates whole networks on
   many APs at once - serial or parallel executors, deterministic counters
   (:mod:`repro.runtime`),
+* the end-to-end inference dataflow that chains real quantized activations
+  between layers and batches images across one leased AP pool, with logits
+  byte-identical to the pure-NumPy quantized reference
+  (:mod:`repro.inference`),
 * the NumPy neural-network substrate and model zoo (:mod:`repro.nn`),
 * the crossbar (DNN+NeuroSim-style) and DeepCAM-style baselines
   (:mod:`repro.baselines`),
@@ -49,6 +53,14 @@ from repro.core.report import compare_configurations
 from repro.eval.accuracy import run_accuracy_experiment
 from repro.eval.fig4 import generate_fig4
 from repro.eval.table2 import generate_table2
+from repro.inference import (
+    ActivationStore,
+    BatchedInference,
+    DataflowGraph,
+    InferenceResult,
+    quantized_reference_forward,
+    run_inference,
+)
 from repro.nn.models.registry import available_models, build_model
 from repro.nn.stats import ConvLayerSpec, model_layer_specs
 from repro.perf.endurance import endurance_report
@@ -83,6 +95,12 @@ __all__ = [
     "available_executors",
     "build_execution_plan",
     "execute_model",
+    "ActivationStore",
+    "BatchedInference",
+    "DataflowGraph",
+    "InferenceResult",
+    "run_inference",
+    "quantized_reference_forward",
     "crosscheck_cost_model",
     "crosscheck_execution",
     "APInstruction",

@@ -234,6 +234,29 @@ class Accelerator:
         self._movement[scope] = cost if current is None else current.merge(cost)
         return cost
 
+    def charge_activation_traffic(
+        self,
+        bits: float,
+        src: Optional[APAddress] = None,
+        dst: Optional[APAddress] = None,
+    ) -> TransferCost:
+        """Meter inter-layer activation hand-off on the interconnect ledger.
+
+        The functional dataflow calls this once per layer per batch: the
+        producing layer's OFM (or the raw input image for the first layer)
+        moves to the APs holding the consuming layer's row tiles.  The
+        hierarchy level crossed between ``src`` and ``dst`` picks the per-bit
+        energy; with no ``src`` the transfer enters through the global buffer
+        (off-accelerator input), and with no ``dst`` it stays intra-tile.
+        """
+        if src is None:
+            scope = TransferScope.GLOBAL
+        elif dst is None:
+            scope = TransferScope.INTRA_TILE
+        else:
+            scope = self.transfer_scope(src, dst)
+        return self.charge_movement(bits, scope)
+
     def movement_ledger(self) -> Dict[TransferScope, TransferCost]:
         """Interconnect traffic charged per scope by plan execution so far."""
         return dict(self._movement)

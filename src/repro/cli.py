@@ -6,6 +6,8 @@ regenerated without writing Python:
 * ``compile``   - compile a benchmark network and print op counts / mapping,
 * ``run``       - functionally execute a network on the plan runtime
   (serial or parallel executors, layer-granularity cost-model crosscheck),
+* ``infer``     - end-to-end inference: real activations chained between
+  layers, batched images, logits crosschecked against the NumPy reference,
 * ``table2``    - regenerate Table II,
 * ``fig4``      - regenerate the Fig. 4 layer-by-layer comparison,
 * ``accuracy``  - run the accuracy-vs-precision experiment,
@@ -86,6 +88,40 @@ def build_parser() -> argparse.ArgumentParser:
                             help="base seed of the deterministic tile inputs")
     run_parser.add_argument("--no-crosscheck", action="store_true",
                             help="skip the analytic cost-model crosscheck")
+
+    infer_parser = subparsers.add_parser(
+        "infer",
+        help="end-to-end functional inference (real activation dataflow)",
+    )
+    infer_parser.add_argument("--model", choices=available_models(), default="vgg9")
+    infer_parser.add_argument("--sparsity", type=float, default=None,
+                              help="ternary weight sparsity (default: the paper's setting)")
+    infer_parser.add_argument("--width", type=float, default=None,
+                              help="channel-width multiplier (reduced widths keep "
+                                   "the topology but make simulation fast)")
+    infer_parser.add_argument("--bits", type=int, default=4, help="activation precision")
+    infer_parser.add_argument("--images", type=int, default=1,
+                              help="number of synthetic input images")
+    infer_parser.add_argument("--batch", type=int, default=None,
+                              help="micro-batch size (images per pass through the pool)")
+    infer_parser.add_argument(
+        "--executor",
+        choices=available_executors(),
+        default="serial",
+        help="tile-program executor (parallel = process pool)",
+    )
+    infer_parser.add_argument("--workers", type=int, default=None,
+                              help="worker count for pool executors (default: CPU count)")
+    infer_parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=DEFAULT_BACKEND,
+        help="functional AP execution backend",
+    )
+    infer_parser.add_argument("--seed", type=int, default=0,
+                              help="seed of the synthetic input images")
+    infer_parser.add_argument("--no-crosscheck", action="store_true",
+                              help="skip the NumPy-reference and cost-model crosschecks")
 
     table2_parser = subparsers.add_parser("table2", help="regenerate Table II")
     table2_parser.add_argument("--slices", type=int, default=12)
@@ -233,6 +269,93 @@ def _run_run(arguments: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _run_infer(arguments: argparse.Namespace) -> str:
+    from repro.eval.equivalence import check_inference_equivalence
+    from repro.inference import BatchedInference
+    from repro.nn.datasets import synthetic_images
+    from repro.nn.models.registry import build_model, model_record
+    from repro.perf.model import crosscheck_execution
+
+    record = model_record(arguments.model)
+    model, input_shape = build_model(
+        arguments.model, sparsity=arguments.sparsity, rng=0, width=arguments.width
+    )
+    images = synthetic_images(
+        record.dataset, batch_size=arguments.images, rng=arguments.seed
+    )
+    driver = BatchedInference(
+        model,
+        input_shape,
+        bits=arguments.bits,
+        executor=arguments.executor,
+        workers=arguments.workers,
+        backend=arguments.backend,
+        name=arguments.model,
+    )
+    try:
+        result = driver.run(images, batch=arguments.batch)
+    finally:
+        driver.close()
+    execution = result.execution
+
+    rows = [
+        [
+            layer.name,
+            layer.tiles_executed,
+            layer.aps_used,
+            layer.stats.search_phases,
+            layer.stats.write_phases,
+            f"{layer.energy_uj:.4f}",
+            f"{layer.latency_ms:.5f}",
+        ]
+        for layer in execution.layers
+    ]
+    width_note = f", width x{arguments.width}" if arguments.width else ""
+    lines = [
+        driver.graph.describe(),
+        "",
+        format_table(
+            ["layer", "tiles", "APs", "search", "write", "energy (uJ)", "latency (ms)"],
+            rows,
+            title=(
+                f"{arguments.model}: end-to-end inference of {result.images} image(s) "
+                f"({execution.executor} executor, {execution.workers} worker(s), "
+                f"{execution.backend} backend{width_note})"
+            ),
+        ),
+        "",
+        format_table(
+            ["metric", "value"],
+            [
+                ["images", result.images],
+                ["predictions", " ".join(str(p) for p in result.predictions)],
+                ["functional energy (uJ)", f"{execution.energy_uj:.4f}"],
+                ["functional latency (ms)", f"{execution.latency_ms:.5f}"],
+                ["data-movement share", f"{execution.movement_fraction * 100:.2f}%"],
+                ["activation traffic (bits)", result.store.total_activation_bits],
+                ["output checksum", result.checksum],
+                ["host wall-clock (s)", f"{result.wall_time_s:.3f}"],
+            ],
+            title="aggregate (exact: every input-channel slice executed)",
+        ),
+    ]
+    if not arguments.no_crosscheck:
+        equivalence = check_inference_equivalence(
+            model, images, result, input_shape=input_shape, bits=arguments.bits
+        )
+        lines.append("")
+        lines.append("reference crosscheck: " + equivalence.describe())
+        check = crosscheck_execution(
+            driver.plan, execution, images=result.images
+        )
+        lines.append("cost-model crosscheck: " + check.describe())
+        if not (equivalence.consistent and check.consistent):
+            # Exit nonzero so CI steps running `repro infer` actually gate on
+            # the crosschecks instead of only printing the verdict.
+            raise SystemExit("\n".join(lines + ["", "FAILED: crosscheck inconsistent"]))
+    return "\n".join(lines)
+
+
 def _run_table2(arguments: argparse.Namespace) -> str:
     benchmarks = PAPER_BENCHMARKS
     if arguments.networks:
@@ -329,6 +452,7 @@ def _run_apbench(arguments: argparse.Namespace) -> str:
 _COMMANDS = {
     "compile": _run_compile,
     "run": _run_run,
+    "infer": _run_infer,
     "table2": _run_table2,
     "fig4": _run_fig4,
     "accuracy": _run_accuracy,

@@ -6,17 +6,22 @@
   of ResNet-18 for unroll, unroll+CSE and the crossbar baseline).
 * :mod:`repro.eval.accuracy` - the accuracy-vs-precision experiment backing
   the accuracy columns of Table II.
+* :mod:`repro.eval.equivalence` - the end-to-end inference equivalence check
+  (AP dataflow logits vs. the pure-NumPy quantized reference).
 * :mod:`repro.eval.reporting` - plain-text table formatting shared by the
   benchmarks and examples.
 """
 
 from repro.eval.reporting import format_table
 from repro.eval.accuracy import AccuracySummary, run_accuracy_experiment
+from repro.eval.equivalence import InferenceEquivalence, check_inference_equivalence
 from repro.eval.table2 import Table2, Table2Entry, generate_table2
 from repro.eval.fig4 import Fig4Data, Fig4Layer, generate_fig4
 
 __all__ = [
     "format_table",
+    "InferenceEquivalence",
+    "check_inference_equivalence",
     "AccuracySummary",
     "run_accuracy_experiment",
     "Table2",

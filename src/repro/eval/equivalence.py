@@ -1,0 +1,90 @@
+"""Inference equivalence harness: AP dataflow vs. NumPy quantized reference.
+
+The paper's accuracy argument is structural - the RTM-AP computes exact
+integers, so the compiled network cannot lose accuracy.  This harness turns
+that argument into a one-call check used by the CLI (``repro infer``) and the
+evaluation scripts: run the same images through the functional AP dataflow
+and the pure-NumPy quantized forward pass, and report whether the logits are
+byte-identical (they must be; ``max_abs_diff`` localises any regression).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.inference.engine import InferenceResult
+from repro.inference.reference import quantized_reference_forward
+from repro.nn.layers import Module
+
+
+@dataclass(frozen=True)
+class InferenceEquivalence:
+    """Verdict of one AP-vs-reference logits comparison."""
+
+    model: str
+    images: int
+    executor: str
+    backend: str
+    logits_identical: bool
+    predictions_match: bool
+    max_abs_diff: float
+
+    @property
+    def consistent(self) -> bool:
+        """True when the AP logits equal the reference byte for byte."""
+        return self.logits_identical
+
+    def describe(self) -> str:
+        """Human-readable verdict for reports and assertion messages."""
+        if self.logits_identical:
+            return (
+                f"logits byte-identical to the NumPy reference on "
+                f"{self.images} image(s) ({self.backend}/{self.executor})"
+            )
+        detail = "predictions still match" if self.predictions_match else (
+            "predictions DIVERGE"
+        )
+        return (
+            f"logits MISMATCH vs the NumPy reference "
+            f"(max |diff| = {self.max_abs_diff:.3e}; {detail})"
+        )
+
+
+def check_inference_equivalence(
+    model: Module,
+    images: np.ndarray,
+    result: InferenceResult,
+    input_shape: Optional[Sequence[int]] = None,
+    bits: int = 4,
+    signed: bool = False,
+) -> InferenceEquivalence:
+    """Compare an inference run's logits against the NumPy reference.
+
+    Args:
+        model: the module tree the run executed.
+        images: the images the run processed.
+        result: the :class:`~repro.inference.engine.InferenceResult` to check.
+        input_shape: un-batched input shape (inferred like the dataflow when
+            omitted).
+        bits / signed: the run's activation quantization settings.
+    """
+    reference = quantized_reference_forward(
+        model, images, input_shape=input_shape, bits=bits, signed=signed
+    )
+    identical = bool(np.array_equal(result.logits, reference))
+    return InferenceEquivalence(
+        model=result.model,
+        images=result.images,
+        executor=result.execution.executor,
+        backend=result.execution.backend,
+        logits_identical=identical,
+        predictions_match=bool(
+            np.array_equal(result.predictions, reference.argmax(axis=1))
+        ),
+        max_abs_diff=float(np.max(np.abs(result.logits - reference)))
+        if result.logits.size
+        else 0.0,
+    )

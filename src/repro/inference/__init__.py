@@ -1,0 +1,58 @@
+"""Functional end-to-end inference on the execution-plan runtime.
+
+This package closes the loop the paper claims - CAM-only *inference* - on top
+of the runtime of :mod:`repro.runtime`:
+
+1. :class:`~repro.inference.dataflow.DataflowGraph` joins the model's module
+   tree with its compiled per-slice AP programs and the execution plan's tile
+   placements, and owns the run's per-layer activation buffers.
+2. :class:`~repro.inference.activations.ActivationStore` quantizes every
+   layer's input with per-image LSQ calibration and lowers it (im2col) to the
+   AP row operands of the layer's tile programs.
+3. :class:`~repro.inference.engine.BatchedInference` fans each layer's
+   ``(image, tile)`` work items over the runtime's executors, reduces the
+   exact integer partial sums order-independently, and meters CAM counters
+   plus interconnect traffic through the accelerator's ledgers.
+4. :func:`~repro.inference.reference.quantized_reference_forward` is the
+   pure-NumPy ground truth the AP logits must match byte for byte.
+
+The one-call entry point is :func:`~repro.inference.engine.run_inference`
+(also exported from :mod:`repro`); ``python -m repro infer`` wraps it on the
+command line.
+"""
+
+from repro.inference.activations import (
+    ActivationStore,
+    LayerActivations,
+    dequantize_batch,
+    lower_input_rows,
+    quantize_batch,
+)
+from repro.inference.dataflow import (
+    DataflowGraph,
+    DataflowNode,
+    patch_weight_layers,
+)
+from repro.inference.engine import (
+    BatchedInference,
+    InferenceResult,
+    InferenceTileResult,
+    run_inference,
+)
+from repro.inference.reference import quantized_reference_forward
+
+__all__ = [
+    "ActivationStore",
+    "LayerActivations",
+    "quantize_batch",
+    "dequantize_batch",
+    "lower_input_rows",
+    "DataflowGraph",
+    "DataflowNode",
+    "patch_weight_layers",
+    "BatchedInference",
+    "InferenceResult",
+    "InferenceTileResult",
+    "run_inference",
+    "quantized_reference_forward",
+]

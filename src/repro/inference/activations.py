@@ -1,0 +1,230 @@
+"""Activation quantization, lowering and buffering for the functional dataflow.
+
+The inference subsystem keeps every inter-layer tensor in two coupled
+representations: the *float* activation the host-side layers (batch norm,
+ReLU, pooling, residual adds) operate on, and the *integer codes* the AP
+actually computes with.  This module owns the conversion between the two and
+the per-layer buffers:
+
+* :func:`quantize_batch` applies the LSQ-style per-tensor quantizer of
+  :mod:`repro.nn.quantization` **per image**, so every image's activation
+  stream is independent of the rest of the batch (batched and one-by-one
+  execution produce byte-identical results).
+* :func:`dequantize_batch` is the single shared scaling path - the AP
+  dataflow and the pure-NumPy reference both call it on *identical* integer
+  tensors, which is what makes their logits byte-identical rather than merely
+  close.
+* :func:`lower_input_rows` turns one image's quantized input into the AP row
+  operands of a convolution: the per-channel im2col layout of
+  :mod:`repro.nn.im2col` (``(Cin, Fh*Fw, Hout*Wout)``), whose last axis is
+  the CAM row dimension sliced per row tile.
+* :class:`ActivationStore` owns the per-layer activation buffers of a
+  :class:`~repro.inference.dataflow.DataflowGraph` and meters the activation
+  bits that enter each layer (the interconnect hand-off traffic).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import ModelDefinitionError
+from repro.nn.im2col import im2col
+from repro.nn.quantization import ActivationQuantizer, QuantizationConfig
+
+
+def normalize_images(
+    images: np.ndarray, input_shape: Optional[Tuple[int, ...]] = None
+) -> Tuple[np.ndarray, Tuple[int, ...]]:
+    """Coerce images to a float64 batched tensor ``(N,) + input_shape``.
+
+    The single normalization path of the inference subsystem - the AP
+    dataflow and the NumPy reference both route through it, so the same
+    ``images`` argument can never be interpreted differently by the two.
+    4-D ``(N, C, H, W)`` and 2-D ``(N, features)`` arrays are treated as
+    batched; 3-D/1-D arrays as one un-batched sample.
+
+    Returns:
+        ``(x, input_shape)`` with ``x`` of shape ``(N,) + input_shape``.
+    """
+    x = np.asarray(images, dtype=np.float64)
+    if input_shape is None:
+        input_shape = tuple(x.shape[1:]) if x.ndim in (2, 4) else tuple(x.shape)
+    else:
+        input_shape = tuple(input_shape)
+    if x.ndim == len(input_shape):
+        x = x[None]
+    if x.shape[1:] != input_shape:
+        raise ModelDefinitionError(
+            f"images of shape {x.shape} do not match input shape {input_shape}"
+        )
+    return x, input_shape
+
+
+def quantize_batch(
+    x: np.ndarray, bits: int, signed: bool = False
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Quantize a batched activation tensor with per-image LSQ calibration.
+
+    Args:
+        x: float activations, shape ``(N, ...)``.
+        bits: activation precision.
+        signed: whether the quantized range is symmetric around zero.
+
+    Returns:
+        ``(codes, steps)``: integer codes of ``x``'s shape (clamped to the
+        representable range) and the per-image step sizes, shape ``(N,)``.
+    """
+    x = np.asarray(x, dtype=np.float64)
+    if x.ndim < 2:
+        raise ModelDefinitionError(
+            f"quantize_batch expects a batched tensor (N, ...), got shape {x.shape}"
+        )
+    config = QuantizationConfig(bits=bits, signed=signed)
+    codes = np.empty(x.shape, dtype=np.int64)
+    steps = np.empty(x.shape[0], dtype=np.float64)
+    for index in range(x.shape[0]):
+        quantizer = ActivationQuantizer(config)
+        steps[index] = quantizer.calibrate(x[index])
+        codes[index] = quantizer.quantize(x[index])
+    return codes, steps
+
+
+def dequantize_batch(
+    codes: np.ndarray, steps: np.ndarray, scale: float = 1.0
+) -> np.ndarray:
+    """Map integer results back to floats with per-image steps.
+
+    This is the *only* dequantization path of the inference subsystem: the AP
+    dataflow and the NumPy reference both call it, so identical integer
+    inputs produce bit-identical float outputs.
+    """
+    codes = np.asarray(codes)
+    shape = (-1,) + (1,) * (codes.ndim - 1)
+    return codes.astype(np.float64) * np.asarray(steps).reshape(shape) * float(scale)
+
+
+def lower_input_rows(
+    codes: np.ndarray,
+    kernel_size: Tuple[int, int],
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Lower one image's quantized input to AP row operands.
+
+    Args:
+        codes: integer codes of one image - ``(Cin, H, W)`` for a
+            convolution, ``(features,)`` for a fully-connected layer (treated
+            as a 1x1 convolution over a 1x1 spatial extent, exactly like the
+            compiler frontend does).
+
+    Returns:
+        Array of shape ``(Cin, Fh*Fw, Hout*Wout)``: for every input channel,
+        the patch element ``x{k}`` of every output position - the last axis
+        is the CAM row dimension (sliced per row tile by the engine).
+    """
+    codes = np.asarray(codes)
+    if codes.ndim == 1:
+        return codes[:, None, None]
+    if codes.ndim != 3:
+        raise ModelDefinitionError(
+            f"expected (Cin, H, W) or (features,) codes, got shape {codes.shape}"
+        )
+    return im2col(codes[None], kernel_size, stride, padding)[0]
+
+
+@dataclass
+class LayerActivations:
+    """Per-layer activation buffer owned by the dataflow graph."""
+
+    name: str
+    #: Per-image LSQ step sizes of the layer's quantized input.
+    steps: np.ndarray
+    #: Activation bits entering the layer (interconnect hand-off traffic).
+    input_bits: int
+    #: Quantized input codes / integer outputs (kept only when the store is
+    #: constructed with ``keep_tensors=True``; large models drop them).
+    input_codes: Optional[np.ndarray] = None
+    output_int: Optional[np.ndarray] = None
+
+
+class ActivationStore:
+    """Owns the per-layer activation buffers of one inference run.
+
+    Args:
+        activation_bits: precision of the quantized activations.
+        signed: signedness of the quantized range.
+        keep_tensors: keep the quantized input codes and integer outputs per
+            layer (useful for debugging and tests; costs memory on large
+            models).
+    """
+
+    def __init__(
+        self,
+        activation_bits: int = 4,
+        signed: bool = False,
+        keep_tensors: bool = False,
+    ) -> None:
+        self.activation_bits = activation_bits
+        self.signed = signed
+        self.keep_tensors = keep_tensors
+        self._layers: Dict[str, LayerActivations] = {}
+        self._order: List[str] = []
+
+    # ------------------------------------------------------------------
+    def quantize_input(self, name: str, x: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Quantize a layer's float input and record its buffer entry.
+
+        A layer visited again (the next micro-batch of a chunked run) extends
+        its entry: traffic bits accumulate and the per-image steps concatenate.
+        """
+        codes, steps = quantize_batch(x, self.activation_bits, self.signed)
+        bits = int(codes.size) * self.activation_bits
+        existing = self._layers.get(name)
+        if existing is None:
+            self._order.append(name)
+            self._layers[name] = LayerActivations(
+                name=name,
+                steps=steps,
+                input_bits=bits,
+                input_codes=codes if self.keep_tensors else None,
+            )
+        else:
+            existing.steps = np.concatenate([existing.steps, steps])
+            existing.input_bits += bits
+            if self.keep_tensors and existing.input_codes is not None:
+                existing.input_codes = np.concatenate([existing.input_codes, codes])
+        return codes, steps
+
+    def record_output(self, name: str, output_int: np.ndarray) -> None:
+        """Attach a layer's integer output to its buffer entry."""
+        if not (self.keep_tensors and name in self._layers):
+            return
+        entry = self._layers[name]
+        if entry.output_int is None:
+            entry.output_int = output_int
+        else:
+            entry.output_int = np.concatenate([entry.output_int, output_int])
+
+    # ------------------------------------------------------------------
+    def __contains__(self, name: str) -> bool:
+        return name in self._layers
+
+    def __getitem__(self, name: str) -> LayerActivations:
+        return self._layers[name]
+
+    def layers(self) -> List[LayerActivations]:
+        """Buffer entries in execution order."""
+        return [self._layers[name] for name in self._order]
+
+    @property
+    def total_activation_bits(self) -> int:
+        """Activation bits handed between layers across the whole run."""
+        return sum(entry.input_bits for entry in self._layers.values())
+
+    def clear(self) -> None:
+        """Drop every buffer entry (reused across micro-batches)."""
+        self._layers.clear()
+        self._order.clear()

@@ -1,0 +1,444 @@
+"""Batched end-to-end inference on the execution-plan runtime.
+
+:class:`BatchedInference` runs N images through one compiled model on one
+leased AP pool: every weight layer's *real* quantized activations are lowered
+to AP row operands (:mod:`repro.inference.activations`), executed as the
+layer's :class:`~repro.runtime.plan.TileProgram` streams on the runtime's
+pluggable executors, and reduced into exact integer partial sums whose order
+independence makes ``serial``, ``parallel`` and ``thread`` execution - and
+the ``reference`` and ``vectorized`` backends - byte-identical.  The host
+executes the model's interstitial operators (batch norm, ReLU, pooling,
+residual adds) between layers, so the logits of the AP dataflow must match
+the pure-NumPy quantized reference
+(:func:`repro.inference.reference.quantized_reference_forward`) exactly.
+
+Work granularity is ``(image, tile program)``: a batch fans out every image's
+tiles of the current layer to the executor in one order-preserving map, which
+pipelines the batch across the pool's workers while the layer barrier chain
+of the :class:`~repro.inference.dataflow.DataflowGraph` keeps inter-layer
+dependencies intact.  Per-image activation streams are quantized with
+per-image calibration, so batched and one-by-one execution produce
+byte-identical logits.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.ap.core import AssociativeProcessor
+from repro.arch.accelerator import Accelerator
+from repro.cam.stats import CAMStats
+from repro.core.compiler import CompilerConfig, compile_model
+from repro.errors import CapacityError, ModelDefinitionError
+from repro.inference.activations import (
+    ActivationStore,
+    dequantize_batch,
+    lower_input_rows,
+    normalize_images,
+)
+from repro.inference.dataflow import (
+    DataflowGraph,
+    DataflowNode,
+    patch_weight_layers,
+)
+from repro.nn.layers import Module
+from repro.nn.stats import model_layer_specs
+from repro.runtime.executors import ExecutorSpec, make_lease, resolve_executor
+from repro.runtime.plan import build_execution_plan
+from repro.runtime.scheduler import (
+    LayerRunResult,
+    PlanExecution,
+    aggregate_layer_run,
+    charge_adder_tree_movement,
+)
+
+
+@dataclass(frozen=True)
+class InferenceTileResult:
+    """Outcome of one (image, tile program) work item."""
+
+    image_index: int
+    address: tuple
+    stats: CAMStats
+    #: One ``{output name: integer partial-sum vector}`` dict per slice
+    #: program of the tile (real data, unlike the synthetic-path checksums).
+    outputs: Tuple[Dict[str, np.ndarray], ...]
+    checksum: int
+    duration_s: float
+
+
+def _inference_tile_worker(payload, ap=None) -> InferenceTileResult:
+    """Execute one tile program on one image's real activations.
+
+    Module-level so process pools can pickle the call; ``ap`` is a pre-leased
+    pooled AP when the serial path runs in-process (byte-identical to the
+    fresh AP a pool worker builds, per the lease contract).
+    """
+    tile, image_index, columns, backend, technology, inputs_list = payload
+    start = time.perf_counter()
+    if ap is None:
+        ap = AssociativeProcessor(
+            rows=tile.rows, columns=columns, technology=technology, backend=backend
+        )
+    outputs_list = []
+    checksum = 0
+    for program, inputs in zip(tile.programs, inputs_list):
+        outputs = ap.run_program(program, inputs, num_rows=tile.rows)
+        converted: Dict[str, np.ndarray] = {}
+        for name in sorted(outputs):
+            values = np.asarray(outputs[name], dtype=np.int64)
+            checksum += int(values.sum())
+            converted[name] = values
+        outputs_list.append(converted)
+    return InferenceTileResult(
+        image_index=image_index,
+        address=tuple(tile.address),
+        stats=ap.reset_stats(),
+        outputs=tuple(outputs_list),
+        checksum=checksum,
+        duration_s=time.perf_counter() - start,
+    )
+
+
+@dataclass
+class InferenceResult:
+    """Logits plus the aggregated runtime counters of one inference run."""
+
+    model: str
+    logits: np.ndarray
+    images: int
+    execution: PlanExecution
+    store: ActivationStore
+
+    @property
+    def predictions(self) -> np.ndarray:
+        """Top-1 class per image."""
+        return self.logits.argmax(axis=1)
+
+    @property
+    def checksum(self) -> int:
+        """Order-independent checksum across every executed tile."""
+        return self.execution.checksum
+
+    @property
+    def wall_time_s(self) -> float:
+        """Host wall-clock of the whole run."""
+        return self.execution.wall_time_s
+
+
+class BatchedInference:
+    """Functional end-to-end inference driver over one leased AP pool.
+
+    Args:
+        model: a module tree built from :mod:`repro.nn.layers`.
+        input_shape: un-batched input shape ``(C, H, W)`` (or ``(features,)``).
+        bits: activation precision (the paper evaluates 4 and 8).
+        signed: signedness of the quantized activations.
+        accelerator: AP provider; sized automatically (growing banks) when
+            omitted and the model needs more concurrent APs than the default.
+        executor: tile executor (``serial``/``parallel``/``thread``), class or
+            instance.
+        workers: worker count for pool executors.
+        backend: functional AP execution backend; the accelerator's default
+            when omitted.
+        keep_activations: keep per-layer quantized codes and integer outputs
+            in the activation store (debugging/tests).
+        name: plan name used in reports.
+    """
+
+    def __init__(
+        self,
+        model: Module,
+        input_shape: Sequence[int],
+        bits: int = 4,
+        signed: bool = False,
+        accelerator: Optional[Accelerator] = None,
+        executor: ExecutorSpec = "serial",
+        workers: Optional[int] = None,
+        backend: Optional[str] = None,
+        keep_activations: bool = False,
+        name: str = "model",
+    ) -> None:
+        input_shape = tuple(input_shape)
+        specs = model_layer_specs(model, input_shape)
+        if not specs:
+            raise ModelDefinitionError("model has no weight layers to execute")
+        compiled = compile_model(
+            specs,
+            CompilerConfig(activation_bits=bits, signed_activations=signed),
+            name=name,
+            emit_programs=True,
+        )
+        if accelerator is None:
+            accelerator = Accelerator() if backend is None else Accelerator(backend=backend)
+            try:
+                plan = build_execution_plan(compiled, accelerator=accelerator)
+            except CapacityError:
+                needed = max(
+                    layer.mapping.row_tiles * layer.mapping.channel_groups
+                    for layer in compiled.layers
+                )
+                accelerator = Accelerator(
+                    config=accelerator.config.with_total_aps(needed),
+                    backend=accelerator.backend,
+                )
+                plan = build_execution_plan(compiled, accelerator=accelerator)
+        else:
+            plan = build_execution_plan(compiled, accelerator=accelerator)
+        self.accelerator = accelerator
+        self.plan = plan
+        self.executor = resolve_executor(executor, workers=workers)
+        self.backend = backend if backend is not None else accelerator.backend
+        self.graph = DataflowGraph.build(
+            model,
+            input_shape,
+            compiled,
+            plan,
+            store=ActivationStore(
+                activation_bits=bits, signed=signed, keep_tensors=keep_activations
+            ),
+        )
+        self._columns = max(plan.required_columns, 4)
+        self._layer_results: Dict[str, LayerRunResult] = {}
+
+    # ------------------------------------------------------------------
+    def run(
+        self, images: np.ndarray, batch: Optional[int] = None
+    ) -> InferenceResult:
+        """Run a batch of images through the network on the AP runtime.
+
+        Args:
+            images: batched ``(N,) + input_shape`` (or one un-batched image).
+            batch: optional micro-batch size; the batch is processed in
+                chunks of this many images (bounding peak activation memory).
+                Per-image quantization makes chunked and unchunked execution
+                byte-identical.
+        """
+        started = time.perf_counter()
+        x, _ = normalize_images(images, self.graph.input_shape)
+        if batch is not None and batch < 1:
+            raise ModelDefinitionError(f"batch must be >= 1, got {batch}")
+        self._layer_results = {}
+        # Every run gets a fresh store so previously returned results keep
+        # their own buffers (the graph's store is the *current* run's).
+        previous = self.graph.store
+        self.graph.store = ActivationStore(
+            activation_bits=previous.activation_bits,
+            signed=previous.signed,
+            keep_tensors=previous.keep_tensors,
+        )
+        chunks = (
+            [x]
+            if batch is None
+            else [x[start : start + batch] for start in range(0, x.shape[0], batch)]
+        )
+        logits = np.concatenate([self._forward(chunk) for chunk in chunks], axis=0)
+        execution = PlanExecution(
+            name=self.plan.name,
+            executor=self.executor.name,
+            backend=str(self.backend),
+            workers=getattr(self.executor, "workers", 1),
+            layers=[self._layer_results[node.name] for node in self.graph.nodes],
+            wall_time_s=time.perf_counter() - started,
+        )
+        return InferenceResult(
+            model=self.plan.name,
+            logits=logits,
+            images=x.shape[0],
+            execution=execution,
+            store=self.graph.store,
+        )
+
+    # ------------------------------------------------------------------
+    def _forward(self, x: np.ndarray) -> np.ndarray:
+        """One micro-batch through the model with AP-executed weight layers."""
+
+        def hook(name: str, module: Module, value: np.ndarray) -> np.ndarray:
+            return self._layer_hook(self.graph.node(name), value)
+
+        with patch_weight_layers(self.graph.model, self.graph.input_shape, hook):
+            return self.graph.model(x)
+
+    def _layer_hook(self, node: DataflowNode, x: np.ndarray) -> np.ndarray:
+        """Quantize a layer's input, execute its tiles, dequantize the output."""
+        codes, steps = self.graph.store.quantize_input(node.name, x)
+        y_int = self._execute_node(node, codes)
+        self.graph.store.record_output(node.name, y_int)
+        y = dequantize_batch(y_int, steps, node.weight_scale)
+        return y.reshape((x.shape[0],) + node.output_spatial(y_int.shape[-1]))
+
+    # ------------------------------------------------------------------
+    def _execute_node(self, node: DataflowNode, codes: np.ndarray) -> np.ndarray:
+        """Run every (image, tile) of one layer and reduce the partial sums."""
+        planned = node.planned
+        mapping = node.mapping
+        technology = self.accelerator.config.technology
+        num_images = codes.shape[0]
+        positions = mapping.output_positions
+        rows_per_ap = mapping.rows_per_ap
+
+        payloads = []
+        for image in range(num_images):
+            columns = lower_input_rows(
+                codes[image], node.kernel_size, node.stride, node.padding
+            )
+            for tile in planned.tiles:
+                start = tile.row_tile * rows_per_ap
+                row_slice = slice(start, start + tile.rows)
+                inputs_list = [
+                    {
+                        name: columns[channel, int(name[1:]), row_slice]
+                        for name in program.input_columns
+                    }
+                    for channel, program in zip(tile.channel_indices, tile.programs)
+                ]
+                payloads.append(
+                    (tile, image, self._columns, self.backend, technology, inputs_list)
+                )
+
+        started = time.perf_counter()
+        results = self.executor.map_tasks(
+            _inference_tile_worker,
+            payloads,
+            lease=make_lease(self.accelerator, self._columns, self.backend),
+        )
+        wall = time.perf_counter() - started
+
+        # Order-independent reduction of the real outputs: exact integer
+        # partial sums accumulated per (image, output channel, position).
+        accumulator = np.zeros((num_images, mapping.out_channels, positions), np.int64)
+        for payload, result in zip(payloads, results):
+            tile, image = payload[0], payload[1]
+            start = tile.row_tile * rows_per_ap
+            row_slice = slice(start, start + tile.rows)
+            for outputs in result.outputs:
+                for name, values in outputs.items():
+                    accumulator[image, int(name[1:]), row_slice] += values
+
+        movement = charge_adder_tree_movement(
+            self.accelerator, planned, repeats=num_images
+        )
+        predecessor = self.graph.predecessor(node)
+        activation_bits = float(codes.size * self.graph.store.activation_bits)
+        movement = movement.merge(
+            self.accelerator.charge_activation_traffic(
+                activation_bits,
+                src=predecessor.planned.tiles[0].address if predecessor else None,
+                dst=planned.tiles[0].address if planned.tiles else None,
+            )
+        )
+        # Counter aggregation shared with the synthetic Scheduler; each image
+        # is its own latency stream (images sharing the pool serialise, tiles
+        # of one round within an image overlap).
+        layer_result = aggregate_layer_run(
+            planned,
+            [
+                (payload[0], result.stats, payload[1])
+                for payload, result in zip(payloads, results)
+            ],
+            self.accelerator,
+            movement,
+            repeats=num_images,
+            checksum=sum(result.checksum for result in results),
+            wall_time_s=wall,
+        )
+        self._record_layer(layer_result)
+        return accumulator
+
+    # ------------------------------------------------------------------
+    def _record_layer(self, result: LayerRunResult) -> None:
+        """Merge a micro-batch's layer counters into the run aggregate."""
+        existing = self._layer_results.get(result.name)
+        if existing is None:
+            self._layer_results[result.name] = result
+            return
+        existing.stats = existing.stats.merge(result.stats)
+        existing.energy = existing.energy.merge(result.energy)
+        existing.latency = existing.latency.merge(result.latency)
+        existing.total_ops += result.total_ops
+        existing.tiles_executed += result.tiles_executed
+        existing.checksum += result.checksum
+        existing.wall_time_s += result.wall_time_s
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the executor's pooled workers and the leased AP pool."""
+        self.executor.close()
+        self.accelerator.release_aps()
+
+    def __enter__(self) -> "BatchedInference":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def run_inference(
+    model: Union[Module, str],
+    images: np.ndarray,
+    *,
+    executor: ExecutorSpec = "serial",
+    workers: Optional[int] = None,
+    batch: Optional[int] = None,
+    bits: int = 4,
+    signed: bool = False,
+    backend: Optional[str] = None,
+    accelerator: Optional[Accelerator] = None,
+    input_shape: Optional[Sequence[int]] = None,
+    sparsity: Optional[float] = None,
+    width: Optional[float] = None,
+    keep_activations: bool = False,
+    rng=0,
+    name: Optional[str] = None,
+) -> InferenceResult:
+    """Run functional end-to-end inference on the AP runtime in one call.
+
+    Args:
+        model: a module tree, or a registry model name (``vgg9``/``vgg11``/
+            ``resnet18``; ``sparsity``/``width``/``rng`` configure the build).
+        images: batched ``(N,) + input_shape`` images (or one un-batched
+            image).
+        executor: tile executor (``serial``/``parallel``/``thread``).
+        workers: worker count for pool executors.
+        batch: optional micro-batch size (images per pass through the pool).
+        bits: activation precision.
+        signed: signedness of the quantized activations.
+        backend: functional AP execution backend.
+        accelerator: AP provider (auto-sized when omitted).
+        input_shape: un-batched input shape; inferred from ``images`` (4-D and
+            2-D arrays are treated as batched) or the registry when omitted.
+        keep_activations: keep per-layer quantized tensors in the result's
+            activation store.
+
+    Returns:
+        :class:`InferenceResult` with logits, predictions and the aggregated
+        :class:`~repro.runtime.scheduler.PlanExecution` counters.
+    """
+    if isinstance(model, str):
+        from repro.nn.models.registry import build_model
+
+        name = name or model
+        model, registry_shape = build_model(model, sparsity=sparsity, rng=rng, width=width)
+        input_shape = input_shape or registry_shape
+    if input_shape is None:
+        _, input_shape = normalize_images(images)
+    driver = BatchedInference(
+        model,
+        input_shape,
+        bits=bits,
+        signed=signed,
+        accelerator=accelerator,
+        executor=executor,
+        workers=workers,
+        backend=backend,
+        keep_activations=keep_activations,
+        name=name or "model",
+    )
+    try:
+        return driver.run(images, batch=batch)
+    finally:
+        driver.close()

@@ -82,6 +82,7 @@ def build_model(
     name: str,
     sparsity: float | None = None,
     rng: RngLike = None,
+    width: float | None = None,
 ) -> Tuple[Module, Tuple[int, int, int]]:
     """Instantiate a benchmark model.
 
@@ -90,6 +91,9 @@ def build_model(
         sparsity: ternary weight sparsity; defaults to the paper's setting for
             that model (0.8 for ResNet-18, 0.85 for the VGGs).
         rng: seed or generator for the synthetic weights.
+        width: optional channel-width multiplier (1.0 = the paper topology).
+            Reduced widths keep the layer recipe but shrink every channel
+            count, which makes functional end-to-end inference tractable.
 
     Returns:
         ``(model, input_shape)`` where ``input_shape`` is the un-batched
@@ -97,13 +101,24 @@ def build_model(
     """
     record = model_record(name)
     sparsity = record.default_sparsity if sparsity is None else sparsity
+    if width is not None and width <= 0:
+        raise ModelDefinitionError(f"width multiplier must be > 0, got {width}")
     if record.name == "resnet18":
-        model = record.builder(num_classes=record.num_classes, sparsity=sparsity, rng=rng)
+        kwargs = {}
+        if width is not None:
+            kwargs["base_width"] = max(1, int(round(64 * width)))
+        model = record.builder(
+            num_classes=record.num_classes, sparsity=sparsity, rng=rng, **kwargs
+        )
     else:
+        kwargs = {}
+        if width is not None:
+            kwargs["width_multiplier"] = width
         model = record.builder(
             num_classes=record.num_classes,
             input_size=record.input_shape[1],
             sparsity=sparsity,
             rng=rng,
+            **kwargs,
         )
     return model, record.input_shape

@@ -28,38 +28,49 @@ from repro.nn.layers import (
 from repro.nn.model import BasicBlock
 from repro.utils.rng import RngLike, derive_rng, make_rng
 
-#: (out_channels, num_blocks, first_stride) per ResNet-18 stage.
+#: (width_factor, num_blocks, first_stride) per ResNet-18 stage; channel
+#: counts are ``base_width * width_factor`` (64 * factor for the paper model).
 RESNET18_STAGES: Tuple[Tuple[int, int, int], ...] = (
-    (64, 2, 1),
-    (128, 2, 2),
-    (256, 2, 2),
-    (512, 2, 2),
+    (1, 2, 1),
+    (2, 2, 2),
+    (4, 2, 2),
+    (8, 2, 2),
 )
 
 
 class ResNet18(Module):
-    """ResNet-18 with ternary weights (ImageNet geometry by default)."""
+    """ResNet-18 with ternary weights (ImageNet geometry by default).
+
+    ``base_width`` scales every stage's channel count (the standard model uses
+    64); reduced widths keep functional end-to-end simulation tractable while
+    preserving the 20-convolution topology the paper's Fig. 4 reports.
+    """
 
     def __init__(
         self,
         num_classes: int = 1000,
         sparsity: float = 0.8,
         rng: RngLike = None,
+        base_width: int = 64,
     ) -> None:
+        if base_width <= 0:
+            raise ValueError(f"base_width must be > 0, got {base_width}")
         rng = make_rng(rng)
         self.name = "resnet18"
         self.sparsity_target = sparsity
+        self.base_width = base_width
         self.conv1 = TernaryConv2d(
-            3, 64, kernel_size=7, stride=2, padding=3, sparsity=sparsity,
+            3, base_width, kernel_size=7, stride=2, padding=3, sparsity=sparsity,
             rng=derive_rng(rng, 0),
         )
-        self.bn1 = BatchNorm2d(64)
+        self.bn1 = BatchNorm2d(base_width)
         self.relu = ReLU()
         self.maxpool = MaxPool2d(kernel_size=3, stride=2)
         self.stages: List[List[BasicBlock]] = []
-        in_channels = 64
+        in_channels = base_width
         stream = 1
-        for out_channels, num_blocks, first_stride in RESNET18_STAGES:
+        for width_factor, num_blocks, first_stride in RESNET18_STAGES:
+            out_channels = base_width * width_factor
             blocks: List[BasicBlock] = []
             for block_index in range(num_blocks):
                 stride = first_stride if block_index == 0 else 1
@@ -73,7 +84,10 @@ class ResNet18(Module):
                 stream += 1
             self.stages.append(blocks)
         self.avgpool = GlobalAvgPool2d()
-        self.fc = TernaryLinear(512, num_classes, sparsity=sparsity, rng=derive_rng(rng, 99))
+        self.fc = TernaryLinear(
+            base_width * RESNET18_STAGES[-1][0], num_classes,
+            sparsity=sparsity, rng=derive_rng(rng, 99),
+        )
 
     # ------------------------------------------------------------------
     def forward(self, x: np.ndarray) -> np.ndarray:
@@ -101,7 +115,12 @@ class ResNet18(Module):
 
 
 def build_resnet18(
-    num_classes: int = 1000, sparsity: float = 0.8, rng: RngLike = None
+    num_classes: int = 1000,
+    sparsity: float = 0.8,
+    rng: RngLike = None,
+    base_width: int = 64,
 ) -> ResNet18:
     """Factory mirroring the VGG builders."""
-    return ResNet18(num_classes=num_classes, sparsity=sparsity, rng=rng)
+    return ResNet18(
+        num_classes=num_classes, sparsity=sparsity, rng=rng, base_width=base_width
+    )

@@ -76,6 +76,14 @@ def _build_conv_stack(
     return layers, channels, pools
 
 
+def _scale_width(plan: Sequence[Union[int, str]], multiplier: float) -> List[Union[int, str]]:
+    """Scale the channel counts of a conv plan, keeping at least one channel."""
+    return [
+        token if token == POOL else max(1, int(round(int(token) * multiplier)))
+        for token in plan
+    ]
+
+
 def _build_vgg(
     plan: Sequence[Union[int, str]],
     hidden_features: Sequence[int],
@@ -84,7 +92,15 @@ def _build_vgg(
     input_size: int,
     sparsity: float,
     rng: RngLike,
+    width_multiplier: float = 1.0,
 ) -> Sequential:
+    if width_multiplier <= 0:
+        raise ValueError(f"width_multiplier must be > 0, got {width_multiplier}")
+    if width_multiplier != 1.0:
+        plan = _scale_width(plan, width_multiplier)
+        hidden_features = [
+            max(1, int(round(hidden * width_multiplier))) for hidden in hidden_features
+        ]
     rng = make_rng(rng)
     conv_layers, channels, pools = _build_conv_stack(plan, 3, sparsity, rng)
     spatial = input_size >> pools
@@ -108,8 +124,13 @@ def build_vgg9(
     input_size: int = 32,
     sparsity: float = 0.85,
     rng: RngLike = None,
+    width_multiplier: float = 1.0,
 ) -> Sequential:
-    """VGG-9 for CIFAR-10-sized inputs (VGG-Small conv stack + 1 FC classifier)."""
+    """VGG-9 for CIFAR-10-sized inputs (VGG-Small conv stack + 1 FC classifier).
+
+    ``width_multiplier`` scales every channel count (the paper's topology at
+    reduced width), which keeps functional end-to-end simulation tractable.
+    """
     return _build_vgg(
         VGG9_CONV_PLAN,
         hidden_features=(),
@@ -118,6 +139,7 @@ def build_vgg9(
         input_size=input_size,
         sparsity=sparsity,
         rng=rng,
+        width_multiplier=width_multiplier,
     )
 
 
@@ -126,6 +148,7 @@ def build_vgg11(
     input_size: int = 32,
     sparsity: float = 0.85,
     rng: RngLike = None,
+    width_multiplier: float = 1.0,
 ) -> Sequential:
     """VGG-11 for CIFAR-10-sized inputs (8 conv + 3 FC weight layers)."""
     return _build_vgg(
@@ -136,4 +159,5 @@ def build_vgg11(
         input_size=input_size,
         sparsity=sparsity,
         rng=rng,
+        width_multiplier=width_multiplier,
     )

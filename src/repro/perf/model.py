@@ -556,6 +556,7 @@ def crosscheck_execution(
     execution,
     architecture: Optional[ArchitectureConfig] = None,
     match_probability: float = DEFAULT_MATCH_PROBABILITY,
+    images: int = 1,
 ) -> ExecutionCrosscheck:
     """Cross-check a functional plan run against the analytic cost model.
 
@@ -569,11 +570,18 @@ def crosscheck_execution(
     Args:
         plan: the executed :class:`~repro.runtime.plan.ExecutionPlan`.
         execution: the :class:`~repro.runtime.scheduler.PlanExecution`
-            returned by :meth:`~repro.arch.accelerator.Accelerator.execute_plan`.
+            returned by :meth:`~repro.arch.accelerator.Accelerator.execute_plan`
+            or aggregated by the batched inference dataflow
+            (:class:`~repro.inference.engine.BatchedInference`).
         architecture: architecture supplying the technology for the energy
             figures; the plan's architecture when omitted.
         match_probability: expected row-match fraction of the analytic model.
+        images: how many images the execution processed - every tile program
+            runs once per image, so the analytic expectation scales linearly
+            (search phases stay exact; write phases stay an upper bound).
     """
+    if images < 1:
+        raise ConfigurationError(f"images must be >= 1, got {images}")
     architecture = architecture or plan.architecture
     technology = architecture.technology
     result = ExecutionCrosscheck(
@@ -594,10 +602,10 @@ def crosscheck_execution(
                 tiles=len(planned.tiles),
                 measured_search_phases=measured.search_phases,
                 measured_write_phases=measured.write_phases,
-                predicted_search_phases=predicted.search_phases,
-                predicted_write_phases=predicted.write_phases,
+                predicted_search_phases=predicted.search_phases * images,
+                predicted_write_phases=predicted.write_phases * images,
                 measured_energy_fj=measured.energy_fj(technology),
-                predicted_energy_fj=predicted.energy_fj(technology),
+                predicted_energy_fj=predicted.energy_fj(technology) * images,
             )
         )
     return result

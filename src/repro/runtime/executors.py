@@ -26,7 +26,7 @@ from __future__ import annotations
 import time
 from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Type, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Type, Union
 
 import numpy as np
 
@@ -121,17 +121,64 @@ def run_tile_program(
     )
 
 
-def _pool_worker(payload) -> TileResult:
+def _pool_worker(payload, ap=None) -> TileResult:
     """Module-level worker so process pools can pickle the call."""
     tile, tile_index, columns, backend, technology = payload
-    return run_tile_program(tile, tile_index, columns, backend, technology)
+    return run_tile_program(tile, tile_index, columns, backend, technology, ap=ap)
+
+
+#: A callable mapping one payload to a pre-leased AP (serial execution only;
+#: pool workers always build their own AP - the lease contract guarantees the
+#: two are byte-identical).
+LeaseFn = Callable[[object], object]
+
+
+def make_lease(accelerator: "Accelerator", columns: int, backend) -> LeaseFn:
+    """Build the payload -> leased-AP mapping of the serial execution path.
+
+    The single place the lease geometry is decided: the pooled AP is sized
+    exactly like the fresh AP a pool worker would build for the same payload
+    (``tile.rows`` x ``columns`` on ``backend``), which is what keeps serial
+    leased execution byte-identical to pool-worker execution.  Payloads must
+    carry their :class:`~repro.runtime.plan.TileProgram` first - the
+    convention of both the synthetic tile path and the inference dataflow.
+    """
+
+    def lease(payload):
+        tile = payload[0]
+        return accelerator.lease_ap(
+            tile.address, rows=tile.rows, columns=columns, backend=backend
+        )
+
+    return lease
 
 
 class Executor:
-    """Base class of the tile-program executors."""
+    """Base class of the tile-program executors.
+
+    Subclasses implement :meth:`map_tasks` - a generic order-preserving map of
+    a picklable worker function over payloads.  The synthetic-input tile path
+    (:meth:`run`) and the inference dataflow
+    (:mod:`repro.inference.engine`, which ships *real* activations in its
+    payloads) both dispatch through it, so every executor serves both
+    workloads with one scheduling policy.
+    """
 
     #: Registry name (e.g. ``"serial"``).
     name = "abstract"
+    workers = 1
+
+    def map_tasks(
+        self, fn: Callable, payloads: Sequence, lease: Optional[LeaseFn] = None
+    ) -> List:
+        """Apply ``fn`` to every payload, returning results in payload order.
+
+        ``lease`` (optional) maps a payload to a pre-leased functional AP; it
+        is honoured only by in-process execution - pool workers build fresh
+        APs in their own process, which the lease contract guarantees to be
+        indistinguishable.
+        """
+        raise NotImplementedError
 
     def run(
         self,
@@ -141,8 +188,15 @@ class Executor:
         technology: Optional[RTMTechnology] = None,
         accelerator: Optional["Accelerator"] = None,
     ) -> List[TileResult]:
-        """Execute ``tiles`` and return their results in tile order."""
-        raise NotImplementedError
+        """Execute ``tiles`` (synthetic seeded inputs) in tile order."""
+        payloads = [
+            (tile, index, columns, backend, technology)
+            for index, tile in enumerate(tiles)
+        ]
+        lease: Optional[LeaseFn] = None
+        if accelerator is not None:
+            lease = make_lease(accelerator, columns, backend)
+        return self.map_tasks(_pool_worker, payloads, lease=lease)
 
     def close(self) -> None:
         """Release pooled workers (no-op for poolless executors)."""
@@ -158,27 +212,12 @@ class SerialExecutor(Executor):
         # constructor-compatible; the serial executor always uses one.
         self.workers = 1
 
-    def run(
-        self,
-        tiles: Sequence[TileProgram],
-        columns: int,
-        backend: str = DEFAULT_BACKEND,
-        technology: Optional[RTMTechnology] = None,
-        accelerator: Optional["Accelerator"] = None,
-    ) -> List[TileResult]:
-        results: List[TileResult] = []
-        for index, tile in enumerate(tiles):
-            ap = None
-            if accelerator is not None:
-                # Lease a pooled AP sized exactly like the fresh AP a pool
-                # worker would build, so counters stay byte-identical.
-                ap = accelerator.lease_ap(
-                    tile.address, rows=tile.rows, columns=columns, backend=backend
-                )
-            results.append(
-                run_tile_program(tile, index, columns, backend, technology, ap=ap)
-            )
-        return results
+    def map_tasks(
+        self, fn: Callable, payloads: Sequence, lease: Optional[LeaseFn] = None
+    ) -> List:
+        if lease is None:
+            return [fn(payload) for payload in payloads]
+        return [fn(payload, lease(payload)) for payload in payloads]
 
 
 class ParallelExecutor(Executor):
@@ -204,23 +243,15 @@ class ParallelExecutor(Executor):
             )
         return self._pool
 
-    def run(
-        self,
-        tiles: Sequence[TileProgram],
-        columns: int,
-        backend: str = DEFAULT_BACKEND,
-        technology: Optional[RTMTechnology] = None,
-        accelerator: Optional["Accelerator"] = None,
-    ) -> List[TileResult]:
-        if self.workers <= 1 or len(tiles) <= 1:
-            return SerialExecutor().run(tiles, columns, backend, technology)
-        payloads = [
-            (tile, index, columns, backend, technology)
-            for index, tile in enumerate(tiles)
-        ]
+    def map_tasks(
+        self, fn: Callable, payloads: Sequence, lease: Optional[LeaseFn] = None
+    ) -> List:
+        payloads = list(payloads)
+        if self.workers <= 1 or len(payloads) <= 1:
+            return SerialExecutor().map_tasks(fn, payloads, lease=lease)
         pool = self._ensure_pool()
         chunksize = max(1, len(payloads) // (self.workers * 4))
-        return list(pool.map(_pool_worker, payloads, chunksize=chunksize))
+        return list(pool.map(fn, payloads, chunksize=chunksize))
 
     def close(self) -> None:
         if self._pool is not None:

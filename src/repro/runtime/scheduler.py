@@ -152,6 +152,115 @@ class PlanExecution:
         raise ConfigurationError(f"no layer named {name!r} in plan execution")
 
 
+def aggregate_layer_run(
+    layer: PlannedLayer,
+    tile_stats,
+    accelerator: "Accelerator",
+    movement,
+    repeats: int = 1,
+    checksum: int = 0,
+    wall_time_s: float = 0.0,
+) -> LayerRunResult:
+    """Reduce executed tiles' counters into one :class:`LayerRunResult`.
+
+    The single accounting epilogue shared by the synthetic-input
+    :class:`Scheduler` and the real-activation inference engine
+    (:mod:`repro.inference.engine`), so energy/latency formulas cannot drift
+    between ``repro run`` and ``repro infer``.
+
+    Args:
+        layer: the planned layer the tiles belong to.
+        tile_stats: iterable of ``(tile, stats, stream)`` triples - one per
+            executed tile, where ``stream`` keys the latency overlap group
+            (tiles of the same stream and round overlap; the synthetic path
+            uses a single stream, batched inference one stream per image).
+        accelerator: ledgers owner; every tile's counters are charged to its
+            ``(bank, tile)``.
+        movement: :class:`~repro.arch.interconnect.TransferCost` already
+            charged for the layer (adder-tree merges, activation hand-off).
+        repeats: how many times the layer's static instruction stream ran
+            (1 for the synthetic path, one per image for batched inference) -
+            scales the controller/instruction-cache energy and the op count.
+        checksum: order-independent output checksum across the tiles.
+        wall_time_s: host wall-clock spent executing the tiles.
+    """
+    technology = accelerator.config.technology
+    stats = CAMStats()
+    round_latency: Dict[tuple, float] = {}
+    executed = 0
+    for tile, tile_counters, stream in tile_stats:
+        executed += 1
+        stats = stats.merge(tile_counters)
+        accelerator.record_tile_stats(tile.address, tile_counters)
+        key = (stream, tile.round_index)
+        tile_latency = tile_counters.latency_ns(technology)
+        round_latency[key] = max(round_latency.get(key, 0.0), tile_latency)
+
+    # Per-layer latency: concurrent tiles of one (stream, round) overlap
+    # (their maximum); sequential rounds and streams add up.
+    dfg_ns = sum(round_latency.values())
+
+    # Controller / instruction-cache overhead per issued instruction.
+    peripherals_fj = (
+        layer.num_instructions
+        * repeats
+        * accelerator.config.instruction_cache_energy_fj
+    )
+    energy = EnergyBreakdown(
+        dfg_fj=stats.energy_fj(technology),
+        peripherals_fj=peripherals_fj,
+        movement_fj=movement.energy_fj,
+    )
+    latency = LatencyBreakdown(dfg_ns=dfg_ns, movement_ns=movement.latency_ns)
+    return LayerRunResult(
+        name=layer.name,
+        layer_index=layer.layer_index,
+        stats=stats,
+        energy=energy,
+        latency=latency,
+        total_ops=repeats * sum(tile.num_arithmetic_ops for tile in layer.tiles),
+        tiles_executed=executed,
+        aps_used=layer.aps_used,
+        rounds=layer.num_rounds,
+        checksum=checksum,
+        scale_factor=layer.scale_factor,
+        wall_time_s=wall_time_s,
+    )
+
+
+def charge_adder_tree_movement(accelerator, layer: PlannedLayer, repeats: int = 1):
+    """Charge the partial-sum merges between a layer's channel groups.
+
+    Every channel group beyond the first must ship its per-row partial sums
+    (one accumulator per output channel) to the group-0 AP of the same row
+    tile; the hierarchy level crossed determines the per-bit energy.  Groups
+    that sequential rounds place on the *same* AP merge in place (the
+    accumulator column is simply extended next round) and move nothing.
+    Charged through the accelerator so the traffic shows up in its
+    interconnect ledger.  ``repeats`` scales the traffic for batched
+    execution (one merge pass per image; the transfer model is linear in
+    bits).
+    """
+    from repro.arch.interconnect import ZERO_TRANSFER
+
+    total = ZERO_TRANSFER
+    tiles_by_row: Dict[int, List] = {}
+    for tile in layer.tiles:
+        tiles_by_row.setdefault(tile.row_tile, []).append(tile)
+    for row_tiles in tiles_by_row.values():
+        groups = sorted(row_tiles, key=lambda tile: tile.channel_group)
+        first = groups[0]
+        for tile in groups[1:]:
+            if tile.address == first.address:
+                continue
+            bits = float(
+                layer.out_channels * tile.rows * layer.accumulator_width * repeats
+            )
+            scope = accelerator.transfer_scope(tile.address, first.address)
+            total = total.merge(accelerator.charge_movement(bits, scope))
+    return total
+
+
 class Scheduler:
     """Walks an :class:`~repro.runtime.plan.ExecutionPlan` layer by layer.
 
@@ -205,80 +314,15 @@ class Scheduler:
         )
         wall = time.perf_counter() - started
 
-        stats = CAMStats()
-        checksum = 0
-        total_ops = 0
-        round_latency: Dict[int, float] = {}
-        for tile, result in zip(layer.tiles, results):
-            stats = stats.merge(result.stats)
-            checksum += result.checksum
-            total_ops += tile.num_arithmetic_ops
-            tile_latency = result.stats.latency_ns(technology)
-            key = tile.round_index
-            round_latency[key] = max(round_latency.get(key, 0.0), tile_latency)
-            self.accelerator.record_tile_stats(tile.address, result.stats)
-
-        # Per-layer latency: concurrent tiles of one round overlap (their
-        # maximum), sequential rounds add up.
-        dfg_ns = sum(round_latency.values())
-
-        movement = self._charge_adder_tree_movement(layer)
-
-        # Controller / instruction-cache overhead per issued instruction.
-        peripherals_fj = (
-            layer.num_instructions
-            * self.accelerator.config.instruction_cache_energy_fj
-        )
-
-        energy = EnergyBreakdown(
-            dfg_fj=stats.energy_fj(technology),
-            peripherals_fj=peripherals_fj,
-            movement_fj=movement.energy_fj,
-        )
-        latency = LatencyBreakdown(dfg_ns=dfg_ns, movement_ns=movement.latency_ns)
-        return LayerRunResult(
-            name=layer.name,
-            layer_index=layer.layer_index,
-            stats=stats,
-            energy=energy,
-            latency=latency,
-            total_ops=total_ops,
-            tiles_executed=len(results),
-            aps_used=layer.aps_used,
-            rounds=layer.num_rounds,
-            checksum=checksum,
-            scale_factor=layer.scale_factor,
+        movement = charge_adder_tree_movement(self.accelerator, layer)
+        return aggregate_layer_run(
+            layer,
+            [(tile, result.stats, 0) for tile, result in zip(layer.tiles, results)],
+            self.accelerator,
+            movement,
+            checksum=sum(result.checksum for result in results),
             wall_time_s=wall,
         )
-
-    # ------------------------------------------------------------------
-    def _charge_adder_tree_movement(self, layer: PlannedLayer):
-        """Charge the partial-sum merges between the layer's channel groups.
-
-        Every channel group beyond the first must ship its per-row partial
-        sums (one accumulator per output channel) to the group-0 AP of the
-        same row tile; the hierarchy level crossed determines the per-bit
-        energy.  Groups that sequential rounds place on the *same* AP merge
-        in place (the accumulator column is simply extended next round) and
-        move nothing.  Charged through the accelerator so the traffic shows
-        up in its interconnect ledger.
-        """
-        from repro.arch.interconnect import ZERO_TRANSFER
-
-        total = ZERO_TRANSFER
-        tiles_by_row: Dict[int, List] = {}
-        for tile in layer.tiles:
-            tiles_by_row.setdefault(tile.row_tile, []).append(tile)
-        for row_tiles in tiles_by_row.values():
-            groups = sorted(row_tiles, key=lambda tile: tile.channel_group)
-            first = groups[0]
-            for tile in groups[1:]:
-                if tile.address == first.address:
-                    continue
-                bits = float(layer.out_channels * tile.rows * layer.accumulator_width)
-                scope = self.accelerator.transfer_scope(tile.address, first.address)
-                total = total.merge(self.accelerator.charge_movement(bits, scope))
-        return total
 
     # ------------------------------------------------------------------
     def close(self) -> None:

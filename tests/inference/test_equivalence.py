@@ -1,0 +1,187 @@
+"""AP dataflow logits vs. the pure-NumPy quantized reference.
+
+The paper's "retaining software accuracy" claim, executed end to end: the
+RTM-AP computes exact integers, so the functional dataflow's logits must be
+**byte-identical** to the NumPy reference on whole networks - including the
+residual shortcuts, strides and pooling stages of the benchmark topologies.
+"""
+
+import numpy as np
+import pytest
+
+from repro.errors import CompilationError
+from repro.inference import (
+    BatchedInference,
+    quantized_reference_forward,
+    run_inference,
+)
+from repro.perf.model import crosscheck_execution
+
+
+class TestLogitsMatchReference:
+    def test_vgg9_topology_byte_identical(self, vgg9_narrow, images_rng):
+        model, input_shape = vgg9_narrow
+        images = images_rng.uniform(0.0, 1.0, size=(2,) + input_shape)
+        reference = quantized_reference_forward(model, images, bits=4)
+        result = run_inference(model, images, bits=4)
+        assert result.logits.shape == (2, 10)
+        assert np.array_equal(result.logits, reference)
+
+    def test_resnet18_topology_byte_identical(self, resnet18_narrow, images_rng):
+        model, input_shape = resnet18_narrow
+        images = images_rng.uniform(0.0, 1.0, size=(2,) + input_shape)
+        reference = quantized_reference_forward(
+            model, images, bits=4, input_shape=input_shape
+        )
+        result = run_inference(model, images, bits=4, input_shape=input_shape)
+        assert result.logits.shape == (2, 10)
+        assert np.array_equal(result.logits, reference)
+
+    def test_8bit_activations(self, tiny_cnn, images_rng):
+        model, input_shape = tiny_cnn
+        images = images_rng.uniform(0.0, 1.0, size=(1,) + input_shape)
+        reference = quantized_reference_forward(model, images, bits=8)
+        result = run_inference(model, images, bits=8)
+        assert np.array_equal(result.logits, reference)
+
+    def test_registry_name_entry_point(self, images_rng):
+        """run_inference accepts a registry model name (width-scaled)."""
+        images = images_rng.uniform(0.0, 1.0, size=(1, 3, 32, 32))
+        result = run_inference(
+            "vgg9", images, bits=4, width=1 / 32, sparsity=0.85, rng=0
+        )
+        assert result.model == "vgg9"
+        assert result.logits.shape == (1, 10)
+
+    def test_single_unbatched_image(self, tiny_cnn, images_rng):
+        model, input_shape = tiny_cnn
+        image = images_rng.uniform(0.0, 1.0, size=input_shape)
+        result = run_inference(model, image, bits=4)
+        assert result.images == 1
+        assert result.logits.shape == (1, 10)
+
+
+class TestBatchedExecution:
+    def test_batch_equals_per_image(self, tiny_cnn, images_rng):
+        """Per-image quantization makes the batch a set of independent streams."""
+        model, input_shape = tiny_cnn
+        images = images_rng.uniform(0.0, 1.0, size=(3,) + input_shape)
+        batched = run_inference(model, images, bits=4)
+        one_by_one = np.concatenate(
+            [run_inference(model, images[i], bits=4).logits for i in range(3)]
+        )
+        assert np.array_equal(batched.logits, one_by_one)
+
+    def test_micro_batching_byte_identical(self, tiny_cnn, images_rng):
+        model, input_shape = tiny_cnn
+        images = images_rng.uniform(0.0, 1.0, size=(4,) + input_shape)
+        whole = run_inference(model, images, bits=4)
+        chunked = run_inference(model, images, bits=4, batch=2)
+        assert np.array_equal(whole.logits, chunked.logits)
+        assert whole.execution.total_stats == chunked.execution.total_stats
+        assert whole.checksum == chunked.checksum
+
+    def test_counters_scale_with_batch(self, tiny_cnn, images_rng):
+        """Search phases are data-independent: N images charge exactly N x."""
+        model, input_shape = tiny_cnn
+        one = run_inference(
+            model, images_rng.uniform(0.0, 1.0, size=(1,) + input_shape), bits=4
+        )
+        three = run_inference(
+            model, images_rng.uniform(0.0, 1.0, size=(3,) + input_shape), bits=4
+        )
+        assert (
+            three.execution.total_stats.search_phases
+            == 3 * one.execution.total_stats.search_phases
+        )
+
+
+class TestRuntimeIntegration:
+    def test_cost_model_crosscheck(self, tiny_cnn, images_rng):
+        model, input_shape = tiny_cnn
+        images = images_rng.uniform(0.0, 1.0, size=(2,) + input_shape)
+        driver = BatchedInference(model, input_shape, bits=4, name="tinycnn")
+        try:
+            result = driver.run(images)
+            check = crosscheck_execution(
+                driver.plan, result.execution, images=result.images
+            )
+        finally:
+            driver.close()
+        assert check.consistent, check.describe()
+
+    def test_accelerator_ledgers_populated(self, tiny_cnn, images_rng):
+        model, input_shape = tiny_cnn
+        images = images_rng.uniform(0.0, 1.0, size=(1,) + input_shape)
+        driver = BatchedInference(model, input_shape, bits=4)
+        try:
+            result = driver.run(images)
+            tile_stats = driver.accelerator.tile_stats()
+            movement = driver.accelerator.movement_ledger()
+        finally:
+            driver.close()
+        total = driver.accelerator.total_stats
+        assert tile_stats
+        assert total == result.execution.total_stats
+        # Activation hand-off traffic is metered on the interconnect ledger.
+        assert sum(cost.bits for cost in movement.values()) > 0
+        assert result.store.total_activation_bits > 0
+
+    def test_activation_store_buffers(self, tiny_cnn, images_rng):
+        model, input_shape = tiny_cnn
+        images = images_rng.uniform(0.0, 1.0, size=(2,) + input_shape)
+        result = run_inference(model, images, bits=4, keep_activations=True)
+        layers = result.store.layers()
+        assert len(layers) == 3  # two convs + fc
+        for entry in layers:
+            assert entry.steps.shape == (2,)
+            assert entry.input_codes is not None
+            assert entry.output_int is not None
+            assert entry.input_codes.max() <= 15
+            assert entry.input_codes.min() >= 0
+
+    def test_each_run_keeps_its_own_store(self, tiny_cnn, images_rng):
+        """A second run must not mutate the first result's activation store."""
+        model, input_shape = tiny_cnn
+        driver = BatchedInference(model, input_shape, bits=4)
+        try:
+            first = driver.run(images_rng.uniform(0.0, 1.0, size=(2,) + input_shape))
+            first_bits = first.store.total_activation_bits
+            first_steps = {e.name: e.steps.copy() for e in first.store.layers()}
+            second = driver.run(images_rng.uniform(0.0, 1.0, size=(1,) + input_shape))
+        finally:
+            driver.close()
+        assert first.store is not second.store
+        assert first.store.total_activation_bits == first_bits
+        for entry in first.store.layers():
+            assert np.array_equal(entry.steps, first_steps[entry.name])
+            assert entry.steps.shape == (2,)
+
+    def test_rejects_slice_sampled_compilation(self, tiny_cnn):
+        """Functional inference needs every input-channel slice."""
+        from repro.core.compiler import CompilerConfig, compile_model
+        from repro.inference.dataflow import DataflowGraph
+        from repro.nn.stats import model_layer_specs
+        from repro.runtime.plan import build_execution_plan
+
+        model, input_shape = tiny_cnn
+        specs = model_layer_specs(model, input_shape)
+        compiled = compile_model(
+            specs,
+            CompilerConfig(activation_bits=4, max_slices_per_layer=1),
+            emit_programs=True,
+        )
+        plan = build_execution_plan(compiled)
+        with pytest.raises(CompilationError, match="slice sampling"):
+            DataflowGraph.build(model, input_shape, compiled, plan)
+
+    def test_rejects_mismatched_input_shape(self, tiny_cnn, images_rng):
+        from repro.errors import ModelDefinitionError
+
+        model, input_shape = tiny_cnn
+        driver = BatchedInference(model, input_shape, bits=4)
+        try:
+            with pytest.raises(ModelDefinitionError):
+                driver.run(images_rng.uniform(0.0, 1.0, size=(1, 3, 9, 9)))
+        finally:
+            driver.close()

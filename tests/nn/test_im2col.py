@@ -58,6 +58,71 @@ class TestIm2col:
         with pytest.raises(ModelDefinitionError):
             im2col(np.zeros((3, 8, 8)), (3, 3))
 
+
+class TestIm2colEdgeCases:
+    """Geometries the end-to-end inference dataflow relies on."""
+
+    def _gemm_reference(self, x, kernel, stride, padding):
+        """Naive sliding-window gather to validate the vectorized layout."""
+        kernel_h, kernel_w = kernel
+        batch, channels, _, _ = x.shape
+        out_h = conv_output_size(x.shape[2], kernel_h, stride, padding)
+        out_w = conv_output_size(x.shape[3], kernel_w, stride, padding)
+        padded = pad_input(x, padding)
+        expected = np.zeros((batch, channels, kernel_h * kernel_w, out_h * out_w))
+        for i in range(out_h):
+            for j in range(out_w):
+                patch = padded[
+                    :, :, i * stride : i * stride + kernel_h, j * stride : j * stride + kernel_w
+                ]
+                expected[:, :, :, i * out_w + j] = patch.reshape(batch, channels, -1)
+        return expected
+
+    def test_no_padding(self, rng):
+        x = rng.normal(size=(1, 2, 6, 6))
+        columns = im2col(x, (3, 3), stride=1, padding=0)
+        assert columns.shape == (1, 2, 9, 16)
+        assert np.allclose(columns, self._gemm_reference(x, (3, 3), 1, 0))
+
+    def test_stride_larger_than_kernel(self, rng):
+        """Stride 3 with a 2x2 kernel skips input pixels entirely."""
+        x = rng.normal(size=(1, 1, 8, 8))
+        columns = im2col(x, (2, 2), stride=3, padding=0)
+        assert columns.shape == (1, 1, 4, 9)
+        assert np.allclose(columns, self._gemm_reference(x, (2, 2), 3, 0))
+
+    def test_non_square_input(self, rng):
+        x = rng.normal(size=(2, 3, 5, 9))
+        columns = im2col(x, (3, 3), stride=1, padding=1)
+        assert columns.shape == (2, 3, 9, 5 * 9)
+        assert np.allclose(columns, self._gemm_reference(x, (3, 3), 1, 1))
+
+    def test_non_square_kernel(self, rng):
+        x = rng.normal(size=(1, 2, 6, 6))
+        columns = im2col(x, (1, 3), stride=1, padding=0)
+        assert columns.shape == (1, 2, 3, 6 * 4)
+        assert np.allclose(columns, self._gemm_reference(x, (1, 3), 1, 0))
+
+    def test_1x1_kernel_is_a_flatten(self, rng):
+        """A pointwise convolution's columns are the input pixels themselves."""
+        x = rng.normal(size=(2, 4, 5, 5))
+        columns = im2col(x, (1, 1), stride=1, padding=0)
+        assert columns.shape == (2, 4, 1, 25)
+        assert np.allclose(columns[:, :, 0, :], x.reshape(2, 4, -1))
+
+    def test_1x1_kernel_with_stride(self, rng):
+        x = rng.normal(size=(1, 2, 6, 6))
+        columns = im2col(x, (1, 1), stride=2, padding=0)
+        assert columns.shape == (1, 2, 1, 9)
+        assert np.allclose(columns, self._gemm_reference(x, (1, 1), 2, 0))
+
+    def test_padding_only_output(self, rng):
+        """Kernel as large as the padded input: a single output position."""
+        x = rng.normal(size=(1, 1, 3, 3))
+        columns = im2col(x, (5, 5), stride=1, padding=1)
+        assert columns.shape == (1, 1, 25, 1)
+        assert np.allclose(columns, self._gemm_reference(x, (5, 5), 1, 1))
+
     def test_matrix_layout(self, rng):
         x = rng.normal(size=(1, 2, 6, 6))
         matrix = im2col_matrix(x, (3, 3), padding=1)

@@ -75,3 +75,48 @@ class TestActivationQuantizer:
         codes, step = quantize_to_int(x, bits=4)
         assert codes.max() <= 15
         assert step > 0
+
+
+class TestActivationBitClipping:
+    """Codes must never leave the representable range, whatever the input.
+
+    The compiled AP programs size their columns from the activation range, so
+    an out-of-range code would silently corrupt the integer arithmetic - the
+    clamp here is what the inference dataflow's bit-exactness rests on.
+    """
+
+    @pytest.mark.parametrize("bits", [2, 4, 8])
+    def test_unsigned_outliers_clip_to_qmax(self, bits):
+        quantizer = ActivationQuantizer(QuantizationConfig(bits=bits), step=1.0)
+        codes = quantizer.quantize(np.array([1e9, float(2**bits), -1e9, -0.4]))
+        assert codes.max() == (1 << bits) - 1
+        assert codes.min() == 0
+
+    @pytest.mark.parametrize("bits", [2, 4, 8])
+    def test_signed_outliers_clip_symmetrically(self, bits):
+        config = QuantizationConfig(bits=bits, signed=True)
+        quantizer = ActivationQuantizer(config, step=1.0)
+        codes = quantizer.quantize(np.array([1e9, -1e9]))
+        assert codes[0] == config.qmax == (1 << (bits - 1)) - 1
+        assert codes[1] == config.qmin == -(1 << (bits - 1))
+
+    def test_negative_inputs_clip_to_zero_unsigned(self):
+        """Post-ReLU (unsigned) quantization floors negative values at 0."""
+        quantizer = ActivationQuantizer(QuantizationConfig(bits=4), step=0.5)
+        codes = quantizer.quantize(np.array([-5.0, -0.3, 0.0, 0.3]))
+        assert np.array_equal(codes, [0, 0, 0, 1])
+
+    def test_tiny_step_still_clips(self):
+        """A very small calibrated step cannot push codes past qmax."""
+        quantizer = ActivationQuantizer(QuantizationConfig(bits=4), step=1e-8)
+        codes = quantizer.quantize(np.array([1.0, 100.0]))
+        assert np.all(codes == 15)
+
+    def test_batch_quantizer_clips_per_image(self, rng):
+        """The inference-path batch quantizer inherits the clamp."""
+        from repro.inference.activations import quantize_batch
+
+        images = np.stack([rng.normal(size=(2, 3, 3)) * scale for scale in (1, 1e6)])
+        codes, steps = quantize_batch(images, bits=4)
+        assert codes.min() >= 0 and codes.max() <= 15
+        assert steps.shape == (2,)

@@ -43,6 +43,26 @@ class TestParser:
         arguments = build_parser().parse_args(["apbench", "--seed", "11"])
         assert arguments.seed == 11
 
+    def test_infer_defaults(self):
+        arguments = build_parser().parse_args(["infer"])
+        assert arguments.model == "vgg9"
+        assert arguments.images == 1
+        assert arguments.batch is None
+        assert arguments.width is None
+        assert arguments.executor == "serial"
+
+    def test_infer_flags(self):
+        arguments = build_parser().parse_args(
+            ["infer", "--model", "resnet18", "--width", "0.0625", "--images", "2",
+             "--batch", "1", "--executor", "thread", "--workers", "2"]
+        )
+        assert arguments.model == "resnet18"
+        assert arguments.width == 0.0625
+        assert arguments.images == 2
+        assert arguments.batch == 1
+        assert arguments.executor == "thread"
+        assert arguments.workers == 2
+
 
 class TestCommands:
     def test_endurance_command(self, capsys):
@@ -74,6 +94,40 @@ class TestCommands:
                      "--executor", "parallel", "--workers", "2"]) == 0
         output = capsys.readouterr().out
         assert "parallel executor, 2 worker(s)" in output
+
+    def test_infer_command_narrow_vgg9(self, capsys):
+        assert main(["infer", "--model", "vgg9", "--width", "0.03125",
+                     "--images", "2", "--seed", "3"]) == 0
+        output = capsys.readouterr().out
+        assert "end-to-end inference of 2 image(s)" in output
+        assert "logits byte-identical to the NumPy reference" in output
+        assert "cost model consistent" in output
+
+    def test_infer_command_batched_threads(self, capsys):
+        assert main(["infer", "--model", "vgg9", "--width", "0.03125",
+                     "--images", "2", "--batch", "1",
+                     "--executor", "thread", "--workers", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "thread executor, 2 worker(s)" in output
+        assert "byte-identical" in output
+
+    def test_infer_command_exits_nonzero_on_mismatch(self, monkeypatch):
+        """The crosscheck is a real gate: a logits mismatch fails the run."""
+        import dataclasses
+
+        import repro.eval.equivalence as equivalence_module
+
+        real = equivalence_module.check_inference_equivalence
+
+        def corrupted(*args, **kwargs):
+            verdict = real(*args, **kwargs)
+            return dataclasses.replace(verdict, logits_identical=False)
+
+        monkeypatch.setattr(
+            equivalence_module, "check_inference_equivalence", corrupted
+        )
+        with pytest.raises(SystemExit):
+            main(["infer", "--model", "vgg9", "--width", "0.03125"])
 
 
 def _apbench_phase_column(output: str):
