@@ -58,7 +58,16 @@ def test_placement_policy_ablation(benchmark, save_report, vgg9_specs):
         ],
         title="Placement-policy ablation (64x9 weight slice, 0.7 sparsity)",
     )
-    save_report("ablation_placement", text)
+    save_report(
+        "ablation_placement",
+        text,
+        data={
+            "inplace_phases": inplace_cost.total_phases,
+            "outofplace_phases": outofplace_cost.total_phases,
+            "inplace_latency_ns": inplace_cost.latency_ns(technology),
+            "outofplace_latency_ns": outofplace_cost.latency_ns(technology),
+        },
+    )
     assert inplace.program.num_inplace_ops > 0
     assert outofplace.program.num_inplace_ops == 0
     assert inplace_cost.total_phases < outofplace_cost.total_phases
@@ -87,7 +96,11 @@ def test_activation_precision_sweep(benchmark, save_report, vgg9_specs):
         rows,
         title="Activation-precision sweep (VGG-9, unroll+CSE)",
     )
-    save_report("ablation_precision_sweep", text)
+    save_report(
+        "ablation_precision_sweep",
+        text,
+        data={f"energy_uj_{row[0]}bit": row[1] for row in rows},
+    )
     energies = [row[1] for row in rows]
     assert energies == sorted(energies)  # energy grows monotonically with precision
 
@@ -121,7 +134,16 @@ def test_output_parallelism_ablation(benchmark, save_report, resnet18_specs):
         ],
         title="Allocator ablation (ResNet-18, 4-bit)",
     )
-    save_report("ablation_output_parallelism", text)
+    save_report(
+        "ablation_output_parallelism",
+        text,
+        data={
+            "latency_ms_with_parallelism": with_parallelism.latency_ms,
+            "latency_ms_without_parallelism": without_parallelism.latency_ms,
+            "peak_aps_with_parallelism": with_parallelism.arrays_used,
+            "peak_aps_without_parallelism": without_parallelism.arrays_used,
+        },
+    )
     assert with_parallelism.latency_ms < without_parallelism.latency_ms
 
 

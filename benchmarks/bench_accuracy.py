@@ -21,7 +21,14 @@ def test_accuracy_experiment(benchmark, save_report):
         rounds=1,
         iterations=1,
     )
-    save_report("accuracy_vs_precision", summary.to_text())
+    save_report(
+        "accuracy_vs_precision",
+        summary.to_text(),
+        data={
+            "fp_accuracy": summary.fp_accuracy,
+            **{f"accuracy_{name}": value for name, value in summary.accuracies.items()},
+        },
+    )
     assert summary.fp_accuracy > 0.6
     # RTM-AP operating points retain accuracy.
     assert summary.degradation("ternary-a4") < 0.10

@@ -82,7 +82,18 @@ def test_backend_speedup(benchmark, save_report, ap_backend, ap_seed):
             f"{ROWS} rows (timed backend: {ap_backend})"
         ),
     )
-    save_report("backends", text)
+    save_report(
+        "backends",
+        text,
+        data={
+            "vectorized_speedup": reference.duration_s
+            / runs["vectorized"].duration_s,
+            **{
+                f"{name}_runtime_ms": run.duration_s * 1e3
+                for name, run in runs.items()
+            },
+        },
+    )
 
     # All backends must observe the same exact event counts.
     phase_counts = {run.stats.total_phases for run in runs.values()}

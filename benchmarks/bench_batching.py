@@ -50,7 +50,11 @@ def test_batched_inference(benchmark, save_report, resnet18_specs):
         rows,
         title="Batched ResNet-18 inference on the RTM-AP (unroll+CSE, 4-bit)",
     )
-    save_report("batching", text)
+    save_report(
+        "batching",
+        text,
+        data={f"latency_per_image_ms_batch{row[0]}": row[2] for row in rows},
+    )
     per_image_latency = [row[2] for row in rows]
     # Throughput per image improves monotonically with the batch size.
     assert per_image_latency == sorted(per_image_latency, reverse=True)

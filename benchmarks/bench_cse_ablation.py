@@ -42,7 +42,14 @@ def test_equation1_example(benchmark, save_report):
         ],
         title="Eq. 1 - CSE on the paper's 6x6 ternary MVM",
     )
-    save_report("eq1_cse", text)
+    save_report(
+        "eq1_cse",
+        text,
+        data={
+            "unrolled_ops": unrolled_op_count(PAPER_EQ1),
+            "cse_ops": result.total_operations,
+        },
+    )
     assert result.total_operations == 7
 
 
@@ -75,7 +82,16 @@ def test_network_op_reduction(benchmark, save_report, network, sparsity):
         f"\n\nmean per-layer reduction: {report.mean_layer_reduction * 100:.1f}% "
         f"(paper: ~31% average; ResNet-18 total 1499K -> 931K)"
     )
-    save_report(f"cse_ablation_{network}_{sparsity}", text)
+    save_report(
+        f"cse_ablation_{network}_{sparsity}",
+        text,
+        data={
+            "unroll_ops": unroll.total_ops,
+            "cse_ops": cse.total_ops,
+            "total_reduction": report.total_reduction,
+            "mean_layer_reduction": report.mean_layer_reduction,
+        },
+    )
     assert cse.total_ops < unroll.total_ops
     assert 0.03 < report.total_reduction < 0.5
 
@@ -97,7 +113,11 @@ def test_cse_scaling_with_kernel_size(benchmark, save_report):
         rows,
         title="CSE benefit vs kernel size (64 output channels, 0.8 sparsity)",
     )
-    save_report("cse_vs_kernel_size", text)
+    save_report(
+        "cse_vs_kernel_size",
+        text,
+        data={f"ops_after_cse_{row[0]}": row[2] for row in rows},
+    )
 
     benchmark(
         lambda: cse_from_weight_slice(

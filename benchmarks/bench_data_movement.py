@@ -51,7 +51,16 @@ def test_movement_fraction_rtm_vs_crossbar(benchmark, save_report, resnet18_spec
         ],
         title="Data movement share of total energy (ResNet-18)",
     )
-    save_report("data_movement", text)
+    save_report(
+        "data_movement",
+        text,
+        data={
+            "rtm_movement_fraction": rtm.movement_fraction,
+            "crossbar_communication_fraction": crossbar.communication_fraction,
+            "rtm_energy_uj": rtm.energy_uj,
+            "crossbar_energy_uj": crossbar.energy_uj,
+        },
+    )
     assert rtm.movement_fraction < 0.10
     assert crossbar.communication_fraction > 0.15
     assert crossbar.communication_fraction > 3 * rtm.movement_fraction

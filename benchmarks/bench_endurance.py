@@ -42,6 +42,13 @@ def test_endurance_lifetime(benchmark, save_report, resnet18_specs):
         ],
         title="RTM write-endurance analysis",
     )
-    save_report("endurance", text)
+    save_report(
+        "endurance",
+        text,
+        data={
+            "paper_style_years": report.paper_style_years,
+            "workload_years": report.workload_years,
+        },
+    )
     assert report.paper_style_years > 20
     assert report.workload_years is not None and report.workload_years >= report.paper_style_years

@@ -17,7 +17,7 @@ def fig4(save_report):
     data = generate_fig4(
         "resnet18", activation_bits=4, max_slices_per_layer=BENCH_SLICE_SAMPLING, rng=0
     )
-    save_report("fig4_resnet18_4bit", data.to_text())
+    save_report("fig4_resnet18_4bit", data.to_text(), data=data.totals())
     return data
 
 
@@ -56,8 +56,8 @@ def test_fig4_8bit(benchmark, save_report):
         rounds=1,
         iterations=1,
     )
-    save_report("fig4_resnet18_8bit", data.to_text())
     totals8 = data.totals()
+    save_report("fig4_resnet18_8bit", data.to_text(), data=totals8)
     data4 = generate_fig4(
         "resnet18", activation_bits=4, max_slices_per_layer=BENCH_SLICE_SAMPLING, rng=0
     )

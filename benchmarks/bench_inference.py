@@ -115,7 +115,18 @@ def test_batched_throughput(narrow_vgg9, images, save_report):
             f"{BATCH} images, reference backend (real activation dataflow)"
         ),
     )
-    save_report("inference", text)
+    save_report(
+        "inference",
+        text,
+        data={
+            "serial_wall_s": serial_s,
+            "parallel_wall_s": parallel_s,
+            "speedup": speedup,
+            "images": BATCH,
+            "workers": GATE_WORKERS,
+            "required_speedup": REQUIRED_SPEEDUP,
+        },
+    )
 
     assert speedup >= REQUIRED_SPEEDUP, (
         f"batched parallel inference is only {speedup:.2f}x faster than "

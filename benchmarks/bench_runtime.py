@@ -113,7 +113,17 @@ def test_parallel_speedup(vgg9_plan, save_report):
             f"{vgg9_plan.num_instructions} instructions (reference backend)"
         ),
     )
-    save_report("runtime", text)
+    save_report(
+        "runtime",
+        text,
+        data={
+            "serial_wall_s": serial_s,
+            "parallel_wall_s": parallel_s,
+            "speedup": speedup,
+            "workers": GATE_WORKERS,
+            "required_speedup": REQUIRED_SPEEDUP,
+        },
+    )
 
     assert speedup >= REQUIRED_SPEEDUP, (
         f"parallel executor is only {speedup:.2f}x faster than serial "

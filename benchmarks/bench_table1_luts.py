@@ -37,7 +37,11 @@ def _lut_table_text() -> str:
 def test_report_table1(benchmark, save_report):
     """Emit the Table-I report (validated LUTs and their cycle counts)."""
     text = benchmark(_lut_table_text)
-    save_report("table1_luts", text)
+    save_report(
+        "table1_luts",
+        text,
+        data={"inplace_cycles_per_bit": 8, "outofplace_cycles_per_bit": 10},
+    )
     assert "8" in text and "10" in text
 
 

@@ -18,7 +18,17 @@ BENCH_SLICE_SAMPLING = 12
 @pytest.fixture(scope="module")
 def table2(save_report):
     table = generate_table2(max_slices_per_layer=BENCH_SLICE_SAMPLING, rng=0)
-    save_report("table2", table.to_text())
+    resnet = table.entry("ResNet18/ImageNet", "RTM-AP (unroll+CSE)")
+    save_report(
+        "table2",
+        table.to_text(),
+        data={
+            "resnet18_arrays": resnet.arrays,
+            "resnet18_energy_uj_4bit": resnet.energy_uj_4bit,
+            "resnet18_energy_uj_8bit": resnet.energy_uj_8bit,
+            "resnet18_adds_cse_k": resnet.adds_cse_k,
+        },
+    )
     return table
 
 
@@ -33,8 +43,13 @@ def test_generate_table2_vgg9(benchmark, save_report):
         rounds=1,
         iterations=1,
     )
-    save_report("table2_vgg9_only", table.to_text())
-    assert table.entry("VGG-9/CIFAR10", "RTM-AP (unroll+CSE)").arrays == 4
+    vgg9 = table.entry("VGG-9/CIFAR10", "RTM-AP (unroll+CSE)")
+    save_report(
+        "table2_vgg9_only",
+        table.to_text(),
+        data={"vgg9_arrays": vgg9.arrays, "vgg9_energy_uj_4bit": vgg9.energy_uj_4bit},
+    )
+    assert vgg9.arrays == 4
 
 
 def test_full_table2_structure(benchmark, table2):
@@ -68,7 +83,15 @@ def test_headline_energy_efficiency(benchmark, table2, save_report):
         ],
         title="Headline improvement of RTM-AP (unroll+CSE) vs crossbar, ResNet-18 @ 4-bit",
     )
-    save_report("headline_improvement", text)
+    save_report(
+        "headline_improvement",
+        text,
+        data={
+            "latency_improvement": ratios["latency"],
+            "energy_improvement": ratios["energy"],
+            "energy_efficiency_improvement": ratios["energy_efficiency"],
+        },
+    )
     assert ratios["latency"] > 1.5
     assert ratios["energy"] > 1.5
     assert ratios["energy_efficiency"] > 4.0

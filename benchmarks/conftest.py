@@ -15,6 +15,7 @@ staying within a few percent of the exact operation counts.
 
 from __future__ import annotations
 
+import json
 import pathlib
 
 import pytest
@@ -58,11 +59,24 @@ def ap_seed(request) -> int:
     return request.config.getoption("--ap-seed")
 
 
-def _save_report(name: str, text: str) -> pathlib.Path:
-    """Write a benchmark's textual report under ``benchmarks/output/``."""
+def _save_report(name: str, text: str, data: "dict | None" = None) -> pathlib.Path:
+    """Write a benchmark's report under ``benchmarks/output/``.
+
+    Every report is written twice: the human-readable table as
+    ``<name>.txt`` and a machine-readable ``BENCH_<name>.json`` carrying the
+    benchmark's headline metrics (the perf-trajectory file set tooling and
+    CI trend tracking consume the JSON).  ``data`` should be a flat dict of
+    numeric metrics; the JSON is written even when it is omitted so every
+    benchmark run leaves a machine-readable marker.
+    """
     OUTPUT_DIRECTORY.mkdir(parents=True, exist_ok=True)
     path = OUTPUT_DIRECTORY / f"{name}.txt"
     path.write_text(text + "\n")
+    json_path = OUTPUT_DIRECTORY / f"BENCH_{name}.json"
+    json_path.write_text(
+        json.dumps({"name": name, "metrics": data or {}}, indent=2, sort_keys=True)
+        + "\n"
+    )
     return path
 
 

@@ -1,25 +1,25 @@
-"""Demo: end-to-end functional inference on the RTM-AP runtime.
+"""Demo: a weight-resident session serving end-to-end inference requests.
 
-Builds the vgg9 topology at reduced channel width, runs a small batch of
-synthetic images through the AP dataflow - every layer's real quantized
-activations lowered to tile programs, partial sums reduced exactly - and
-shows that the logits are byte-identical to the pure-NumPy quantized
-reference, while the accelerator's ledgers meter CAM phases and activation
-traffic for the same run.
+Builds the vgg9 topology at reduced channel width, deploys it once (weights
+pinned into CAM, programming traffic metered at deploy time) and serves a
+few batches of synthetic images through the AP dataflow - every layer's real
+quantized activations lowered to tile programs, partial sums reduced
+exactly.  The logits are byte-identical to the pure-NumPy quantized
+reference, repeated requests are warm (zero additional lease/reprogram
+events on the residency ledger), and the report splits the one-time deploy
+cost from the amortized per-request cost.
 
 Run with:
 
-    PYTHONPATH=src python examples/inference_end_to_end.py [--images N]
+    PYTHONPATH=src python examples/inference_end_to_end.py [--requests N]
 """
 
 import argparse
-import time
 
 import numpy as np
 
-from repro import BatchedInference, crosscheck_execution, quantized_reference_forward
-from repro.nn.datasets import synthetic_images
-from repro.nn.models.registry import build_model, model_record
+from repro.inference import quantized_reference_forward
+from repro.session import Session
 
 
 def main() -> None:
@@ -27,54 +27,62 @@ def main() -> None:
     parser.add_argument("--model", default="vgg9")
     parser.add_argument("--width", type=float, default=1 / 16,
                         help="channel-width multiplier (1.0 = paper topology)")
-    parser.add_argument("--images", type=int, default=2)
+    parser.add_argument("--requests", type=int, default=2,
+                        help="inference requests served by the live session")
+    parser.add_argument("--images", type=int, default=2,
+                        help="synthetic images per request")
     parser.add_argument("--bits", type=int, default=4)
     parser.add_argument("--executor", default="serial")
     parser.add_argument("--workers", type=int, default=None)
     arguments = parser.parse_args()
 
-    record = model_record(arguments.model)
-    model, input_shape = build_model(arguments.model, rng=0, width=arguments.width)
-    images = synthetic_images(record.dataset, batch_size=arguments.images, rng=1)
-
-    driver = BatchedInference(
-        model,
-        input_shape,
+    session = Session(
+        model=arguments.model,
+        width=arguments.width,
         bits=arguments.bits,
         executor=arguments.executor,
         workers=arguments.workers,
-        name=arguments.model,
     )
-    print(driver.accelerator.describe())
-    print(driver.graph.describe())
+    with session:
+        session.compile().deploy()
+        print(session.accelerator.describe())
+        print(session.graph.describe())
+        print(session.deployment.describe())
+        print()
+
+        deployed = session.residency
+        rng = np.random.default_rng(1)
+        identical = True
+        for request in range(arguments.requests):
+            images = rng.uniform(
+                0.0, 1.0, size=(arguments.images,) + session.input_shape
+            )
+            result = session.infer(images)
+            reference = quantized_reference_forward(
+                session.model,
+                images,
+                input_shape=session.input_shape,
+                bits=arguments.bits,
+            )
+            matches = bool(np.array_equal(result.logits, reference))
+            identical = identical and matches
+            print(f"request {request}: predictions {result.predictions}, "
+                  f"logits byte-identical to the NumPy reference: {matches}")
+
+        after = session.residency
+        cold_leases = after.lease_events - deployed.lease_events
+        check = session.crosscheck()
+        report = session.report()
+
     print()
-
-    try:
-        started = time.perf_counter()
-        result = driver.run(images)
-        wall = time.perf_counter() - started
-
-        reference = quantized_reference_forward(
-            model, images, input_shape=input_shape, bits=arguments.bits
-        )
-        identical = np.array_equal(result.logits, reference)
-
-        print(f"images: {result.images}, predictions: {result.predictions}")
-        print(f"logits byte-identical to the NumPy quantized reference: {identical}")
-        print(f"functional energy:  {result.execution.energy_uj:.4f} uJ "
-              f"(movement share {result.execution.movement_fraction * 100:.2f}%)")
-        print(f"functional latency: {result.execution.latency_ms:.5f} ms")
-        print(f"activation traffic: {result.store.total_activation_bits} bits")
-        print(f"host wall-clock:    {wall:.2f} s")
-
-        check = crosscheck_execution(
-            driver.plan, result.execution, images=result.images
-        )
-        print(f"cost-model crosscheck: {check.describe()}")
-    finally:
-        driver.close()
-    if not (identical and check.consistent):
-        raise SystemExit("FAILED: AP dataflow diverged from the reference")
+    print(report.to_text())
+    print()
+    print(f"cold lease events after deploy: {cold_leases} "
+          f"(weights stayed resident across {arguments.requests} requests)")
+    print(f"cost-model crosscheck: {check.describe()}")
+    if not (identical and check.consistent and cold_leases == 0):
+        raise SystemExit("FAILED: AP dataflow diverged from the reference "
+                         "or the session leaked cold leases")
 
 
 if __name__ == "__main__":

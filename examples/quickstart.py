@@ -1,17 +1,24 @@
-"""Quickstart: compile a ternary convolution and estimate its cost on the RTM-AP.
+"""Quickstart: deploy a ternary network once and serve inference requests.
 
-This walks the library's main path end to end:
+The paper's operating model is *deploy once, serve many*: ternary weights are
+programmed into CAM a single time and stay resident while activations stream
+through.  This walks the library's main path end to end:
 
-1. build a ternary-weight network from the model zoo,
-2. extract its layer specifications,
-3. compile it with the paper's ``unroll+CSE`` flow,
-4. evaluate energy/latency with the analytical performance model,
-5. compare against the ``unroll`` configuration and the crossbar baseline.
+1. build a session from one consolidated configuration (network, width,
+   precision, executor),
+2. ``compile()`` the network to AP programs and ``deploy()`` it - the
+   weight-resident placement pins every layer's tile programs to its own APs
+   and meters the one-time CAM programming traffic,
+3. serve a few ``infer()`` requests (warm: zero lease/reprogram events),
+4. read the ``report()`` - deploy cost vs. amortized per-request cost,
+5. compare the analytical RTM-AP model against the crossbar baseline.
 
 Run with::
 
-    python examples/quickstart.py
+    PYTHONPATH=src python examples/quickstart.py
 """
+
+import numpy as np
 
 from repro import (
     CompilerConfig,
@@ -21,32 +28,41 @@ from repro import (
     evaluate_model,
     specs_for_network,
 )
-from repro.core.report import compare_configurations
 from repro.eval.reporting import format_table
+from repro.session import Session
 
 
 def main() -> None:
-    # 1-2. A ternary VGG-9 for CIFAR-10 at the paper's 0.85 sparsity.
+    # 1. One consolidated configuration: the vgg9 topology at 1/16 channel
+    #    width (fast exact simulation), 4-bit LSQ activations.
+    session = Session(model="vgg9", width=1 / 16, bits=4, sparsity=0.85)
+
+    with session:
+        # 2. Compile once, deploy once: weights pinned into CAM.
+        session.compile().deploy()
+        print(session.describe())
+        print()
+
+        # 3. Serve three requests of two synthetic images each.
+        rng = np.random.default_rng(0)
+        for _ in range(3):
+            images = rng.uniform(0.0, 1.0, size=(2,) + session.input_shape)
+            result = session.infer(images)
+            print(f"served request: predictions {result.predictions}, "
+                  f"{result.execution.energy_uj:.4f} uJ")
+
+        # 4. Deploy cost vs. per-request cost, warm/cold ledger included.
+        print()
+        print(session.report().to_text())
+
+    # 5. The analytical model of the full-width network vs. the crossbar
+    #    baseline (Table II's headline comparison) needs no session.
     specs = specs_for_network("vgg9", sparsity=0.85, rng=0)
-    print(f"VGG-9: {len(specs)} weight layers, "
-          f"{sum(s.weights.size for s in specs) / 1e6:.1f}M ternary weights, "
-          f"{sum(s.nonzero_weights for s in specs) / 1e3:.0f}K non-zero")
-
-    # 3. Compile with and without CSE (4-bit LSQ activations).
-    cse_config = CompilerConfig(enable_cse=True, activation_bits=4)
-    unroll_config = CompilerConfig(enable_cse=False, activation_bits=4)
-    compiled_cse = compile_model(specs, cse_config, name="vgg9")
-    compiled_unroll = compile_model(specs, unroll_config, name="vgg9")
-
-    print()
-    print(compare_configurations(compiled_unroll, compiled_cse).to_text())
-
-    # 4. Analytical performance/energy model of the RTM-AP.
-    performance = evaluate_model(compiled_cse)
-
-    # 5. The DNN+NeuroSim-style crossbar baseline.
+    compiled = compile_model(
+        specs, CompilerConfig(enable_cse=True, activation_bits=4), name="vgg9"
+    )
+    performance = evaluate_model(compiled)
     crossbar = evaluate_crossbar_model(specs, CrossbarConfig(), activation_bits=4)
-
     print()
     print(
         format_table(
@@ -56,7 +72,7 @@ def main() -> None:
                     "RTM-AP (unroll+CSE, 4-bit)",
                     performance.energy_uj,
                     performance.latency_ms,
-                    compiled_cse.arrays_required,
+                    compiled.arrays_required,
                     f"{performance.movement_fraction * 100:.1f}%",
                 ],
                 [
@@ -67,13 +83,14 @@ def main() -> None:
                     f"{crossbar.communication_fraction * 100:.1f}%",
                 ],
             ],
-            title="VGG-9 / CIFAR-10 per-inference cost",
+            title="VGG-9 / CIFAR-10 per-inference cost (analytical, full width)",
         )
     )
     improvement = (crossbar.energy_uj * crossbar.latency_ms) / (
         performance.energy_uj * performance.latency_ms
     )
-    print(f"\nEnergy-efficiency improvement over the crossbar baseline: {improvement:.1f}x")
+    print(f"\nEnergy-efficiency improvement over the crossbar baseline: "
+          f"{improvement:.1f}x")
 
 
 if __name__ == "__main__":

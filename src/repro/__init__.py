@@ -20,9 +20,27 @@ The library implements the paper's full stack:
 * the crossbar (DNN+NeuroSim-style) and DeepCAM-style baselines
   (:mod:`repro.baselines`),
 * the evaluation harness that regenerates the paper's Table II and Fig. 4
-  (:mod:`repro.eval`).
+  (:mod:`repro.eval`),
+* and the public entry point that ties it all together: the weight-resident
+  :class:`~repro.session.Session` (:mod:`repro.session`).
 
-Quickstart::
+Quickstart - the paper's operating model is *deploy once, serve many*:
+ternary weights are programmed into CAM a single time and stay resident
+while activations stream through.  A session makes that explicit::
+
+    from repro.session import Session
+
+    with Session(model="vgg9", width=1 / 16) as session:
+        session.compile().deploy()          # weights pinned into CAM once
+        result = session.infer(images)      # warm: zero lease/reprogram events
+        print(result.predictions)
+        print(session.report().to_text())   # deploy_cost vs per_request_cost
+
+The compile/allocate/execute stages underneath (``specs_for_network`` ->
+``compile_model`` -> ``build_execution_plan`` -> ``Accelerator`` ->
+executors) remain importable for advanced use; see the README's
+"Advanced: the pipeline under the session" section.  The analytic model is
+reachable without a session::
 
     from repro import CompilerConfig, compile_model, evaluate_model, specs_for_network
 
@@ -66,10 +84,11 @@ from repro.nn.stats import ConvLayerSpec, model_layer_specs
 from repro.perf.endurance import endurance_report
 from repro.perf.model import (
     PerformanceModelConfig,
+    SteadyStateCost,
     crosscheck_cost_model,
-    crosscheck_execution,
     evaluate_model,
 )
+from repro.perf.model import crosscheck_execution as _crosscheck_execution
 from repro.rtm.timing import RTMTechnology
 from repro.runtime import (
     ExecutionPlan,
@@ -79,10 +98,37 @@ from repro.runtime import (
     build_execution_plan,
     execute_model,
 )
+from repro.session import Session, SessionConfig, SessionReport, SessionState
 
-__version__ = "1.0.0"
+
+def crosscheck_execution(*args, **kwargs):
+    """Deprecated top-level alias of the layer-granularity cost crosscheck.
+
+    .. deprecated:: 1.1
+        Serve requests through :class:`repro.session.Session` and call
+        :meth:`~repro.session.session.Session.crosscheck` (which knows the
+        session's plan and image counts), or import the engine-level
+        function from :mod:`repro.perf.model` directly.
+    """
+    import warnings
+
+    warnings.warn(
+        "repro.crosscheck_execution is deprecated; use Session.crosscheck() "
+        "(or repro.perf.model.crosscheck_execution for plan/execution pairs)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return _crosscheck_execution(*args, **kwargs)
+
+
+__version__ = "1.1.0"
 
 __all__ = [
+    "Session",
+    "SessionConfig",
+    "SessionReport",
+    "SessionState",
+    "SteadyStateCost",
     "AssociativeProcessor",
     "ExecutionBackend",
     "DEFAULT_BACKEND",

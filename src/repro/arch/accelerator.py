@@ -17,22 +17,132 @@ functional path here is what validates them at layer granularity
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, Iterator, List, Optional, Tuple
+import time
+from dataclasses import dataclass, replace
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterator, List, Optional, Tuple
 
 from repro.ap.backends import DEFAULT_BACKEND, BackendSpec, resolve_backend
 from repro.ap.core import AssociativeProcessor
 from repro.arch.config import ArchitectureConfig
-from repro.arch.interconnect import InterconnectModel, TransferCost, TransferScope
+from repro.arch.interconnect import (
+    ZERO_TRANSFER,
+    InterconnectModel,
+    TransferCost,
+    TransferScope,
+)
 from repro.cam.stats import CAMStats
-from repro.errors import CapacityError
+from repro.errors import CapacityError, ConfigurationError
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard (typing only)
-    from repro.runtime.plan import ExecutionPlan
+    from repro.runtime.plan import ExecutionPlan, TileProgram
     from repro.runtime.scheduler import PlanExecution
 
 #: Address of one AP inside the hierarchy: (bank, tile, ap).
 APAddress = Tuple[int, int, int]
+
+#: Static identity of one tile program inside a plan (pin-coverage key).
+TileKey = Tuple[int, int, int]
+
+
+def tile_key(tile: "TileProgram") -> TileKey:
+    """The static coordinates identifying a tile program inside its plan."""
+    return (tile.layer_index, tile.row_tile, tile.channel_group)
+
+
+def tile_weight_bits(tile: "TileProgram") -> float:
+    """CAM cells (re)programmed when a tile program's weights are loaded.
+
+    The compiled ternary weights are folded into the tile's instruction
+    stream, so loading a tile onto an AP writes its whole operand footprint:
+    ``rows`` CAM rows across every column any of its slice programs touches.
+    This is the traffic a weight-resident deployment pays **once**, and the
+    traffic the legacy per-request lease path pays implicitly on every
+    dispatch.
+    """
+    return float(tile.rows * (tile.max_column_used + 1))
+
+
+@dataclass
+class ResidencyLedger:
+    """Weight-residency accounting: lease / reprogram events per accelerator.
+
+    ``lease_events`` counts cold AP acquisitions (an AP bound to a tile
+    program that was not resident); every cold lease implies reprogramming
+    the AP's CAM with the tile's weights, counted in ``reprogram_events``
+    and sized in ``reprogram_bits``.  ``warm_hits`` counts dispatches served
+    by a pinned (weight-resident) lease - the paper's steady state, where
+    activations stream through APs whose weights stay in CAM.
+    """
+
+    lease_events: int = 0
+    reprogram_events: int = 0
+    warm_hits: int = 0
+    reprogram_bits: float = 0.0
+
+    def snapshot(self) -> "ResidencyLedger":
+        """An independent copy (for before/after deltas in tests and reports)."""
+        return replace(self)
+
+
+@dataclass(frozen=True)
+class PinnedLease:
+    """One weight-resident AP: geometry plus the tile programs it hosts.
+
+    A pinned lease survives across requests: the runtime treats every
+    dispatch of a covered tile program as a *warm* hit (no lease, no
+    reprogramming).  Multiple tile programs of sequential rounds may share
+    one pinned AP - their operands live in different RTM domains of the same
+    nanowires, which is what the racetrack geometry is for.
+    """
+
+    address: APAddress
+    rows: int
+    columns: int
+    backend: BackendSpec
+    tile_keys: FrozenSet[TileKey]
+
+
+@dataclass
+class Deployment:
+    """Outcome of pinning an execution plan's weights into CAM once.
+
+    The explicit CAM write/reprogramming traffic of loading every tile
+    program's weights is metered here (and on the interconnect ledger) at
+    deploy time, so steady-state requests are served without any further
+    lease or reprogram events - the cost split a
+    :class:`repro.session.Session` reports as ``deploy_cost`` vs
+    ``per_request_cost``.
+    """
+
+    plan_name: str
+    aps_pinned: int
+    tile_programs: int
+    reprogram_events: int
+    programming: TransferCost = ZERO_TRANSFER
+    wall_time_s: float = 0.0
+
+    @property
+    def weight_bits(self) -> float:
+        """CAM cells written while programming the plan's weights."""
+        return self.programming.bits
+
+    @property
+    def energy_uj(self) -> float:
+        """One-time deploy (weight programming) energy in microjoules."""
+        return self.programming.energy_fj / 1e9
+
+    @property
+    def latency_ms(self) -> float:
+        """One-time deploy (weight programming) latency in milliseconds."""
+        return self.programming.latency_ns / 1e6
+
+    def describe(self) -> str:
+        """One-line summary used by the CLI and reports."""
+        return (
+            f"deployed {self.plan_name!r}: {self.tile_programs} tile programs "
+            f"pinned to {self.aps_pinned} APs ({self.weight_bits:.0f} CAM bits "
+            f"programmed once, {self.energy_uj:.4f} uJ)"
+        )
 
 
 @dataclass
@@ -104,6 +214,10 @@ class Accelerator:
         self._tile_stats: Dict[Tuple[int, int], CAMStats] = {}
         #: Runtime ledger: interconnect traffic charged per transfer scope.
         self._movement: Dict[TransferScope, TransferCost] = {}
+        #: Weight-resident pins: addresses whose programs survive requests.
+        self._pins: Dict[APAddress, PinnedLease] = {}
+        #: Runtime ledger: lease / reprogram / warm-hit accounting.
+        self._residency = ResidencyLedger()
 
     # ------------------------------------------------------------------
     @property
@@ -192,6 +306,17 @@ class Accelerator:
                 backend=backend,
             )
             self._functional_aps[address] = cached
+            # Rebuilding a pinned AP with a geometry or backend the pin did
+            # not promise overwrites what was resident in its CAM: the pin
+            # no longer holds.  (Lazy first materialization at the pinned
+            # geometry keeps the pin - the weights are modeled as resident.)
+            pin = self._pins.get(address)
+            if pin is not None and (
+                pin.rows != rows
+                or pin.columns != columns
+                or resolve_backend(pin.backend) is not resolve_backend(backend)
+            ):
+                self._pins.pop(address, None)
         else:
             cached.array.reset()
             cached.active_rows = rows
@@ -202,6 +327,127 @@ class Accelerator:
         count = len(self._functional_aps)
         self._functional_aps.clear()
         return count
+
+    # ------------------------------------------------------------------
+    # Weight-resident placement: pinned leases that survive across requests
+    # ------------------------------------------------------------------
+    def deploy_plan(
+        self,
+        plan: "ExecutionPlan",
+        backend: Optional[BackendSpec] = None,
+    ) -> Deployment:
+        """Pin a weight-resident plan's tile programs into CAM once.
+
+        Every tile program of every layer is bound to its
+        :data:`APAddress` permanently (a :class:`PinnedLease`): the CAM
+        write traffic of programming its ternary weights is metered on the
+        interconnect ledger **now**, at deploy time, and subsequent
+        dispatches of the same tile programs are *warm* - they stream
+        activations through the resident weights without any further lease
+        or reprogram events (see :meth:`account_tile_dispatch`).
+
+        Only plans built with ``placement="resident"`` can be deployed:
+        shared-placement plans rotate different layers' weights through the
+        same APs, which is exactly the per-request reprogramming this mode
+        exists to avoid.
+
+        Args:
+            plan: a resident-placement :class:`~repro.runtime.plan.ExecutionPlan`.
+            backend: execution backend the pinned functional APs will use;
+                the accelerator's default when omitted.
+
+        Returns:
+            The :class:`Deployment` record (programming traffic, pin counts).
+        """
+        if getattr(plan, "placement", "shared") != "resident":
+            raise ConfigurationError(
+                f"plan {plan.name!r} uses {plan.placement!r} placement; only "
+                f"weight-resident plans (build_execution_plan(..., "
+                f"placement='resident')) can be deployed"
+            )
+        started = time.perf_counter()
+        backend = backend if backend is not None else self.backend
+        columns = plan.lease_columns
+        self.unpin_aps()
+        programming = ZERO_TRANSFER
+        grouped: Dict[APAddress, Dict] = {}
+        tile_programs = 0
+        for layer in plan.layers:
+            for tile in layer.tiles:
+                address = tuple(tile.address)
+                self.validate_address(address)
+                entry = grouped.setdefault(address, {"rows": tile.rows, "keys": set()})
+                if entry["rows"] != tile.rows:
+                    raise CapacityError(
+                        f"tile programs of differing row counts share AP "
+                        f"{address}; a weight-resident deploy needs one row "
+                        f"geometry per pinned AP"
+                    )
+                entry["keys"].add(tile_key(tile))
+                tile_programs += 1
+                # Weights enter the accelerator through the global buffer.
+                programming = programming.merge(
+                    self.charge_movement(tile_weight_bits(tile), TransferScope.GLOBAL)
+                )
+        for address, entry in grouped.items():
+            self._pins[address] = PinnedLease(
+                address=address,
+                rows=entry["rows"],
+                columns=columns,
+                backend=backend,
+                tile_keys=frozenset(entry["keys"]),
+            )
+        self._residency.lease_events += len(grouped)
+        self._residency.reprogram_events += tile_programs
+        self._residency.reprogram_bits += programming.bits
+        return Deployment(
+            plan_name=plan.name,
+            aps_pinned=len(grouped),
+            tile_programs=tile_programs,
+            reprogram_events=tile_programs,
+            programming=programming,
+            wall_time_s=time.perf_counter() - started,
+        )
+
+    def account_tile_dispatch(self, tile: "TileProgram") -> bool:
+        """Account one tile-program dispatch on the residency ledger.
+
+        Returns ``True`` for a *warm* dispatch - the tile's weights are
+        resident on its pinned AP, so only activations move - and ``False``
+        for a *cold* one, which charges a lease plus a CAM reprogram (the
+        implicit cost every dispatch paid before weight-resident placement
+        existed).  Called once per dispatched tile program by both the
+        synthetic scheduler and the inference engine, for every executor -
+        pool workers build their APs in other processes, so accounting
+        happens here, at dispatch time, not inside :meth:`lease_ap`.
+        """
+        pin = self._pins.get(tuple(tile.address))
+        if pin is not None and tile_key(tile) in pin.tile_keys:
+            self._residency.warm_hits += 1
+            return True
+        self._residency.lease_events += 1
+        self._residency.reprogram_events += 1
+        self._residency.reprogram_bits += tile_weight_bits(tile)
+        return False
+
+    def is_pinned(self, address: APAddress) -> bool:
+        """Whether an AP currently holds a weight-resident (pinned) lease."""
+        return tuple(address) in self._pins
+
+    def pinned_addresses(self) -> List[APAddress]:
+        """Addresses of every currently pinned AP."""
+        return sorted(self._pins)
+
+    def unpin_aps(self) -> int:
+        """Drop every weight-resident pin; returns how many were released."""
+        count = len(self._pins)
+        self._pins.clear()
+        return count
+
+    @property
+    def residency(self) -> ResidencyLedger:
+        """Snapshot of the lease/reprogram/warm-hit accounting so far."""
+        return self._residency.snapshot()
 
     # ------------------------------------------------------------------
     # Runtime ledgers: per-tile stats aggregation and interconnect traffic
@@ -262,9 +508,10 @@ class Accelerator:
         return dict(self._movement)
 
     def reset_ledgers(self) -> None:
-        """Clear the per-tile stats and interconnect traffic ledgers."""
+        """Clear the stats, interconnect traffic and residency ledgers."""
         self._tile_stats.clear()
         self._movement.clear()
+        self._residency = ResidencyLedger()
 
     # ------------------------------------------------------------------
     # Plan execution

@@ -8,14 +8,20 @@ regenerated without writing Python:
   (serial or parallel executors, layer-granularity cost-model crosscheck),
 * ``infer``     - end-to-end inference: real activations chained between
   layers, batched images, logits crosschecked against the NumPy reference,
+* ``serve``     - deploy a network once (weights pinned into CAM) and serve
+  repeated inference requests, reporting deploy vs. amortized per-request
+  cost and the warm/cold residency ledger,
 * ``table2``    - regenerate Table II,
 * ``fig4``      - regenerate the Fig. 4 layer-by-layer comparison,
 * ``accuracy``  - run the accuracy-vs-precision experiment,
 * ``endurance`` - print the write-endurance analysis,
 * ``apbench``   - benchmark / cross-validate the AP execution backends.
 
-Installed as the ``repro`` console script (``pip install -e .``) and runnable
-as ``python -m repro`` from a source tree (``PYTHONPATH=src``).
+``run``, ``infer`` and ``serve`` are all built on
+:class:`repro.session.Session` - one compile, one weight-resident deploy,
+then requests.  Installed as the ``repro`` console script
+(``pip install -e .``) and runnable as ``python -m repro`` from a source
+tree (``PYTHONPATH=src``).
 """
 
 from __future__ import annotations
@@ -123,6 +129,44 @@ def build_parser() -> argparse.ArgumentParser:
     infer_parser.add_argument("--no-crosscheck", action="store_true",
                               help="skip the NumPy-reference and cost-model crosschecks")
 
+    serve_parser = subparsers.add_parser(
+        "serve",
+        help="deploy a network once (weight-resident) and serve repeated "
+             "inference requests",
+    )
+    serve_parser.add_argument("--model", choices=available_models(), default="vgg9")
+    serve_parser.add_argument("--sparsity", type=float, default=None,
+                              help="ternary weight sparsity (default: the paper's setting)")
+    serve_parser.add_argument("--width", type=float, default=None,
+                              help="channel-width multiplier (reduced widths keep "
+                                   "the topology but make simulation fast)")
+    serve_parser.add_argument("--bits", type=int, default=4, help="activation precision")
+    serve_parser.add_argument("--requests", type=int, default=8,
+                              help="inference requests served by the live session")
+    serve_parser.add_argument("--images", type=int, default=2,
+                              help="synthetic input images per request")
+    serve_parser.add_argument("--batch", type=int, default=None,
+                              help="micro-batch size (images per pass through the pool)")
+    serve_parser.add_argument(
+        "--executor",
+        choices=available_executors(),
+        default="serial",
+        help="tile-program executor (parallel = process pool)",
+    )
+    serve_parser.add_argument("--workers", type=int, default=None,
+                              help="worker count for pool executors (default: CPU count)")
+    serve_parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=DEFAULT_BACKEND,
+        help="functional AP execution backend",
+    )
+    serve_parser.add_argument("--seed", type=int, default=0,
+                              help="seed of the synthetic input images (request r "
+                                   "uses seed + r)")
+    serve_parser.add_argument("--no-crosscheck", action="store_true",
+                              help="skip the cost-model crosscheck of the last request")
+
     table2_parser = subparsers.add_parser("table2", help="regenerate Table II")
     table2_parser.add_argument("--slices", type=int, default=12)
     table2_parser.add_argument("--networks", nargs="*", default=None,
@@ -197,28 +241,36 @@ def _run_compile(arguments: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
-def _run_run(arguments: argparse.Namespace) -> str:
-    from repro.arch.accelerator import Accelerator
-    from repro.perf.model import crosscheck_execution
-    from repro.runtime import build_execution_plan
+def _session_config(arguments: argparse.Namespace, **extra):
+    """Build the consolidated session configuration from CLI flags."""
+    from repro.session import SessionConfig
 
-    specs = specs_for_network(arguments.model, sparsity=arguments.sparsity, rng=0)
-    if arguments.layers is not None:
-        specs = specs[: arguments.layers]
-    compiled = compile_model(
-        specs,
-        CompilerConfig(activation_bits=arguments.bits,
-                       max_slices_per_layer=arguments.slices),
+    return SessionConfig(
+        model=arguments.model,
+        sparsity=arguments.sparsity,
+        bits=arguments.bits,
+        executor=arguments.executor,
+        workers=arguments.workers,
+        backend=arguments.backend,
         name=arguments.model,
-        emit_programs=True,
+        **extra,
     )
-    accelerator = Accelerator(backend=arguments.backend)
-    plan = build_execution_plan(
-        compiled, accelerator=accelerator, base_seed=arguments.seed
+
+
+def _run_run(arguments: argparse.Namespace) -> str:
+    from repro.session import Session
+
+    config = _session_config(
+        arguments,
+        slices=arguments.slices,
+        layers=arguments.layers,
+        seed=arguments.seed,
     )
-    execution = accelerator.execute_plan(
-        plan, executor=arguments.executor, workers=arguments.workers
-    )
+    with Session(config) as session:
+        session.compile().deploy()
+        execution = session.run()
+        plan = session.plan
+        check = None if arguments.no_crosscheck else session.crosscheck(execution)
 
     rows = [
         [
@@ -262,8 +314,7 @@ def _run_run(arguments: argparse.Namespace) -> str:
             title="aggregate (sampled slices; scale factors recorded per layer)",
         ),
     ]
-    if not arguments.no_crosscheck:
-        check = crosscheck_execution(plan, execution)
+    if check is not None:
         lines.append("")
         lines.append("crosscheck: " + check.describe())
     return "\n".join(lines)
@@ -271,32 +322,30 @@ def _run_run(arguments: argparse.Namespace) -> str:
 
 def _run_infer(arguments: argparse.Namespace) -> str:
     from repro.eval.equivalence import check_inference_equivalence
-    from repro.inference import BatchedInference
     from repro.nn.datasets import synthetic_images
-    from repro.nn.models.registry import build_model, model_record
-    from repro.perf.model import crosscheck_execution
+    from repro.nn.models.registry import model_record
+    from repro.session import Session
 
     record = model_record(arguments.model)
-    model, input_shape = build_model(
-        arguments.model, sparsity=arguments.sparsity, rng=0, width=arguments.width
-    )
     images = synthetic_images(
         record.dataset, batch_size=arguments.images, rng=arguments.seed
     )
-    driver = BatchedInference(
-        model,
-        input_shape,
-        bits=arguments.bits,
-        executor=arguments.executor,
-        workers=arguments.workers,
-        backend=arguments.backend,
-        name=arguments.model,
-    )
-    try:
-        result = driver.run(images, batch=arguments.batch)
-    finally:
-        driver.close()
-    execution = result.execution
+    config = _session_config(arguments, width=arguments.width)
+    with Session(config) as session:
+        session.compile().deploy()
+        result = session.infer(images, batch=arguments.batch)
+        execution = result.execution
+        graph_line = session.graph.describe()
+        equivalence = check = None
+        if not arguments.no_crosscheck:
+            equivalence = check_inference_equivalence(
+                session.model,
+                images,
+                result,
+                input_shape=session.input_shape,
+                bits=arguments.bits,
+            )
+            check = session.crosscheck()
 
     rows = [
         [
@@ -312,7 +361,7 @@ def _run_infer(arguments: argparse.Namespace) -> str:
     ]
     width_note = f", width x{arguments.width}" if arguments.width else ""
     lines = [
-        driver.graph.describe(),
+        graph_line,
         "",
         format_table(
             ["layer", "tiles", "APs", "search", "write", "energy (uJ)", "latency (ms)"],
@@ -339,20 +388,56 @@ def _run_infer(arguments: argparse.Namespace) -> str:
             title="aggregate (exact: every input-channel slice executed)",
         ),
     ]
-    if not arguments.no_crosscheck:
-        equivalence = check_inference_equivalence(
-            model, images, result, input_shape=input_shape, bits=arguments.bits
-        )
+    if equivalence is not None:
         lines.append("")
         lines.append("reference crosscheck: " + equivalence.describe())
-        check = crosscheck_execution(
-            driver.plan, execution, images=result.images
-        )
         lines.append("cost-model crosscheck: " + check.describe())
         if not (equivalence.consistent and check.consistent):
             # Exit nonzero so CI steps running `repro infer` actually gate on
             # the crosschecks instead of only printing the verdict.
             raise SystemExit("\n".join(lines + ["", "FAILED: crosscheck inconsistent"]))
+    return "\n".join(lines)
+
+
+def _run_serve(arguments: argparse.Namespace) -> str:
+    from repro.nn.datasets import synthetic_images
+    from repro.nn.models.registry import model_record
+    from repro.session import Session
+
+    record = model_record(arguments.model)
+    config = _session_config(arguments, width=arguments.width)
+    with Session(config) as session:
+        session.compile().deploy()
+        deployed = session.residency
+        for request in range(arguments.requests):
+            images = synthetic_images(
+                record.dataset,
+                batch_size=arguments.images,
+                rng=arguments.seed + request,
+            )
+            session.infer(images, batch=arguments.batch)
+        report = session.report()
+        check = None if arguments.no_crosscheck else session.crosscheck()
+        described = session.describe()
+
+    lines = [described, "", report.to_text()]
+    residency = report.residency
+    cold_leases = residency.lease_events - deployed.lease_events
+    cold_reprograms = residency.reprogram_events - deployed.reprogram_events
+    lines.append("")
+    lines.append(
+        f"steady state: {residency.warm_hits} warm dispatches, "
+        f"{cold_leases} cold lease events and {cold_reprograms} CAM "
+        f"reprogram events after deploy"
+    )
+    if check is not None:
+        lines.append("cost-model crosscheck: " + check.describe())
+    if cold_leases or cold_reprograms or (check is not None and not check.consistent):
+        # A live session must serve every request warm; exit nonzero so CI
+        # steps running `repro serve` gate on the steady-state claim.
+        raise SystemExit(
+            "\n".join(lines + ["", "FAILED: warm session leaked cold leases"])
+        )
     return "\n".join(lines)
 
 
@@ -453,6 +538,7 @@ _COMMANDS = {
     "compile": _run_compile,
     "run": _run_run,
     "infer": _run_infer,
+    "serve": _run_serve,
     "table2": _run_table2,
     "fig4": _run_fig4,
     "accuracy": _run_accuracy,

@@ -37,3 +37,12 @@ class QuantizationError(ReproError):
 
 class ModelDefinitionError(ReproError):
     """A neural-network model definition is malformed."""
+
+
+class SessionStateError(ReproError):
+    """A :class:`repro.session.Session` method was called in the wrong state.
+
+    The session lifecycle is ``compile() -> deploy() -> infer()/run()``;
+    calling a stage before its prerequisites (e.g. ``infer()`` before
+    ``deploy()``) or after ``close()`` raises this error.
+    """

@@ -148,6 +148,11 @@ class BatchedInference:
         keep_activations: keep per-layer quantized codes and integer outputs
             in the activation store (debugging/tests).
         name: plan name used in reports.
+        compiled: pre-compiled model (``emit_programs=True``); compiled here
+            when omitted.  A :class:`repro.session.Session` passes its own so
+            compilation happens exactly once per session.
+        plan: pre-built execution plan for ``compiled`` on ``accelerator``
+            (both must be given together); built here when omitted.
     """
 
     def __init__(
@@ -162,33 +167,43 @@ class BatchedInference:
         backend: Optional[str] = None,
         keep_activations: bool = False,
         name: str = "model",
+        compiled=None,
+        plan=None,
     ) -> None:
         input_shape = tuple(input_shape)
-        specs = model_layer_specs(model, input_shape)
-        if not specs:
-            raise ModelDefinitionError("model has no weight layers to execute")
-        compiled = compile_model(
-            specs,
-            CompilerConfig(activation_bits=bits, signed_activations=signed),
-            name=name,
-            emit_programs=True,
-        )
-        if accelerator is None:
-            accelerator = Accelerator() if backend is None else Accelerator(backend=backend)
-            try:
-                plan = build_execution_plan(compiled, accelerator=accelerator)
-            except CapacityError:
-                needed = max(
-                    layer.mapping.row_tiles * layer.mapping.channel_groups
-                    for layer in compiled.layers
+        if plan is not None and (compiled is None or accelerator is None):
+            raise ModelDefinitionError(
+                "a pre-built plan needs its compiled model and accelerator"
+            )
+        if compiled is None:
+            specs = model_layer_specs(model, input_shape)
+            if not specs:
+                raise ModelDefinitionError("model has no weight layers to execute")
+            compiled = compile_model(
+                specs,
+                CompilerConfig(activation_bits=bits, signed_activations=signed),
+                name=name,
+                emit_programs=True,
+            )
+        if plan is None:
+            if accelerator is None:
+                accelerator = (
+                    Accelerator() if backend is None else Accelerator(backend=backend)
                 )
-                accelerator = Accelerator(
-                    config=accelerator.config.with_total_aps(needed),
-                    backend=accelerator.backend,
-                )
+                try:
+                    plan = build_execution_plan(compiled, accelerator=accelerator)
+                except CapacityError:
+                    needed = max(
+                        layer.mapping.row_tiles * layer.mapping.channel_groups
+                        for layer in compiled.layers
+                    )
+                    accelerator = Accelerator(
+                        config=accelerator.config.with_total_aps(needed),
+                        backend=accelerator.backend,
+                    )
+                    plan = build_execution_plan(compiled, accelerator=accelerator)
+            else:
                 plan = build_execution_plan(compiled, accelerator=accelerator)
-        else:
-            plan = build_execution_plan(compiled, accelerator=accelerator)
         self.accelerator = accelerator
         self.plan = plan
         self.executor = resolve_executor(executor, workers=workers)
@@ -202,7 +217,7 @@ class BatchedInference:
                 activation_bits=bits, signed=signed, keep_tensors=keep_activations
             ),
         )
-        self._columns = max(plan.required_columns, 4)
+        self._columns = plan.lease_columns
         self._layer_results: Dict[str, LayerRunResult] = {}
 
     # ------------------------------------------------------------------
@@ -287,6 +302,9 @@ class BatchedInference:
                 codes[image], node.kernel_size, node.stride, node.padding
             )
             for tile in planned.tiles:
+                # Residency accounting per (image, tile) dispatch: warm on a
+                # deployed (pinned) plan, cold lease + reprogram otherwise.
+                self.accelerator.account_tile_dispatch(tile)
                 start = tile.row_tile * rows_per_ap
                 row_slice = slice(start, start + tile.rows)
                 inputs_list = [
@@ -395,7 +413,15 @@ def run_inference(
     rng=0,
     name: Optional[str] = None,
 ) -> InferenceResult:
-    """Run functional end-to-end inference on the AP runtime in one call.
+    """Run functional end-to-end inference in one call.
+
+    .. deprecated:: 1.1
+        ``run_inference`` compiles, deploys and tears everything down for
+        every single call.  Use :class:`repro.session.Session` instead -
+        ``compile()``/``deploy()`` once, then serve repeated ``infer()``
+        requests against weights that stay resident in CAM.  This shim
+        builds a one-request session under the hood (byte-identical logits
+        and CAM counters) and will be removed one release after 1.1.
 
     Args:
         model: a module tree, or a registry model name (``vgg9``/``vgg11``/
@@ -408,7 +434,9 @@ def run_inference(
         bits: activation precision.
         signed: signedness of the quantized activations.
         backend: functional AP execution backend.
-        accelerator: AP provider (auto-sized when omitted).
+        accelerator: AP provider (auto-sized when omitted; an explicit one
+            that is too small for the weight-resident deploy raises
+            :class:`~repro.errors.CapacityError`, as the legacy path did).
         input_shape: un-batched input shape; inferred from ``images`` (4-D and
             2-D arrays are treated as batched) or the registry when omitted.
         keep_activations: keep per-layer quantized tensors in the result's
@@ -418,27 +446,33 @@ def run_inference(
         :class:`InferenceResult` with logits, predictions and the aggregated
         :class:`~repro.runtime.scheduler.PlanExecution` counters.
     """
-    if isinstance(model, str):
-        from repro.nn.models.registry import build_model
+    import warnings
 
-        name = name or model
-        model, registry_shape = build_model(model, sparsity=sparsity, rng=rng, width=width)
-        input_shape = input_shape or registry_shape
-    if input_shape is None:
+    warnings.warn(
+        "run_inference() is deprecated: it re-compiles and re-deploys per "
+        "call; use repro.session.Session (compile()/deploy() once, then "
+        "infer() repeatedly against CAM-resident weights)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    from repro.session import Session, SessionConfig
+
+    if input_shape is None and not isinstance(model, str):
         _, input_shape = normalize_images(images)
-    driver = BatchedInference(
-        model,
-        input_shape,
+    config = SessionConfig(
+        model=model,
+        width=width,
+        sparsity=sparsity,
+        rng=rng,
+        input_shape=tuple(input_shape) if input_shape is not None else None,
         bits=bits,
         signed=signed,
-        accelerator=accelerator,
+        backend=backend,
         executor=executor,
         workers=workers,
-        backend=backend,
         keep_activations=keep_activations,
-        name=name or "model",
+        name=name,
     )
-    try:
-        return driver.run(images, batch=batch)
-    finally:
-        driver.close()
+    with Session(config, accelerator=accelerator) as session:
+        session.compile().deploy()
+        return session.infer(images, batch=batch)

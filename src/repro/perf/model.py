@@ -487,6 +487,68 @@ def crosscheck_cost_model(
 
 
 # ----------------------------------------------------------------------
+# Steady-state amortization: deploy-once / serve-many accounting
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SteadyStateCost:
+    """Deploy cost vs. per-request cost of a weight-resident session.
+
+    The paper's operating model is that ternary weights stay resident in CAM
+    while activations stream through: programming the weights is a one-time
+    *deploy* cost, and each served request pays only its own compute and
+    activation movement.  This record keeps the two separate and amortizes
+    the deploy cost over any request count.
+    """
+
+    #: One-time CAM weight-programming cost (interconnect transfer figures).
+    deploy_energy_uj: float
+    deploy_latency_ms: float
+    #: Requests actually served so far.
+    requests: int
+    #: Mean functional cost of one served request.
+    per_request_energy_uj: float
+    per_request_latency_ms: float
+
+    def amortized_energy_uj(self, requests: Optional[int] = None) -> float:
+        """Energy per request with the deploy cost spread over ``requests``."""
+        count = requests if requests is not None else self.requests
+        if count < 1:
+            raise ConfigurationError(f"requests must be >= 1, got {count}")
+        return self.deploy_energy_uj / count + self.per_request_energy_uj
+
+    def amortized_latency_ms(self, requests: Optional[int] = None) -> float:
+        """Latency per request with the deploy cost spread over ``requests``."""
+        count = requests if requests is not None else self.requests
+        if count < 1:
+            raise ConfigurationError(f"requests must be >= 1, got {count}")
+        return self.deploy_latency_ms / count + self.per_request_latency_ms
+
+
+def steady_state_cost(deployment, executions) -> SteadyStateCost:
+    """Split a session's accounting into deploy cost vs. per-request cost.
+
+    Args:
+        deployment: the :class:`~repro.arch.accelerator.Deployment` returned
+            by :meth:`~repro.arch.accelerator.Accelerator.deploy_plan` (the
+            one-time CAM weight-programming traffic).
+        executions: one functional
+            :class:`~repro.runtime.scheduler.PlanExecution` per served
+            request; the per-request figures are their means.
+    """
+    executions = list(executions)
+    count = len(executions)
+    energy = sum(execution.energy_uj for execution in executions)
+    latency = sum(execution.latency_ms for execution in executions)
+    return SteadyStateCost(
+        deploy_energy_uj=deployment.energy_uj,
+        deploy_latency_ms=deployment.latency_ms,
+        requests=count,
+        per_request_energy_uj=energy / count if count else 0.0,
+        per_request_latency_ms=latency / count if count else 0.0,
+    )
+
+
+# ----------------------------------------------------------------------
 # Layer-granularity crosscheck against the execution-plan runtime
 # ----------------------------------------------------------------------
 @dataclass

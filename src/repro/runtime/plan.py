@@ -159,6 +159,12 @@ class ExecutionPlan:
     allocation: AllocationPlan
     layers: List[PlannedLayer] = field(default_factory=list)
     base_seed: int = 0
+    #: Address-assignment policy: ``"shared"`` rotates every layer through
+    #: the same APs (cheap on capacity, reprograms weights per dispatch);
+    #: ``"resident"`` gives each layer a disjoint address range so its
+    #: weights can stay pinned in CAM across requests (see
+    #: :meth:`repro.arch.accelerator.Accelerator.deploy_plan`).
+    placement: str = "shared"
 
     def __iter__(self) -> Iterator[PlannedLayer]:
         return iter(self.layers)
@@ -186,6 +192,18 @@ class ExecutionPlan:
             default=0,
         )
         return highest + 1
+
+    @property
+    def lease_columns(self) -> int:
+        """Column geometry every functional AP of this plan is leased with.
+
+        The single source of the lease-width formula: the scheduler, the
+        inference engine and :meth:`~repro.arch.accelerator.Accelerator.deploy_plan`
+        must all size APs identically, or pinned (weight-resident) leases
+        would be silently invalidated by a geometry mismatch.  The minimum
+        of 4 keeps the carry/scratch columns usable on degenerate plans.
+        """
+        return max(self.required_columns, 4)
 
     def by_name(self) -> Dict[str, PlannedLayer]:
         """Index the planned layers by name."""
@@ -220,11 +238,26 @@ def _partition_slices(
     return groups
 
 
+def resident_aps_required(compiled: CompiledModel) -> int:
+    """APs a weight-resident placement needs at full channel parallelism.
+
+    Upper bound used to auto-size an accelerator before a resident
+    :func:`build_execution_plan`: every layer owns its row tiles times its
+    channel groups simultaneously, because resident layers never time-share
+    APs (an allocation computed against a larger budget can only need fewer).
+    """
+    return sum(
+        layer.mapping.row_tiles * layer.mapping.channel_groups
+        for layer in compiled.layers
+    )
+
+
 def build_execution_plan(
     compiled: CompiledModel,
     accelerator: Optional[Accelerator] = None,
     allocation: Optional[AllocationPlan] = None,
     base_seed: int = 0,
+    placement: str = "shared",
 ) -> ExecutionPlan:
     """Join a compiled model with an allocation into per-AP tile programs.
 
@@ -237,12 +270,26 @@ def build_execution_plan(
         allocation: per-layer placement; computed from the accelerator's AP
             budget when omitted.
         base_seed: seed of the deterministic per-tile input generator.
+        placement: ``"shared"`` (default) starts every layer's addresses at
+            AP 0, so layers time-share the same APs and implicitly reprogram
+            them per dispatch; ``"resident"`` advances an address cursor
+            across layers so every layer's tiles own disjoint APs - the
+            weight-resident mode
+            :meth:`~repro.arch.accelerator.Accelerator.deploy_plan` pins.
 
     Raises:
         CompilationError: if a layer has no emitted programs.
         CapacityError: if the allocation needs more APs than the accelerator
-            provides.
+            provides (for ``"resident"`` placement: summed across *all*
+            layers, since they no longer time-share).
+        ConfigurationError: for an unknown placement policy.
     """
+    if placement not in ("shared", "resident"):
+        from repro.errors import ConfigurationError
+
+        raise ConfigurationError(
+            f"unknown placement {placement!r}; expected 'shared' or 'resident'"
+        )
     accelerator = accelerator or Accelerator()
     architecture = accelerator.config
     if allocation is None:
@@ -260,7 +307,9 @@ def build_execution_plan(
         architecture=architecture,
         allocation=allocation,
         base_seed=base_seed,
+        placement=placement,
     )
+    cursor = 0
     for layer_index, layer in enumerate(compiled.layers):
         if not layer.slices:
             raise CompilationError(
@@ -272,11 +321,21 @@ def build_execution_plan(
         parallel_groups = layer_allocation.parallel_channel_groups
         channel_groups = layer_allocation.demand.channel_groups
         concurrent_aps = mapping.row_tiles * parallel_groups
-        if concurrent_aps > len(addresses):
+        base = cursor if placement == "resident" else 0
+        if base + concurrent_aps > len(addresses):
+            if placement == "resident":
+                raise CapacityError(
+                    f"weight-resident deploy oversubscribed: layer "
+                    f"{layer.name!r} needs {concurrent_aps} APs at offset "
+                    f"{base} but the accelerator provides {len(addresses)}; "
+                    f"resident placement cannot time-share APs across layers "
+                    f"- grow the accelerator or use placement='shared'"
+                )
             raise CapacityError(
                 f"layer {layer.name!r} needs {concurrent_aps} concurrent APs "
                 f"but the accelerator provides {len(addresses)}"
             )
+        cursor += concurrent_aps
         planned = PlannedLayer(
             name=layer.name,
             layer_index=layer_index,
@@ -297,7 +356,7 @@ def build_execution_plan(
                 if not slice_indices:
                     continue
                 slot = group % parallel_groups
-                address = addresses[row_tile * parallel_groups + slot]
+                address = addresses[base + row_tile * parallel_groups + slot]
                 planned.tiles.append(
                     TileProgram(
                         address=address,

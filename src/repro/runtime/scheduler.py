@@ -295,7 +295,7 @@ class Scheduler:
             backend=str(self.backend),
             workers=getattr(self.executor, "workers", 1),
         )
-        columns = max(plan.required_columns, 4)
+        columns = plan.lease_columns
         for layer in plan.layers:
             execution.layers.append(self._run_layer(layer, columns))
         execution.wall_time_s = time.perf_counter() - started
@@ -304,6 +304,11 @@ class Scheduler:
     # ------------------------------------------------------------------
     def _run_layer(self, layer: PlannedLayer, columns: int) -> LayerRunResult:
         technology = self.accelerator.config.technology
+        for tile in layer.tiles:
+            # Residency accounting happens at dispatch time (pool workers
+            # build their APs in other processes): pinned tiles are warm,
+            # everything else charges a lease + CAM reprogram.
+            self.accelerator.account_tile_dispatch(tile)
         started = time.perf_counter()
         results = self.executor.run(
             layer.tiles,

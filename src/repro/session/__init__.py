@@ -1,0 +1,36 @@
+"""Weight-resident serving sessions: deploy once, serve many requests.
+
+The public entry point of the library.  A
+:class:`~repro.session.session.Session` is built from one consolidated
+:class:`~repro.session.config.SessionConfig` and walks the paper's operating
+model explicitly::
+
+    from repro.session import Session
+
+    with Session(model="vgg9", width=1 / 16, bits=4) as session:
+        session.compile().deploy()        # weights pinned into CAM once
+        result = session.infer(images)    # warm: only activations move
+        print(session.report().to_text()) # deploy_cost vs per_request_cost
+
+See :mod:`repro.session.session` for the full lifecycle and
+:meth:`~repro.arch.accelerator.Accelerator.deploy_plan` for the
+weight-resident placement underneath it.
+"""
+
+from repro.session.config import SessionConfig
+from repro.session.session import (
+    RequestRecord,
+    Session,
+    SessionReport,
+    SessionState,
+    serve,
+)
+
+__all__ = [
+    "Session",
+    "SessionConfig",
+    "SessionReport",
+    "SessionState",
+    "RequestRecord",
+    "serve",
+]

@@ -1,0 +1,510 @@
+"""The weight-resident session: deploy once, serve many requests.
+
+A :class:`Session` is the library's top-level entry point.  It owns one
+compiled network, one accelerator and one executor, and walks the paper's
+operating model explicitly:
+
+1. :meth:`Session.compile` lowers the network to per-slice AP programs once.
+2. :meth:`Session.deploy` pins every layer's tile programs to concrete
+   :data:`~repro.arch.accelerator.APAddress`\\ es - a weight-resident
+   placement where each layer owns disjoint APs and the CAM
+   write/reprogramming traffic of loading the ternary weights is metered on
+   the interconnect ledger *now*, not per request.
+3. :meth:`Session.infer` (real activations) and :meth:`Session.run`
+   (synthetic tile inputs) serve requests against the live deployment:
+   repeated calls are *warm* - zero additional AP lease or reprogram events
+   on the accelerator's residency ledger, because the weights stay in CAM
+   and only activations move.
+4. :meth:`Session.report` splits the accounting into ``deploy_cost`` vs
+   ``per_request_cost`` and amortizes the former over the served requests;
+   :meth:`Session.crosscheck` validates a served request against the
+   analytic cost model.
+
+The legacy free functions (``run_inference``, the top-level
+``repro.crosscheck_execution``, the old CLI wiring) re-built and re-leased
+all of this per call; they now delegate here and survive as thin
+deprecation shims.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Union
+
+import numpy as np
+
+from repro.arch.accelerator import Accelerator, Deployment, ResidencyLedger
+from repro.core.compiler import CompiledModel, CompilerConfig, compile_model
+from repro.errors import CapacityError, SessionStateError
+from repro.inference.engine import BatchedInference, InferenceResult
+from repro.nn.layers import Module
+from repro.nn.stats import model_layer_specs
+from repro.perf.model import (
+    ExecutionCrosscheck,
+    SteadyStateCost,
+    crosscheck_execution,
+    steady_state_cost,
+)
+from repro.runtime.executors import Executor, resolve_executor
+from repro.runtime.plan import (
+    ExecutionPlan,
+    build_execution_plan,
+    resident_aps_required,
+)
+from repro.runtime.scheduler import PlanExecution, Scheduler
+from repro.session.config import SessionConfig
+
+
+class SessionState(enum.Enum):
+    """Lifecycle of a session: created -> compiled -> deployed -> closed."""
+
+    CREATED = "created"
+    COMPILED = "compiled"
+    DEPLOYED = "deployed"
+    CLOSED = "closed"
+
+
+@dataclass
+class RequestRecord:
+    """One served request: its aggregated counters and image count."""
+
+    execution: PlanExecution
+    #: Images processed (``None`` for synthetic tile-input runs).
+    images: Optional[int]
+    kind: str = "infer"
+
+
+@dataclass
+class SessionReport:
+    """Amortized steady-state accounting of one session.
+
+    The headline split the API redesign exists for: ``deployment`` carries
+    the one-time weight-programming cost, ``cost`` carries the mean
+    per-request figures plus the amortization math, and ``residency`` shows
+    that warm requests were served with zero additional lease/reprogram
+    events.
+    """
+
+    name: str
+    state: str
+    executor: str
+    backend: str
+    deployment: Optional[Deployment]
+    cost: SteadyStateCost
+    residency: ResidencyLedger
+    requests: int = 0
+    images: int = 0
+    request_wall_s: float = 0.0
+    records: List[RequestRecord] = field(default_factory=list)
+
+    @property
+    def deploy_energy_uj(self) -> float:
+        """One-time weight-programming energy."""
+        return self.cost.deploy_energy_uj
+
+    @property
+    def per_request_energy_uj(self) -> float:
+        """Mean functional energy of one served request."""
+        return self.cost.per_request_energy_uj
+
+    def to_text(self) -> str:
+        """Human-readable report used by ``repro serve``."""
+        from repro.eval.reporting import format_table
+
+        deploy_rows = [
+            ["APs pinned", self.deployment.aps_pinned if self.deployment else 0],
+            [
+                "tile programs resident",
+                self.deployment.tile_programs if self.deployment else 0,
+            ],
+            [
+                "CAM bits programmed",
+                f"{self.deployment.weight_bits:.0f}" if self.deployment else "0",
+            ],
+            ["deploy energy (uJ)", f"{self.cost.deploy_energy_uj:.4f}"],
+            ["deploy latency (ms)", f"{self.cost.deploy_latency_ms:.5f}"],
+        ]
+        request_rows = [
+            ["requests served", self.requests],
+            ["images processed", self.images],
+            ["energy / request (uJ)", f"{self.cost.per_request_energy_uj:.4f}"],
+            ["latency / request (ms)", f"{self.cost.per_request_latency_ms:.5f}"],
+            ["host wall-clock / request (s)", f"{self.request_wall_s:.3f}"],
+        ]
+        if self.requests:
+            request_rows.append(
+                [
+                    "amortized energy / request (uJ)",
+                    f"{self.cost.amortized_energy_uj():.4f}",
+                ]
+            )
+            request_rows.append(
+                [
+                    "amortized latency / request (ms)",
+                    f"{self.cost.amortized_latency_ms():.5f}",
+                ]
+            )
+        residency_rows = [
+            ["cold lease events", self.residency.lease_events],
+            ["CAM reprogram events", self.residency.reprogram_events],
+            ["warm dispatches", self.residency.warm_hits],
+        ]
+        return "\n".join(
+            [
+                format_table(
+                    ["deploy cost", "value"],
+                    deploy_rows,
+                    title=(
+                        f"session {self.name!r} ({self.state}, "
+                        f"{self.executor} executor, {self.backend} backend)"
+                    ),
+                ),
+                "",
+                format_table(["per-request cost", "value"], request_rows),
+                "",
+                format_table(
+                    ["residency ledger", "value"],
+                    residency_rows,
+                    title="weights stay in CAM: warm requests lease nothing",
+                ),
+            ]
+        )
+
+
+class Session:
+    """A weight-resident serving session over one compiled network.
+
+    Args:
+        config: consolidated session configuration; keyword overrides are
+            applied on top (``Session(model="vgg9", bits=8)`` works without
+            building a config first).
+        accelerator: explicit AP provider; built from ``config.arch`` when
+            omitted.  ``config.auto_size`` (the default) grows only
+            *internally built* accelerators (whole banks added, recorded on
+            :attr:`accelerator`); an explicitly provided accelerator that is
+            too small for the weight-resident deploy raises
+            :class:`~repro.errors.CapacityError` - its ledgers and
+            interconnect are the caller's, so it is never silently replaced.
+
+    Usage::
+
+        with Session(model="vgg9", width=1 / 16, executor="thread") as session:
+            session.compile().deploy()
+            for batch in batches:
+                result = session.infer(batch)
+        print(session.report().to_text())
+    """
+
+    def __init__(
+        self,
+        config: Optional[SessionConfig] = None,
+        accelerator: Optional[Accelerator] = None,
+        **overrides,
+    ) -> None:
+        if config is None:
+            config = SessionConfig(**overrides)
+        elif overrides:
+            import dataclasses
+
+            config = dataclasses.replace(config, **overrides)
+        self.config = config
+        self._accelerator_provided = accelerator is not None
+        self.state = SessionState.CREATED
+        #: Resolved module tree (after compile()).
+        self.model: Optional[Module] = None
+        self.input_shape: Optional[tuple] = None
+        self.compiled: Optional[CompiledModel] = None
+        self.accelerator: Optional[Accelerator] = accelerator
+        self.plan: Optional[ExecutionPlan] = None
+        self.deployment: Optional[Deployment] = None
+        self._executor: Optional[Executor] = None
+        self._driver: Optional[BatchedInference] = None
+        self._requests: List[RequestRecord] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def _require(self, *states: SessionState) -> None:
+        if self.state not in states:
+            expected = " or ".join(state.value for state in states)
+            raise SessionStateError(
+                f"session is {self.state.value!r}; this call needs {expected} "
+                f"(lifecycle: compile() -> deploy() -> infer()/run())"
+            )
+
+    def compile(self) -> "Session":
+        """Lower the configured network to per-slice AP programs (once)."""
+        self._require(SessionState.CREATED)
+        config = self.config
+        if isinstance(config.model, str):
+            from repro.nn.models.registry import build_model
+
+            self.model, registry_shape = build_model(
+                config.model,
+                sparsity=config.sparsity,
+                rng=config.rng,
+                width=config.width,
+            )
+            self.input_shape = tuple(config.input_shape or registry_shape)
+        else:
+            self.model = config.model
+            if config.input_shape is None:
+                raise SessionStateError(
+                    "SessionConfig.input_shape is required for module-tree "
+                    "models (registry names carry their dataset's shape)"
+                )
+            self.input_shape = tuple(config.input_shape)
+        specs = model_layer_specs(self.model, self.input_shape)
+        if config.layers is not None:
+            specs = specs[: config.layers]
+        self.compiled = compile_model(
+            specs,
+            CompilerConfig(
+                activation_bits=config.bits,
+                signed_activations=config.signed,
+                max_slices_per_layer=config.slices,
+            ),
+            name=config.display_name,
+            emit_programs=True,
+        )
+        self.state = SessionState.COMPILED
+        return self
+
+    def deploy(self) -> "Session":
+        """Pin the compiled network's weights into CAM (once).
+
+        Builds the weight-resident execution plan (every layer owns disjoint
+        APs), meters the CAM weight-programming traffic on the interconnect
+        ledger, and readies the executor and - for functional sessions - the
+        inference dataflow.  After this, :meth:`infer` and :meth:`run` serve
+        warm requests indefinitely.
+        """
+        self._require(SessionState.COMPILED)
+        config = self.config
+        accelerator = self.accelerator
+        if accelerator is None:
+            accelerator = (
+                Accelerator(config=config.arch)
+                if config.backend is None
+                else Accelerator(config=config.arch, backend=config.backend)
+            )
+        try:
+            plan = build_execution_plan(
+                self.compiled,
+                accelerator=accelerator,
+                base_seed=config.seed,
+                placement="resident",
+            )
+        except CapacityError:
+            if not config.auto_size or self._accelerator_provided:
+                raise
+            needed = resident_aps_required(self.compiled)
+            accelerator = Accelerator(
+                config=accelerator.config.with_total_aps(needed),
+                backend=accelerator.backend,
+            )
+            plan = build_execution_plan(
+                self.compiled,
+                accelerator=accelerator,
+                base_seed=config.seed,
+                placement="resident",
+            )
+        self.accelerator = accelerator
+        self.plan = plan
+        self._executor = resolve_executor(config.executor, workers=config.workers)
+        backend = config.backend if config.backend is not None else accelerator.backend
+        self.deployment = accelerator.deploy_plan(plan, backend=backend)
+        if config.functional:
+            self._driver = BatchedInference(
+                self.model,
+                self.input_shape,
+                bits=config.bits,
+                signed=config.signed,
+                accelerator=accelerator,
+                executor=self._executor,
+                backend=config.backend,
+                keep_activations=config.keep_activations,
+                name=config.display_name,
+                compiled=self.compiled,
+                plan=plan,
+            )
+        self.state = SessionState.DEPLOYED
+        return self
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+    def infer(
+        self, images: np.ndarray, batch: Optional[int] = None
+    ) -> InferenceResult:
+        """Serve one request: real images through the resident dataflow.
+
+        Warm by construction - the deployed plan's weights are pinned, so no
+        AP is leased and no CAM is reprogrammed; only activations move.
+
+        Args:
+            images: batched ``(N,) + input_shape`` array (or one un-batched
+                image).
+            batch: optional micro-batch size (images per pass through the
+                pool); chunked and unchunked execution are byte-identical.
+        """
+        self._require(SessionState.DEPLOYED)
+        if self._driver is None:
+            raise SessionStateError(
+                f"session {self.config.display_name!r} was compiled with "
+                f"statistics sampling (slices={self.config.slices}, "
+                f"layers={self.config.layers}); functional inference needs "
+                f"every input-channel slice of every layer - build the "
+                f"session without slices/layers, or use run() for synthetic "
+                f"execution"
+            )
+        result = self._driver.run(images, batch=batch)
+        self._requests.append(
+            RequestRecord(execution=result.execution, images=result.images)
+        )
+        return result
+
+    def run(self) -> PlanExecution:
+        """Serve one synthetic request: seeded tile inputs, exact counters.
+
+        The deterministic workload of the legacy ``repro run`` path, executed
+        against the *resident* deployment: same tile programs, same seeds,
+        but the dispatches are warm.
+        """
+        self._require(SessionState.DEPLOYED)
+        scheduler = Scheduler(
+            self.accelerator, executor=self._executor, backend=self.config.backend
+        )
+        # The session owns the executor; Scheduler.close() is NOT called so
+        # pool workers survive for the next request.
+        execution = scheduler.run(self.plan)
+        self._requests.append(
+            RequestRecord(execution=execution, images=None, kind="run")
+        )
+        return execution
+
+    def crosscheck(
+        self, execution: Optional[PlanExecution] = None, images: Optional[int] = None
+    ) -> ExecutionCrosscheck:
+        """Validate a served request against the analytic cost model.
+
+        Defaults to the most recent request; ``images`` scales the analytic
+        expectation and defaults to the request's own image count.
+        """
+        self._require(SessionState.DEPLOYED)
+        if execution is None:
+            if not self._requests:
+                raise SessionStateError(
+                    "no requests served yet; call infer() or run() first"
+                )
+            execution = self._requests[-1].execution
+        if images is None:
+            # An explicitly passed execution is matched back to its request
+            # record so the analytic expectation scales with the images it
+            # actually processed.
+            record = next(
+                (r for r in self._requests if r.execution is execution), None
+            )
+            images = record.images if record is not None and record.images else 1
+        return crosscheck_execution(self.plan, execution, images=images)
+
+    # ------------------------------------------------------------------
+    # Reporting
+    # ------------------------------------------------------------------
+    @property
+    def requests(self) -> List[RequestRecord]:
+        """Every request served so far (in order)."""
+        return list(self._requests)
+
+    @property
+    def graph(self):
+        """The deployed dataflow graph (functional sessions only)."""
+        return self._driver.graph if self._driver is not None else None
+
+    @property
+    def residency(self) -> ResidencyLedger:
+        """The accelerator's lease/reprogram/warm-hit ledger snapshot."""
+        if self.accelerator is None:
+            return ResidencyLedger()
+        return self.accelerator.residency
+
+    def report(self) -> SessionReport:
+        """Split the session's accounting into deploy vs. per-request cost."""
+        if self.deployment is None:
+            raise SessionStateError("nothing deployed yet; call deploy() first")
+        executions = [record.execution for record in self._requests]
+        cost = steady_state_cost(self.deployment, executions)
+        wall = sum(execution.wall_time_s for execution in executions)
+        return SessionReport(
+            name=self.config.display_name,
+            state=self.state.value,
+            executor=self._executor.name if self._executor else "-",
+            backend=str(
+                self.config.backend
+                if self.config.backend is not None
+                else (self.accelerator.backend if self.accelerator else "-")
+            ),
+            deployment=self.deployment,
+            cost=cost,
+            residency=self.residency,
+            requests=len(executions),
+            images=sum(record.images or 0 for record in self._requests),
+            request_wall_s=wall / len(executions) if executions else 0.0,
+            records=list(self._requests),
+        )
+
+    def describe(self) -> str:
+        """One-line summary used by the CLI."""
+        parts = [f"session {self.config.display_name!r} ({self.state.value})"]
+        if self.plan is not None:
+            parts.append(self.plan.describe())
+        if self.deployment is not None:
+            parts.append(self.deployment.describe())
+        return "; ".join(parts)
+
+    # ------------------------------------------------------------------
+    # Teardown
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Release the executor pool, the pinned leases and the AP pool."""
+        if self.state == SessionState.CLOSED:
+            return
+        if self._driver is not None:
+            self._driver.close()
+        elif self._executor is not None:
+            self._executor.close()
+        if self.accelerator is not None:
+            self.accelerator.unpin_aps()
+            if self._driver is None:
+                self.accelerator.release_aps()
+        self.state = SessionState.CLOSED
+
+    def __enter__(self) -> "Session":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Session {self.config.display_name!r} state={self.state.value}>"
+
+
+def serve(
+    model: Union[str, Module],
+    batches: Sequence[np.ndarray],
+    **config_kwargs,
+) -> SessionReport:
+    """Convenience loop: deploy once, serve every batch, return the report.
+
+    Equivalent to building a :class:`Session`, compiling, deploying,
+    calling :meth:`Session.infer` per batch and closing.  The report is
+    exactly what :meth:`Session.report` would return - per-request figures
+    cover serving only; the one-time compile/deploy cost is in
+    ``report.deployment`` / ``report.cost.deploy_*``.
+    """
+    with Session(model=model, **config_kwargs) as session:
+        session.compile().deploy()
+        for batch in batches:
+            session.infer(batch)
+        return session.report()

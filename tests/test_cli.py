@@ -51,6 +51,24 @@ class TestParser:
         assert arguments.width is None
         assert arguments.executor == "serial"
 
+    def test_serve_defaults(self):
+        arguments = build_parser().parse_args(["serve"])
+        assert arguments.model == "vgg9"
+        assert arguments.requests == 8
+        assert arguments.images == 2
+        assert arguments.executor == "serial"
+        assert arguments.seed == 0
+
+    def test_serve_flags(self):
+        arguments = build_parser().parse_args(
+            ["serve", "--model", "vgg9", "--width", "0.03125", "--requests", "3",
+             "--images", "1", "--executor", "thread", "--workers", "2"]
+        )
+        assert arguments.requests == 3
+        assert arguments.images == 1
+        assert arguments.width == 0.03125
+        assert arguments.executor == "thread"
+
     def test_infer_flags(self):
         arguments = build_parser().parse_args(
             ["infer", "--model", "resnet18", "--width", "0.0625", "--images", "2",
@@ -110,6 +128,16 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "thread executor, 2 worker(s)" in output
         assert "byte-identical" in output
+
+    def test_serve_command_warm_steady_state(self, capsys):
+        assert main(["serve", "--model", "vgg9", "--width", "0.03125",
+                     "--requests", "2", "--images", "1", "--seed", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "deploy cost" in output
+        assert "per-request cost" in output
+        assert "amortized energy / request" in output
+        assert "0 cold lease events and 0 CAM reprogram events after deploy" in output
+        assert "cost model consistent" in output
 
     def test_infer_command_exits_nonzero_on_mismatch(self, monkeypatch):
         """The crosscheck is a real gate: a logits mismatch fails the run."""
