@@ -1,0 +1,109 @@
+"""Demo: pipelined dispatch and overlapping clients on one live deployment.
+
+Deploys the vgg9 topology at reduced width (weights pinned into CAM once,
+every layer its own disjoint AP group), then shows the two things the
+dependency-driven pipeline buys:
+
+1. **Per-request pipelining** - the same batch served layer-synchronously
+   (barrier after every layer) and pipelined (each image advances to layer
+   L+1 the moment its own layer L completes, so different layers' resident
+   AP groups work concurrently).  Logits and counters are byte-identical;
+   the per-AP-group occupancy trace proves stages genuinely overlapped.
+2. **Overlapping clients** - several requests submitted at once via
+   ``Session.submit()``/``gather()`` share the pinned plan with zero cold
+   lease or reprogram events, exactly like sequential serving.
+
+The fill / steady-state / drain model of the stage pipeline is printed at
+the end (part of ``session.report()``).
+
+Run with:
+
+    PYTHONPATH=src python examples/pipelined_serving.py [--requests N]
+"""
+
+import argparse
+import time
+
+import numpy as np
+
+from repro.session import Session
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--model", default="vgg9")
+    parser.add_argument("--width", type=float, default=1 / 16,
+                        help="channel-width multiplier (1.0 = paper topology)")
+    parser.add_argument("--requests", type=int, default=3,
+                        help="overlapped client requests")
+    parser.add_argument("--images", type=int, default=4,
+                        help="synthetic images per request")
+    parser.add_argument("--bits", type=int, default=4)
+    parser.add_argument("--executor", default="thread")
+    parser.add_argument("--workers", type=int, default=2)
+    arguments = parser.parse_args()
+
+    session = Session(
+        model=arguments.model,
+        width=arguments.width,
+        bits=arguments.bits,
+        executor=arguments.executor,
+        workers=arguments.workers,
+        concurrency=arguments.requests,
+    )
+    with session:
+        session.compile().deploy()
+        print(session.deployment.describe())
+        print()
+
+        # 1. One batch, both dispatch disciplines: byte-identical results.
+        rng = np.random.default_rng(1)
+        batch = rng.uniform(0.0, 1.0, size=(arguments.images,) + session.input_shape)
+        started = time.perf_counter()
+        layer_sync = session.infer(batch, pipeline=False)
+        sync_s = time.perf_counter() - started
+        started = time.perf_counter()
+        pipelined = session.infer(batch, pipeline=True)
+        pipe_s = time.perf_counter() - started
+        identical = np.array_equal(layer_sync.logits, pipelined.logits)
+        print(
+            f"layer-synchronous {sync_s:.3f} s vs pipelined {pipe_s:.3f} s; "
+            f"logits byte-identical: {identical}"
+        )
+        occupancy = session._driver.tracker.trace()
+        print(
+            "per-stage max images in flight: "
+            + ", ".join(
+                f"L{group}={trace.max_in_flight}"
+                for group, trace in sorted(occupancy.items())
+            )
+        )
+        print()
+
+        # 2. Overlapping clients over the same pinned plan.
+        deployed = session.residency
+        handles = []
+        for request in range(arguments.requests):
+            images = rng.uniform(
+                0.0, 1.0, size=(arguments.images,) + session.input_shape
+            )
+            handles.append(session.submit(images))
+        results = session.gather()
+        after = session.residency
+        print(
+            f"served {len(results)} overlapped requests "
+            f"({sum(result.images for result in results)} images); "
+            f"cold leases after deploy: "
+            f"{after.lease_events - deployed.lease_events}, "
+            f"CAM reprograms: "
+            f"{after.reprogram_events - deployed.reprogram_events}"
+        )
+        print()
+        print(session.report().to_text())
+
+    if not identical:
+        raise SystemExit("FAILED: pipelined logits diverged")
+
+
+if __name__ == "__main__":
+    main()

@@ -89,16 +89,30 @@ from repro.perf.model import (
     evaluate_model,
 )
 from repro.perf.model import crosscheck_execution as _crosscheck_execution
+from repro.perf.pipeline import (
+    PipelineCost,
+    pipeline_cost,
+    pipeline_cost_from_execution,
+)
 from repro.rtm.timing import RTMTechnology
 from repro.runtime import (
     ExecutionPlan,
+    InFlightTracker,
+    PipelineScheduler,
     PlanExecution,
     Scheduler,
     available_executors,
     build_execution_plan,
     execute_model,
+    resident_aps_required,
 )
-from repro.session import Session, SessionConfig, SessionReport, SessionState
+from repro.session import (
+    PendingRequest,
+    Session,
+    SessionConfig,
+    SessionReport,
+    SessionState,
+)
 
 
 def crosscheck_execution(*args, **kwargs):
@@ -121,7 +135,7 @@ def crosscheck_execution(*args, **kwargs):
     return _crosscheck_execution(*args, **kwargs)
 
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "Session",
@@ -138,9 +152,16 @@ __all__ = [
     "ExecutionPlan",
     "PlanExecution",
     "Scheduler",
+    "PipelineScheduler",
+    "InFlightTracker",
+    "PendingRequest",
+    "PipelineCost",
+    "pipeline_cost",
+    "pipeline_cost_from_execution",
     "available_executors",
     "build_execution_plan",
     "execute_model",
+    "resident_aps_required",
     "ActivationStore",
     "BatchedInference",
     "DataflowGraph",

@@ -17,6 +17,7 @@ functional path here is what validates them at layer granularity
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Dict, FrozenSet, Iterator, List, Optional, Tuple
@@ -218,6 +219,11 @@ class Accelerator:
         self._pins: Dict[APAddress, PinnedLease] = {}
         #: Runtime ledger: lease / reprogram / warm-hit accounting.
         self._residency = ResidencyLedger()
+        #: Ledger guard: the pipelined dispatch engine charges counters from
+        #: several driver threads concurrently; every mutation of the stats,
+        #: movement and residency ledgers takes this lock so the exact
+        #: integer counters stay exact under overlapped requests.
+        self._ledger_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     @property
@@ -421,14 +427,15 @@ class Accelerator:
         pool workers build their APs in other processes, so accounting
         happens here, at dispatch time, not inside :meth:`lease_ap`.
         """
-        pin = self._pins.get(tuple(tile.address))
-        if pin is not None and tile_key(tile) in pin.tile_keys:
-            self._residency.warm_hits += 1
-            return True
-        self._residency.lease_events += 1
-        self._residency.reprogram_events += 1
-        self._residency.reprogram_bits += tile_weight_bits(tile)
-        return False
+        with self._ledger_lock:
+            pin = self._pins.get(tuple(tile.address))
+            if pin is not None and tile_key(tile) in pin.tile_keys:
+                self._residency.warm_hits += 1
+                return True
+            self._residency.lease_events += 1
+            self._residency.reprogram_events += 1
+            self._residency.reprogram_bits += tile_weight_bits(tile)
+            return False
 
     def is_pinned(self, address: APAddress) -> bool:
         """Whether an AP currently holds a weight-resident (pinned) lease."""
@@ -447,7 +454,8 @@ class Accelerator:
     @property
     def residency(self) -> ResidencyLedger:
         """Snapshot of the lease/reprogram/warm-hit accounting so far."""
-        return self._residency.snapshot()
+        with self._ledger_lock:
+            return self._residency.snapshot()
 
     # ------------------------------------------------------------------
     # Runtime ledgers: per-tile stats aggregation and interconnect traffic
@@ -456,8 +464,9 @@ class Accelerator:
         """Charge one executed tile program's counters to its (bank, tile)."""
         self.validate_address(address)
         key = (address[0], address[1])
-        current = self._tile_stats.get(key)
-        self._tile_stats[key] = stats if current is None else current.merge(stats)
+        with self._ledger_lock:
+            current = self._tile_stats.get(key)
+            self._tile_stats[key] = stats if current is None else current.merge(stats)
 
     def tile_stats(self) -> Dict[Tuple[int, int], CAMStats]:
         """Per-(bank, tile) counters charged by plan execution so far."""
@@ -476,8 +485,9 @@ class Accelerator:
     ) -> TransferCost:
         """Meter one interconnect transfer and add it to the traffic ledger."""
         cost = self.interconnect.transfer(bits, scope)
-        current = self._movement.get(scope)
-        self._movement[scope] = cost if current is None else current.merge(cost)
+        with self._ledger_lock:
+            current = self._movement.get(scope)
+            self._movement[scope] = cost if current is None else current.merge(cost)
         return cost
 
     def charge_activation_traffic(
@@ -509,9 +519,10 @@ class Accelerator:
 
     def reset_ledgers(self) -> None:
         """Clear the stats, interconnect traffic and residency ledgers."""
-        self._tile_stats.clear()
-        self._movement.clear()
-        self._residency = ResidencyLedger()
+        with self._ledger_lock:
+            self._tile_stats.clear()
+            self._movement.clear()
+            self._residency = ResidencyLedger()
 
     # ------------------------------------------------------------------
     # Plan execution

@@ -126,6 +126,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     infer_parser.add_argument("--seed", type=int, default=0,
                               help="seed of the synthetic input images")
+    infer_parser.add_argument("--pipeline", action="store_true",
+                              help="dependency-driven pipelined dispatch (layer L+1 "
+                                   "of one image overlaps layer L of the next on "
+                                   "disjoint resident AP groups; byte-identical "
+                                   "logits)")
     infer_parser.add_argument("--no-crosscheck", action="store_true",
                               help="skip the NumPy-reference and cost-model crosschecks")
 
@@ -164,6 +169,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--seed", type=int, default=0,
                               help="seed of the synthetic input images (request r "
                                    "uses seed + r)")
+    serve_parser.add_argument("--concurrency", type=int, default=1,
+                              help="overlapped client requests in flight at once "
+                                   "(>1 drives Session.submit()/gather(): requests "
+                                   "pipeline over the same pinned plan)")
+    serve_parser.add_argument("--pipeline", action="store_true",
+                              help="pipelined dispatch for sequential requests too "
+                                   "(implied for the overlapped requests of "
+                                   "--concurrency > 1)")
+    serve_parser.add_argument("--json", action="store_true",
+                              help="emit the machine-readable report (same schema "
+                                   "as benchmarks/output/BENCH_*.json) instead of "
+                                   "the human tables")
     serve_parser.add_argument("--no-crosscheck", action="store_true",
                               help="skip the cost-model crosscheck of the last request")
 
@@ -330,7 +347,9 @@ def _run_infer(arguments: argparse.Namespace) -> str:
     images = synthetic_images(
         record.dataset, batch_size=arguments.images, rng=arguments.seed
     )
-    config = _session_config(arguments, width=arguments.width)
+    config = _session_config(
+        arguments, width=arguments.width, pipeline=arguments.pipeline
+    )
     with Session(config) as session:
         session.compile().deploy()
         result = session.infer(images, batch=arguments.batch)
@@ -400,44 +419,91 @@ def _run_infer(arguments: argparse.Namespace) -> str:
 
 
 def _run_serve(arguments: argparse.Namespace) -> str:
+    import json
+
     from repro.nn.datasets import synthetic_images
     from repro.nn.models.registry import model_record
     from repro.session import Session
 
     record = model_record(arguments.model)
-    config = _session_config(arguments, width=arguments.width)
+    config = _session_config(
+        arguments,
+        width=arguments.width,
+        pipeline=arguments.pipeline,
+        concurrency=max(1, arguments.concurrency),
+    )
     with Session(config) as session:
         session.compile().deploy()
         deployed = session.residency
-        for request in range(arguments.requests):
-            images = synthetic_images(
+        batches = [
+            synthetic_images(
                 record.dataset,
                 batch_size=arguments.images,
                 rng=arguments.seed + request,
             )
-            session.infer(images, batch=arguments.batch)
+            for request in range(arguments.requests)
+        ]
+        if arguments.concurrency > 1:
+            # Overlapped clients: every request pipelines over the same
+            # pinned plan; gather() records them in submission order.
+            for batch in batches:
+                session.submit(batch, batch=arguments.batch)
+            session.gather()
+        else:
+            for batch in batches:
+                session.infer(batch, batch=arguments.batch)
         report = session.report()
         check = None if arguments.no_crosscheck else session.crosscheck()
         described = session.describe()
 
-    lines = [described, "", report.to_text()]
     residency = report.residency
     cold_leases = residency.lease_events - deployed.lease_events
     cold_reprograms = residency.reprogram_events - deployed.reprogram_events
+    failures = []
+    if cold_leases or cold_reprograms:
+        failures.append("warm session leaked cold leases")
+    if check is not None and not check.consistent:
+        failures.append("cost-model crosscheck inconsistent")
+    verdict = "FAILED: " + "; ".join(failures) if failures else ""
+
+    if arguments.json:
+        metrics = report.to_metrics()
+        metrics["concurrency"] = arguments.concurrency
+        metrics["cold_leases_after_deploy"] = cold_leases
+        metrics["cam_reprograms_after_deploy"] = cold_reprograms
+        metrics["crosscheck_consistent"] = (
+            check.consistent if check is not None else None
+        )
+        payload = json.dumps(
+            {"name": f"serve_{arguments.model}", "metrics": metrics},
+            indent=2,
+            sort_keys=True,
+        )
+        if failures:
+            # Keep stdout valid JSON for scrapers; the verdict goes to
+            # stderr with the nonzero exit code.
+            print(payload)
+            raise SystemExit(verdict)
+        return payload
+
+    lines = [described, "", report.to_text()]
     lines.append("")
     lines.append(
         f"steady state: {residency.warm_hits} warm dispatches, "
         f"{cold_leases} cold lease events and {cold_reprograms} CAM "
         f"reprogram events after deploy"
+        + (
+            f" ({arguments.concurrency} overlapped clients)"
+            if arguments.concurrency > 1
+            else ""
+        )
     )
     if check is not None:
         lines.append("cost-model crosscheck: " + check.describe())
-    if cold_leases or cold_reprograms or (check is not None and not check.consistent):
+    if failures:
         # A live session must serve every request warm; exit nonzero so CI
         # steps running `repro serve` gate on the steady-state claim.
-        raise SystemExit(
-            "\n".join(lines + ["", "FAILED: warm session leaked cold leases"])
-        )
+        raise SystemExit("\n".join(lines + ["", verdict]))
     return "\n".join(lines)
 
 

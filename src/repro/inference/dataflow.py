@@ -14,11 +14,16 @@ The graph also owns the run's per-layer activation buffers through an
 claim is that activations *stay resident*; the store is where the runtime
 keeps them (and meters their movement) between layers.
 
-Nodes form the runtime's layer barrier chain: the host executes the model's
+Nodes form the *per-image* dependency chain: the host executes the model's
 interstitial operators (batch norm, ReLU, pooling, residual adds) between
-weight layers, so node ``i`` always completes before node ``i+1`` starts -
-including the residual topologies of ResNet, whose shortcut adds happen on
-the host between the chain's nodes.
+weight layers, so node ``i`` of one image always completes before node
+``i+1`` of the *same image* starts - including the residual topologies of
+ResNet, whose shortcut adds happen on the host between the chain's nodes.
+Whether that chain is walked with a batch-wide barrier per node
+(layer-synchronous) or per image with nodes of different images overlapping
+on their disjoint resident AP groups (pipelined) is the engine's choice
+(:mod:`repro.inference.engine`); the graph itself only encodes the
+activation-readiness dependencies.
 """
 
 from __future__ import annotations

@@ -12,20 +12,35 @@ residual adds) between layers, so the logits of the AP dataflow must match
 the pure-NumPy quantized reference
 (:func:`repro.inference.reference.quantized_reference_forward`) exactly.
 
-Work granularity is ``(image, tile program)``: a batch fans out every image's
-tiles of the current layer to the executor in one order-preserving map, which
-pipelines the batch across the pool's workers while the layer barrier chain
-of the :class:`~repro.inference.dataflow.DataflowGraph` keeps inter-layer
-dependencies intact.  Per-image activation streams are quantized with
-per-image calibration, so batched and one-by-one execution produce
-byte-identical logits.
+Work granularity is ``(image, tile program)``, dispatched under one of two
+disciplines:
+
+* **layer-synchronous** (``pipeline=False``): a batch fans out every image's
+  tiles of the current layer to the executor in one order-preserving map,
+  then a barrier, then the next layer - the host does all inter-layer work
+  serially while the pool idles.
+* **pipelined** (``pipeline=True``): every image runs its own forward on a
+  driver thread and each ``(image, layer, tile)`` work item dispatches the
+  moment its input activations exist (no barriers anywhere) - layer L+1 of
+  image i-1 streams through its own weight-resident AP group while layer L
+  of image i is still in flight, and the host interstitial operators overlap
+  with AP execution.  Per-AP-group occupancy is tracked by an
+  :class:`~repro.runtime.pipeline.InFlightTracker`.
+
+Per-image activation streams are quantized with per-image calibration and
+every reduction is rebuilt in (image, tile) order at aggregation time, so
+batched, micro-batched, one-by-one, layer-synchronous and pipelined
+execution all produce byte-identical logits and counters.
 """
 
 from __future__ import annotations
 
+import threading
 import time
-from dataclasses import dataclass
-from typing import Dict, Optional, Sequence, Tuple, Union
+from concurrent.futures import ThreadPoolExecutor
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -33,7 +48,7 @@ from repro.ap.core import AssociativeProcessor
 from repro.arch.accelerator import Accelerator
 from repro.cam.stats import CAMStats
 from repro.core.compiler import CompilerConfig, compile_model
-from repro.errors import CapacityError, ModelDefinitionError
+from repro.errors import CapacityError, ModelDefinitionError, SimulationError
 from repro.inference.activations import (
     ActivationStore,
     dequantize_batch,
@@ -48,6 +63,7 @@ from repro.inference.dataflow import (
 from repro.nn.layers import Module
 from repro.nn.stats import model_layer_specs
 from repro.runtime.executors import ExecutorSpec, make_lease, resolve_executor
+from repro.runtime.pipeline import InFlightTracker
 from repro.runtime.plan import build_execution_plan
 from repro.runtime.scheduler import (
     LayerRunResult,
@@ -130,6 +146,59 @@ class InferenceResult:
         return self.execution.wall_time_s
 
 
+@dataclass
+class _LayerCollector:
+    """Thread-safe per-layer accumulation of one pipelined request.
+
+    Driver threads deposit each ``(image, layer)`` dispatch here the moment
+    it completes; everything is keyed by image index so the finalization can
+    rebuild the exact (image-major, tile-minor) order of the layer-
+    synchronous engine, making the aggregated counters byte-identical no
+    matter which order the pipeline finished in.
+    """
+
+    #: image -> [(tile, stats), ...] in tile order.
+    tiles: Dict[int, List] = field(default_factory=dict)
+    #: image -> checksum of the image's tile outputs.
+    checksums: Dict[int, int] = field(default_factory=dict)
+    #: image -> activation bits entering the layer.
+    input_bits: Dict[int, int] = field(default_factory=dict)
+    #: Host wall-clock of the layer's dispatches (sum over images).
+    wall_time_s: float = 0.0
+
+
+class _PipelinedRequest:
+    """Mutable state of one in-flight pipelined inference request."""
+
+    def __init__(self, store: ActivationStore) -> None:
+        self.store = store
+        self.layers: Dict[str, _LayerCollector] = {}
+        self.lock = threading.Lock()
+
+    def collector(self, name: str) -> _LayerCollector:
+        with self.lock:
+            collector = self.layers.get(name)
+            if collector is None:
+                collector = self.layers[name] = _LayerCollector()
+            return collector
+
+    def record(
+        self,
+        name: str,
+        image: int,
+        tiles: List,
+        checksum: int,
+        input_bits: int,
+        wall_time_s: float,
+    ) -> None:
+        collector = self.collector(name)
+        with self.lock:
+            collector.tiles[image] = tiles
+            collector.checksums[image] = checksum
+            collector.input_bits[image] = input_bits
+            collector.wall_time_s += wall_time_s
+
+
 class BatchedInference:
     """Functional end-to-end inference driver over one leased AP pool.
 
@@ -153,6 +222,16 @@ class BatchedInference:
             compilation happens exactly once per session.
         plan: pre-built execution plan for ``compiled`` on ``accelerator``
             (both must be given together); built here when omitted.
+        pipeline: default dispatch discipline of :meth:`run`: ``False`` is
+            the layer-synchronous engine (all images' tiles of layer L fan
+            out, then a barrier); ``True`` is the dependency-driven pipeline
+            (each image advances to layer L+1 the moment its own layer L
+            completes, so different layers' resident AP groups work
+            concurrently).  Logits and aggregated counters are
+            byte-identical across the two.
+        pipeline_depth: maximum images in flight per pipelined request (the
+            double-buffering depth bounding peak activation memory);
+            ``min(weight layers, 8)`` when omitted.
     """
 
     def __init__(
@@ -169,7 +248,13 @@ class BatchedInference:
         name: str = "model",
         compiled=None,
         plan=None,
+        pipeline: bool = False,
+        pipeline_depth: Optional[int] = None,
     ) -> None:
+        if pipeline_depth is not None and pipeline_depth < 1:
+            raise ModelDefinitionError(
+                f"pipeline_depth must be >= 1, got {pipeline_depth}"
+            )
         input_shape = tuple(input_shape)
         if plan is not None and (compiled is None or accelerator is None):
             raise ModelDefinitionError(
@@ -219,10 +304,76 @@ class BatchedInference:
         )
         self._columns = plan.lease_columns
         self._layer_results: Dict[str, LayerRunResult] = {}
+        self.pipeline = bool(pipeline)
+        self.pipeline_depth = pipeline_depth
+        #: Per-AP-group (resident layer) occupancy of pipelined dispatches.
+        self.tracker = InFlightTracker()
+        self._tls = threading.local()
+        self._patch_lock = threading.Lock()
+        self._patch_refs = 0
+        self._patch_cm = None
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # Forward-hook plumbing shared by both dispatch disciplines
+    # ------------------------------------------------------------------
+    def _dispatch_hook(self, name: str, module: Module, value: np.ndarray):
+        """Route a patched weight layer to the calling thread's active hook.
+
+        The model is patched *once* (refcounted) for any number of
+        concurrent forwards; each driver thread installs its own per-image
+        hook in thread-local storage, so overlapping images - and
+        overlapping requests - share one patched model without contending.
+        """
+        hook = getattr(self._tls, "hook", None)
+        if hook is None:
+            raise SimulationError(
+                f"weight layer {name!r} executed outside an inference run "
+                f"(no layer hook installed on this thread)"
+            )
+        return hook(self.graph.node(name), value)
+
+    @contextmanager
+    def _patched(self):
+        """Reference-counted weight-layer patch (concurrency-safe).
+
+        ``patch_weight_layers`` mutates the shared module tree; with
+        overlapping pipelined requests several threads need it active at
+        once.  The first entrant applies the patch, the last one restores
+        the original forwards - strictly nested enter/exit per thread, so
+        the LIFO restore of the underlying context manager holds.
+        """
+        with self._patch_lock:
+            if self._patch_refs == 0:
+                self._patch_cm = patch_weight_layers(
+                    self.graph.model, self.graph.input_shape, self._dispatch_hook
+                )
+                self._patch_cm.__enter__()
+            self._patch_refs += 1
+        try:
+            yield
+        finally:
+            with self._patch_lock:
+                self._patch_refs -= 1
+                if self._patch_refs == 0:
+                    manager, self._patch_cm = self._patch_cm, None
+                    manager.__exit__(None, None, None)
+
+    @contextmanager
+    def _thread_hook(self, hook):
+        previous = getattr(self._tls, "hook", None)
+        self._tls.hook = hook
+        try:
+            yield
+        finally:
+            self._tls.hook = previous
 
     # ------------------------------------------------------------------
     def run(
-        self, images: np.ndarray, batch: Optional[int] = None
+        self,
+        images: np.ndarray,
+        batch: Optional[int] = None,
+        pipeline: Optional[bool] = None,
     ) -> InferenceResult:
         """Run a batch of images through the network on the AP runtime.
 
@@ -231,12 +382,18 @@ class BatchedInference:
             batch: optional micro-batch size; the batch is processed in
                 chunks of this many images (bounding peak activation memory).
                 Per-image quantization makes chunked and unchunked execution
-                byte-identical.
+                byte-identical.  In pipelined mode it caps the images in
+                flight instead (same memory bound, no barrier).
+            pipeline: override the engine's default dispatch discipline for
+                this request (see the constructor's ``pipeline`` argument).
         """
-        started = time.perf_counter()
-        x, _ = normalize_images(images, self.graph.input_shape)
+        pipelined = self.pipeline if pipeline is None else pipeline
         if batch is not None and batch < 1:
             raise ModelDefinitionError(f"batch must be >= 1, got {batch}")
+        if pipelined:
+            return self._run_pipelined(images, batch=batch)
+        started = time.perf_counter()
+        x, _ = normalize_images(images, self.graph.input_shape)
         self._layer_results = {}
         # Every run gets a fresh store so previously returned results keep
         # their own buffers (the graph's store is the *current* run's).
@@ -271,11 +428,7 @@ class BatchedInference:
     # ------------------------------------------------------------------
     def _forward(self, x: np.ndarray) -> np.ndarray:
         """One micro-batch through the model with AP-executed weight layers."""
-
-        def hook(name: str, module: Module, value: np.ndarray) -> np.ndarray:
-            return self._layer_hook(self.graph.node(name), value)
-
-        with patch_weight_layers(self.graph.model, self.graph.input_shape, hook):
+        with self._patched(), self._thread_hook(self._layer_hook):
             return self.graph.model(x)
 
     def _layer_hook(self, node: DataflowNode, x: np.ndarray) -> np.ndarray:
@@ -368,6 +521,232 @@ class BatchedInference:
         return accumulator
 
     # ------------------------------------------------------------------
+    # Pipelined dispatch: dependency-driven execution across layers/images
+    # ------------------------------------------------------------------
+    def _run_pipelined(
+        self, images: np.ndarray, batch: Optional[int] = None
+    ) -> InferenceResult:
+        """Pipelined counterpart of the layer-synchronous run.
+
+        Every image runs its own forward on a driver thread: the host
+        interstitial operators of image i+1 overlap with the AP tile
+        execution of image i, and - because a weight-resident plan gives
+        each layer a disjoint AP group - layer L+1 of one image streams
+        through its own pinned APs while layer L of the next image is still
+        in flight.  No layer barrier exists anywhere; each ``(image, layer,
+        tile)`` work item dispatches the moment its input activations exist.
+
+        Aggregated counters are rebuilt in image order at the end, so the
+        returned :class:`InferenceResult` is byte-identical to the
+        layer-synchronous engine's (only wall-clock and the execution's
+        ``mode`` differ).
+        """
+        started = time.perf_counter()
+        x, _ = normalize_images(images, self.graph.input_shape)
+        num_images = int(x.shape[0])
+        store = ActivationStore(
+            activation_bits=self.graph.store.activation_bits,
+            signed=self.graph.store.signed,
+            keep_tensors=self.graph.store.keep_tensors,
+        )
+        request = _PipelinedRequest(store)
+        depth = self.pipeline_depth
+        if depth is None:
+            depth = min(max(2, len(self.graph.nodes)), 8)
+        if batch is not None:
+            depth = min(depth, batch)
+        depth = max(1, min(depth, max(num_images, 1)))
+
+        if num_images < 1:
+            raise ModelDefinitionError(
+                "a pipelined run needs at least one image"
+            )
+        logits_parts: List[Optional[np.ndarray]] = [None] * num_images
+        with self._patched():
+            with ThreadPoolExecutor(
+                max_workers=depth, thread_name_prefix="pipeline-image"
+            ) as drivers:
+                futures = {
+                    drivers.submit(self._drive_image, request, x, image): image
+                    for image in range(num_images)
+                }
+                errors: List[BaseException] = []
+                for future, image in futures.items():
+                    try:
+                        logits_parts[image] = future.result()
+                    except BaseException as error:  # noqa: BLE001 - re-raised
+                        errors.append(error)
+        if errors:
+            # All drivers have settled (the pool context waited); nothing is
+            # left racing the executor, so propagating is safe.
+            raise errors[0]
+
+        execution = self._finalize_pipelined(request, num_images)
+        execution.wall_time_s = time.perf_counter() - started
+        # The shared graph.store is deliberately left untouched: overlapping
+        # requests (and a concurrent layer-synchronous run) each own their
+        # result's store; mutating the shared one here would corrupt theirs.
+        logits = np.concatenate(logits_parts, axis=0)
+        return InferenceResult(
+            model=self.plan.name,
+            logits=logits,
+            images=num_images,
+            execution=execution,
+            store=store,
+        )
+
+    def _drive_image(
+        self, request: _PipelinedRequest, x: np.ndarray, image: int
+    ) -> np.ndarray:
+        """One image's full forward (host ops inline, AP layers dispatched)."""
+
+        def hook(node: DataflowNode, value: np.ndarray) -> np.ndarray:
+            return self._pipelined_layer_hook(request, image, node, value)
+
+        with self._thread_hook(hook):
+            return self.graph.model(x[image : image + 1])
+
+    def _pipelined_layer_hook(
+        self,
+        request: _PipelinedRequest,
+        image: int,
+        node: DataflowNode,
+        x: np.ndarray,
+    ) -> np.ndarray:
+        """Quantize, dispatch and reduce one (image, layer) work item.
+
+        Runs on the image's driver thread; the AP tile programs go through
+        the executor's async ``submit_tasks`` so tiles of different layers
+        and images interleave freely on one worker pool.
+        """
+        planned = node.planned
+        mapping = node.mapping
+        technology = self.accelerator.config.technology
+        rows_per_ap = mapping.rows_per_ap
+
+        codes, steps = request.store.quantize_image_input(node.name, image, x)
+        columns = lower_input_rows(
+            codes[0], node.kernel_size, node.stride, node.padding
+        )
+        payloads = []
+        for tile in planned.tiles:
+            # Residency accounting per (image, tile) dispatch, same as the
+            # layer-synchronous engine (warm on a deployed plan).
+            self.accelerator.account_tile_dispatch(tile)
+            start = tile.row_tile * rows_per_ap
+            row_slice = slice(start, start + tile.rows)
+            inputs_list = [
+                {
+                    name: columns[channel, int(name[1:]), row_slice]
+                    for name in program.input_columns
+                }
+                for channel, program in zip(tile.channel_indices, tile.programs)
+            ]
+            payloads.append(
+                (tile, image, self._columns, self.backend, technology, inputs_list)
+            )
+
+        started = time.perf_counter()
+        # No AP lease in pipelined mode: concurrent images may dispatch to
+        # the same address, and pooled APs are single-occupancy host objects.
+        # Workers build fresh functional APs instead - byte-identical per
+        # the lease contract.
+        with self.tracker.entered(planned.layer_index):
+            futures = self.executor.submit_tasks(_inference_tile_worker, payloads)
+            results = [future.result() for future in futures]
+        wall = time.perf_counter() - started
+
+        y_int = np.zeros(
+            (1, mapping.out_channels, mapping.output_positions), np.int64
+        )
+        for payload, result in zip(payloads, results):
+            tile = payload[0]
+            start = tile.row_tile * rows_per_ap
+            row_slice = slice(start, start + tile.rows)
+            for outputs in result.outputs:
+                for name, values in outputs.items():
+                    y_int[0, int(name[1:]), row_slice] += values
+
+        request.record(
+            node.name,
+            image,
+            tiles=[
+                (payload[0], result.stats)
+                for payload, result in zip(payloads, results)
+            ],
+            checksum=sum(result.checksum for result in results),
+            input_bits=int(codes.size) * request.store.activation_bits,
+            wall_time_s=wall,
+        )
+        request.store.record_image_output(node.name, image, y_int)
+        y = dequantize_batch(y_int, steps, node.weight_scale)
+        return y.reshape((1,) + node.output_spatial(y_int.shape[-1]))
+
+    def _finalize_pipelined(
+        self, request: _PipelinedRequest, num_images: int
+    ) -> PlanExecution:
+        """Deterministic epilogue of a pipelined request.
+
+        Rebuilds every layer's aggregation in (image, tile) order and
+        charges interconnect movement per layer in plan order - the exact
+        sequence the layer-synchronous engine produces - so counters,
+        energies and latencies come out byte-identical regardless of
+        completion order.
+        """
+        execution = PlanExecution(
+            name=self.plan.name,
+            executor=self.executor.name,
+            backend=str(self.backend),
+            workers=getattr(self.executor, "workers", 1),
+            mode="pipelined",
+        )
+        for node in self.graph.nodes:
+            planned = node.planned
+            collector = request.layers.get(node.name)
+            if collector is None or len(collector.tiles) != num_images:
+                seen = 0 if collector is None else len(collector.tiles)
+                raise SimulationError(
+                    f"pipelined run finished with {seen}/{num_images} images "
+                    f"recorded for layer {node.name!r}"
+                )
+            ordered = [
+                (tile, stats, image)
+                for image in range(num_images)
+                for tile, stats in collector.tiles[image]
+            ]
+            movement = charge_adder_tree_movement(
+                self.accelerator, planned, repeats=num_images
+            )
+            predecessor = self.graph.predecessor(node)
+            activation_bits = float(sum(collector.input_bits.values()))
+            movement = movement.merge(
+                self.accelerator.charge_activation_traffic(
+                    activation_bits,
+                    src=(
+                        predecessor.planned.tiles[0].address
+                        if predecessor
+                        else None
+                    ),
+                    dst=planned.tiles[0].address if planned.tiles else None,
+                )
+            )
+            execution.layers.append(
+                aggregate_layer_run(
+                    planned,
+                    ordered,
+                    self.accelerator,
+                    movement,
+                    repeats=num_images,
+                    checksum=sum(collector.checksums.values()),
+                    wall_time_s=collector.wall_time_s,
+                )
+            )
+        request.store.finalize_images(
+            [node.name for node in self.graph.nodes], num_images
+        )
+        return execution
+
+    # ------------------------------------------------------------------
     def _record_layer(self, result: LayerRunResult) -> None:
         """Merge a micro-batch's layer counters into the run aggregate."""
         existing = self._layer_results.get(result.name)
@@ -384,9 +763,20 @@ class BatchedInference:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Release the executor's pooled workers and the leased AP pool."""
-        self.executor.close()
-        self.accelerator.release_aps()
+        """Release the executor's pooled workers and the leased AP pool.
+
+        Idempotent and exception-safe: a second call is a no-op, and the AP
+        pool is released even if draining/closing the executor raises - a
+        failed pipelined run cannot leak a worker pool or pooled APs.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            # Executor.close() drains its own in-flight futures first.
+            self.executor.close()
+        finally:
+            self.accelerator.release_aps()
 
     def __enter__(self) -> "BatchedInference":
         return self

@@ -20,6 +20,11 @@ from repro.perf.model import (
     evaluate_model,
 )
 from repro.perf.endurance import endurance_report, EnduranceReport
+from repro.perf.pipeline import (
+    PipelineCost,
+    pipeline_cost,
+    pipeline_cost_from_execution,
+)
 
 __all__ = [
     "EnergyBreakdown",
@@ -36,4 +41,7 @@ __all__ = [
     "evaluate_model",
     "endurance_report",
     "EnduranceReport",
+    "PipelineCost",
+    "pipeline_cost",
+    "pipeline_cost_from_execution",
 ]

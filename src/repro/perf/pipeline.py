@@ -1,0 +1,144 @@
+"""Analytic pipeline latency model: fill / steady state / drain.
+
+A weight-resident deployment turns the network into a hardware pipeline:
+every layer owns a disjoint AP group (a *stage*), and a stream of images
+flows through the stages.  The batch latency of that pipeline is governed by
+the classic three-phase decomposition:
+
+* **fill** - the first image must traverse every stage before the last stage
+  produces anything;
+* **steady state** - once full, the pipeline retires one image per
+  *bottleneck interval* (the slowest stage's latency);
+* **drain** - after the last image enters, the tail stages finish it.
+
+With per-image stage latencies ``t_1..t_S`` and ``N`` images:
+
+* pipelined batch latency = ``sum(t) + (N - 1) * max(t)``,
+* layer-synchronous batch latency = ``N * sum(t)`` (a barrier after every
+  stage means no two stages ever overlap),
+* steady-state speedup tends to ``sum(t) / max(t)`` as ``N`` grows - the
+  number of *balanced* stages, which is why resident placement (disjoint
+  per-layer AP groups) is what makes pipelining worth building.
+
+:func:`pipeline_cost` models an explicit stage profile;
+:func:`pipeline_cost_from_execution` derives the profile from a functional
+:class:`~repro.runtime.scheduler.PlanExecution` (per-layer modeled latency
+divided by the images the run processed).  ``repro serve`` surfaces the
+result next to the measured wall-clock so the model can be sanity-checked
+against real overlapped execution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from repro.errors import ConfigurationError
+
+
+@dataclass(frozen=True)
+class PipelineCost:
+    """Fill / steady-state / drain decomposition of one pipelined batch."""
+
+    #: Per-image latency of each stage (ms), in pipeline order.
+    stage_latencies_ms: Tuple[float, ...]
+    #: Images streamed through the pipeline.
+    images: int
+
+    def __post_init__(self) -> None:
+        if not self.stage_latencies_ms:
+            raise ConfigurationError("a pipeline needs at least one stage")
+        if self.images < 1:
+            raise ConfigurationError(f"images must be >= 1, got {self.images}")
+
+    # ------------------------------------------------------------------
+    @property
+    def stages(self) -> int:
+        """Number of pipeline stages (resident layers)."""
+        return len(self.stage_latencies_ms)
+
+    @property
+    def bottleneck_ms(self) -> float:
+        """Slowest stage: the steady-state issue interval per image."""
+        return max(self.stage_latencies_ms)
+
+    @property
+    def fill_ms(self) -> float:
+        """Latency of the first image through every stage (ramp-up)."""
+        return sum(self.stage_latencies_ms)
+
+    @property
+    def fill_drain_overhead_ms(self) -> float:
+        """Time not covered by steady-state issue (ramp-up plus tail)."""
+        return self.fill_ms - self.bottleneck_ms
+
+    @property
+    def steady_state_ms(self) -> float:
+        """Steady-state portion: one bottleneck interval per image."""
+        return self.images * self.bottleneck_ms
+
+    @property
+    def pipelined_latency_ms(self) -> float:
+        """Batch latency of the pipelined schedule."""
+        return self.fill_ms + (self.images - 1) * self.bottleneck_ms
+
+    @property
+    def synchronous_latency_ms(self) -> float:
+        """Batch latency of the layer-synchronous schedule (no overlap)."""
+        return self.images * self.fill_ms
+
+    @property
+    def speedup(self) -> float:
+        """Modeled pipelined vs. layer-synchronous speedup for this batch."""
+        return self.synchronous_latency_ms / self.pipelined_latency_ms
+
+    @property
+    def steady_state_speedup(self) -> float:
+        """Asymptotic speedup as the image stream grows (sum/max)."""
+        return self.fill_ms / self.bottleneck_ms
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of stage-time the pipelined schedule keeps stages busy."""
+        total_work = self.images * self.fill_ms
+        occupancy = self.stages * self.pipelined_latency_ms
+        return total_work / occupancy if occupancy else 0.0
+
+    def describe(self) -> str:
+        """One-line summary used by reports and the CLI."""
+        return (
+            f"pipeline of {self.stages} stages x {self.images} images: "
+            f"fill {self.fill_ms:.5f} ms, steady-state interval "
+            f"{self.bottleneck_ms:.5f} ms/image, batch "
+            f"{self.pipelined_latency_ms:.5f} ms vs "
+            f"{self.synchronous_latency_ms:.5f} ms layer-synchronous "
+            f"({self.speedup:.2f}x, -> {self.steady_state_speedup:.2f}x "
+            f"steady state)"
+        )
+
+
+def pipeline_cost(
+    stage_latencies_ms: Sequence[float], images: int
+) -> PipelineCost:
+    """Model a pipelined batch from an explicit per-stage latency profile."""
+    return PipelineCost(
+        stage_latencies_ms=tuple(float(value) for value in stage_latencies_ms),
+        images=images,
+    )
+
+
+def pipeline_cost_from_execution(
+    execution, images: Optional[int] = None
+) -> PipelineCost:
+    """Derive the pipeline model from a functional plan execution.
+
+    Uses each layer's modeled latency as its stage time.  ``images`` defaults
+    to 1; pass the request's image count to split the aggregated per-layer
+    latency (which sums every image's stream) back into a per-image stage
+    profile.
+    """
+    count = 1 if images is None else images
+    if count < 1:
+        raise ConfigurationError(f"images must be >= 1, got {count}")
+    stages = [layer.latency_ms / count for layer in execution.layers]
+    return pipeline_cost(stages, count)

@@ -37,12 +37,19 @@ from repro.runtime.executors import (
     available_executors,
     resolve_executor,
 )
+from repro.runtime.pipeline import (
+    GroupTrace,
+    InFlightTracker,
+    PipelineScheduler,
+    PipelineTask,
+)
 from repro.runtime.plan import (
     ExecutionPlan,
     PlannedLayer,
     TileProgram,
     build_execution_plan,
     derive_tile_seed,
+    resident_aps_required,
 )
 from repro.runtime.scheduler import LayerRunResult, PlanExecution, Scheduler
 
@@ -88,8 +95,13 @@ __all__ = [
     "TileProgram",
     "build_execution_plan",
     "derive_tile_seed",
+    "resident_aps_required",
     "LayerRunResult",
     "PlanExecution",
     "Scheduler",
+    "GroupTrace",
+    "InFlightTracker",
+    "PipelineScheduler",
+    "PipelineTask",
     "execute_model",
 ]

@@ -14,6 +14,12 @@ the runtime:
 * ``thread`` - a thread pool; lighter start-up, useful when the ``vectorized``
   backend spends its time in NumPy kernels that release the GIL.
 
+Every executor exposes two dispatch surfaces: the order-preserving
+``map_tasks`` (one layer's barrier-synchronized wave) and the asynchronous
+``submit_tasks``/``drain`` pair used by the dependency-driven pipeline
+(:mod:`repro.runtime.pipeline`), which interleaves work items from several
+layers, images and requests on one pool.
+
 Determinism: a tile's result depends only on the tile itself (its programs
 and ``input_seed``) and the backend contract guarantees byte-identical
 :class:`~repro.cam.stats.CAMStats` across backends, so every executor -
@@ -23,8 +29,9 @@ same order-independent reductions.
 
 from __future__ import annotations
 
+import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import Future, ProcessPoolExecutor, ThreadPoolExecutor, wait
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Type, Union
 
@@ -180,6 +187,41 @@ class Executor:
         """
         raise NotImplementedError
 
+    def submit_tasks(
+        self, fn: Callable, payloads: Sequence, lease: Optional[LeaseFn] = None
+    ) -> List[Future]:
+        """Asynchronously apply ``fn`` to payloads, returning one future each.
+
+        The async counterpart of :meth:`map_tasks`, used by the pipelined
+        dispatch engine (:mod:`repro.runtime.pipeline`): callers interleave
+        submissions from several pipeline stages and reap completions in any
+        order.  The base implementation executes synchronously in the calling
+        thread (the serial semantics) and returns already-settled futures;
+        pool executors override it with real asynchronous submission.
+
+        ``lease`` is honoured only by in-process execution, exactly like
+        :meth:`map_tasks`.
+        """
+        futures: List[Future] = []
+        for payload in payloads:
+            future: Future = Future()
+            try:
+                result = fn(payload) if lease is None else fn(payload, lease(payload))
+            except BaseException as error:  # noqa: BLE001 - stored on future
+                future.set_exception(error)
+            else:
+                future.set_result(result)
+            futures.append(future)
+        return futures
+
+    def drain(self) -> None:
+        """Block until every task submitted via :meth:`submit_tasks` settles.
+
+        No-op for synchronous executors (their futures settle on submit).
+        Teardown paths call this so a failed pipelined run never leaves
+        workers racing a closed executor.
+        """
+
     def run(
         self,
         tiles: Sequence[TileProgram],
@@ -230,6 +272,8 @@ class ParallelExecutor(Executor):
 
         self.workers = max(1, workers if workers is not None else (os.cpu_count() or 1))
         self._pool: Optional[ProcessPoolExecutor] = None
+        self._inflight: "set[Future]" = set()
+        self._inflight_lock = threading.Lock()
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -253,7 +297,38 @@ class ParallelExecutor(Executor):
         chunksize = max(1, len(payloads) // (self.workers * 4))
         return list(pool.map(fn, payloads, chunksize=chunksize))
 
+    def submit_tasks(
+        self, fn: Callable, payloads: Sequence, lease: Optional[LeaseFn] = None
+    ) -> List[Future]:
+        # Leases are in-process state; pool workers always build fresh APs
+        # (the lease contract guarantees byte-identical results), exactly as
+        # in map_tasks.
+        if self.workers <= 1:
+            return super().submit_tasks(fn, payloads, lease=lease)
+        pool = self._ensure_pool()
+        futures: List[Future] = []
+        for payload in payloads:
+            future = pool.submit(fn, payload)
+            with self._inflight_lock:
+                self._inflight.add(future)
+            future.add_done_callback(self._discard_inflight)
+            futures.append(future)
+        return futures
+
+    def _discard_inflight(self, future: Future) -> None:
+        with self._inflight_lock:
+            self._inflight.discard(future)
+
+    def drain(self) -> None:
+        with self._inflight_lock:
+            outstanding = list(self._inflight)
+        if outstanding:
+            wait(outstanding)
+
     def close(self) -> None:
+        # Idempotent and exception-safe: drain first so no worker is still
+        # executing when the pool is torn down, then shut the pool down once.
+        self.drain()
         if self._pool is not None:
             self._pool.shutdown()
             self._pool = None

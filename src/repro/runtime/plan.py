@@ -324,13 +324,21 @@ def build_execution_plan(
         base = cursor if placement == "resident" else 0
         if base + concurrent_aps > len(addresses):
             if placement == "resident":
-                raise CapacityError(
+                required = resident_aps_required(compiled)
+                error = CapacityError(
                     f"weight-resident deploy oversubscribed: layer "
                     f"{layer.name!r} needs {concurrent_aps} APs at offset "
                     f"{base} but the accelerator provides {len(addresses)}; "
                     f"resident placement cannot time-share APs across layers "
-                    f"- grow the accelerator or use placement='shared'"
+                    f"- the full pipeline needs resident_aps_required="
+                    f"{required} APs, so grow the accelerator (e.g. "
+                    f"config.with_total_aps({required})) or use "
+                    f"placement='shared'"
                 )
+                # Machine-readable sizing hint: callers auto-size from the
+                # exception without parsing the message.
+                error.resident_aps_required = required
+                raise error
             raise CapacityError(
                 f"layer {layer.name!r} needs {concurrent_aps} concurrent APs "
                 f"but the accelerator provides {len(addresses)}"

@@ -89,6 +89,11 @@ class PlanExecution:
     workers: int
     layers: List[LayerRunResult] = field(default_factory=list)
     wall_time_s: float = 0.0
+    #: Dispatch discipline that produced the run: ``"layer-sync"`` (barrier
+    #: per layer) or ``"pipelined"`` (dependency-driven, see
+    #: :mod:`repro.runtime.pipeline`).  Counters are byte-identical across
+    #: the two; only wall-clock differs.
+    mode: str = "layer-sync"
 
     @property
     def total_stats(self) -> CAMStats:
@@ -331,5 +336,19 @@ class Scheduler:
 
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Release the executor's pooled workers."""
+        """Release the executor's pooled workers (idempotent).
+
+        Safe to call repeatedly and from ``finally`` blocks: the first call
+        drains and shuts the executor down, later calls are no-ops, so a
+        failed run can never leak a worker pool.
+        """
+        if getattr(self, "_closed", False):
+            return
+        self._closed = True
         self.executor.close()
+
+    def __enter__(self) -> "Scheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

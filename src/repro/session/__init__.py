@@ -19,6 +19,7 @@ weight-resident placement underneath it.
 
 from repro.session.config import SessionConfig
 from repro.session.session import (
+    PendingRequest,
     RequestRecord,
     Session,
     SessionReport,
@@ -31,6 +32,7 @@ __all__ = [
     "SessionConfig",
     "SessionReport",
     "SessionState",
+    "PendingRequest",
     "RequestRecord",
     "serve",
 ]

@@ -58,6 +58,19 @@ class SessionConfig:
             weight-resident deploy needs more APs than configured.  When
             disabled, an oversubscribed deploy raises
             :class:`~repro.errors.CapacityError` instead.
+        pipeline: default dispatch discipline of
+            :meth:`~repro.session.session.Session.infer`: ``False`` is the
+            layer-synchronous engine, ``True`` the dependency-driven
+            pipeline (layer L+1 of one image overlaps layer L of the next
+            on disjoint resident AP groups; byte-identical logits/counters).
+            :meth:`~repro.session.session.Session.submit` always pipelines.
+        pipeline_depth: maximum images in flight per pipelined request
+            (bounds peak activation memory); ``min(weight layers, 8)`` when
+            omitted.
+        concurrency: serving-pool width for overlapping
+            :meth:`~repro.session.session.Session.submit` requests - how
+            many client requests may be in flight over the one pinned plan
+            at the same time.
     """
 
     model: Union[str, Module] = "vgg9"
@@ -77,6 +90,9 @@ class SessionConfig:
     name: Optional[str] = None
     keep_activations: bool = False
     auto_size: bool = True
+    pipeline: bool = False
+    pipeline_depth: Optional[int] = None
+    concurrency: int = 2
 
     def __post_init__(self) -> None:
         if self.bits < 1:
@@ -85,6 +101,14 @@ class SessionConfig:
             raise ConfigurationError(f"slices must be >= 1, got {self.slices}")
         if self.layers is not None and self.layers < 1:
             raise ConfigurationError(f"layers must be >= 1, got {self.layers}")
+        if self.pipeline_depth is not None and self.pipeline_depth < 1:
+            raise ConfigurationError(
+                f"pipeline_depth must be >= 1, got {self.pipeline_depth}"
+            )
+        if self.concurrency < 1:
+            raise ConfigurationError(
+                f"concurrency must be >= 1, got {self.concurrency}"
+            )
 
     @property
     def functional(self) -> bool:

@@ -14,7 +14,11 @@ operating model explicitly:
    (synthetic tile inputs) serve requests against the live deployment:
    repeated calls are *warm* - zero additional AP lease or reprogram events
    on the accelerator's residency ledger, because the weights stay in CAM
-   and only activations move.
+   and only activations move.  :meth:`Session.submit`/:meth:`Session.gather`
+   serve *overlapping* requests from multiple clients over the same pinned
+   plan: each request pipelines its images across the resident layer groups
+   (:mod:`repro.runtime.pipeline`) and the ledger stays all-warm however
+   many clients overlap.
 4. :meth:`Session.report` splits the accounting into ``deploy_cost`` vs
    ``per_request_cost`` and amortizes the former over the served requests;
    :meth:`Session.crosscheck` validates a served request against the
@@ -29,6 +33,8 @@ deprecation shims.
 from __future__ import annotations
 
 import enum
+import threading
+from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Union
 
@@ -46,12 +52,14 @@ from repro.perf.model import (
     crosscheck_execution,
     steady_state_cost,
 )
+from repro.perf.pipeline import PipelineCost, pipeline_cost_from_execution
 from repro.runtime.executors import Executor, resolve_executor
 from repro.runtime.plan import (
     ExecutionPlan,
     build_execution_plan,
     resident_aps_required,
 )
+from repro.runtime.pipeline import PipelineScheduler
 from repro.runtime.scheduler import PlanExecution, Scheduler
 from repro.session.config import SessionConfig
 
@@ -76,6 +84,28 @@ class RequestRecord:
 
 
 @dataclass
+class PendingRequest:
+    """Handle of one in-flight :meth:`Session.submit` request.
+
+    Requests submitted to a live session overlap on the serving pool; this
+    handle is how one client waits for its own result without blocking the
+    others.  :meth:`Session.gather` collects every outstanding handle in
+    submission order.
+    """
+
+    index: int
+    _future: Future = field(repr=False)
+
+    def done(self) -> bool:
+        """Whether the request has finished (successfully or not)."""
+        return self._future.done()
+
+    def result(self, timeout: Optional[float] = None) -> InferenceResult:
+        """Block until the request completes and return its result."""
+        return self._future.result(timeout)
+
+
+@dataclass
 class SessionReport:
     """Amortized steady-state accounting of one session.
 
@@ -97,6 +127,9 @@ class SessionReport:
     images: int = 0
     request_wall_s: float = 0.0
     records: List[RequestRecord] = field(default_factory=list)
+    #: Fill/steady-state/drain model of the last inference request's stage
+    #: profile (``None`` until an inference request was served).
+    pipeline: Optional[PipelineCost] = None
 
     @property
     def deploy_energy_uj(self) -> float:
@@ -107,6 +140,43 @@ class SessionReport:
     def per_request_energy_uj(self) -> float:
         """Mean functional energy of one served request."""
         return self.cost.per_request_energy_uj
+
+    def to_metrics(self) -> dict:
+        """Flat metric dict (the machine-readable ``repro serve --json``
+        payload; same shape as the ``metrics`` object of the benchmark
+        harness's ``BENCH_<name>.json`` files)."""
+        metrics = {
+            "requests": self.requests,
+            "images": self.images,
+            "aps_pinned": self.deployment.aps_pinned if self.deployment else 0,
+            "tile_programs_resident": (
+                self.deployment.tile_programs if self.deployment else 0
+            ),
+            "cam_bits_programmed": (
+                self.deployment.weight_bits if self.deployment else 0.0
+            ),
+            "deploy_energy_uj": self.cost.deploy_energy_uj,
+            "deploy_latency_ms": self.cost.deploy_latency_ms,
+            "per_request_energy_uj": self.cost.per_request_energy_uj,
+            "per_request_latency_ms": self.cost.per_request_latency_ms,
+            "request_wall_s": self.request_wall_s,
+            "cold_lease_events": self.residency.lease_events,
+            "cam_reprogram_events": self.residency.reprogram_events,
+            "warm_dispatches": self.residency.warm_hits,
+        }
+        if self.requests:
+            metrics["amortized_energy_uj"] = self.cost.amortized_energy_uj()
+            metrics["amortized_latency_ms"] = self.cost.amortized_latency_ms()
+        if self.pipeline is not None:
+            metrics["pipeline_stages"] = self.pipeline.stages
+            metrics["pipeline_fill_ms"] = self.pipeline.fill_ms
+            metrics["pipeline_steady_interval_ms"] = self.pipeline.bottleneck_ms
+            metrics["pipeline_batch_ms"] = self.pipeline.pipelined_latency_ms
+            metrics["pipeline_speedup"] = self.pipeline.speedup
+            metrics["pipeline_steady_state_speedup"] = (
+                self.pipeline.steady_state_speedup
+            )
+        return metrics
 
     def to_text(self) -> str:
         """Human-readable report used by ``repro serve``."""
@@ -150,26 +220,58 @@ class SessionReport:
             ["CAM reprogram events", self.residency.reprogram_events],
             ["warm dispatches", self.residency.warm_hits],
         ]
-        return "\n".join(
-            [
-                format_table(
-                    ["deploy cost", "value"],
-                    deploy_rows,
-                    title=(
-                        f"session {self.name!r} ({self.state}, "
-                        f"{self.executor} executor, {self.backend} backend)"
-                    ),
+        tables = [
+            format_table(
+                ["deploy cost", "value"],
+                deploy_rows,
+                title=(
+                    f"session {self.name!r} ({self.state}, "
+                    f"{self.executor} executor, {self.backend} backend)"
                 ),
-                "",
-                format_table(["per-request cost", "value"], request_rows),
-                "",
-                format_table(
-                    ["residency ledger", "value"],
-                    residency_rows,
-                    title="weights stay in CAM: warm requests lease nothing",
-                ),
+            ),
+            "",
+            format_table(["per-request cost", "value"], request_rows),
+            "",
+            format_table(
+                ["residency ledger", "value"],
+                residency_rows,
+                title="weights stay in CAM: warm requests lease nothing",
+            ),
+        ]
+        if self.pipeline is not None:
+            pipeline_rows = [
+                ["stages (resident layers)", self.pipeline.stages],
+                ["images / request", self.pipeline.images],
+                ["fill (ms)", f"{self.pipeline.fill_ms:.5f}"],
+                [
+                    "steady-state interval (ms/image)",
+                    f"{self.pipeline.bottleneck_ms:.5f}",
+                ],
+                [
+                    "pipelined batch (ms)",
+                    f"{self.pipeline.pipelined_latency_ms:.5f}",
+                ],
+                [
+                    "layer-synchronous batch (ms)",
+                    f"{self.pipeline.synchronous_latency_ms:.5f}",
+                ],
+                ["modeled speedup", f"{self.pipeline.speedup:.2f}x"],
+                [
+                    "steady-state speedup (asymptote)",
+                    f"{self.pipeline.steady_state_speedup:.2f}x",
+                ],
             ]
-        )
+            tables.extend(
+                [
+                    "",
+                    format_table(
+                        ["pipeline model", "value"],
+                        pipeline_rows,
+                        title="fill / steady state / drain of the stage pipeline",
+                    ),
+                ]
+            )
+        return "\n".join(tables)
 
 
 class Session:
@@ -221,6 +323,11 @@ class Session:
         self._executor: Optional[Executor] = None
         self._driver: Optional[BatchedInference] = None
         self._requests: List[RequestRecord] = []
+        #: Overlapping-request machinery (submit()/gather()).
+        self._serving_pool: Optional[ThreadPoolExecutor] = None
+        self._pending: List[PendingRequest] = []
+        self._submit_lock = threading.Lock()
+        self._submitted = 0
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -328,6 +435,8 @@ class Session:
                 name=config.display_name,
                 compiled=self.compiled,
                 plan=plan,
+                pipeline=config.pipeline,
+                pipeline_depth=config.pipeline_depth,
             )
         self.state = SessionState.DEPLOYED
         return self
@@ -335,8 +444,23 @@ class Session:
     # ------------------------------------------------------------------
     # Serving
     # ------------------------------------------------------------------
+    def _require_functional(self) -> BatchedInference:
+        if self._driver is None:
+            raise SessionStateError(
+                f"session {self.config.display_name!r} was compiled with "
+                f"statistics sampling (slices={self.config.slices}, "
+                f"layers={self.config.layers}); functional inference needs "
+                f"every input-channel slice of every layer - build the "
+                f"session without slices/layers, or use run() for synthetic "
+                f"execution"
+            )
+        return self._driver
+
     def infer(
-        self, images: np.ndarray, batch: Optional[int] = None
+        self,
+        images: np.ndarray,
+        batch: Optional[int] = None,
+        pipeline: Optional[bool] = None,
     ) -> InferenceResult:
         """Serve one request: real images through the resident dataflow.
 
@@ -348,32 +472,108 @@ class Session:
                 image).
             batch: optional micro-batch size (images per pass through the
                 pool); chunked and unchunked execution are byte-identical.
+            pipeline: override the session's dispatch discipline for this
+                request (``SessionConfig.pipeline`` otherwise): ``True``
+                pipelines the batch across the resident layer groups,
+                ``False`` runs layer-synchronously.  Byte-identical either
+                way.
         """
         self._require(SessionState.DEPLOYED)
-        if self._driver is None:
-            raise SessionStateError(
-                f"session {self.config.display_name!r} was compiled with "
-                f"statistics sampling (slices={self.config.slices}, "
-                f"layers={self.config.layers}); functional inference needs "
-                f"every input-channel slice of every layer - build the "
-                f"session without slices/layers, or use run() for synthetic "
-                f"execution"
-            )
-        result = self._driver.run(images, batch=batch)
+        driver = self._require_functional()
+        result = driver.run(images, batch=batch, pipeline=pipeline)
         self._requests.append(
             RequestRecord(execution=result.execution, images=result.images)
         )
         return result
 
-    def run(self) -> PlanExecution:
+    # ------------------------------------------------------------------
+    # Overlapping requests: one live deployment, many concurrent clients
+    # ------------------------------------------------------------------
+    def submit(
+        self, images: np.ndarray, batch: Optional[int] = None
+    ) -> PendingRequest:
+        """Enqueue one inference request on the live deployment (async).
+
+        Up to ``SessionConfig.concurrency`` submitted requests execute
+        *overlapped* over the same pinned plan: each request pipelines its
+        images through the resident layer groups, the executor pool is
+        shared, and the residency ledger stays all-warm - no cold lease or
+        reprogram event is charged however many clients overlap, because
+        the weights never leave CAM.
+
+        Returns a :class:`PendingRequest`; call its ``result()`` or collect
+        every outstanding request with :meth:`gather` (which also appends
+        the per-request records the session report aggregates).
+        """
+        self._require(SessionState.DEPLOYED)
+        driver = self._require_functional()
+        with self._submit_lock:
+            # Re-check under the lock: a close() racing this submit() must
+            # not see the state check pass and then have a fresh serving
+            # pool (and cold dispatches) materialize after teardown.
+            self._require(SessionState.DEPLOYED)
+            if self._serving_pool is None:
+                self._serving_pool = ThreadPoolExecutor(
+                    max_workers=self.config.concurrency,
+                    thread_name_prefix="session-request",
+                )
+            index = self._submitted
+            self._submitted += 1
+            # Overlapping requests must not share mutable per-run state, so
+            # submit() always uses the pipelined engine (its request state
+            # is per-call); the layer-synchronous path is reserved for the
+            # sequential infer().
+            future = self._serving_pool.submit(
+                driver.run, images, batch=batch, pipeline=True
+            )
+            handle = PendingRequest(index=index, _future=future)
+            self._pending.append(handle)
+        return handle
+
+    def gather(self) -> List[InferenceResult]:
+        """Wait for every outstanding :meth:`submit` request (in order).
+
+        Results come back in submission order and are appended to the
+        session's request records (so :meth:`report` sees them) in that same
+        order, no matter how the overlapped executions interleaved.  If any
+        request failed, the remaining ones still complete and are recorded;
+        the first failure is then re-raised.
+        """
+        self._require(SessionState.DEPLOYED)
+        with self._submit_lock:
+            handles, self._pending = self._pending, []
+        results: List[InferenceResult] = []
+        first_error: Optional[BaseException] = None
+        for handle in handles:
+            try:
+                result = handle.result()
+            except BaseException as error:  # noqa: BLE001 - re-raised below
+                if first_error is None:
+                    first_error = error
+                continue
+            results.append(result)
+            self._requests.append(
+                RequestRecord(execution=result.execution, images=result.images)
+            )
+        if first_error is not None:
+            raise first_error
+        return results
+
+    def run(self, pipeline: Optional[bool] = None) -> PlanExecution:
         """Serve one synthetic request: seeded tile inputs, exact counters.
 
         The deterministic workload of the legacy ``repro run`` path, executed
         against the *resident* deployment: same tile programs, same seeds,
-        but the dispatches are warm.
+        but the dispatches are warm.  With ``pipeline`` (default:
+        ``SessionConfig.pipeline``) the plan is walked by the
+        dependency-driven :class:`~repro.runtime.pipeline.PipelineScheduler`
+        instead of the layer-synchronous scheduler - byte-identical counters
+        either way.
         """
         self._require(SessionState.DEPLOYED)
-        scheduler = Scheduler(
+        pipelined = self.config.pipeline if pipeline is None else pipeline
+        scheduler_type = PipelineScheduler if pipelined else Scheduler
+        scheduler = scheduler_type(
             self.accelerator, executor=self._executor, backend=self.config.backend
         )
         # The session owns the executor; Scheduler.close() is NOT called so
@@ -436,6 +636,19 @@ class Session:
         executions = [record.execution for record in self._requests]
         cost = steady_state_cost(self.deployment, executions)
         wall = sum(execution.wall_time_s for execution in executions)
+        pipeline = None
+        last_infer = next(
+            (
+                record
+                for record in reversed(self._requests)
+                if record.kind == "infer" and record.images
+            ),
+            None,
+        )
+        if last_infer is not None:
+            pipeline = pipeline_cost_from_execution(
+                last_infer.execution, images=last_infer.images
+            )
         return SessionReport(
             name=self.config.display_name,
             state=self.state.value,
@@ -452,6 +665,7 @@ class Session:
             images=sum(record.images or 0 for record in self._requests),
             request_wall_s=wall / len(executions) if executions else 0.0,
             records=list(self._requests),
+            pipeline=pipeline,
         )
 
     def describe(self) -> str:
@@ -467,18 +681,34 @@ class Session:
     # Teardown
     # ------------------------------------------------------------------
     def close(self) -> None:
-        """Release the executor pool, the pinned leases and the AP pool."""
+        """Release the serving pool, executor pool, pinned leases and APs.
+
+        Idempotent and exception-safe: calling it twice is a no-op, every
+        teardown stage runs even if an earlier one raises, and outstanding
+        :meth:`submit` requests are waited out first - so a failed pipelined
+        run (or a close() racing in-flight requests) can never leak a worker
+        pool or a pinned lease.
+        """
         if self.state == SessionState.CLOSED:
             return
-        if self._driver is not None:
-            self._driver.close()
-        elif self._executor is not None:
-            self._executor.close()
-        if self.accelerator is not None:
-            self.accelerator.unpin_aps()
-            if self._driver is None:
-                self.accelerator.release_aps()
         self.state = SessionState.CLOSED
+        try:
+            with self._submit_lock:
+                pool, self._serving_pool = self._serving_pool, None
+                self._pending = []
+            if pool is not None:
+                pool.shutdown(wait=True)
+        finally:
+            try:
+                if self._driver is not None:
+                    self._driver.close()
+                elif self._executor is not None:
+                    self._executor.close()
+            finally:
+                if self.accelerator is not None:
+                    self.accelerator.unpin_aps()
+                    if self._driver is None:
+                        self.accelerator.release_aps()
 
     def __enter__(self) -> "Session":
         return self

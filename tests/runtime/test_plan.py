@@ -149,3 +149,103 @@ class TestTileSeeds:
         seeds_a = [tile.input_seed for tile in plan_a.layers[0].tiles]
         seeds_b = [tile.input_seed for tile in plan_b.layers[0].tiles]
         assert seeds_a != seeds_b
+
+
+class TestResidentCapacityReporting:
+    """CapacityError messages must let users auto-size resident deploys."""
+
+    def _minimal_pipeline_model(self):
+        from repro.nn.layers import ReLU, TernaryLinear
+        from repro.nn.model import Sequential
+
+        model = Sequential(
+            [
+                TernaryLinear(6, 5, sparsity=0.5, rng=1),
+                ReLU(),
+                TernaryLinear(5, 4, sparsity=0.5, rng=2),
+                ReLU(),
+                TernaryLinear(4, 3, sparsity=0.5, rng=3),
+            ],
+            name="minimal-pipeline",
+        )
+        return model, (6,)
+
+    def _compile(self, model, shape):
+        from repro.nn.stats import model_layer_specs
+
+        specs = model_layer_specs(model, shape)
+        return compile_model(
+            specs,
+            CompilerConfig(activation_bits=4),
+            name="minimal-pipeline",
+            emit_programs=True,
+        )
+
+    def test_error_reports_resident_aps_required(self):
+        from repro.runtime import resident_aps_required
+
+        model, shape = self._minimal_pipeline_model()
+        compiled = self._compile(model, shape)
+        required = resident_aps_required(compiled)
+        assert required == len(compiled.layers)  # 1 AP per layer
+        arch = ArchitectureConfig(
+            aps_per_tile=required - 1, tiles_per_bank=1, num_banks=1
+        )
+        with pytest.raises(CapacityError) as excinfo:
+            build_execution_plan(
+                compiled, accelerator=Accelerator(arch), placement="resident"
+            )
+        message = str(excinfo.value)
+        assert f"resident_aps_required={required}" in message
+        assert f"with_total_aps({required})" in message
+        # Machine-readable: auto-sizing needs no message parsing.
+        assert excinfo.value.resident_aps_required == required
+
+    def test_one_ap_per_layer_minimal_pipeline(self):
+        """The smallest possible pipeline: every stage is exactly one AP."""
+        import numpy as np
+
+        from repro.inference.engine import BatchedInference
+        from repro.inference.reference import quantized_reference_forward
+        from repro.runtime import resident_aps_required
+
+        model, shape = self._minimal_pipeline_model()
+        compiled = self._compile(model, shape)
+        required = resident_aps_required(compiled)
+        arch = ArchitectureConfig(
+            aps_per_tile=required, tiles_per_bank=1, num_banks=1
+        )
+        accelerator = Accelerator(arch)
+        plan = build_execution_plan(
+            compiled, accelerator=accelerator, placement="resident"
+        )
+        addresses = set()
+        for layer in plan.layers:
+            layer_addresses = {tuple(tile.address) for tile in layer.tiles}
+            assert len(layer_addresses) == 1  # one AP per stage
+            addresses |= layer_addresses
+        assert len(addresses) == required  # stages are disjoint
+        accelerator.deploy_plan(plan)
+
+        images = np.random.default_rng(11).normal(size=(3,) + shape)
+        engine = BatchedInference(
+            model,
+            shape,
+            bits=4,
+            accelerator=accelerator,
+            compiled=compiled,
+            plan=plan,
+            pipeline=True,
+        )
+        try:
+            warm_before = accelerator.residency
+            result = engine.run(images)
+            warm_after = accelerator.residency
+        finally:
+            engine.close()
+        reference = quantized_reference_forward(
+            model, images, input_shape=shape, bits=4
+        )
+        assert np.array_equal(result.logits, reference)
+        assert warm_after.lease_events == warm_before.lease_events
+        assert warm_after.reprogram_events == warm_before.reprogram_events

@@ -58,6 +58,19 @@ class TestParser:
         assert arguments.images == 2
         assert arguments.executor == "serial"
         assert arguments.seed == 0
+        assert arguments.concurrency == 1
+        assert arguments.pipeline is False
+        assert arguments.json is False
+
+    def test_serve_pipeline_flags(self):
+        arguments = build_parser().parse_args(
+            ["serve", "--concurrency", "3", "--pipeline", "--json"]
+        )
+        assert arguments.concurrency == 3
+        assert arguments.pipeline is True
+        assert arguments.json is True
+        infer_arguments = build_parser().parse_args(["infer", "--pipeline"])
+        assert infer_arguments.pipeline is True
 
     def test_serve_flags(self):
         arguments = build_parser().parse_args(
@@ -137,6 +150,43 @@ class TestCommands:
         assert "per-request cost" in output
         assert "amortized energy / request" in output
         assert "0 cold lease events and 0 CAM reprogram events after deploy" in output
+        assert "cost model consistent" in output
+
+    def test_serve_command_overlapped_clients(self, capsys):
+        """--concurrency > 1 drives submit()/gather(); still all-warm."""
+        assert main(["serve", "--model", "vgg9", "--width", "0.03125",
+                     "--requests", "3", "--images", "1", "--seed", "4",
+                     "--concurrency", "2"]) == 0
+        output = capsys.readouterr().out
+        assert "0 cold lease events and 0 CAM reprogram events after deploy" in output
+        assert "(2 overlapped clients)" in output
+        assert "fill / steady state / drain" in output
+
+    def test_serve_command_json_report(self, capsys):
+        """--json emits the BENCH_*.json schema instead of the tables."""
+        import json
+
+        assert main(["serve", "--model", "vgg9", "--width", "0.03125",
+                     "--requests", "2", "--images", "1", "--seed", "4",
+                     "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "serve_vgg9"
+        metrics = payload["metrics"]
+        assert metrics["requests"] == 2
+        assert metrics["cold_leases_after_deploy"] == 0
+        assert metrics["cam_reprograms_after_deploy"] == 0
+        assert metrics["crosscheck_consistent"] is True
+        assert metrics["pipeline_stages"] >= 2
+        assert metrics["pipeline_speedup"] >= 1.0
+        assert "amortized_energy_uj" in metrics
+
+    def test_infer_command_pipelined(self, capsys):
+        """--pipeline serves the batch through the dependency-driven engine
+        and still passes both crosschecks (byte-identical logits)."""
+        assert main(["infer", "--model", "vgg9", "--width", "0.03125",
+                     "--images", "2", "--seed", "3", "--pipeline"]) == 0
+        output = capsys.readouterr().out
+        assert "logits byte-identical to the NumPy reference" in output
         assert "cost model consistent" in output
 
     def test_infer_command_exits_nonzero_on_mismatch(self, monkeypatch):
