@@ -1,0 +1,331 @@
+"""Static verification of AP programs against the CAM geometry.
+
+The program verifier abstractly interprets an :class:`~repro.ap.isa.APProgram`
+without executing it: every operand :class:`~repro.ap.isa.ColumnRegion` is
+checked against the CAM column count and the nanowire domain capacity, every
+instruction against its opcode's operand contract, the backing LUTs against
+the golden 1-bit reference (totality and non-overlap), and the analytical
+cost model (:mod:`repro.ap.cost`) against phase counts derived independently
+from the LUT pass structure - so a malformed or drifted program is rejected
+*before* a multi-minute functional run, with a stable ``RPA1xx`` code and an
+instruction-precise location.
+
+Constructed-in-process programs already pass the dataclass ``__post_init__``
+contracts; this verifier exists for everything those cannot see (geometry is
+not known at construction time) and for programs that arrive from outside
+the constructors - deserialized kernels (:mod:`repro.ap.serialization`),
+hand-built fixtures, corrupted caches.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Optional, Tuple
+
+from repro.analysis.diagnostics import VerificationReport
+from repro.ap.cost import instruction_cost
+from repro.ap.isa import APInstruction, APOpcode, APProgram, ColumnRegion
+from repro.ap.lut import LookupTable, all_luts, reference_bit_op, simulate_lut_passes
+from repro.errors import ReproError
+
+if TYPE_CHECKING:  # pragma: no cover - typing-only imports
+    from repro.arch.config import ArchitectureConfig
+    from repro.runtime.plan import TileProgram
+
+
+def verify_lut(lut: LookupTable, report: Optional[VerificationReport] = None) -> VerificationReport:
+    """Check one LUT for totality and non-overlapping entries.
+
+    Totality means the ordered pass sequence, applied to each of the eight
+    ``(carry, b, a)`` input combinations, reproduces the golden 1-bit
+    reference exactly - "NC" rows may be omitted (that is the optimization),
+    but every combination must still *end up* correct.  Overlap means two
+    passes share a search pattern: the second can never fire as written and
+    the table's cost accounting is wrong by construction.
+    """
+    report = report if report is not None else VerificationReport(subject=lut.name)
+    seen: dict = {}
+    for index, entry in enumerate(lut.entries):
+        if entry.search in seen:
+            report.add(
+                "RPA106",
+                f"LUT {lut.name!r} pass {index} repeats search pattern "
+                f"{entry.search} of pass {seen[entry.search]}",
+            )
+        else:
+            seen[entry.search] = index
+    for carry in (0, 1):
+        for b in (0, 1):
+            for a in (0, 1):
+                expected_result, expected_carry = reference_bit_op(lut.kind, a, b, carry)
+                got_carry, got_result = simulate_lut_passes(lut, carry, b, a)
+                if (got_result, got_carry) != (expected_result, expected_carry):
+                    report.add(
+                        "RPA105",
+                        f"LUT {lut.name!r} mishandles (carry={carry}, b={b}, "
+                        f"a={a}): expected result={expected_result}/"
+                        f"carry={expected_carry}, got result={got_result}/"
+                        f"carry={got_carry}",
+                    )
+    return report
+
+
+def _expected_phase_counts(instruction: APInstruction, lut: Optional[LookupTable]) -> Tuple[int, int]:
+    """Search/write phase counts derived from the LUT pass structure alone.
+
+    This is the verifier's *independent* accounting: arithmetic spends one
+    search and one write phase per LUT pass per bit plus the carry-clearing
+    setup write; COPY searches and writes twice per bit (search-1/write-1,
+    search-0/write-0); CLEAR is one bulk write per bit.  Any divergence from
+    :func:`repro.ap.cost.instruction_cost` means the cost model and the LUT
+    definitions have drifted apart.
+    """
+    width = instruction.width
+    if instruction.opcode.is_arithmetic:
+        assert lut is not None
+        passes = lut.passes_per_bit
+        return passes * width, passes * width + 1
+    if instruction.opcode is APOpcode.COPY:
+        return 2 * width, 2 * width
+    if instruction.opcode is APOpcode.CLEAR:
+        return 0, width
+    raise AssertionError(f"unhandled opcode {instruction.opcode!r}")
+
+
+def _check_contract(
+    instruction: APInstruction, index: int, report: VerificationReport
+) -> bool:
+    """Re-check the opcode's operand contract; False when structurally broken.
+
+    Mirrors ``APInstruction.__post_init__`` so programs that bypassed the
+    constructor (deserialization bugs, in-memory corruption) are caught with
+    a diagnostic instead of an arbitrary downstream crash.
+    """
+    opcode = instruction.opcode
+    if not isinstance(opcode, APOpcode):
+        report.add(
+            "RPA103",
+            f"opcode {opcode!r} is not a known APOpcode",
+            instruction=index,
+        )
+        return False
+    broken = False
+    if opcode.is_arithmetic:
+        if instruction.src_a is None or instruction.src_b is None:
+            report.add(
+                "RPA103",
+                f"{opcode.value} requires two sources",
+                instruction=index,
+            )
+            broken = True
+        elif opcode.is_inplace:
+            if opcode.lut_kind == "sub" and instruction.dest != instruction.src_b:
+                report.add(
+                    "RPA103",
+                    "in-place sub must overwrite the minuend src_b",
+                    instruction=index,
+                )
+                broken = True
+            if opcode.lut_kind == "add" and instruction.dest not in (
+                instruction.src_a,
+                instruction.src_b,
+            ):
+                report.add(
+                    "RPA103",
+                    "in-place add must write one of its sources",
+                    instruction=index,
+                )
+                broken = True
+            if instruction.extra_dests:
+                report.add(
+                    "RPA103",
+                    "multi-destination writes require an out-of-place operation",
+                    instruction=index,
+                )
+                broken = True
+    elif opcode is APOpcode.COPY and instruction.src_a is None:
+        report.add("RPA103", "COPY requires src_a", instruction=index)
+        broken = True
+    return not broken
+
+
+def verify_program(
+    program: APProgram,
+    columns: int,
+    domains: int,
+    rows: int = 1,
+    report: Optional[VerificationReport] = None,
+    layer: Optional[str] = None,
+    tile: Optional[Tuple[int, int, int]] = None,
+) -> VerificationReport:
+    """Abstractly interpret one AP program against a CAM geometry.
+
+    Args:
+        program: the compiled (or deserialized) program to verify.
+        columns: CAM columns of the target APs (word width of the array).
+        domains: domains per nanowire (row capacity along the bit axis).
+        rows: active rows the program would run on (cost crosscheck input).
+        report: report to append to; a fresh one is created when omitted.
+        layer: layer name attached to every diagnostic.
+        tile: tile coordinates attached to every diagnostic.
+
+    Returns:
+        The report - callers decide between collecting
+        (:meth:`~repro.analysis.diagnostics.VerificationReport.describe`) and
+        failing hard (:meth:`~repro.analysis.diagnostics.VerificationReport.raise_for_errors`).
+    """
+    report = report if report is not None else VerificationReport(subject=program.name)
+
+    def _add(code: str, message: str, index: Optional[int] = None) -> None:
+        report.add(code, message, layer=layer, tile=tile, instruction=index)
+
+    def _check_region(role: str, region: ColumnRegion, index: int) -> None:
+        if not (0 <= region.column < columns):
+            _add(
+                "RPA101",
+                f"{role} column {region.column} outside the "
+                f"{columns}-column CAM",
+                index,
+            )
+        if region.end_domain > domains:
+            _add(
+                "RPA102",
+                f"{role} occupies domains [{region.domain_offset}, "
+                f"{region.end_domain}) but the nanowire has {domains}",
+                index,
+            )
+
+    if not (0 <= program.carry_column < columns):
+        _add(
+            "RPA101",
+            f"carry column {program.carry_column} outside the "
+            f"{columns}-column CAM",
+        )
+
+    luts_used: set = set()
+    for index, instruction in enumerate(program.instructions):
+        if not _check_contract(instruction, index, report):
+            continue
+        opcode = instruction.opcode
+        operands = [("dest", instruction.dest)]
+        operands.extend(
+            (f"extra dest {extra_index}", extra)
+            for extra_index, extra in enumerate(instruction.extra_dests)
+        )
+        if instruction.src_a is not None:
+            operands.append(("src_a", instruction.src_a))
+        if instruction.src_b is not None:
+            operands.append(("src_b", instruction.src_b))
+        for role, region in operands:
+            _check_region(role, region, index)
+        if opcode.is_arithmetic:
+            luts_used.add((opcode.lut_kind, opcode.is_inplace))
+            for role, region in operands:
+                if region.column == program.carry_column:
+                    _add(
+                        "RPA104",
+                        f"{role} column {region.column} collides with the "
+                        f"carry column of {opcode.value}",
+                        index,
+                    )
+        # Cost-model crosscheck: phase counts are exact by contract, so the
+        # analytical model must agree with the LUT-derived accounting.
+        lut = None
+        if opcode.is_arithmetic:
+            from repro.ap.lut import get_lut
+
+            lut = get_lut(opcode.lut_kind, opcode.is_inplace)
+        expected_search, expected_write = _expected_phase_counts(instruction, lut)
+        try:
+            cost = instruction_cost(instruction, max(rows, 1))
+        except ReproError as error:
+            _add("RPA107", f"cost model rejected the instruction: {error}", index)
+            continue
+        if (cost.search_phases, cost.write_phases) != (expected_search, expected_write):
+            _add(
+                "RPA107",
+                f"cost model charges {cost.search_phases} search / "
+                f"{cost.write_phases} write phases but the LUT pass "
+                f"structure implies {expected_search} / {expected_write}",
+                index,
+            )
+
+    # Named bindings must obey the same geometry as instruction operands.
+    for name, region in list(program.input_columns.items()) + list(
+        program.output_columns.items()
+    ):
+        if not (0 <= region.column < columns):
+            _add(
+                "RPA101",
+                f"binding {name!r} column {region.column} outside the "
+                f"{columns}-column CAM",
+            )
+        if region.end_domain > domains:
+            _add(
+                "RPA102",
+                f"binding {name!r} occupies domains "
+                f"[{region.domain_offset}, {region.end_domain}) but the "
+                f"nanowire has {domains}",
+            )
+
+    for kind, inplace in sorted(luts_used):
+        from repro.ap.lut import get_lut
+
+        lut_report = verify_lut(get_lut(kind, inplace))
+        for diagnostic in lut_report.diagnostics:
+            report.add(
+                diagnostic.code,
+                diagnostic.message,
+                severity=diagnostic.severity,
+                layer=layer,
+                tile=tile,
+            )
+    return report
+
+
+def verify_tile_program(
+    tile: "TileProgram",
+    architecture: "ArchitectureConfig",
+    report: Optional[VerificationReport] = None,
+) -> VerificationReport:
+    """Verify one runtime tile program against an architecture's geometry.
+
+    Checks the tile's active-row count against the CAM row capacity
+    (``RPA206``) and abstractly interprets every per-slice program the tile
+    would execute, attributing findings to the tile's
+    ``(layer_index, row_tile, channel_group)`` coordinates.
+    """
+    report = (
+        report
+        if report is not None
+        else VerificationReport(
+            subject=f"tile ({tile.layer_index}, {tile.row_tile}, {tile.channel_group})"
+        )
+    )
+    coordinates = (tile.layer_index, tile.row_tile, tile.channel_group)
+    if not (1 <= tile.rows <= architecture.ap.rows):
+        report.add(
+            "RPA206",
+            f"tile activates {tile.rows} rows but the CAM provides "
+            f"{architecture.ap.rows}",
+            layer=tile.layer_name,
+            tile=coordinates,
+        )
+    for program in tile.programs:
+        verify_program(
+            program,
+            columns=architecture.ap.columns,
+            domains=architecture.technology.domains_per_nanowire,
+            rows=max(tile.rows, 1),
+            report=report,
+            layer=tile.layer_name,
+            tile=coordinates,
+        )
+    return report
+
+
+def verify_all_luts(report: Optional[VerificationReport] = None) -> VerificationReport:
+    """Verify every LUT the AP ships (used by ``repro check``)."""
+    report = report if report is not None else VerificationReport(subject="AP LUTs")
+    for lut in all_luts():
+        verify_lut(lut, report)
+    return report

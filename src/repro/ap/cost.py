@@ -13,7 +13,7 @@ simulator on random data.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable
 
 from repro.ap.isa import APInstruction, APOpcode, APProgram

@@ -25,7 +25,7 @@ keeps the 10-cycle cost and is verified exhaustively by
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Tuple
+from typing import List, Tuple
 
 from repro.errors import SimulationError
 

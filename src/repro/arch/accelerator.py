@@ -184,6 +184,18 @@ class Accelerator:
         backend: execution backend used by every pooled functional AP (see
             :mod:`repro.ap.backends`); event accounting is
             backend-independent, so this only changes simulation speed.
+
+    Lock discipline
+    ---------------
+    The ledgers (``_tile_stats``, ``_movement``, ``_residency``, ``_pins``)
+    are shared by every driver thread of the pipelined runtime.  Every
+    mutation of them must happen lexically inside ``with self._ledger_lock:``
+    (``__init__`` excepted - the instance is not shared yet); the lock is
+    **not** reentrant, so code holding it must not call other methods that
+    take it (e.g. :meth:`charge_movement`, :meth:`unpin_aps`).  This rule is
+    machine-enforced by the concurrency lint
+    (:mod:`repro.analysis.lint_locks`, code ``RPA301``) that CI runs over
+    ``src/repro/`` via ``repro check --locks``.
     """
 
     def __init__(
@@ -316,13 +328,14 @@ class Accelerator:
             # not promise overwrites what was resident in its CAM: the pin
             # no longer holds.  (Lazy first materialization at the pinned
             # geometry keeps the pin - the weights are modeled as resident.)
-            pin = self._pins.get(address)
-            if pin is not None and (
-                pin.rows != rows
-                or pin.columns != columns
-                or resolve_backend(pin.backend) is not resolve_backend(backend)
-            ):
-                self._pins.pop(address, None)
+            with self._ledger_lock:
+                pin = self._pins.get(address)
+                if pin is not None and (
+                    pin.rows != rows
+                    or pin.columns != columns
+                    or resolve_backend(pin.backend) is not resolve_backend(backend)
+                ):
+                    self._pins.pop(address, None)
         else:
             cached.array.reset()
             cached.active_rows = rows
@@ -395,17 +408,20 @@ class Accelerator:
                 programming = programming.merge(
                     self.charge_movement(tile_weight_bits(tile), TransferScope.GLOBAL)
                 )
-        for address, entry in grouped.items():
-            self._pins[address] = PinnedLease(
-                address=address,
-                rows=entry["rows"],
-                columns=columns,
-                backend=backend,
-                tile_keys=frozenset(entry["keys"]),
-            )
-        self._residency.lease_events += len(grouped)
-        self._residency.reprogram_events += tile_programs
-        self._residency.reprogram_bits += programming.bits
+        # The movement charges above take the ledger lock themselves (it is
+        # not reentrant), so only the final pin/residency commit sits inside.
+        with self._ledger_lock:
+            for address, entry in grouped.items():
+                self._pins[address] = PinnedLease(
+                    address=address,
+                    rows=entry["rows"],
+                    columns=columns,
+                    backend=backend,
+                    tile_keys=frozenset(entry["keys"]),
+                )
+            self._residency.lease_events += len(grouped)
+            self._residency.reprogram_events += tile_programs
+            self._residency.reprogram_bits += programming.bits
         return Deployment(
             plan_name=plan.name,
             aps_pinned=len(grouped),
@@ -447,8 +463,9 @@ class Accelerator:
 
     def unpin_aps(self) -> int:
         """Drop every weight-resident pin; returns how many were released."""
-        count = len(self._pins)
-        self._pins.clear()
+        with self._ledger_lock:
+            count = len(self._pins)
+            self._pins.clear()
         return count
 
     @property

@@ -133,7 +133,9 @@ def allocate_layer(
         raise CapacityError(
             f"layer {demand.name!r} needs {demand.row_tiles} row tiles but only "
             f"{available_aps} APs are available; enlarge the architecture "
-            f"(e.g. ArchitectureConfig.with_total_aps)"
+            f"(e.g. ArchitectureConfig.with_total_aps)",
+            requested=demand.row_tiles,
+            available=available_aps,
         )
     aps_per_row_tile = max(1, available_aps // demand.row_tiles)
     parallel_groups = max(1, min(demand.channel_groups, aps_per_row_tile))

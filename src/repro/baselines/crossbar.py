@@ -13,9 +13,8 @@ exact silicon calibration (see DESIGN.md).
 
 from __future__ import annotations
 
-import math
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from repro.errors import ConfigurationError
 from repro.nn.stats import ConvLayerSpec

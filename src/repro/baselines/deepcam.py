@@ -15,9 +15,8 @@ and a functional hashed dot product (for the accuracy experiment).
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 import numpy as np
 

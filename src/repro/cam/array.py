@@ -21,7 +21,7 @@ identical and is cross-checked against the nanowire model in the tests.
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional
+from typing import Iterable, Mapping, Optional
 
 import numpy as np
 

@@ -8,7 +8,7 @@ analytical performance model used for full networks.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.rtm.timing import RTMTechnology
 

@@ -15,6 +15,8 @@ regenerated without writing Python:
 * ``fig4``      - regenerate the Fig. 4 layer-by-layer comparison,
 * ``accuracy``  - run the accuracy-vs-precision experiment,
 * ``endurance`` - print the write-endurance analysis,
+* ``check``     - static verification: plan/program verifiers and the
+  concurrency lint of :mod:`repro.analysis` (stable ``RPA*`` error codes),
 * ``apbench``   - benchmark / cross-validate the AP execution backends.
 
 ``run``, ``infer`` and ``serve`` are all built on
@@ -27,7 +29,7 @@ tree (``PYTHONPATH=src``).
 from __future__ import annotations
 
 import argparse
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
 from repro.ap.backends import DEFAULT_BACKEND, available_backends
 from repro.runtime import available_executors
@@ -201,6 +203,36 @@ def build_parser() -> argparse.ArgumentParser:
     accuracy_parser.add_argument("--seed", type=int, default=5)
 
     subparsers.add_parser("endurance", help="write-endurance analysis")
+
+    check_parser = subparsers.add_parser(
+        "check",
+        help="statically verify plans, programs and runtime lock discipline "
+             "(repro.analysis)",
+    )
+    check_parser.add_argument("--plan", action="store_true",
+                              help="only the program/plan verifiers (RPA1xx/RPA2xx)")
+    check_parser.add_argument("--locks", action="store_true",
+                              help="only the concurrency lint (RPA3xx)")
+    check_parser.add_argument("--strict", action="store_true",
+                              help="escalate warnings: any diagnostic at all "
+                                   "fails the check")
+    check_parser.add_argument("--model", default="all",
+                              choices=available_models() + ("all",),
+                              help="model(s) whose plans are verified")
+    check_parser.add_argument("--width", type=float, default=0.125,
+                              help="channel-width multiplier for the verified "
+                                   "builds (small widths keep the check fast)")
+    check_parser.add_argument("--bits", type=int, default=4,
+                              help="activation precision of the verified builds")
+    check_parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=DEFAULT_BACKEND,
+        help="execution backend the verified accelerators are configured with",
+    )
+    check_parser.add_argument("--path", default=None,
+                              help="source tree the concurrency lint walks "
+                                   "(default: the installed repro package)")
 
     apbench_parser = subparsers.add_parser(
         "apbench",
@@ -545,6 +577,89 @@ def _run_endurance(_: argparse.Namespace) -> str:
     )
 
 
+def _run_check(arguments: argparse.Namespace) -> str:
+    """Static verification: ``repro check [--plan] [--locks] [--strict]``.
+
+    With neither scope flag, both run.  Exit status is the gate CI relies
+    on: nonzero when any error-severity diagnostic was found - or, with
+    ``--strict``, any diagnostic at all.
+    """
+    from repro.analysis import (
+        VerificationReport,
+        lint_tree,
+        verify_all_luts,
+        verify_execution_plan,
+    )
+
+    check_plans = arguments.plan or not arguments.locks
+    check_locks = arguments.locks or not arguments.plan
+    reports = []
+
+    if check_plans:
+        from repro.arch.accelerator import Accelerator
+        from repro.core.compiler import CompilerConfig, compile_model
+        from repro.core.frontend import specs_from_model
+        from repro.nn.models.registry import build_model
+        from repro.runtime.plan import build_execution_plan, resident_aps_required
+
+        reports.append(verify_all_luts())
+        models = (
+            available_models() if arguments.model == "all" else (arguments.model,)
+        )
+        for name in models:
+            model, input_shape = build_model(name, width=arguments.width, rng=0)
+            specs = specs_from_model(model, input_shape)
+            compiled = compile_model(
+                specs,
+                CompilerConfig(activation_bits=arguments.bits),
+                name=name,
+                emit_programs=True,
+            )
+            for placement in ("shared", "resident"):
+                accelerator = Accelerator(backend=arguments.backend)
+                if placement == "resident":
+                    required = resident_aps_required(compiled)
+                    if required > accelerator.num_aps:
+                        accelerator = Accelerator(
+                            accelerator.config.with_total_aps(required),
+                            backend=arguments.backend,
+                        )
+                plan = build_execution_plan(
+                    compiled, accelerator, placement=placement
+                )
+                report = VerificationReport(
+                    subject=f"{name} width x{arguments.width} [{placement}]"
+                )
+                verify_execution_plan(
+                    plan, accelerator, compiled=compiled, report=report
+                )
+                reports.append(report)
+
+    if check_locks:
+        import repro as _repro
+        from pathlib import Path
+
+        root = (
+            Path(arguments.path)
+            if arguments.path is not None
+            else Path(_repro.__file__).resolve().parent
+        )
+        reports.append(lint_tree(root))
+
+    lines = [report.describe() for report in reports]
+    errors = sum(len(report.errors) for report in reports)
+    warnings = sum(len(report.warnings) for report in reports)
+    verdict = (
+        f"check: {len(reports)} subject(s), {errors} error(s), "
+        f"{warnings} warning(s)"
+        + (" [strict]" if arguments.strict else "")
+    )
+    lines.append(verdict)
+    if errors or (arguments.strict and warnings):
+        raise SystemExit("\n".join(lines + ["", "FAILED: " + verdict]))
+    return "\n".join(lines)
+
+
 def _run_apbench(arguments: argparse.Namespace) -> str:
     from repro.ap.backends.harness import benchmark_backends, compare_runs
     from repro.perf.model import PerformanceModelConfig, crosscheck_cost_model
@@ -609,6 +724,7 @@ _COMMANDS = {
     "fig4": _run_fig4,
     "accuracy": _run_accuracy,
     "endurance": _run_endurance,
+    "check": _run_check,
     "apbench": _run_apbench,
 }
 

@@ -11,7 +11,7 @@ adding).
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 from repro.ap.isa import APInstruction, APOpcode, APProgram, ColumnRegion
 from repro.core.dfg import ChannelDFG

@@ -9,7 +9,7 @@ Fig. 4, which reports the 20 ResNet-18 convolutions).
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Optional, Tuple
 
 from repro.nn.layers import Module
 from repro.nn.models.registry import build_model, model_record

@@ -25,8 +25,6 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Sequence
 
-import numpy as np
-
 from repro.arch.allocator import LayerDemand
 from repro.arch.config import ArchitectureConfig
 from repro.core.bitwidth import ValueRange, accumulate_range, activation_range

@@ -7,7 +7,7 @@ reduces the number of additions by ~31 % on average" claim (Sec. V-A).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import List
 
 from repro.core.compiler import CompiledModel
 from repro.errors import CompilationError

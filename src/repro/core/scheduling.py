@@ -25,7 +25,7 @@ from typing import Dict, List, Optional, Tuple
 
 import networkx as nx
 
-from repro.core.dfg import ChannelDFG, DFGNode
+from repro.core.dfg import ChannelDFG
 from repro.errors import CapacityError, CompilationError
 
 #: Position assigned to values that must survive the whole program (outputs).

@@ -6,6 +6,8 @@ callers can catch library failures without catching unrelated exceptions.
 
 from __future__ import annotations
 
+from typing import List, Optional
+
 
 class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
@@ -24,7 +26,32 @@ class MappingError(ReproError):
 
 
 class CapacityError(MappingError):
-    """A hardware resource (rows, columns, domains, APs) was exceeded."""
+    """A hardware resource (rows, columns, domains, APs) was exceeded.
+
+    Every raise site fills the structured fields, so tooling - the static
+    plan verifier (:mod:`repro.analysis`), auto-sizing callers like
+    :meth:`repro.session.Session.deploy` - can react to the sizing facts
+    without parsing the message:
+
+    Attributes:
+        requested: how much of the resource the operation needed.
+        available: how much the hardware provides.
+        resident_aps_required: for weight-resident oversubscription, the AP
+            count the full pipeline needs (``None`` on non-resident paths).
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        requested: Optional[int] = None,
+        available: Optional[int] = None,
+        resident_aps_required: Optional[int] = None,
+    ) -> None:
+        super().__init__(message)
+        self.requested = requested
+        self.available = available
+        self.resident_aps_required = resident_aps_required
 
 
 class SimulationError(ReproError):
@@ -37,6 +64,21 @@ class QuantizationError(ReproError):
 
 class ModelDefinitionError(ReproError):
     """A neural-network model definition is malformed."""
+
+
+class AnalysisError(ReproError):
+    """Static analysis rejected a program, plan or source tree.
+
+    Raised by the verifiers in :mod:`repro.analysis` (and by the
+    ``verify=True`` hooks of ``build_execution_plan`` /
+    ``Session.deploy``) when a subject carries at least one error-severity
+    diagnostic.  ``diagnostics`` holds the typed findings; each one carries
+    a stable ``RPA*`` code and a location.
+    """
+
+    def __init__(self, message: str = "", diagnostics: Optional[List[object]] = None) -> None:
+        super().__init__(message)
+        self.diagnostics: List[object] = list(diagnostics or [])
 
 
 class SessionStateError(ReproError):

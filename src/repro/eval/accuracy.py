@@ -18,7 +18,7 @@ hashed dot products (:mod:`repro.baselines.deepcam`).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 import numpy as np
 

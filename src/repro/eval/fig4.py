@@ -11,7 +11,7 @@ tables (the library keeps no plotting dependency).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 from repro.baselines.crossbar import CrossbarConfig, CrossbarLayerResult, evaluate_crossbar_model
 from repro.core.compiler import CompilerConfig, compile_model

@@ -7,12 +7,12 @@ convolution implemented here.
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Optional
 
 import numpy as np
 
 from repro.errors import ModelDefinitionError
-from repro.nn.im2col import conv_output_size, im2col_matrix, pad_input
+from repro.nn.im2col import conv_output_size, im2col_matrix
 
 
 def conv2d(

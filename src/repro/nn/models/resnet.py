@@ -14,7 +14,6 @@ from typing import List, Tuple
 
 import numpy as np
 
-from repro.nn import functional as F
 from repro.nn.layers import (
     BatchNorm2d,
     GlobalAvgPool2d,

@@ -10,7 +10,7 @@ convolutions over a 1x1 spatial extent so that the same flow compiles them.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Sequence, Tuple
 
 import numpy as np
 

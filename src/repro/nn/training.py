@@ -23,7 +23,7 @@ from repro.nn import functional as F
 from repro.nn.datasets import ClassificationDataset
 from repro.nn.quantization import ActivationQuantizer, QuantizationConfig
 from repro.nn.ternary import ternarize_weights
-from repro.utils.rng import RngLike, make_rng
+from repro.utils.rng import make_rng
 
 
 @dataclass(frozen=True)

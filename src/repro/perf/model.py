@@ -26,7 +26,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence
+from typing import List, Optional
 
 from repro.ap.backends import DEFAULT_BACKEND as DEFAULT_EXECUTION_BACKEND
 from repro.ap.cost import (

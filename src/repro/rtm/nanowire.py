@@ -14,7 +14,7 @@ every operand is aligned with the access ports at any given time.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 import numpy as np
 

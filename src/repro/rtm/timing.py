@@ -17,7 +17,7 @@ cycle counts in Sec. IV-C and the 0.8 ns / 1 ns figures in Sec. V-C.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 
 from repro.utils.validation import check_non_negative, check_positive
 

@@ -39,14 +39,13 @@ import heapq
 import queue
 import threading
 import time
-from concurrent.futures import Future
 from contextlib import contextmanager
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.errors import ConfigurationError, SimulationError
 from repro.runtime.executors import LeaseFn, _pool_worker
-from repro.runtime.plan import ExecutionPlan, PlannedLayer
+from repro.runtime.plan import ExecutionPlan
 from repro.runtime.scheduler import (
     PlanExecution,
     Scheduler,

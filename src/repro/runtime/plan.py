@@ -258,6 +258,7 @@ def build_execution_plan(
     allocation: Optional[AllocationPlan] = None,
     base_seed: int = 0,
     placement: str = "shared",
+    verify: bool = False,
 ) -> ExecutionPlan:
     """Join a compiled model with an allocation into per-AP tile programs.
 
@@ -276,6 +277,9 @@ def build_execution_plan(
             across layers so every layer's tiles own disjoint APs - the
             weight-resident mode
             :meth:`~repro.arch.accelerator.Accelerator.deploy_plan` pins.
+        verify: statically verify the built plan with
+            :func:`repro.analysis.plan.verify_execution_plan` before
+            returning it (verify-before-execute; see ``repro check``).
 
     Raises:
         CompilationError: if a layer has no emitted programs.
@@ -283,6 +287,8 @@ def build_execution_plan(
             provides (for ``"resident"`` placement: summed across *all*
             layers, since they no longer time-share).
         ConfigurationError: for an unknown placement policy.
+        AnalysisError: if ``verify`` is set and the plan carries any
+            error-severity diagnostic.
     """
     if placement not in ("shared", "resident"):
         from repro.errors import ConfigurationError
@@ -325,7 +331,10 @@ def build_execution_plan(
         if base + concurrent_aps > len(addresses):
             if placement == "resident":
                 required = resident_aps_required(compiled)
-                error = CapacityError(
+                # The structured fields are the machine-readable sizing
+                # hint: callers auto-size from the exception without
+                # parsing the message.
+                raise CapacityError(
                     f"weight-resident deploy oversubscribed: layer "
                     f"{layer.name!r} needs {concurrent_aps} APs at offset "
                     f"{base} but the accelerator provides {len(addresses)}; "
@@ -333,15 +342,16 @@ def build_execution_plan(
                     f"- the full pipeline needs resident_aps_required="
                     f"{required} APs, so grow the accelerator (e.g. "
                     f"config.with_total_aps({required})) or use "
-                    f"placement='shared'"
+                    f"placement='shared'",
+                    requested=base + concurrent_aps,
+                    available=len(addresses),
+                    resident_aps_required=required,
                 )
-                # Machine-readable sizing hint: callers auto-size from the
-                # exception without parsing the message.
-                error.resident_aps_required = required
-                raise error
             raise CapacityError(
                 f"layer {layer.name!r} needs {concurrent_aps} concurrent APs "
-                f"but the accelerator provides {len(addresses)}"
+                f"but the accelerator provides {len(addresses)}",
+                requested=concurrent_aps,
+                available=len(addresses),
             )
         cursor += concurrent_aps
         planned = PlannedLayer(
@@ -392,6 +402,12 @@ def build_execution_plan(
     if plan.required_columns > architecture.ap.columns:
         raise CapacityError(
             f"plan needs {plan.required_columns} CAM columns but the "
-            f"architecture's APs provide {architecture.ap.columns}"
+            f"architecture's APs provide {architecture.ap.columns}",
+            requested=plan.required_columns,
+            available=architecture.ap.columns,
         )
+    if verify:
+        from repro.analysis.plan import verify_execution_plan
+
+        verify_execution_plan(plan, accelerator, compiled=compiled).raise_for_errors()
     return plan

@@ -54,6 +54,10 @@ class SessionConfig:
         name: plan/report name; derived from the model when omitted.
         keep_activations: keep per-layer quantized tensors in each inference
             result's activation store (debugging/tests).
+        verify: statically verify the execution plan
+            (:func:`repro.analysis.plan.verify_execution_plan`) during
+            :meth:`~repro.session.session.Session.deploy`, failing with
+            :class:`~repro.errors.AnalysisError` before anything is pinned.
         auto_size: grow the architecture (whole banks) when the
             weight-resident deploy needs more APs than configured.  When
             disabled, an oversubscribed deploy raises
@@ -89,6 +93,7 @@ class SessionConfig:
     seed: int = 0
     name: Optional[str] = None
     keep_activations: bool = False
+    verify: bool = False
     auto_size: bool = True
     pipeline: bool = False
     pipeline_depth: Optional[int] = None
@@ -126,4 +131,5 @@ class SessionConfig:
             return self.name
         if isinstance(self.model, str):
             return self.model
-        return getattr(self.model, "name", None) or "model"
+        name = getattr(self.model, "name", None)
+        return name if isinstance(name, str) and name else "model"

@@ -402,6 +402,7 @@ class Session:
                 accelerator=accelerator,
                 base_seed=config.seed,
                 placement="resident",
+                verify=config.verify,
             )
         except CapacityError:
             if not config.auto_size or self._accelerator_provided:
@@ -416,6 +417,7 @@ class Session:
                 accelerator=accelerator,
                 base_seed=config.seed,
                 placement="resident",
+                verify=config.verify,
             )
         self.accelerator = accelerator
         self.plan = plan

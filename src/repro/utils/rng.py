@@ -8,7 +8,7 @@ results reproducible and avoids accidental use of the global NumPy state.
 
 from __future__ import annotations
 
-from typing import Optional, Union
+from typing import Union
 
 import numpy as np
 

@@ -1,0 +1,55 @@
+"""Fixtures for the static-analysis suite: a small real compiled model."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.arch.accelerator import Accelerator
+from repro.core.compiler import CompilerConfig, compile_model
+from repro.nn.stats import ConvLayerSpec
+from repro.nn.ternary import synthetic_ternary_weights
+from repro.runtime.plan import build_execution_plan
+
+
+@pytest.fixture(scope="package")
+def compiled_pair():
+    """A real two-layer compiled model (with emitted AP programs)."""
+    rng = np.random.default_rng(7)
+    specs = [
+        ConvLayerSpec(
+            name="conv1",
+            weights=synthetic_ternary_weights((8, 4, 3, 3), sparsity=0.6, rng=rng),
+            input_height=8,
+            input_width=8,
+            stride=1,
+            padding=1,
+        ),
+        ConvLayerSpec(
+            name="conv2",
+            weights=synthetic_ternary_weights((8, 8, 3, 3), sparsity=0.6, rng=rng),
+            input_height=8,
+            input_width=8,
+            stride=1,
+            padding=1,
+        ),
+    ]
+    return compile_model(specs, CompilerConfig(), name="pair", emit_programs=True)
+
+
+@pytest.fixture
+def accelerator():
+    """A default-configured accelerator (fresh ledgers per test)."""
+    return Accelerator()
+
+
+@pytest.fixture
+def resident_plan(compiled_pair, accelerator):
+    """A fresh weight-resident plan of the two-layer model (mutable per test)."""
+    return build_execution_plan(compiled_pair, accelerator, placement="resident")
+
+
+@pytest.fixture
+def shared_plan(compiled_pair, accelerator):
+    """A fresh shared-placement plan of the two-layer model."""
+    return build_execution_plan(compiled_pair, accelerator, placement="shared")

@@ -1,0 +1,74 @@
+"""The ``repro check`` CLI gate."""
+
+from __future__ import annotations
+
+import textwrap
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_check_defaults(self):
+        arguments = build_parser().parse_args(["check"])
+        assert arguments.model == "all"
+        assert arguments.width == 0.125
+        assert not arguments.plan and not arguments.locks
+        assert not arguments.strict
+
+    def test_unknown_model_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["check", "--model", "alexnet"])
+
+
+class TestCheckCommand:
+    def test_locks_scope_passes_on_source_tree(self, capsys):
+        assert main(["check", "--locks"]) == 0
+        out = capsys.readouterr().out
+        assert "verified clean" in out
+        assert "0 error(s)" in out
+
+    def test_plan_scope_passes_for_vgg9(self, capsys):
+        assert main(["check", "--plan", "--model", "vgg9", "--strict"]) == 0
+        out = capsys.readouterr().out
+        assert "vgg9 width x0.125 [shared]" in out
+        assert "vgg9 width x0.125 [resident]" in out
+        assert "[strict]" in out
+
+    def test_plan_scope_passes_for_resnet18(self):
+        assert main(["check", "--plan", "--model", "resnet18"]) == 0
+
+    def test_strict_gate_fails_on_warnings(self, tmp_path):
+        leaky = textwrap.dedent(
+            """
+            class Runner:
+                def go(self, executor, fn, items):
+                    return executor.submit_tasks(fn, items)
+            """
+        )
+        (tmp_path / "leaky.py").write_text(leaky)
+        assert main(["check", "--locks", "--path", str(tmp_path)]) == 0
+        with pytest.raises(SystemExit) as excinfo:
+            main(["check", "--locks", "--strict", "--path", str(tmp_path)])
+        assert "RPA302" in str(excinfo.value)
+
+    def test_gate_fails_on_errors(self, tmp_path):
+        unguarded = textwrap.dedent(
+            """
+            import threading
+
+            class Ledger:
+                def __init__(self):
+                    self._pins = {}
+                    self._ledger_lock = threading.Lock()
+
+                def leak(self, address):
+                    self._pins[address] = 1
+            """
+        )
+        (tmp_path / "unguarded.py").write_text(unguarded)
+        with pytest.raises(SystemExit) as excinfo:
+            main(["check", "--locks", "--path", str(tmp_path)])
+        assert "RPA301" in str(excinfo.value)
+        assert "FAILED" in str(excinfo.value)

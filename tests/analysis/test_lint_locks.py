@@ -1,0 +1,138 @@
+"""The concurrency lint: lock discipline (RPA301) and executor drains (RPA302)."""
+
+from __future__ import annotations
+
+import textwrap
+from pathlib import Path
+
+import repro
+from repro.analysis import lint_file, lint_source, lint_tree
+
+UNGUARDED = textwrap.dedent(
+    '''
+    import threading
+
+    class Ledger:
+        def __init__(self):
+            self._pins = {}
+            self._residency = object()
+            self._ledger_lock = threading.Lock()
+
+        def bad_write(self, address):
+            self._pins[address] = 1
+
+        def bad_clear(self):
+            self._pins.clear()
+
+        def good_write(self, address):
+            with self._ledger_lock:
+                self._pins[address] = 1
+    '''
+)
+
+LOCKLESS = textwrap.dedent(
+    '''
+    class FreeClass:
+        def __init__(self):
+            self._pins = {}
+
+        def write(self, address):
+            self._pins[address] = 1
+    '''
+)
+
+SUBMIT_LEAK = textwrap.dedent(
+    '''
+    class Runner:
+        def go(self, executor, fn, items):
+            return executor.submit_tasks(fn, items)
+    '''
+)
+
+SUBMIT_CLEAN = textwrap.dedent(
+    '''
+    class Runner:
+        def go(self, fn, items):
+            return self.executor.submit_tasks(fn, items)
+
+        def close(self):
+            self.executor.close()
+    '''
+)
+
+SUBMIT_FINALLY = textwrap.dedent(
+    '''
+    def run(executor, fn, items):
+        try:
+            return executor.submit_tasks(fn, items)
+        finally:
+            executor.drain()
+    '''
+)
+
+
+class TestLockDiscipline:
+    def test_source_tree_is_clean(self):
+        package_root = Path(repro.__file__).resolve().parent
+        report = lint_tree(package_root)
+        assert report.ok, report.describe()
+        assert not report.warnings, report.describe()
+
+    def test_unguarded_write_is_rpa301(self):
+        report = lint_source(UNGUARDED, file="fixture.py")
+        codes = [d.code for d in report.diagnostics]
+        assert codes.count("RPA301") == 2
+        lines = sorted(d.line for d in report.diagnostics)
+        messages = [d.message for d in report.diagnostics]
+        assert any("assignment" in m for m in messages)
+        assert any("clear()" in m for m in messages)
+        assert all(line is not None for line in lines)
+
+    def test_guarded_write_and_init_are_exempt(self):
+        guarded_only = UNGUARDED.replace(
+            "    def bad_write(self, address):\n"
+            "        self._pins[address] = 1\n\n"
+            "    def bad_clear(self):\n"
+            "        self._pins.clear()\n\n",
+            "",
+        )
+        assert lint_source(guarded_only, file="fixture.py").ok
+
+    def test_classes_without_the_lock_are_unconstrained(self):
+        assert not lint_source(LOCKLESS, file="fixture.py").diagnostics
+
+    def test_lint_file_reads_from_disk(self, tmp_path):
+        bad = tmp_path / "bad.py"
+        bad.write_text(UNGUARDED)
+        report = lint_file(bad)
+        assert any(d.code == "RPA301" for d in report.diagnostics)
+        assert all(d.file == str(bad) for d in report.diagnostics)
+
+
+class TestExecutorDiscipline:
+    def test_submit_without_drain_is_rpa302(self):
+        report = lint_source(SUBMIT_LEAK, file="leak.py")
+        assert [d.code for d in report.diagnostics] == ["RPA302"]
+        assert report.ok  # a warning, not an error
+        assert report.warnings
+
+    def test_submit_with_cleanup_method_is_clean(self):
+        assert not lint_source(SUBMIT_CLEAN, file="clean.py").diagnostics
+
+    def test_submit_with_finally_drain_is_clean(self):
+        assert not lint_source(SUBMIT_FINALLY, file="clean.py").diagnostics
+
+    def test_cleanup_in_another_file_satisfies_the_tree(self, tmp_path):
+        (tmp_path / "submitter.py").write_text(SUBMIT_LEAK)
+        (tmp_path / "closer.py").write_text(
+            "class Owner:\n"
+            "    def close(self):\n"
+            "        self.executor.close()\n"
+        )
+        report = lint_tree(tmp_path)
+        assert not report.diagnostics, report.describe()
+
+    def test_tree_without_cleanup_warns(self, tmp_path):
+        (tmp_path / "submitter.py").write_text(SUBMIT_LEAK)
+        report = lint_tree(tmp_path)
+        assert [d.code for d in report.diagnostics] == ["RPA302"]

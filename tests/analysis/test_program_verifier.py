@@ -1,0 +1,209 @@
+"""Adversarial corpus for the program verifier (RPA1xx codes)."""
+
+from __future__ import annotations
+
+import types
+
+import pytest
+
+from repro.analysis import (
+    CODES,
+    Diagnostic,
+    VerificationReport,
+    verify_all_luts,
+    verify_lut,
+    verify_program,
+    verify_tile_program,
+)
+from repro.ap.isa import APInstruction, APOpcode, APProgram, ColumnRegion
+from repro.ap.lut import LookupTable, get_lut
+from repro.errors import AnalysisError
+
+COLUMNS = 32
+DOMAINS = 64
+
+
+def _program(*instructions: APInstruction, carry_column: int = 0) -> APProgram:
+    return APProgram(
+        instructions=list(instructions), carry_column=carry_column, name="fixture"
+    )
+
+
+def _copy(dest: ColumnRegion, src: ColumnRegion) -> APInstruction:
+    return APInstruction(opcode=APOpcode.COPY, dest=dest, src_a=src)
+
+
+class TestGeometry:
+    def test_column_out_of_range_is_rpa101(self):
+        program = _program(_copy(ColumnRegion(100, 4), ColumnRegion(2, 4)))
+        report = verify_program(program, columns=COLUMNS, domains=DOMAINS)
+        assert "RPA101" in report.codes()
+        assert not report.ok
+
+    def test_carry_column_out_of_range_is_rpa101(self):
+        program = _program(carry_column=COLUMNS + 5)
+        report = verify_program(program, columns=COLUMNS, domains=DOMAINS)
+        assert "RPA101" in report.codes()
+
+    def test_binding_out_of_range_is_rpa101(self):
+        program = _program()
+        program.input_columns["x0"] = ColumnRegion(COLUMNS + 1, 4)
+        report = verify_program(program, columns=COLUMNS, domains=DOMAINS)
+        assert "RPA101" in report.codes()
+
+    def test_domain_overflow_is_rpa102(self):
+        region = ColumnRegion(2, width=8, domain_offset=DOMAINS - 4)
+        program = _program(_copy(region, ColumnRegion(3, 8)))
+        report = verify_program(program, columns=COLUMNS, domains=DOMAINS)
+        assert "RPA102" in report.codes()
+
+    def test_carry_collision_is_rpa104(self):
+        operand = ColumnRegion(0, 4)  # carry column is 0
+        other = ColumnRegion(5, 4)
+        instruction = APInstruction(
+            opcode=APOpcode.ADD_INPLACE, dest=operand, src_a=other, src_b=operand
+        )
+        report = verify_program(
+            _program(instruction), columns=COLUMNS, domains=DOMAINS
+        )
+        assert "RPA104" in report.codes()
+
+
+class TestOpcodeContract:
+    def _rogue(self, **fields) -> APInstruction:
+        """Build an APInstruction bypassing __post_init__ (corruption model)."""
+        instruction = APInstruction.__new__(APInstruction)
+        defaults = dict(
+            opcode=APOpcode.ADD_INPLACE,
+            dest=ColumnRegion(2, 4),
+            src_a=ColumnRegion(3, 4),
+            src_b=ColumnRegion(2, 4),
+            extra_dests=(),
+            negate=False,
+            comment="",
+        )
+        defaults.update(fields)
+        for name, value in defaults.items():
+            object.__setattr__(instruction, name, value)
+        return instruction
+
+    def test_arithmetic_missing_source_is_rpa103(self):
+        report = verify_program(
+            _program(self._rogue(src_b=None)), columns=COLUMNS, domains=DOMAINS
+        )
+        assert "RPA103" in report.codes()
+
+    def test_unknown_opcode_is_rpa103(self):
+        report = verify_program(
+            _program(self._rogue(opcode="frobnicate")),
+            columns=COLUMNS,
+            domains=DOMAINS,
+        )
+        assert "RPA103" in report.codes()
+
+    def test_inplace_sub_wrong_dest_is_rpa103(self):
+        rogue = self._rogue(
+            opcode=APOpcode.SUB_INPLACE,
+            dest=ColumnRegion(9, 4),
+            src_a=ColumnRegion(3, 4),
+            src_b=ColumnRegion(4, 4),
+        )
+        report = verify_program(_program(rogue), columns=COLUMNS, domains=DOMAINS)
+        assert "RPA103" in report.codes()
+
+
+class TestLutTotality:
+    def test_all_shipped_luts_are_clean(self):
+        assert verify_all_luts().ok
+
+    def test_partial_lut_is_rpa105(self):
+        lut = get_lut("add", True)
+        partial = LookupTable(
+            name="partial-add",
+            kind=lut.kind,
+            inplace=lut.inplace,
+            entries=lut.entries[:-1],
+        )
+        report = verify_lut(partial)
+        assert "RPA105" in report.codes()
+
+    def test_overlapping_lut_is_rpa106(self):
+        lut = get_lut("add", True)
+        overlapping = LookupTable(
+            name="overlap-add",
+            kind=lut.kind,
+            inplace=lut.inplace,
+            entries=(lut.entries[0],) + lut.entries,
+        )
+        report = verify_lut(overlapping)
+        assert "RPA106" in report.codes()
+
+
+class TestCostCrosscheck:
+    def test_cost_model_drift_is_rpa107(self, monkeypatch):
+        import repro.analysis.program as program_module
+
+        real = program_module.instruction_cost
+
+        def drifted(instruction, rows, **kwargs):
+            cost = real(instruction, rows, **kwargs)
+            return types.SimpleNamespace(
+                search_phases=cost.search_phases + 1,
+                write_phases=cost.write_phases,
+            )
+
+        monkeypatch.setattr(program_module, "instruction_cost", drifted)
+        program = _program(_copy(ColumnRegion(2, 4), ColumnRegion(3, 4)))
+        report = verify_program(program, columns=COLUMNS, domains=DOMAINS)
+        assert report.codes() == ["RPA107"]
+
+
+class TestRealPrograms:
+    def test_compiled_programs_verify_clean(self, compiled_pair, accelerator):
+        config = accelerator.config
+        for layer in compiled_pair.layers:
+            for compiled_slice in layer.slices:
+                report = verify_program(
+                    compiled_slice.program,
+                    columns=config.ap.columns,
+                    domains=config.technology.domains_per_nanowire,
+                    rows=16,
+                )
+                assert report.ok and not report.diagnostics, report.describe()
+
+    def test_tile_rows_overflow_is_rpa206(self, resident_plan, accelerator):
+        import dataclasses
+
+        tile = resident_plan.layers[0].tiles[0]
+        bloated = dataclasses.replace(tile, rows=accelerator.config.ap.rows + 1)
+        report = verify_tile_program(bloated, accelerator.config)
+        assert "RPA206" in report.codes()
+
+
+class TestDiagnostics:
+    def test_unknown_code_is_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic(code="RPA999", message="nope")
+
+    def test_unknown_severity_is_rejected(self):
+        with pytest.raises(ValueError):
+            Diagnostic(code="RPA101", message="x", severity="fatal")
+
+    def test_every_code_is_documented(self):
+        assert all(code.startswith("RPA") for code in CODES)
+        assert all(CODES[code] for code in CODES)
+
+    def test_str_carries_code_location_and_message(self):
+        diagnostic = Diagnostic(
+            code="RPA101", message="out of range", layer="conv1", tile=(0, 1, 2)
+        )
+        text = str(diagnostic)
+        assert "RPA101" in text and "conv1" in text and "(0, 1, 2)" in text
+
+    def test_raise_for_errors_strict_escalates_warnings(self):
+        report = VerificationReport(subject="s")
+        report.add("RPA302", "leaky", severity="warning")
+        report.raise_for_errors()  # warnings alone pass the default gate
+        with pytest.raises(AnalysisError) as excinfo:
+            report.raise_for_errors(strict=True)
+        assert excinfo.value.diagnostics
