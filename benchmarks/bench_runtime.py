@@ -68,11 +68,12 @@ def test_executor_equivalence_on_vgg9(vgg9_plan, executor):
 
 
 def test_backend_equivalence_on_vgg9(vgg9_plan):
-    """Reference and vectorized backends agree counter-for-counter."""
+    """All registered backends agree counter-for-counter."""
     vectorized, _ = _execute(vgg9_plan, "serial", "vectorized")
-    reference, _ = _execute(vgg9_plan, "serial", "reference")
-    assert vectorized.total_stats == reference.total_stats
-    assert vectorized.checksum == reference.checksum
+    for backend in ("reference", "batched"):
+        other, _ = _execute(vgg9_plan, "serial", backend)
+        assert vectorized.total_stats == other.total_stats, backend
+        assert vectorized.checksum == other.checksum, backend
 
 
 def test_layer_crosscheck_on_vgg9(vgg9_plan):
@@ -84,45 +85,74 @@ def test_layer_crosscheck_on_vgg9(vgg9_plan):
     assert check.consistent, check.describe()
 
 
+#: Why the thread executor never joins the speedup gate: CPython's GIL lets
+#: only one thread run Python bytecode at a time, and the reference backend is
+#: pure bytecode, so ``thread`` tops out near 1x at any worker count.  It
+#: exists for workloads that release the GIL (NumPy kernels, blocking I/O);
+#: process pools are the scaling path for the interpreter-heavy backends.
+THREAD_GIL_NOTE = (
+    "note: ThreadExecutor is GIL-bound on the reference backend (pure Python "
+    "bytecode) - its speedup ceiling is ~1x regardless of workers; use the "
+    "process pool for interpreter-heavy scaling"
+)
+
+
 @pytest.mark.skipif(
     (os.cpu_count() or 1) < GATE_WORKERS,
     reason=f"parallel speedup gate needs >= {GATE_WORKERS} CPUs",
 )
-def test_parallel_speedup(vgg9_plan, save_report):
+def test_parallel_speedup(vgg9_plan, save_report, ap_backend):
     """The process-pool executor must be >= 2x faster on >= 4 workers.
 
     Measured on the ``reference`` backend, whose per-tile cost is dominated
     by Python bytecode: that is the workload the parallel executor exists
-    for, and the one where the GIL makes threads useless.
+    for, and the one where the GIL makes threads useless (see
+    ``THREAD_GIL_NOTE``).  Under ``--ap-backend=batched`` the gate skips:
+    that backend executes whole layers as single NumPy mega-kernel waves on
+    the driver thread, so a pool-vs-serial wall-clock ratio no longer
+    measures the executor at all.
     """
+    if ap_backend == "batched":
+        pytest.skip(
+            "serial-vs-pool speedup is meaningless under the batched backend: "
+            "layers run as single mega-kernel waves, not per-tile pool tasks"
+        )
     serial, serial_s = _execute(vgg9_plan, "serial", "reference")
     parallel, parallel_s = _execute(
         vgg9_plan, "parallel", "reference", workers=GATE_WORKERS
     )
+    thread, thread_s = _execute(vgg9_plan, "thread", "reference", workers=GATE_WORKERS)
     assert serial.total_stats == parallel.total_stats
+    assert serial.total_stats == thread.total_stats
     speedup = serial_s / max(parallel_s, 1e-9)
+    thread_speedup = serial_s / max(thread_s, 1e-9)
 
     text = format_table(
         ["executor", "workers", "wall (s)", "speedup"],
         [
             ["serial", 1, f"{serial_s:.2f}", "1.00x"],
             ["parallel", GATE_WORKERS, f"{parallel_s:.2f}", f"{speedup:.2f}x"],
+            ["thread", GATE_WORKERS, f"{thread_s:.2f}", f"{thread_speedup:.2f}x"],
         ],
         title=(
             f"runtime executors: vgg9 plan, {vgg9_plan.num_tiles} tiles, "
             f"{vgg9_plan.num_instructions} instructions (reference backend)"
         ),
-    )
+    ) + "\n" + THREAD_GIL_NOTE
     save_report(
         "runtime",
         text,
         data={
             "serial_wall_s": serial_s,
             "parallel_wall_s": parallel_s,
+            "thread_wall_s": thread_s,
             "speedup": speedup,
+            "thread_speedup": thread_speedup,
             "workers": GATE_WORKERS,
             "required_speedup": REQUIRED_SPEEDUP,
         },
+        ap_backend="reference",
+        workers=GATE_WORKERS,
     )
 
     assert speedup >= REQUIRED_SPEEDUP, (

@@ -59,7 +59,15 @@ def ap_seed(request) -> int:
     return request.config.getoption("--ap-seed")
 
 
-def _save_report(name: str, text: str, data: "dict | None" = None) -> pathlib.Path:
+def _save_report(
+    name: str,
+    text: str,
+    data: "dict | None" = None,
+    *,
+    ap_backend: "str | None" = None,
+    workers: "int | None" = None,
+    model_width: "float | None" = None,
+) -> pathlib.Path:
     """Write a benchmark's report under ``benchmarks/output/``.
 
     Every report is written twice: the human-readable table as
@@ -68,15 +76,28 @@ def _save_report(name: str, text: str, data: "dict | None" = None) -> pathlib.Pa
     CI trend tracking consume the JSON).  ``data`` should be a flat dict of
     numeric metrics; the JSON is written even when it is omitted so every
     benchmark run leaves a machine-readable marker.
+
+    The keyword-only fields describe the *configuration* a run measured -
+    which AP execution backend, how many executor workers, and the model
+    width multiplier (1.0 = the paper's full-width network).  They land in a
+    ``context`` object in the JSON so trend tooling can split series by
+    configuration instead of mixing, say, vectorized and batched numbers.
     """
     OUTPUT_DIRECTORY.mkdir(parents=True, exist_ok=True)
     path = OUTPUT_DIRECTORY / f"{name}.txt"
     path.write_text(text + "\n")
+    context = {}
+    if ap_backend is not None:
+        context["ap_backend"] = ap_backend
+    if workers is not None:
+        context["workers"] = workers
+    if model_width is not None:
+        context["model_width"] = model_width
+    report = {"name": name, "metrics": data or {}}
+    if context:
+        report["context"] = context
     json_path = OUTPUT_DIRECTORY / f"BENCH_{name}.json"
-    json_path.write_text(
-        json.dumps({"name": name, "metrics": data or {}}, indent=2, sort_keys=True)
-        + "\n"
-    )
+    json_path.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
     return path
 
 

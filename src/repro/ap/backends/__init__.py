@@ -16,6 +16,13 @@ Available backends:
 * ``vectorized`` - word-parallel x bit-parallel NumPy execution with
   analytic event accounting; typically an order of magnitude faster.
   The default.
+* ``batched`` - the vectorized semantics plus whole-layer *wave* execution
+  (:func:`repro.ap.backends.batched.execute_program_wave`): the inference
+  engine stacks every (image, row tile) instance of a layer into one bit
+  tensor and evaluates the shared instruction stream once - one batch of
+  NumPy calls per instruction for the whole layer.  The fastest choice for
+  batched inference; per-instruction behaviour is identical to
+  ``vectorized``.
 
 The default can be overridden with the ``REPRO_AP_BACKEND`` environment
 variable (CI uses ``REPRO_AP_BACKEND=reference`` to run the whole suite on
@@ -29,6 +36,7 @@ import os
 from typing import Dict, List, Type, Union
 
 from repro.ap.backends.base import ExecutionBackend
+from repro.ap.backends.batched import BatchedBackend, execute_program_wave
 from repro.ap.backends.reference import ReferenceBackend
 from repro.ap.backends.vectorized import VectorizedBackend, lut_truth_matrix
 from repro.cam.array import CAMArray
@@ -56,6 +64,7 @@ def register_backend(backend_class: Type[ExecutionBackend]) -> Type[ExecutionBac
 
 register_backend(ReferenceBackend)
 register_backend(VectorizedBackend)
+register_backend(BatchedBackend)
 
 #: Environment variable overriding the default backend choice.
 BACKEND_ENV_VARIABLE = "REPRO_AP_BACKEND"
@@ -117,6 +126,8 @@ __all__ = [
     "ExecutionBackend",
     "ReferenceBackend",
     "VectorizedBackend",
+    "BatchedBackend",
+    "execute_program_wave",
     "BackendSpec",
     "DEFAULT_BACKEND",
     "available_backends",

@@ -8,7 +8,7 @@ event counters in exactly the state the bit-serial hardware would - only how
 those results are computed may differ.  This is what keeps the energy/latency
 accounting (Table II, Fig. 4) independent of simulation speed.
 
-Two backends ship with the library:
+Three backends ship with the library:
 
 * ``reference`` (:class:`~repro.ap.backends.reference.ReferenceBackend`) -
   the bit-exact masked-search / tagged-write interpreter.  Every LUT pass is
@@ -17,6 +17,12 @@ Two backends ship with the library:
   a NumPy backend that computes each instruction word-parallel across rows
   and bit-parallel across positions, then charges the exact same events
   analytically from precomputed per-LUT truth tensors.
+* ``batched`` (:class:`~repro.ap.backends.batched.BatchedBackend`) - the
+  vectorized semantics plus a layer-level *wave* entry point
+  (:func:`~repro.ap.backends.batched.execute_program_wave`): all (image, row
+  tile) instances of one layer are stacked into a single bit tensor and the
+  shared instruction stream is evaluated once across the whole wave, with
+  per-instance counters charged from one batched truth-tensor histogram.
 """
 
 from __future__ import annotations

@@ -1,0 +1,651 @@
+"""Mega-kernel batched backend: one NumPy dispatch per instruction across a
+whole layer's (images x tiles) wave.
+
+The :class:`~repro.ap.backends.vectorized.VectorizedBackend` removed the
+per-*bit* interpretation cost but still executes one ``(image, tile)`` AP at a
+time, so a layer of ``N`` images times ``T`` row tiles pays ``N x T`` Python
+instruction loops.  Those instances are perfectly homogeneous: every row tile
+of one channel group shares the *same* compiled slice programs, only the
+activation rows differ.  This module exploits that: it stacks the instances
+into one ``(instances, rows, columns, domains)`` bit tensor and evaluates the
+shared instruction stream once, so each AP instruction becomes a single batch
+of NumPy kernel calls for the whole wave - the mega-kernel.
+
+Equivalence contract (same as every backend, see :mod:`repro.ap.backends.base`):
+
+* **Results** are computed exactly like the vectorized backend - operands are
+  packed to int64 words, carries come from ``A ^ B ^ (A op B)`` - just with a
+  leading instance axis.
+* **CAMStats** are charged analytically from the per-LUT truth tensors.  The
+  data-independent counters (search phases/bits, loaded/read bits) are shared
+  scalars; the data-dependent ones (write phases/bits, shift steps) are
+  per-instance ``(instances,)`` accumulators fed by one batched histogram
+  (``np.bincount`` over the ``(carry, B, A)`` states of every instance, bit
+  and row at once), so every instance's counters come out byte-identical to a
+  standalone run on the reference interpreter.
+* **Port positions** evolve per instance: data-independent alignment runs are
+  broadcast, while the data-dependent out-of-place destination alignment
+  (which spans only the first..last fired bit) is applied per instance under
+  a fired mask.
+
+The wave entry point :func:`execute_program_wave` is conservative: any
+program shape the vectorized backend would route to its interpreter fallback
+(operands on the carry column, aliasing destinations, >60-bit words), or any
+malformed input batch, returns ``None`` so the caller can fall back to
+per-instance dispatch - where the ordinary backends raise the proper errors.
+
+:class:`BatchedBackend` itself subclasses the vectorized backend, so
+``backend="batched"`` behaves identically to ``"vectorized"`` for ordinary
+per-instruction execution (CLI, tests, ``REPRO_AP_BACKEND``); the class
+additionally advertises ``supports_program_wave`` which the inference engine
+uses to hand it whole layers via :meth:`Executor.map_layer
+<repro.runtime.executors.Executor.map_layer>`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.ap.backends.vectorized import (
+    _MAX_VECTOR_WIDTH,
+    VectorizedBackend,
+    _bit_shifts,
+    _cached_lut,
+    lut_truth_matrix,
+)
+from repro.ap.isa import APInstruction, APOpcode, APProgram, ColumnRegion
+from repro.cam.stats import CAMStats
+from repro.rtm.timing import DEFAULT_RTM_TECHNOLOGY, RTMTechnology
+from repro.utils.bitops import max_signed_value, min_signed_value
+
+#: Soft cap on the stacked bit tensor of one wave chunk; instances beyond it
+#: are processed in equivalence-preserving chunks (instances are independent).
+_MAX_WAVE_STATE_BYTES = 256 * 1024 * 1024
+
+#: Cached ``2**k`` packing vectors per width.
+_POW2_CACHE: Dict[int, np.ndarray] = {}
+
+#: Cached word dtype, shift and packing vectors per width for the arithmetic
+#: kernel.  Words up to 30 bits fit int32 with their carry bit, halving the
+#: memory traffic of the packed-value temporaries; the integer results are
+#: bit-identical below bit 31, so the choice never changes an outcome.
+_ARITH_CACHE: Dict[int, Tuple[type, np.ndarray, np.ndarray]] = {}
+
+
+def _pow2(width: int) -> np.ndarray:
+    pow2 = _POW2_CACHE.get(width)
+    if pow2 is None:
+        pow2 = _POW2_CACHE[width] = np.int64(1) << _bit_shifts(width)
+    return pow2
+
+
+def _arith_dtype(width: int) -> Tuple[type, np.ndarray, np.ndarray]:
+    entry = _ARITH_CACHE.get(width)
+    if entry is None:
+        dtype = np.int32 if width < 31 else np.int64
+        shifts = _bit_shifts(width).astype(dtype)
+        entry = _ARITH_CACHE[width] = (dtype, shifts, np.ones(1, dtype) << shifts)
+    return entry
+
+
+class BatchedBackend(VectorizedBackend):
+    """Vectorized per-instruction semantics plus whole-layer wave execution."""
+
+    name = "batched"
+
+    #: The inference engine checks this flag before routing a layer's payload
+    #: wave to :func:`execute_program_wave` instead of per-tile dispatch.
+    supports_program_wave = True
+
+
+# ----------------------------------------------------------------------
+# Wave compilation: APProgram -> flat descriptors the mega-kernel can run
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _Region:
+    """Flattened :class:`~repro.ap.isa.ColumnRegion` (plain ints)."""
+
+    column: int
+    width: int
+    offset: int
+
+    def bit_position(self, bit: int) -> int:
+        return self.offset + min(bit, self.width - 1)
+
+
+def _region(region: ColumnRegion) -> _Region:
+    return _Region(region.column, region.width, region.domain_offset)
+
+
+@dataclass(frozen=True)
+class _ArithOp:
+    lut_kind: str
+    inplace: bool
+    width: int
+    src_a: _Region
+    src_b: _Region
+    dest: _Region
+    extras: Tuple[_Region, ...]
+    truth: np.ndarray
+    fired_by_state: np.ndarray
+    num_passes: int
+    written_columns: int
+
+
+@dataclass(frozen=True)
+class _CopyOp:
+    width: int
+    src: _Region
+    dests: Tuple[_Region, ...]
+
+
+@dataclass(frozen=True)
+class _ClearOp:
+    dests: Tuple[_Region, ...]
+
+
+@dataclass(frozen=True)
+class _CompiledWaveProgram:
+    """One program lowered to wave descriptors (valid for a geometry)."""
+
+    loads: Tuple[Tuple[str, _Region], ...]
+    ops: Tuple[object, ...]
+    reads: Tuple[Tuple[str, _Region, bool], ...]
+
+
+def _region_fits(region: ColumnRegion, columns: int, domains: int) -> bool:
+    return region.column < columns and region.end_domain <= domains
+
+
+def _compile_instruction(
+    instruction: APInstruction, carry_column: int, columns: int, domains: int
+):
+    """Lower one instruction to a wave descriptor, or ``None`` if it needs
+    the per-instance path (any vectorized-fallback shape or geometry the
+    per-instance backends would reject with a proper error)."""
+    opcode = instruction.opcode
+    if opcode.is_arithmetic:
+        src_a, src_b = instruction.src_a, instruction.src_b
+        dest = instruction.dest
+        if src_a is None or src_b is None or src_a.column == src_b.column:
+            return None
+        if opcode.lut_kind == "add" and opcode.is_inplace and dest == src_a:
+            src_a, src_b = src_b, src_a
+        if opcode.is_inplace and (dest != src_b or instruction.extra_dests):
+            return None
+        if not opcode.is_inplace and dest.column in (src_a.column, src_b.column):
+            return None
+        width = instruction.width
+        dest_columns = [d.column for d in instruction.all_dests]
+        involved_regions = [src_a, src_b] + list(instruction.all_dests)
+        if (
+            carry_column in [src_a.column, src_b.column] + dest_columns
+            or len(set(dest_columns)) != len(dest_columns)
+            or any(c in (src_a.column, src_b.column) for c in dest_columns[1:])
+            or width > _MAX_VECTOR_WIDTH
+            or any(r.width > _MAX_VECTOR_WIDTH for r in involved_regions)
+        ):
+            return None
+        if not all(_region_fits(r, columns, domains) for r in involved_regions):
+            return None
+        # Narrow extra destinations are blended over ``width`` raw bits.
+        if any(e.domain_offset + width > domains for e in instruction.extra_dests):
+            return None
+        truth = lut_truth_matrix(opcode.lut_kind, opcode.is_inplace)
+        return _ArithOp(
+            lut_kind=opcode.lut_kind,
+            inplace=opcode.is_inplace,
+            width=width,
+            src_a=_region(src_a),
+            src_b=_region(src_b),
+            dest=_region(dest),
+            extras=tuple(_region(e) for e in instruction.extra_dests),
+            truth=truth,
+            fired_by_state=truth.any(axis=1),
+            num_passes=len(_cached_lut(opcode.lut_kind, opcode.is_inplace).entries),
+            written_columns=2 if opcode.is_inplace else 2 + len(instruction.extra_dests),
+        )
+    if opcode is APOpcode.COPY:
+        src = instruction.src_a
+        if src is None:
+            return None
+        width = instruction.width
+        dests = instruction.all_dests
+        dest_columns = [d.column for d in dests]
+        if (
+            src.column in dest_columns
+            or len(set(dest_columns)) != len(dest_columns)
+            or width > _MAX_VECTOR_WIDTH
+            or src.width > _MAX_VECTOR_WIDTH
+        ):
+            return None
+        if not _region_fits(src, columns, domains):
+            return None
+        # Every destination receives ``width`` bits at its own offset.
+        if any(
+            d.column >= columns or d.domain_offset + width > domains for d in dests
+        ):
+            return None
+        return _CopyOp(width=width, src=_region(src), dests=tuple(map(_region, dests)))
+    if opcode is APOpcode.CLEAR:
+        dests = instruction.all_dests
+        if not all(_region_fits(d, columns, domains) for d in dests):
+            return None
+        return _ClearOp(dests=tuple(map(_region, dests)))
+    return None  # pragma: no cover - enum is closed
+
+
+def compile_program_wave(
+    program: APProgram, columns: int, domains: int
+) -> Optional[_CompiledWaveProgram]:
+    """Lower ``program`` for wave execution on a ``columns x domains`` AP.
+
+    Returns ``None`` when any instruction or operand binding needs the
+    per-instance path.  Results are memoised on the program object (compiled
+    slice programs are shared across tiles, images and requests, so the
+    lowering cost is paid once per program per geometry).
+    """
+    cache = program.__dict__.get("_wave_compiled")
+    if cache is None:
+        cache = program.__dict__["_wave_compiled"] = {}
+    key = (columns, domains)
+    if key in cache:
+        return cache[key]
+    compiled = _compile_program_wave(program, columns, domains)
+    cache[key] = compiled
+    return compiled
+
+
+def _compile_program_wave(
+    program: APProgram, columns: int, domains: int
+) -> Optional[_CompiledWaveProgram]:
+    carry = program.carry_column
+    if not (0 <= carry < columns) or domains < 1:
+        return None
+    bindings = list(program.input_columns.items()) + list(
+        program.output_columns.items()
+    )
+    if not all(_region_fits(region, columns, domains) for _, region in bindings):
+        return None
+    ops: List[object] = []
+    for instruction in program.instructions:
+        op = _compile_instruction(instruction, carry, columns, domains)
+        if op is None:
+            return None
+        ops.append(op)
+    return _CompiledWaveProgram(
+        loads=tuple(
+            (name, _region(region)) for name, region in program.input_columns.items()
+        ),
+        ops=tuple(ops),
+        reads=tuple(
+            (name, _region(region), bool(program.output_negated.get(name, False)))
+            for name, region in program.output_columns.items()
+        ),
+    )
+
+
+# ----------------------------------------------------------------------
+# The mega-kernel: batched instruction evaluation over stacked instances
+# ----------------------------------------------------------------------
+class _WaveEngine:
+    """State of one wave chunk: ``instances`` APs evaluated in lockstep.
+
+    Mirrors one :class:`~repro.cam.array.CAMArray` per instance - a stacked
+    ``(instances, rows, columns, domains)`` bit tensor plus per-instance port
+    positions and event counters - with every instruction evaluated across
+    all instances at once.
+    """
+
+    def __init__(
+        self, instances: int, rows: int, columns: int, domains: int, carry: int
+    ) -> None:
+        self.instances = instances
+        self.rows = rows
+        self.carry = carry
+        self.state = np.zeros((instances, rows, columns, domains), dtype=np.uint8)
+        self.ports = np.zeros((instances, columns), dtype=np.int64)
+        self.write_phases = np.zeros(instances, dtype=np.int64)
+        self.written_bits = np.zeros(instances, dtype=np.int64)
+        self.lockstep = np.zeros(instances, dtype=np.int64)
+        self.track = np.zeros(instances, dtype=np.int64)
+        # Data-independent counters are identical across instances.
+        self.search_phases = 0
+        self.searched_bits = 0
+        self.read_bits = 0
+        self.loaded_bits = 0
+        self._hist_offsets: Dict[int, np.ndarray] = {}
+
+    # -- alignment accounting ------------------------------------------
+    def align_run(self, column: int, first: int, last: int) -> None:
+        """Broadcast equivalent of :meth:`CAMArray.align_run` (shared run)."""
+        steps = np.abs(first - self.ports[:, column]) + (last - first)
+        self.lockstep += steps
+        self.track += steps * self.rows
+        self.ports[:, column] = last
+
+    def align_run_masked(
+        self, column: int, first: np.ndarray, last: np.ndarray, mask: np.ndarray
+    ) -> None:
+        """Per-instance alignment run, applied only where ``mask`` holds."""
+        steps = np.where(mask, np.abs(first - self.ports[:, column]) + (last - first), 0)
+        self.lockstep += steps
+        self.track += steps * self.rows
+        self.ports[mask, column] = last[mask]
+
+    # -- operand access -------------------------------------------------
+    def read_planes(self, region: _Region, width: int) -> np.ndarray:
+        """Region bit planes sign-extended to ``width`` bits (no events)."""
+        block = self.state[:, :, region.column, region.offset : region.offset + region.width]
+        if width <= region.width:
+            return np.ascontiguousarray(block[:, :, :width])
+        # Clamped gather replays the MSB, like ColumnRegion.bit_position.
+        columns = np.minimum(_bit_shifts(width), region.width - 1)
+        return block[:, :, columns]
+
+    def write_planes(self, column: int, offset: int, planes: np.ndarray) -> None:
+        self.state[:, :, column, offset : offset + planes.shape[-1]] = planes
+
+    def hist_offsets(self, width: int) -> np.ndarray:
+        """Flattened-histogram bin offsets: instance stride plus bit stride."""
+        offsets = self._hist_offsets.get(width)
+        if offsets is None:
+            base = (np.arange(self.instances, dtype=np.int64) * (8 * width)).reshape(
+                self.instances, 1, 1
+            )
+            offsets = base + 8 * _bit_shifts(width)
+            self._hist_offsets[width] = offsets
+        return offsets
+
+    # -- instruction kernels --------------------------------------------
+    def run_arith(self, op: _ArithOp) -> None:
+        width = op.width
+        dtype, shifts, pow2 = _arith_dtype(width)
+        if not op.inplace:
+            for region in (op.dest,) + op.extras:
+                self.state[
+                    :, :, region.column, region.offset : region.offset + region.width
+                ] = 0
+        # Carry-clearing write (align to domain 0, one tagged write phase).
+        carry_steps = np.abs(self.ports[:, self.carry])
+        self.lockstep += carry_steps
+        self.track += carry_steps * self.rows
+        self.ports[:, self.carry] = 0
+        self.write_phases += 1
+        self.written_bits += self.rows
+        self.state[:, :, self.carry, 0] = 0
+
+        a_planes = self.read_planes(op.src_a, width)
+        b_planes = self.read_planes(op.src_b, width)
+        a_values = a_planes.astype(dtype) @ pow2
+        b_values = b_planes.astype(dtype) @ pow2
+        if op.lut_kind == "add":
+            results = a_values + b_values
+        else:
+            results = b_values - a_values
+        carries = a_values ^ b_values ^ results
+
+        # Build the 3-bit (carry, b, a) state codes in uint8 to keep the big
+        # temporaries byte-sized; the bincount add upcasts to int64 in one pass.
+        states = ((carries[:, :, None] >> shifts) & 1).astype(np.uint8)
+        states <<= 1
+        states |= b_planes
+        states <<= 1
+        states |= a_planes
+        histogram = np.bincount(
+            (states + self.hist_offsets(width)).ravel(),
+            minlength=self.instances * 8 * width,
+        ).reshape(self.instances, width, 8)
+        match_counts = histogram @ op.truth  # (instances, width, passes)
+        fired = match_counts > 0
+
+        self.search_phases += width * op.num_passes
+        self.searched_bits += width * op.num_passes * 3 * self.rows
+        self.write_phases += fired.sum(axis=(1, 2))
+        self.written_bits += match_counts.sum(axis=(1, 2)) * op.written_columns
+
+        self.align_run(
+            op.src_b.column, op.src_b.bit_position(0), op.src_b.bit_position(width - 1)
+        )
+        self.align_run(
+            op.src_a.column, op.src_a.bit_position(0), op.src_a.bit_position(width - 1)
+        )
+        if not op.inplace:
+            any_fired = fired.any(axis=2)  # (instances, width)
+            has_fired = any_fired.any(axis=1)
+            first = any_fired.argmax(axis=1)
+            last = width - 1 - any_fired[:, ::-1].argmax(axis=1)
+            for region in (op.dest,) + op.extras:
+                self.align_run_masked(
+                    region.column, region.offset + first, region.offset + last, has_fired
+                )
+
+        result_region = op.src_b if op.inplace else op.dest
+        # int64 0/1 planes; assignment into the uint8 state casts losslessly.
+        result_planes = (results[:, :, None] >> shifts) & 1
+        self.write_planes(result_region.column, result_region.offset, result_planes)
+        for extra in op.extras:
+            if extra.width >= width:
+                self.write_planes(extra.column, extra.offset, result_planes)
+            else:
+                # Only extra.width bits were pre-zeroed: above them, rows
+                # whose state fires no pass keep their stale contents.
+                old = self.state[
+                    :, :, extra.column, extra.offset : extra.offset + width
+                ]
+                self.write_planes(
+                    extra.column,
+                    extra.offset,
+                    np.where(op.fired_by_state[states], result_planes, old),
+                )
+        self.state[:, :, self.carry, 0] = (carries >> dtype(width)) & 1
+
+    def run_copy(self, op: _CopyOp) -> None:
+        width = op.width
+        planes = self.read_planes(op.src, width)
+        ones = planes.sum(axis=1, dtype=np.int64)  # (instances, width)
+        zeros = self.rows - ones
+
+        self.search_phases += 2 * width
+        self.searched_bits += 2 * width * self.rows
+        self.write_phases += (ones > 0).sum(axis=1) + (zeros > 0).sum(axis=1)
+        self.written_bits += width * self.rows * len(op.dests)
+
+        self.align_run(
+            op.src.column, op.src.bit_position(0), op.src.bit_position(width - 1)
+        )
+        for dest in op.dests:
+            self.align_run(dest.column, dest.offset, dest.offset + width - 1)
+        for dest in op.dests:
+            self.write_planes(dest.column, dest.offset, planes)
+
+    def run_clear(self, op: _ClearOp) -> None:
+        for dest in op.dests:
+            self.align_run(dest.column, dest.offset, dest.offset + dest.width - 1)
+            self.write_phases += dest.width
+            self.written_bits += dest.width * self.rows
+            self.state[:, :, dest.column, dest.offset : dest.offset + dest.width] = 0
+
+    def run_op(self, op: object) -> None:
+        if isinstance(op, _ArithOp):
+            self.run_arith(op)
+        elif isinstance(op, _CopyOp):
+            self.run_copy(op)
+        else:
+            self.run_clear(op)
+
+    # -- program-level surfaces -----------------------------------------
+    def load(self, region: _Region, values: np.ndarray) -> None:
+        """Place a ``(instances, rows)`` operand batch (input placement)."""
+        planes = (values[:, :, None] >> _bit_shifts(region.width)) & np.int64(1)
+        self.write_planes(region.column, region.offset, planes)
+        self.loaded_bits += self.rows * region.width
+
+    def read(self, region: _Region) -> np.ndarray:
+        """Signed ``(instances, rows)`` readout of a region (port readout)."""
+        planes = self.state[
+            :, :, region.column, region.offset : region.offset + region.width
+        ].astype(np.int64)
+        raw = planes @ _pow2(region.width)
+        values = raw - (planes[:, :, region.width - 1] << np.int64(region.width))
+        self.read_bits += self.rows * region.width
+        return values
+
+    def stats_for(self, instance: int) -> CAMStats:
+        return CAMStats(
+            search_phases=self.search_phases,
+            searched_bits=self.searched_bits,
+            write_phases=int(self.write_phases[instance]),
+            written_bits=int(self.written_bits[instance]),
+            lockstep_shift_steps=int(self.lockstep[instance]),
+            track_shifts=int(self.track[instance]),
+            read_bits=self.read_bits,
+            loaded_bits=self.loaded_bits,
+        )
+
+
+#: One instance's wave outcome: counters, per-program output dicts, checksum,
+#: and the same outputs stacked as one ``(total outputs, rows)`` int64 matrix
+#: (program order, names sorted within each program) for bulk reduction.
+WaveResult = Tuple[CAMStats, List[Dict[str, np.ndarray]], int, np.ndarray]
+
+
+def _gather_load(
+    name: str,
+    region: _Region,
+    program_index: int,
+    inputs_per_instance: Sequence[Sequence[Mapping[str, Sequence[int]]]],
+    rows: int,
+) -> Optional[np.ndarray]:
+    """Stack one input across instances; ``None`` if any vector is invalid."""
+    stacked = np.empty((len(inputs_per_instance), rows), dtype=np.int64)
+    for index, instance_inputs in enumerate(inputs_per_instance):
+        values = np.asarray(instance_inputs[program_index][name])
+        if values.shape != (rows,) or values.dtype.kind not in "iu":
+            return None
+        stacked[index] = values
+    if (
+        int(stacked.min(initial=0)) < min_signed_value(region.width)
+        or int(stacked.max(initial=0)) > max_signed_value(region.width)
+    ):
+        return None
+    return stacked
+
+
+def execute_program_wave(
+    programs: Sequence[APProgram],
+    inputs_per_instance: Sequence[Sequence[Mapping[str, Sequence[int]]]],
+    rows: int,
+    columns: int,
+    technology: Optional[RTMTechnology] = None,
+    carry_column: int = 0,
+) -> Optional[List[WaveResult]]:
+    """Execute one tile's program sequence for many instances at once.
+
+    Every instance models a fresh ``rows x columns`` AP running ``programs``
+    back to back on its own input set (the exact contract of a pooled or
+    fresh-worker AP executing one tile).  Returns one ``(CAMStats, outputs,
+    checksum)`` triple per instance - byte-identical to running each instance
+    alone on any registered backend - or ``None`` when the wave cannot take
+    the batched path (unsupported instruction shapes, geometry, or malformed
+    inputs), in which case the caller must fall back to per-instance dispatch.
+    """
+    technology = technology or DEFAULT_RTM_TECHNOLOGY
+    domains = technology.domains_per_nanowire
+    total = len(inputs_per_instance)
+    if total == 0:
+        return []
+    if rows < 1 or columns < 1:
+        return None
+
+    compiled: List[_CompiledWaveProgram] = []
+    for program in programs:
+        if program.carry_column != carry_column:
+            return None
+        lowered = compile_program_wave(program, columns, domains)
+        if lowered is None:
+            return None
+        compiled.append(lowered)
+    if any(len(instance) != len(programs) for instance in inputs_per_instance):
+        return None
+    for program_index, lowered in enumerate(compiled):
+        for instance_inputs in inputs_per_instance:
+            provided = instance_inputs[program_index]
+            if any(name not in provided for name, _ in lowered.loads):
+                return None
+
+    # Chunk the wave so the stacked bit tensor and the per-instance output
+    # matrix stay bounded; instances are independent, so chunked and
+    # unchunked execution are byte-identical.
+    total_outputs = sum(len(lowered.reads) for lowered in compiled)
+    per_instance_bytes = max(1, rows * columns * domains + 8 * rows * total_outputs)
+    chunk = max(1, min(total, _MAX_WAVE_STATE_BYTES // per_instance_bytes))
+    results: List[WaveResult] = []
+    for start in range(0, total, chunk):
+        instances = inputs_per_instance[start : start + chunk]
+        chunk_results = _execute_wave_chunk(
+            compiled, instances, rows, columns, domains, carry_column
+        )
+        if chunk_results is None:
+            return None
+        results.extend(chunk_results)
+    return results
+
+
+def _execute_wave_chunk(
+    compiled: Sequence[_CompiledWaveProgram],
+    inputs_per_instance: Sequence[Sequence[Mapping[str, Sequence[int]]]],
+    rows: int,
+    columns: int,
+    domains: int,
+    carry_column: int,
+) -> Optional[List[WaveResult]]:
+    instances = len(inputs_per_instance)
+    engine = _WaveEngine(instances, rows, columns, domains, carry_column)
+    total_outputs = sum(len(lowered.reads) for lowered in compiled)
+    # All instances' outputs in one matrix: slot order is (program order,
+    # names sorted within each program), so ``stacked[instance]`` is exactly
+    # the per-payload partial-sum matrix the inference reduction consumes.
+    stacked = np.empty((instances, total_outputs, rows), dtype=np.int64)
+    slots_per_program: List[List[Tuple[str, int]]] = []
+    slot = 0
+    for program_index, lowered in enumerate(compiled):
+        for name, region in lowered.loads:
+            gathered = _gather_load(
+                name, region, program_index, inputs_per_instance, rows
+            )
+            if gathered is None:
+                return None
+            engine.load(region, gathered)
+        for op in lowered.ops:
+            engine.run_op(op)
+        slots: List[Tuple[str, int]] = []
+        for name, region, negated in sorted(lowered.reads, key=lambda entry: entry[0]):
+            values = engine.read(region)
+            if negated:
+                np.negative(values, out=stacked[:, slot])
+            else:
+                stacked[:, slot] = values
+            slots.append((name, slot))
+            slot += 1
+        slots_per_program.append(slots)
+    # int64 addition is associative modulo 2**64, so the batched row sums
+    # equal each instance's own ``values.sum()`` bit for bit.
+    totals = stacked.sum(axis=2)
+    results: List[WaveResult] = []
+    for instance in range(instances):
+        outputs_list: List[Dict[str, np.ndarray]] = []
+        checksum = 0
+        for slots in slots_per_program:
+            converted: Dict[str, np.ndarray] = {}
+            for name, name_slot in slots:
+                checksum += int(totals[instance, name_slot])
+                converted[name] = stacked[instance, name_slot]
+            outputs_list.append(converted)
+        results.append(
+            (engine.stats_for(instance), outputs_list, checksum, stacked[instance])
+        )
+    return results

@@ -33,7 +33,7 @@ import numpy as np
 
 from repro.errors import ModelDefinitionError
 from repro.nn.im2col import im2col
-from repro.nn.quantization import ActivationQuantizer, QuantizationConfig
+from repro.nn.quantization import QuantizationConfig
 
 
 def normalize_images(
@@ -69,6 +69,13 @@ def quantize_batch(
 ) -> Tuple[np.ndarray, np.ndarray]:
     """Quantize a batched activation tensor with per-image LSQ calibration.
 
+    Calibration and rounding are evaluated as one strided pass over the
+    whole batch (no per-image Python loop, no GIL on the hot path), yet
+    remain *per image*: each image's step comes from its own
+    ``2 * mean(|x_i|) / sqrt(qmax)`` reduction, bit-identical to running
+    :class:`~repro.nn.quantization.ActivationQuantizer` image by image - so
+    batched and one-by-one execution still produce byte-identical codes.
+
     Args:
         x: float activations, shape ``(N, ...)``.
         bits: activation precision.
@@ -84,12 +91,11 @@ def quantize_batch(
             f"quantize_batch expects a batched tensor (N, ...), got shape {x.shape}"
         )
     config = QuantizationConfig(bits=bits, signed=signed)
-    codes = np.empty(x.shape, dtype=np.int64)
-    steps = np.empty(x.shape[0], dtype=np.float64)
-    for index in range(x.shape[0]):
-        quantizer = ActivationQuantizer(config)
-        steps[index] = quantizer.calibrate(x[index])
-        codes[index] = quantizer.quantize(x[index])
+    qmax = max(1, config.qmax)
+    magnitudes = np.abs(x).reshape(x.shape[0], -1).mean(axis=1)
+    steps = np.maximum(2.0 * magnitudes / np.sqrt(qmax), 1e-8)
+    broadcast = steps.reshape((-1,) + (1,) * (x.ndim - 1))
+    codes = np.clip(np.round(x / broadcast), config.qmin, config.qmax).astype(np.int64)
     return codes, steps
 
 
@@ -134,6 +140,32 @@ def lower_input_rows(
             f"expected (Cin, H, W) or (features,) codes, got shape {codes.shape}"
         )
     return im2col(codes[None], kernel_size, stride, padding)[0]
+
+
+def lower_batch_rows(
+    codes: np.ndarray,
+    kernel_size: Tuple[int, int],
+    stride: int = 1,
+    padding: int = 0,
+) -> np.ndarray:
+    """Batched :func:`lower_input_rows`: lower a whole image batch at once.
+
+    One strided im2col over ``(N, Cin, H, W)`` (or a plain reshape of
+    ``(N, features)``) replaces N per-image lowering calls - the host-side
+    half of the mega-kernel batching.  ``result[i]`` is byte-identical to
+    ``lower_input_rows(codes[i], ...)``.
+
+    Returns:
+        Array of shape ``(N, Cin, Fh*Fw, Hout*Wout)``.
+    """
+    codes = np.asarray(codes)
+    if codes.ndim == 2:
+        return codes[:, :, None, None]
+    if codes.ndim != 4:
+        raise ModelDefinitionError(
+            f"expected (N, Cin, H, W) or (N, features) codes, got shape {codes.shape}"
+        )
+    return im2col(codes, kernel_size, stride, padding)
 
 
 @dataclass

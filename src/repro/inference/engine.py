@@ -44,14 +44,22 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.ap.backends import resolve_backend
+from repro.ap.backends.batched import execute_program_wave
 from repro.ap.core import AssociativeProcessor
 from repro.arch.accelerator import Accelerator
 from repro.cam.stats import CAMStats
 from repro.core.compiler import CompilerConfig, compile_model
-from repro.errors import CapacityError, ModelDefinitionError, SimulationError
+from repro.errors import (
+    CapacityError,
+    ConfigurationError,
+    ModelDefinitionError,
+    SimulationError,
+)
 from repro.inference.activations import (
     ActivationStore,
     dequantize_batch,
+    lower_batch_rows,
     lower_input_rows,
     normalize_images,
 )
@@ -85,6 +93,11 @@ class InferenceTileResult:
     outputs: Tuple[Dict[str, np.ndarray], ...]
     checksum: int
     duration_s: float
+    #: Optional bulk view of ``outputs``: all partial-sum vectors stacked as
+    #: one ``(total outputs, rows)`` matrix in (program order, sorted-name)
+    #: order.  Provided by the wave path so the layer reduction can add the
+    #: whole payload in one indexed operation instead of per-name loops.
+    stacked_outputs: Optional[np.ndarray] = None
 
 
 def _inference_tile_worker(payload, ap=None) -> InferenceTileResult:
@@ -118,6 +131,62 @@ def _inference_tile_worker(payload, ap=None) -> InferenceTileResult:
         checksum=checksum,
         duration_s=time.perf_counter() - start,
     )
+
+
+def _inference_layer_wave(payloads) -> Optional[List[InferenceTileResult]]:
+    """Execute one layer's (image, tile) payloads as mega-kernel waves.
+
+    The wave counterpart of mapping :func:`_inference_tile_worker` over the
+    payloads: instances sharing one tile's compiled slice programs (every
+    image times every row tile of a channel group) are stacked and handed to
+    :func:`~repro.ap.backends.batched.execute_program_wave` in one call.
+    Returns ``None`` - so callers fall back to per-payload dispatch - when
+    the selected backend has no wave support or any group's programs or
+    inputs need the per-instance path (where the ordinary backends raise
+    their proper errors).  Results are byte-identical to per-tile execution:
+    same outputs, checksums and :class:`~repro.cam.stats.CAMStats`.
+    """
+    if not payloads:
+        return []
+    try:
+        backend_class = resolve_backend(payloads[0][3])
+    except ConfigurationError:
+        return None
+    if not getattr(backend_class, "supports_program_wave", False):
+        return None
+    groups: Dict[tuple, List[int]] = {}
+    for index, payload in enumerate(payloads):
+        tile = payload[0]
+        key = (tuple(id(program) for program in tile.programs), tile.rows)
+        groups.setdefault(key, []).append(index)
+    results: List[Optional[InferenceTileResult]] = [None] * len(payloads)
+    for indices in groups.values():
+        tile, _, columns, _, technology, _ = payloads[indices[0]]
+        start = time.perf_counter()
+        wave = execute_program_wave(
+            tile.programs,
+            [payloads[index][5] for index in indices],
+            rows=tile.rows,
+            columns=columns,
+            technology=technology,
+        )
+        if wave is None:
+            return None
+        # The wave executes all instances at once; attribute the group's
+        # wall-clock evenly (duration_s is informational, never aggregated).
+        duration = (time.perf_counter() - start) / len(indices)
+        for index, (stats, outputs_list, checksum, stacked) in zip(indices, wave):
+            payload = payloads[index]
+            results[index] = InferenceTileResult(
+                image_index=payload[1],
+                address=tuple(payload[0].address),
+                stats=stats,
+                outputs=tuple(outputs_list),
+                checksum=checksum,
+                duration_s=duration,
+                stacked_outputs=stacked,
+            )
+    return results
 
 
 @dataclass
@@ -449,46 +518,96 @@ class BatchedInference:
         positions = mapping.output_positions
         rows_per_ap = mapping.rows_per_ap
 
+        # One strided im2col for the whole batch: the per-image host work
+        # joins the batch axis instead of running N Python loops (and, under
+        # the batched backend, feeding N x tiles separate tasks).
+        columns_batch = lower_batch_rows(
+            codes, node.kernel_size, node.stride, node.padding
+        )
+        # Parse each tile's input bindings once per layer, not once per image:
+        # the (name -> kernel position) map and row slice are image-invariant.
+        tile_specs = []
+        for tile in planned.tiles:
+            start = tile.row_tile * rows_per_ap
+            row_slice = slice(start, start + tile.rows)
+            bindings = [
+                (channel, [(name, int(name[1:])) for name in program.input_columns])
+                for channel, program in zip(tile.channel_indices, tile.programs)
+            ]
+            # Static reduction layout: each program emits its outputs in
+            # sorted-name order, so the output channels per payload are known
+            # before execution and the partial sums can be added in bulk.
+            names_seq = [
+                tuple(sorted(program.output_columns)) for program in tile.programs
+            ]
+            channels = np.array(
+                [int(name[1:]) for names in names_seq for name in names],
+                dtype=np.intp,
+            )
+            uniform = len(set(names_seq)) <= 1
+            tile_specs.append((tile, row_slice, bindings, names_seq, channels, uniform))
+
         payloads = []
         for image in range(num_images):
-            columns = lower_input_rows(
-                codes[image], node.kernel_size, node.stride, node.padding
-            )
-            for tile in planned.tiles:
+            columns = columns_batch[image]
+            for tile, row_slice, bindings, _, _, _ in tile_specs:
                 # Residency accounting per (image, tile) dispatch: warm on a
                 # deployed (pinned) plan, cold lease + reprogram otherwise.
                 self.accelerator.account_tile_dispatch(tile)
-                start = tile.row_tile * rows_per_ap
-                row_slice = slice(start, start + tile.rows)
                 inputs_list = [
                     {
-                        name: columns[channel, int(name[1:]), row_slice]
-                        for name in program.input_columns
+                        name: columns[channel, position, row_slice]
+                        for name, position in positions
                     }
-                    for channel, program in zip(tile.channel_indices, tile.programs)
+                    for channel, positions in bindings
                 ]
                 payloads.append(
                     (tile, image, self._columns, self.backend, technology, inputs_list)
                 )
 
         started = time.perf_counter()
-        results = self.executor.map_tasks(
+        results = self.executor.map_layer(
             _inference_tile_worker,
             payloads,
             lease=make_lease(self.accelerator, self._columns, self.backend),
+            wave=_inference_layer_wave,
         )
         wall = time.perf_counter() - started
 
         # Order-independent reduction of the real outputs: exact integer
         # partial sums accumulated per (image, output channel, position).
         accumulator = np.zeros((num_images, mapping.out_channels, positions), np.int64)
-        for payload, result in zip(payloads, results):
-            tile, image = payload[0], payload[1]
-            start = tile.row_tile * rows_per_ap
-            row_slice = slice(start, start + tile.rows)
-            for outputs in result.outputs:
-                for name, values in outputs.items():
-                    accumulator[image, int(name[1:]), row_slice] += values
+        index = 0
+        for image in range(num_images):
+            for _, row_slice, _, names_seq, channels, uniform in tile_specs:
+                result = results[index]
+                index += 1
+                if channels.size == 0:
+                    continue
+                stacked = result.stacked_outputs
+                if stacked is None:
+                    stacked = np.stack(
+                        [
+                            outputs[name]
+                            for outputs, names in zip(result.outputs, names_seq)
+                            for name in names
+                        ]
+                    )
+                target = accumulator[image, :, row_slice]
+                if uniform:
+                    # All programs of the tile emit the same output channels
+                    # (one input-channel slice each): fold the program axis
+                    # first, then one indexed add per payload.  int64 addition
+                    # commutes exactly, so the result matches per-value adds.
+                    if len(names_seq) > 1:
+                        summed = stacked.reshape(
+                            len(names_seq), -1, stacked.shape[-1]
+                        ).sum(axis=0)
+                    else:
+                        summed = stacked
+                    target[channels[: len(names_seq[0])]] += summed
+                else:
+                    np.add.at(target, channels, stacked)
 
         movement = charge_adder_tree_movement(
             self.accelerator, planned, repeats=num_images
@@ -650,10 +769,14 @@ class BatchedInference:
         # No AP lease in pipelined mode: concurrent images may dispatch to
         # the same address, and pooled APs are single-occupancy host objects.
         # Workers build fresh functional APs instead - byte-identical per
-        # the lease contract.
+        # the lease contract.  Under a wave-capable backend the image's tile
+        # set executes as one mega-kernel call on the driver thread (the
+        # wave is pure NumPy, so concurrent drivers still overlap).
         with self.tracker.entered(planned.layer_index):
-            futures = self.executor.submit_tasks(_inference_tile_worker, payloads)
-            results = [future.result() for future in futures]
+            results = _inference_layer_wave(payloads)
+            if results is None:
+                futures = self.executor.submit_tasks(_inference_tile_worker, payloads)
+                results = [future.result() for future in futures]
         wall = time.perf_counter() - started
 
         y_int = np.zeros(

@@ -187,6 +187,32 @@ class Executor:
         """
         raise NotImplementedError
 
+    def map_layer(
+        self,
+        fn: Callable,
+        payloads: Sequence,
+        lease: Optional[LeaseFn] = None,
+        wave: Optional[Callable[[Sequence], Optional[List]]] = None,
+    ) -> List:
+        """Dispatch one layer's wave of payloads, preferring a batched path.
+
+        ``wave`` (optional) maps the *whole* payload list to its result list
+        in one call - the mega-kernel entry point of the ``batched`` backend,
+        which replaces task fan-out with data parallelism inside NumPy
+        kernels.  A wave that returns ``None`` declines the batch (backend
+        without wave support, or program shapes needing the per-instance
+        path), and the layer falls back to the executor's ordinary
+        order-preserving :meth:`map_tasks` dispatch.  The wave executes in
+        the calling thread on every executor: one host call per layer beats
+        any worker-pool fan-out of interpreted per-tile tasks, and it keeps
+        results, counters and ledgers byte-identical across executors.
+        """
+        if wave is not None:
+            results = wave(payloads)
+            if results is not None:
+                return results
+        return self.map_tasks(fn, payloads, lease=lease)
+
     def submit_tasks(
         self, fn: Callable, payloads: Sequence, lease: Optional[LeaseFn] = None
     ) -> List[Future]:

@@ -21,6 +21,7 @@ which order, or on how many workers.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import cached_property
 from typing import Dict, Iterator, List, Optional, Tuple
 
 from repro.ap.isa import APProgram
@@ -100,9 +101,13 @@ class TileProgram:
         """Add/sub instructions this tile executes (#Adds/Subs share)."""
         return sum(program.num_arithmetic_ops for program in self.programs)
 
-    @property
+    @cached_property
     def max_column_used(self) -> int:
-        """Highest CAM column any of the tile's programs touches."""
+        """Highest CAM column any of the tile's programs touches.
+
+        Cached: tiles are frozen and built after compilation completes, and
+        dispatch accounting queries this once per (image, tile) dispatch.
+        """
         return max((program.max_column_used for program in self.programs), default=0)
 
 

@@ -1,11 +1,14 @@
-"""Cross-backend equivalence: vectorized vs. reference execution.
+"""Cross-backend equivalence: batched vs. vectorized vs. reference execution.
 
 The contract of :mod:`repro.ap.backends` is that every backend leaves the
 CAM in a byte-identical state and accumulates identical
 :class:`~repro.cam.stats.CAMStats` counters.  These tests enforce it with a
 deterministic opcode matrix, targeted edge cases (sign extension, narrow
 extra destinations, partial rows, fallback layouts) and a randomized
-program fuzz.
+program fuzz.  The wave tests additionally pin the layer-level contract of
+the ``batched`` backend: :func:`~repro.ap.backends.batched.
+execute_program_wave` either reproduces per-instance execution byte for
+byte or declines (returns ``None``) so the caller falls back.
 """
 
 import numpy as np
@@ -13,6 +16,7 @@ import pytest
 
 from repro.ap.backends import (
     DEFAULT_BACKEND,
+    BatchedBackend,
     ReferenceBackend,
     VectorizedBackend,
     available_backends,
@@ -20,6 +24,7 @@ from repro.ap.backends import (
     register_backend,
     resolve_backend,
 )
+from repro.ap.backends.batched import execute_program_wave
 from repro.ap.backends.harness import (
     compare_backends,
     random_inputs,
@@ -50,6 +55,7 @@ class TestRegistry:
     def test_available_backends(self):
         assert "reference" in available_backends()
         assert "vectorized" in available_backends()
+        assert "batched" in available_backends()
         # The fast backend is the default; the interpreter stays the
         # ground truth and can be forced via REPRO_AP_BACKEND (which CI
         # uses for a full-suite ground-truth run).
@@ -60,6 +66,7 @@ class TestRegistry:
 
     def test_resolve_by_name_and_class(self):
         assert resolve_backend("vectorized") is VectorizedBackend
+        assert resolve_backend("batched") is BatchedBackend
         assert resolve_backend(ReferenceBackend) is ReferenceBackend
 
     def test_unknown_backend_rejected(self):
@@ -279,6 +286,19 @@ class TestRandomizedPrograms:
         inputs = random_inputs(program, rows, rng)
         run_both(program, inputs, rows=rows, columns=columns)
 
+    @pytest.mark.parametrize("seed", range(6))
+    def test_batched_backend_per_instruction_equivalence(self, seed):
+        """The registered ``batched`` backend (per-instruction entry points
+        used whenever a wave declines) matches the reference interpreter."""
+        rng = np.random.default_rng(1000 + seed)
+        program = random_program(rng, num_instructions=16, columns=14, max_width=9)
+        rows = int(rng.integers(1, 32))
+        inputs = random_inputs(program, rows, rng)
+        comparison = compare_backends(
+            program, inputs, rows=rows, columns=14, candidate="batched"
+        )
+        assert comparison.equivalent, comparison.describe()
+
     def test_vectorized_matches_numpy_semantics(self, rng):
         """End to end: the vectorized AP still computes exact integer math."""
         ap = AssociativeProcessor(rows=32, columns=16, backend="vectorized")
@@ -340,3 +360,207 @@ class TestCostModelCrosscheck:
             (run.measured_search_phases, run.measured_write_phases) for run in runs
         }
         assert len(measured) == 1
+
+
+def per_instance_wave_baseline(
+    programs, inputs_per_instance, rows, columns, backend="vectorized"
+):
+    """Ground truth of one wave: each instance alone on a fresh AP."""
+    results = []
+    for instance_inputs in inputs_per_instance:
+        ap = AssociativeProcessor(rows=rows, columns=columns, backend=backend)
+        outputs_list = []
+        checksum = 0
+        for program, inputs in zip(programs, instance_inputs):
+            outputs = ap.run_program(program, inputs, num_rows=rows)
+            converted = {}
+            for name in sorted(outputs):
+                values = np.asarray(outputs[name], dtype=np.int64)
+                checksum += int(values.sum())
+                converted[name] = values
+            outputs_list.append(converted)
+        results.append((ap.reset_stats(), outputs_list, checksum))
+    return results
+
+
+def assert_wave_matches_baseline(wave_results, baseline):
+    assert len(wave_results) == len(baseline)
+    for got, expected in zip(wave_results, baseline):
+        got_stats, got_outputs, got_checksum, stacked = got
+        expected_stats, expected_outputs, expected_checksum = expected
+        assert got_stats == expected_stats
+        assert got_checksum == expected_checksum
+        assert len(got_outputs) == len(expected_outputs)
+        flat_rows = []
+        for got_programs, expected_programs in zip(got_outputs, expected_outputs):
+            assert sorted(got_programs) == sorted(expected_programs)
+            for name in expected_programs:
+                assert np.array_equal(got_programs[name], expected_programs[name])
+            for name in sorted(got_programs):
+                flat_rows.append(np.asarray(got_programs[name], dtype=np.int64))
+        # The stacked matrix is the same data in (program order, sorted-name
+        # within program) row order - the bulk-reduction contract.
+        assert stacked.shape == (len(flat_rows), len(flat_rows[0]) if flat_rows else 0)
+        for row, values in zip(stacked, flat_rows):
+            assert np.array_equal(row, values)
+
+
+def add_tile(width, columns=4):
+    """One-add tile: ``y = a + b`` at the given operand width."""
+    a = ColumnRegion(column=1, width=width)
+    b = ColumnRegion(column=2, width=width)
+    dest = ColumnRegion(column=3, width=width)
+    program = single_instruction_program(
+        APInstruction(opcode=APOpcode.ADD_OUTOFPLACE, dest=dest, src_a=a, src_b=b),
+        {"a": a, "b": b},
+        {"y": dest},
+    )
+    return [program], columns
+
+
+class TestWaveExecution:
+    """Layer-wave contract: byte-identity to per-instance runs, or decline.
+
+    ``execute_program_wave`` is the mega-kernel entry point the inference
+    engine and ``Executor.map_layer`` dispatch whole layers through; every
+    test here checks it against instances executed one at a time on a fresh
+    AP (the exact semantics of pool-worker dispatch).
+    """
+
+    def _tile_inputs(self, programs, rows, instances, rng):
+        return [
+            [random_inputs(program, rows, rng) for program in programs]
+            for _ in range(instances)
+        ]
+
+    def test_multi_program_wave_matches_per_instance(self, rng):
+        """Several programs back to back, several divergent instances."""
+        programs = [
+            random_program(rng, num_instructions=10, columns=12, max_width=8,
+                           name=f"slice{index}")
+            for index in range(3)
+        ]
+        rows = 9
+        inputs = self._tile_inputs(programs, rows, instances=4, rng=rng)
+        wave = execute_program_wave(programs, inputs, rows, columns=12)
+        if wave is None:
+            pytest.skip("fuzzed program drew a shape outside the wave subset")
+        assert_wave_matches_baseline(
+            wave, per_instance_wave_baseline(programs, inputs, rows, 12)
+        )
+
+    def test_fuzzed_waves_accept_or_match(self):
+        """Across many seeds the wave either declines or is byte-identical -
+        and it must accept a healthy share (the compiler-emitted shapes)."""
+        accepted = 0
+        for seed in range(10):
+            rng = np.random.default_rng(2000 + seed)
+            columns = int(rng.integers(8, 20))
+            programs = [
+                random_program(rng, num_instructions=8, columns=columns,
+                               max_width=8, name=f"p{index}")
+                for index in range(int(rng.integers(1, 4)))
+            ]
+            rows = int(rng.integers(1, 24))
+            inputs = self._tile_inputs(
+                programs, rows, instances=int(rng.integers(1, 4)), rng=rng
+            )
+            wave = execute_program_wave(programs, inputs, rows, columns=columns)
+            if wave is None:
+                continue
+            accepted += 1
+            assert_wave_matches_baseline(
+                wave, per_instance_wave_baseline(programs, inputs, rows, columns)
+            )
+        assert accepted >= 5, f"wave accepted only {accepted}/10 fuzzed tiles"
+
+    @pytest.mark.parametrize("width", [8, 30, 34])
+    def test_narrow_and_wide_word_paths(self, rng, width):
+        """Both packed-arithmetic dtypes (int32 below 31 bits, int64 above)
+        reproduce the interpreter exactly, including near the value bounds."""
+        programs, columns = add_tile(width)
+        rows = 6
+        bound = 2 ** (width - 1) - 1
+        inputs = []
+        for instance in range(3):
+            values_a = rng.integers(-bound, bound, rows)
+            values_b = rng.integers(-bound // 2, bound // 2, rows)
+            values_a[0], values_b[0] = bound // 2, bound // 2 - 1
+            inputs.append([{"a": values_a, "b": values_b}])
+        wave = execute_program_wave(programs, inputs, rows, columns)
+        assert wave is not None
+        assert_wave_matches_baseline(
+            wave, per_instance_wave_baseline(programs, inputs, rows, columns)
+        )
+
+    def test_per_instance_stats_diverge_with_data(self):
+        """Write-phase counters are data-dependent and tracked per instance."""
+        programs, columns = add_tile(6)
+        rows = 8
+        busy = [{"a": np.full(rows, 17), "b": np.full(rows, 13)}]
+        idle = [{"a": np.zeros(rows, dtype=np.int64),
+                 "b": np.zeros(rows, dtype=np.int64)}]
+        wave = execute_program_wave(programs, [busy, idle], rows, columns)
+        assert wave is not None
+        busy_stats, _, busy_checksum, _ = wave[0]
+        idle_stats, _, idle_checksum, _ = wave[1]
+        assert busy_stats.write_phases > idle_stats.write_phases
+        assert busy_checksum != idle_checksum
+        # Data-independent counters stay identical across instances.
+        assert busy_stats.search_phases == idle_stats.search_phases
+
+    def test_chunked_wave_byte_identical(self, rng, monkeypatch):
+        """Chunking (bounded stacked state) must not change any observable."""
+        from repro.ap.backends import batched as batched_module
+
+        programs, columns = add_tile(7)
+        rows = 5
+        inputs = self._tile_inputs(programs, rows, instances=6, rng=rng)
+        whole = execute_program_wave(programs, inputs, rows, columns)
+        monkeypatch.setattr(batched_module, "_MAX_WAVE_STATE_BYTES", 1)
+        chunked = execute_program_wave(programs, inputs, rows, columns)
+        assert whole is not None and chunked is not None
+        for left, right in zip(whole, chunked):
+            assert left[0] == right[0]
+            assert left[2] == right[2]
+            assert np.array_equal(left[3], right[3])
+
+    def test_empty_wave_returns_empty(self):
+        programs, columns = add_tile(5)
+        assert execute_program_wave(programs, [], 4, columns) == []
+
+    def test_declines_degenerate_geometry(self, rng):
+        programs, columns = add_tile(5)
+        inputs = self._tile_inputs(programs, 4, instances=1, rng=rng)
+        assert execute_program_wave(programs, inputs, 0, columns) is None
+        assert execute_program_wave(programs, inputs, 4, 0) is None
+
+    def test_declines_carry_column_mismatch(self, rng):
+        programs, columns = add_tile(5)
+        inputs = self._tile_inputs(programs, 4, instances=1, rng=rng)
+        assert (
+            execute_program_wave(programs, inputs, 4, columns, carry_column=1)
+            is None
+        )
+
+    def test_declines_malformed_inputs(self, rng):
+        """Wrong-length, out-of-range, missing or miscounted input vectors
+        all force the per-instance fallback instead of corrupting the wave."""
+        programs, columns = add_tile(5)
+        rows = 4
+        good = self._tile_inputs(programs, rows, instances=2, rng=rng)
+
+        wrong_length = [list(good[0]), [{**good[1][0], "a": np.zeros(rows + 1)}]]
+        assert execute_program_wave(programs, wrong_length, rows, columns) is None
+
+        out_of_range = [list(good[0]), [{**good[1][0], "a": np.full(rows, 2**10)}]]
+        assert execute_program_wave(programs, out_of_range, rows, columns) is None
+
+        missing_name = [list(good[0]), [{"a": good[1][0]["a"]}]]
+        assert execute_program_wave(programs, missing_name, rows, columns) is None
+
+        miscounted = [list(good[0]), []]
+        assert execute_program_wave(programs, miscounted, rows, columns) is None
+
+        non_integer = [list(good[0]), [{**good[1][0], "a": np.zeros(rows) + 0.5}]]
+        assert execute_program_wave(programs, non_integer, rows, columns) is None

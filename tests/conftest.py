@@ -2,8 +2,26 @@
 
 from __future__ import annotations
 
+import os
+
 import numpy as np
 import pytest
+
+
+def pytest_collection_modifyitems(config, items):
+    """Skip ``full_width`` runs unless explicitly requested.
+
+    Full-channel-width model tests take minutes (the ResNet-18 plan/compile
+    alone is ~3 minutes on one core); ``REPRO_FULL_WIDTH=1`` opts a run in.
+    """
+    if os.environ.get("REPRO_FULL_WIDTH", "").strip():
+        return
+    skip_full = pytest.mark.skip(
+        reason="full-width model run: set REPRO_FULL_WIDTH=1 to include"
+    )
+    for item in items:
+        if "full_width" in item.keywords:
+            item.add_marker(skip_full)
 
 from repro.arch.config import APConfig, ArchitectureConfig
 from repro.nn.stats import ConvLayerSpec

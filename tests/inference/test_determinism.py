@@ -3,8 +3,10 @@
 The inference engine's contract extends the runtime's: because per-tile
 partial sums are exact integers and every reduction (integer sums, per-round
 maxima) is order-independent, the {serial, parallel, thread} executors and
-the {reference, vectorized} backends must produce byte-identical logits *and*
-byte-identical aggregated CAMStats for the same images.
+the {reference, vectorized, batched} backends must produce byte-identical
+logits *and* byte-identical aggregated CAMStats for the same images.  The
+``batched`` rows additionally exercise the layer-wave fast path (one
+mega-kernel per layer) against the per-tile baselines.
 """
 
 import numpy as np
@@ -13,7 +15,7 @@ import pytest
 from repro.inference import run_inference
 
 EXECUTORS = ("serial", "parallel", "thread")
-BACKENDS = ("reference", "vectorized")
+BACKENDS = ("reference", "vectorized", "batched")
 
 
 @pytest.fixture(scope="module")

@@ -96,6 +96,57 @@ class TestBatchedExecution:
         )
 
 
+class TestBatchedWaveOnTopologies:
+    """The mega-kernel (``batched``) backend on whole benchmark topologies.
+
+    ``tests/inference/test_determinism.py`` pins the three-way backend matrix
+    on the tiny CNN; these runs add the benchmark topologies - strides,
+    residual shortcuts and pooling stages - where the layer waves span many
+    heterogeneous tiles per layer, and sweep the batched backend across
+    executors and pipelined dispatch against one vectorized serial baseline.
+    """
+
+    @staticmethod
+    def _run(model, input_shape, images, **kwargs):
+        driver = BatchedInference(model, input_shape, bits=4, **kwargs)
+        try:
+            return driver.run(images)
+        finally:
+            driver.close()
+
+    @pytest.mark.parametrize(
+        "fixture_name", ["vgg9_narrow", "resnet18_narrow"]
+    )
+    def test_batched_matches_vectorized_across_modes(
+        self, request, fixture_name, images_rng
+    ):
+        model, input_shape = request.getfixturevalue(fixture_name)
+        images = images_rng.uniform(0.0, 1.0, size=(2,) + input_shape)
+        baseline = self._run(model, input_shape, images, backend="vectorized")
+        modes = [
+            {"executor": "serial"},
+            {"executor": "thread", "workers": 2},
+            {"executor": "serial", "pipeline": True},
+            {"executor": "thread", "workers": 2, "pipeline": True},
+        ]
+        for mode in modes:
+            batched = self._run(
+                model, input_shape, images, backend="batched", **mode
+            )
+            label = f"batched {mode}"
+            assert np.array_equal(batched.logits, baseline.logits), label
+            assert batched.checksum == baseline.checksum, label
+            assert (
+                batched.execution.total_stats == baseline.execution.total_stats
+            ), label
+            for left, right in zip(
+                batched.execution.layers, baseline.execution.layers
+            ):
+                assert left.stats == right.stats, (
+                    f"{label}: layer {left.name} diverged"
+                )
+
+
 class TestRuntimeIntegration:
     def test_cost_model_crosscheck(self, tiny_cnn, images_rng):
         model, input_shape = tiny_cnn

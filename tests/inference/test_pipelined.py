@@ -58,7 +58,7 @@ class TestPipelinedByteIdentity:
             assert actual.energy == expected.energy
             assert actual.latency == expected.latency
 
-    @pytest.mark.parametrize("backend", ["reference", "vectorized"])
+    @pytest.mark.parametrize("backend", ["reference", "vectorized", "batched"])
     def test_backends_agree(self, tiny_cnn, images_rng, backend):
         model, shape = tiny_cnn
         images = images_rng.normal(size=(2,) + shape)
