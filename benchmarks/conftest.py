@@ -16,7 +16,10 @@ staying within a few percent of the exact operation counts.
 from __future__ import annotations
 
 import json
+import os
 import pathlib
+import platform
+import subprocess
 
 import pytest
 
@@ -59,6 +62,41 @@ def ap_seed(request) -> int:
     return request.config.getoption("--ap-seed")
 
 
+def _environment_context() -> dict:
+    """Best-effort description of the machine/tree a benchmark ran on.
+
+    Every field is optional (backfill-safe for older BENCH_*.json files and
+    robust outside a git checkout): failures to resolve one simply omit it.
+    """
+    context: dict = {}
+    try:
+        sha = subprocess.run(
+            ["git", "rev-parse", "HEAD"],
+            cwd=pathlib.Path(__file__).parent,
+            capture_output=True,
+            text=True,
+            timeout=10,
+        )
+        if sha.returncode == 0 and sha.stdout.strip():
+            context["git_sha"] = sha.stdout.strip()
+    except (OSError, subprocess.SubprocessError):
+        pass
+    cpus = os.cpu_count()
+    if cpus:
+        context["cpu_count"] = cpus
+    try:
+        context["platform"] = platform.platform()
+    except OSError:  # pragma: no cover - platform probing never fails on CI
+        pass
+    try:
+        import numpy
+
+        context["numpy_version"] = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        pass
+    return context
+
+
 def _save_report(
     name: str,
     text: str,
@@ -86,13 +124,16 @@ def _save_report(
     OUTPUT_DIRECTORY.mkdir(parents=True, exist_ok=True)
     path = OUTPUT_DIRECTORY / f"{name}.txt"
     path.write_text(text + "\n")
-    context = {}
+    context = _environment_context()
     if ap_backend is not None:
         context["ap_backend"] = ap_backend
     if workers is not None:
         context["workers"] = workers
     if model_width is not None:
         context["model_width"] = model_width
+    if data is not None and hasattr(data, "flat"):
+        # A telemetry MetricsRegistry renders itself into the flat schema.
+        data = data.flat()
     report = {"name": name, "metrics": data or {}}
     if context:
         report["context"] = context

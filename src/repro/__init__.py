@@ -135,7 +135,7 @@ def crosscheck_execution(*args, **kwargs):
     return _crosscheck_execution(*args, **kwargs)
 
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "Session",

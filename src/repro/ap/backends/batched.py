@@ -56,10 +56,14 @@ from repro.ap.backends.vectorized import (
     _cached_lut,
     lut_truth_matrix,
 )
+from repro import telemetry
 from repro.ap.isa import APInstruction, APOpcode, APProgram, ColumnRegion
 from repro.cam.stats import CAMStats
 from repro.rtm.timing import DEFAULT_RTM_TECHNOLOGY, RTMTechnology
+from repro.telemetry.logs import get_logger
 from repro.utils.bitops import max_signed_value, min_signed_value
+
+logger = get_logger(__name__)
 
 #: Soft cap on the stacked bit tensor of one wave chunk; instances beyond it
 #: are processed in equivalence-preserving chunks (instances are independent).
@@ -264,16 +268,25 @@ def _compile_program_wave(
 ) -> Optional[_CompiledWaveProgram]:
     carry = program.carry_column
     if not (0 <= carry < columns) or domains < 1:
+        logger.debug(
+            "wave lowering declined: carry/geometry (carry=%d columns=%d domains=%d)",
+            carry, columns, domains,
+        )
         return None
     bindings = list(program.input_columns.items()) + list(
         program.output_columns.items()
     )
     if not all(_region_fits(region, columns, domains) for _, region in bindings):
+        logger.debug("wave lowering declined: operand binding outside geometry")
         return None
     ops: List[object] = []
     for instruction in program.instructions:
         op = _compile_instruction(instruction, carry, columns, domains)
         if op is None:
+            logger.debug(
+                "wave lowering declined: instruction %s needs per-instance path",
+                instruction.opcode.name,
+            )
             return None
         ops.append(op)
     return _CompiledWaveProgram(
@@ -513,6 +526,17 @@ class _WaveEngine:
 WaveResult = Tuple[CAMStats, List[Dict[str, np.ndarray]], int, np.ndarray]
 
 
+def _decline(reason: str, **detail: object) -> None:
+    """Record one wave decline (debug log + trace instant) and return ``None``.
+
+    The batched path falling back to per-instance dispatch is correct but
+    silent by design; routing every decline through here makes the fallback
+    diagnosable without changing any result.
+    """
+    logger.debug("wave declined: %s %s", reason, detail or "")
+    telemetry.instant("backend.wave_decline", category="device", reason=reason, **detail)
+
+
 def _gather_load(
     name: str,
     region: _Region,
@@ -559,22 +583,31 @@ def execute_program_wave(
     if total == 0:
         return []
     if rows < 1 or columns < 1:
+        _decline("geometry", rows=rows, columns=columns)
         return None
 
     compiled: List[_CompiledWaveProgram] = []
     for program in programs:
         if program.carry_column != carry_column:
+            _decline(
+                "carry-mismatch",
+                program=program.carry_column,
+                wave=carry_column,
+            )
             return None
         lowered = compile_program_wave(program, columns, domains)
         if lowered is None:
+            _decline("program-lowering", columns=columns, domains=domains)
             return None
         compiled.append(lowered)
     if any(len(instance) != len(programs) for instance in inputs_per_instance):
+        _decline("malformed-inputs", programs=len(programs))
         return None
     for program_index, lowered in enumerate(compiled):
         for instance_inputs in inputs_per_instance:
             provided = instance_inputs[program_index]
             if any(name not in provided for name, _ in lowered.loads):
+                _decline("missing-input", program=program_index)
                 return None
 
     # Chunk the wave so the stacked bit tensor and the per-instance output
@@ -584,14 +617,22 @@ def execute_program_wave(
     per_instance_bytes = max(1, rows * columns * domains + 8 * rows * total_outputs)
     chunk = max(1, min(total, _MAX_WAVE_STATE_BYTES // per_instance_bytes))
     results: List[WaveResult] = []
-    for start in range(0, total, chunk):
-        instances = inputs_per_instance[start : start + chunk]
-        chunk_results = _execute_wave_chunk(
-            compiled, instances, rows, columns, domains, carry_column
-        )
-        if chunk_results is None:
-            return None
-        results.extend(chunk_results)
+    with telemetry.span(
+        "backend.wave",
+        category="device",
+        programs=len(programs),
+        instances=total,
+        rows=rows,
+        columns=columns,
+    ):
+        for start in range(0, total, chunk):
+            instances = inputs_per_instance[start : start + chunk]
+            chunk_results = _execute_wave_chunk(
+                compiled, instances, rows, columns, domains, carry_column
+            )
+            if chunk_results is None:
+                return None
+            results.extend(chunk_results)
     return results
 
 
@@ -618,6 +659,7 @@ def _execute_wave_chunk(
                 name, region, program_index, inputs_per_instance, rows
             )
             if gathered is None:
+                _decline("invalid-input", name=name, program=program_index)
                 return None
             engine.load(region, gathered)
         for op in lowered.ops:

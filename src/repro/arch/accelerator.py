@@ -22,6 +22,7 @@ import time
 from dataclasses import dataclass, replace
 from typing import TYPE_CHECKING, Dict, FrozenSet, Iterator, List, Optional, Tuple
 
+from repro import telemetry
 from repro.ap.backends import DEFAULT_BACKEND, BackendSpec, resolve_backend
 from repro.ap.core import AssociativeProcessor
 from repro.arch.config import ArchitectureConfig
@@ -339,6 +340,9 @@ class Accelerator:
         else:
             cached.array.reset()
             cached.active_rows = rows
+        telemetry.instant(
+            "accelerator.lease", category="device", ap=str(tuple(address))
+        )
         return cached
 
     def release_aps(self) -> int:
@@ -422,13 +426,23 @@ class Accelerator:
             self._residency.lease_events += len(grouped)
             self._residency.reprogram_events += tile_programs
             self._residency.reprogram_bits += programming.bits
+        finished = time.perf_counter()
+        telemetry.complete(
+            "accelerator.deploy",
+            started,
+            finished,
+            category="device",
+            plan=plan.name,
+            aps_pinned=len(grouped),
+            tile_programs=tile_programs,
+        )
         return Deployment(
             plan_name=plan.name,
             aps_pinned=len(grouped),
             tile_programs=tile_programs,
             reprogram_events=tile_programs,
             programming=programming,
-            wall_time_s=time.perf_counter() - started,
+            wall_time_s=finished - started,
         )
 
     def account_tile_dispatch(self, tile: "TileProgram") -> bool:
@@ -447,11 +461,20 @@ class Accelerator:
             pin = self._pins.get(tuple(tile.address))
             if pin is not None and tile_key(tile) in pin.tile_keys:
                 self._residency.warm_hits += 1
-                return True
-            self._residency.lease_events += 1
-            self._residency.reprogram_events += 1
-            self._residency.reprogram_bits += tile_weight_bits(tile)
-            return False
+                warm = True
+            else:
+                self._residency.lease_events += 1
+                self._residency.reprogram_events += 1
+                self._residency.reprogram_bits += tile_weight_bits(tile)
+                warm = False
+        if not warm:
+            telemetry.instant(
+                "accelerator.cold_dispatch",
+                category="device",
+                ap=str(tuple(tile.address)),
+                layer=tile.layer_index,
+            )
+        return warm
 
     def is_pinned(self, address: APAddress) -> bool:
         """Whether an AP currently holds a weight-resident (pinned) lease."""

@@ -17,7 +17,16 @@ regenerated without writing Python:
 * ``endurance`` - print the write-endurance analysis,
 * ``check``     - static verification: plan/program verifiers and the
   concurrency lint of :mod:`repro.analysis` (stable ``RPA*`` error codes),
-* ``apbench``   - benchmark / cross-validate the AP execution backends.
+* ``apbench``   - benchmark / cross-validate the AP execution backends,
+* ``trace``     - run a workload with structured tracing on and emit a
+  Chrome-trace JSON (load it in Perfetto / ``chrome://tracing``) plus a
+  top-N span summary,
+* ``version``   - print the installed package version.
+
+``run``, ``infer`` and ``serve`` accept ``--trace out.json`` (collect spans
+and write a Chrome trace) and ``--metrics`` (print the unified metrics
+registry); ``--verbose`` (or ``REPRO_LOG=DEBUG``) turns on the runtime's
+stdlib logging.
 
 ``run``, ``infer`` and ``serve`` are all built on
 :class:`repro.session.Session` - one compile, one weight-resident deploy,
@@ -45,12 +54,39 @@ from repro.perf.endurance import endurance_report
 from repro.perf.model import PerformanceModelConfig, evaluate_model
 
 
+def _version_string() -> str:
+    """The installed package version (falls back to the source tree's)."""
+    try:
+        from importlib.metadata import version
+
+        return version("repro")
+    except Exception:  # pragma: no cover - not installed (PYTHONPATH=src run)
+        from repro import __version__
+
+        return __version__
+
+
+def _add_telemetry_arguments(parser: argparse.ArgumentParser) -> None:
+    """The shared observability flags of the session-backed commands."""
+    parser.add_argument("--trace", metavar="OUT", default=None,
+                        help="collect structured spans and write a "
+                             "Chrome-trace JSON (Perfetto-loadable) here")
+    parser.add_argument("--metrics", action="store_true",
+                        help="print the unified metrics registry (counters, "
+                             "gauges and wall-clock histograms)")
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Build the top-level argument parser."""
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Reproduction of 'Full-Stack Optimization for CAM-Only DNN Inference'",
     )
+    parser.add_argument("--version", action="version",
+                        version=f"repro {_version_string()}")
+    parser.add_argument("-v", "--verbose", action="store_true",
+                        help="enable DEBUG logging on the repro.* loggers "
+                             "(equivalent to REPRO_LOG=DEBUG)")
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     compile_parser = subparsers.add_parser(
@@ -96,6 +132,7 @@ def build_parser() -> argparse.ArgumentParser:
                             help="base seed of the deterministic tile inputs")
     run_parser.add_argument("--no-crosscheck", action="store_true",
                             help="skip the analytic cost-model crosscheck")
+    _add_telemetry_arguments(run_parser)
 
     infer_parser = subparsers.add_parser(
         "infer",
@@ -135,6 +172,7 @@ def build_parser() -> argparse.ArgumentParser:
                                    "logits)")
     infer_parser.add_argument("--no-crosscheck", action="store_true",
                               help="skip the NumPy-reference and cost-model crosschecks")
+    _add_telemetry_arguments(infer_parser)
 
     serve_parser = subparsers.add_parser(
         "serve",
@@ -185,6 +223,7 @@ def build_parser() -> argparse.ArgumentParser:
                                    "the human tables")
     serve_parser.add_argument("--no-crosscheck", action="store_true",
                               help="skip the cost-model crosscheck of the last request")
+    _add_telemetry_arguments(serve_parser)
 
     table2_parser = subparsers.add_parser("table2", help="regenerate Table II")
     table2_parser.add_argument("--slices", type=int, default=12)
@@ -251,6 +290,50 @@ def build_parser() -> argparse.ArgumentParser:
     apbench_parser.add_argument("--seed", type=int, default=0)
     apbench_parser.add_argument("--repeats", type=int, default=3,
                                 help="timing repetitions (best run is reported)")
+
+    trace_parser = subparsers.add_parser(
+        "trace",
+        help="run a workload with tracing on and emit a Chrome-trace JSON "
+             "plus a top-N span summary",
+    )
+    trace_parser.add_argument("--model", choices=available_models(), default="vgg9")
+    trace_parser.add_argument("--width", type=float, default=None,
+                              help="channel-width multiplier (reduced widths keep "
+                                   "the topology but make simulation fast)")
+    trace_parser.add_argument("--bits", type=int, default=4, help="activation precision")
+    trace_parser.add_argument("--sparsity", type=float, default=None,
+                              help="ternary weight sparsity (default: the paper's setting)")
+    trace_parser.add_argument("--requests", type=int, default=2,
+                              help="inference requests traced against the live session")
+    trace_parser.add_argument("--images", type=int, default=2,
+                              help="synthetic input images per request")
+    trace_parser.add_argument(
+        "--executor",
+        choices=available_executors(),
+        default="serial",
+        help="tile-program executor (parallel = process pool)",
+    )
+    trace_parser.add_argument("--workers", type=int, default=None,
+                              help="worker count for pool executors (default: CPU count)")
+    trace_parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=DEFAULT_BACKEND,
+        help="functional AP execution backend",
+    )
+    trace_parser.add_argument("--seed", type=int, default=0,
+                              help="seed of the synthetic input images")
+    trace_parser.add_argument("--pipeline", action="store_true",
+                              help="pipelined dispatch (overlapping device spans "
+                                   "land on disjoint ap-group tracks)")
+    trace_parser.add_argument("--concurrency", type=int, default=1,
+                              help="overlapped client requests in flight at once")
+    trace_parser.add_argument("-o", "--out", default="trace.json",
+                              help="Chrome-trace output path (default: trace.json)")
+    trace_parser.add_argument("--top", type=int, default=12,
+                              help="span names in the printed summary table")
+
+    subparsers.add_parser("version", help="print the installed package version")
     return parser
 
 
@@ -294,7 +377,7 @@ def _session_config(arguments: argparse.Namespace, **extra):
     """Build the consolidated session configuration from CLI flags."""
     from repro.session import SessionConfig
 
-    return SessionConfig(
+    settings = dict(
         model=arguments.model,
         sparsity=arguments.sparsity,
         bits=arguments.bits,
@@ -302,8 +385,37 @@ def _session_config(arguments: argparse.Namespace, **extra):
         workers=arguments.workers,
         backend=arguments.backend,
         name=arguments.model,
-        **extra,
+        trace=getattr(arguments, "trace", None) or False,
+        metrics=bool(getattr(arguments, "metrics", False)),
     )
+    settings.update(extra)
+    return SessionConfig(**settings)
+
+
+def _telemetry_lines(session, arguments: argparse.Namespace) -> list:
+    """Trailing ``--trace``/``--metrics`` output of session-backed commands.
+
+    Must be called while the session is still open (the trace file itself is
+    flushed by ``Session.close()``).
+    """
+    lines = []
+    if getattr(arguments, "metrics", False):
+        rows = [
+            [name, value]
+            for name, value in session.metrics_registry().flat().items()
+        ]
+        lines.extend(
+            ["", format_table(["metric", "value"], rows, title="metrics registry")]
+        )
+    if getattr(arguments, "trace", None):
+        lines.extend(
+            [
+                "",
+                f"trace: {len(session.trace_events())} span events -> "
+                f"{arguments.trace}",
+            ]
+        )
+    return lines
 
 
 def _run_run(arguments: argparse.Namespace) -> str:
@@ -320,6 +432,7 @@ def _run_run(arguments: argparse.Namespace) -> str:
         execution = session.run()
         plan = session.plan
         check = None if arguments.no_crosscheck else session.crosscheck(execution)
+        telemetry_lines = _telemetry_lines(session, arguments)
 
     rows = [
         [
@@ -366,6 +479,7 @@ def _run_run(arguments: argparse.Namespace) -> str:
     if check is not None:
         lines.append("")
         lines.append("crosscheck: " + check.describe())
+    lines.extend(telemetry_lines)
     return "\n".join(lines)
 
 
@@ -397,6 +511,7 @@ def _run_infer(arguments: argparse.Namespace) -> str:
                 bits=arguments.bits,
             )
             check = session.crosscheck()
+        telemetry_lines = _telemetry_lines(session, arguments)
 
     rows = [
         [
@@ -447,6 +562,7 @@ def _run_infer(arguments: argparse.Namespace) -> str:
             # Exit nonzero so CI steps running `repro infer` actually gate on
             # the crosschecks instead of only printing the verdict.
             raise SystemExit("\n".join(lines + ["", "FAILED: crosscheck inconsistent"]))
+    lines.extend(telemetry_lines)
     return "\n".join(lines)
 
 
@@ -487,6 +603,10 @@ def _run_serve(arguments: argparse.Namespace) -> str:
         report = session.report()
         check = None if arguments.no_crosscheck else session.crosscheck()
         described = session.describe()
+        telemetry_lines = _telemetry_lines(session, arguments)
+        registry_flat = (
+            session.metrics_registry().flat() if arguments.metrics else None
+        )
 
     residency = report.residency
     cold_leases = residency.lease_events - deployed.lease_events
@@ -506,11 +626,10 @@ def _run_serve(arguments: argparse.Namespace) -> str:
         metrics["crosscheck_consistent"] = (
             check.consistent if check is not None else None
         )
-        payload = json.dumps(
-            {"name": f"serve_{arguments.model}", "metrics": metrics},
-            indent=2,
-            sort_keys=True,
-        )
+        document = {"name": f"serve_{arguments.model}", "metrics": metrics}
+        if registry_flat is not None:
+            document["registry"] = registry_flat
+        payload = json.dumps(document, indent=2, sort_keys=True)
         if failures:
             # Keep stdout valid JSON for scrapers; the verdict goes to
             # stderr with the nonzero exit code.
@@ -532,6 +651,7 @@ def _run_serve(arguments: argparse.Namespace) -> str:
     )
     if check is not None:
         lines.append("cost-model crosscheck: " + check.describe())
+    lines.extend(telemetry_lines)
     if failures:
         # A live session must serve every request warm; exit nonzero so CI
         # steps running `repro serve` gate on the steady-state claim.
@@ -715,6 +835,67 @@ def _run_apbench(arguments: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _run_trace(arguments: argparse.Namespace) -> str:
+    """``repro trace``: serve a traced workload, write the Chrome trace.
+
+    The session runs with tracing on for its whole lifetime (compile,
+    deploy, every request); the trace file is flushed on close and the
+    top-N spans by total wall-clock are tabulated for a quick look before
+    the JSON ever reaches Perfetto.
+    """
+    from repro.nn.datasets import synthetic_images
+    from repro.nn.models.registry import model_record
+    from repro.session import Session
+    from repro.telemetry import summarize_spans
+
+    record = model_record(arguments.model)
+    config = _session_config(
+        arguments,
+        width=arguments.width,
+        pipeline=arguments.pipeline or arguments.concurrency > 1,
+        concurrency=max(1, arguments.concurrency),
+        trace=arguments.out,
+    )
+    with Session(config) as session:
+        session.compile().deploy()
+        batches = [
+            synthetic_images(
+                record.dataset,
+                batch_size=arguments.images,
+                rng=arguments.seed + request,
+            )
+            for request in range(arguments.requests)
+        ]
+        if arguments.concurrency > 1:
+            for batch in batches:
+                session.submit(batch)
+            session.gather()
+        else:
+            for batch in batches:
+                session.infer(batch)
+        events = session.trace_events()
+        described = session.describe()
+    rows = summarize_spans(events, top=arguments.top)
+    return "\n".join(
+        [
+            described,
+            "",
+            format_table(
+                ["span", "count", "total (ms)", "mean (ms)", "max (ms)"],
+                rows,
+                title=f"top {min(arguments.top, len(rows))} spans "
+                      f"by total wall-clock",
+            ),
+            "",
+            f"trace: {len(events)} span events -> {arguments.out}",
+        ]
+    )
+
+
+def _run_version(_: argparse.Namespace) -> str:
+    return f"repro {_version_string()}"
+
+
 _COMMANDS = {
     "compile": _run_compile,
     "run": _run_run,
@@ -726,13 +907,18 @@ _COMMANDS = {
     "endurance": _run_endurance,
     "check": _run_check,
     "apbench": _run_apbench,
+    "trace": _run_trace,
+    "version": _run_version,
 }
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
     """Entry point used by ``python -m repro`` (returns a process exit code)."""
+    from repro.telemetry.logs import configure_logging
+
     parser = build_parser()
     arguments = parser.parse_args(argv)
+    configure_logging(level="DEBUG" if arguments.verbose else None)
     output = _COMMANDS[arguments.command](arguments)
     print(output)
     return 0

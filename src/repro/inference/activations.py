@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro import telemetry
 from repro.errors import ModelDefinitionError
 from repro.nn.im2col import im2col
 from repro.nn.quantization import QuantizationConfig
@@ -139,7 +140,8 @@ def lower_input_rows(
         raise ModelDefinitionError(
             f"expected (Cin, H, W) or (features,) codes, got shape {codes.shape}"
         )
-    return im2col(codes[None], kernel_size, stride, padding)[0]
+    with telemetry.span("host.lower", category="host", images=1):
+        return im2col(codes[None], kernel_size, stride, padding)[0]
 
 
 def lower_batch_rows(
@@ -165,7 +167,8 @@ def lower_batch_rows(
         raise ModelDefinitionError(
             f"expected (N, Cin, H, W) or (N, features) codes, got shape {codes.shape}"
         )
-    return im2col(codes, kernel_size, stride, padding)
+    with telemetry.span("host.lower", category="host", images=int(codes.shape[0])):
+        return im2col(codes, kernel_size, stride, padding)
 
 
 @dataclass
@@ -236,7 +239,8 @@ class ActivationStore:
         A layer visited again (the next micro-batch of a chunked run) extends
         its entry: traffic bits accumulate and the per-image steps concatenate.
         """
-        codes, steps = quantize_batch(x, self.activation_bits, self.signed)
+        with telemetry.span("host.quantize", category="host", layer=name):
+            codes, steps = quantize_batch(x, self.activation_bits, self.signed)
         bits = int(codes.size) * self.activation_bits
         existing = self._layers.get(name)
         if existing is None:
@@ -268,7 +272,10 @@ class ActivationStore:
         buffers land in a per-image slot, so concurrent driver threads never
         contend on one growing array.  Thread-safe.
         """
-        codes, steps = quantize_batch(x, self.activation_bits, self.signed)
+        with telemetry.span(
+            "host.quantize", category="host", layer=name, image=image
+        ):
+            codes, steps = quantize_batch(x, self.activation_bits, self.signed)
         bits = int(codes.size) * self.activation_bits
         with self._lock:
             slots = self._pending.setdefault(name, {})
@@ -310,7 +317,9 @@ class ActivationStore:
             images: number of images the run processed; every layer must
                 have a slot for each.
         """
-        with self._lock:
+        with self._lock, telemetry.span(
+            "host.finalize", category="host", layers=len(order), images=images
+        ):
             for name in order:
                 slots = self._pending.get(name, {})
                 missing = [image for image in range(images) if image not in slots]

@@ -35,6 +35,7 @@ execution all produce byte-identical logits and counters.
 
 from __future__ import annotations
 
+import itertools
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -44,6 +45,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro import telemetry
 from repro.ap.backends import resolve_backend
 from repro.ap.backends.batched import execute_program_wave
 from repro.ap.core import AssociativeProcessor
@@ -109,20 +111,28 @@ def _inference_tile_worker(payload, ap=None) -> InferenceTileResult:
     """
     tile, image_index, columns, backend, technology, inputs_list = payload
     start = time.perf_counter()
-    if ap is None:
-        ap = AssociativeProcessor(
-            rows=tile.rows, columns=columns, technology=technology, backend=backend
-        )
-    outputs_list = []
-    checksum = 0
-    for program, inputs in zip(tile.programs, inputs_list):
-        outputs = ap.run_program(program, inputs, num_rows=tile.rows)
-        converted: Dict[str, np.ndarray] = {}
-        for name in sorted(outputs):
-            values = np.asarray(outputs[name], dtype=np.int64)
-            checksum += int(values.sum())
-            converted[name] = values
-        outputs_list.append(converted)
+    with telemetry.span(
+        "device.tile",
+        category="device",
+        layer=tile.layer_index,
+        image=image_index,
+        ap=str(tuple(tile.address)),
+        backend=str(backend),
+    ):
+        if ap is None:
+            ap = AssociativeProcessor(
+                rows=tile.rows, columns=columns, technology=technology, backend=backend
+            )
+        outputs_list = []
+        checksum = 0
+        for program, inputs in zip(tile.programs, inputs_list):
+            outputs = ap.run_program(program, inputs, num_rows=tile.rows)
+            converted: Dict[str, np.ndarray] = {}
+            for name in sorted(outputs):
+                values = np.asarray(outputs[name], dtype=np.int64)
+                checksum += int(values.sum())
+                converted[name] = values
+            outputs_list.append(converted)
     return InferenceTileResult(
         image_index=image_index,
         address=tuple(tile.address),
@@ -239,8 +249,9 @@ class _LayerCollector:
 class _PipelinedRequest:
     """Mutable state of one in-flight pipelined inference request."""
 
-    def __init__(self, store: ActivationStore) -> None:
+    def __init__(self, store: ActivationStore, request_id: int = 0) -> None:
         self.store = store
+        self.request_id = request_id
         self.layers: Dict[str, _LayerCollector] = {}
         self.lock = threading.Lock()
 
@@ -382,6 +393,9 @@ class BatchedInference:
         self._patch_refs = 0
         self._patch_cm = None
         self._closed = False
+        #: Monotonic per-engine request ids (span attribute only; results
+        #: carry no id, so numbering never affects the data path).
+        self._request_ids = itertools.count()
 
     # ------------------------------------------------------------------
     # Forward-hook plumbing shared by both dispatch disciplines
@@ -461,6 +475,7 @@ class BatchedInference:
             raise ModelDefinitionError(f"batch must be >= 1, got {batch}")
         if pipelined:
             return self._run_pipelined(images, batch=batch)
+        request_id = next(self._request_ids)
         started = time.perf_counter()
         x, _ = normalize_images(images, self.graph.input_shape)
         self._layer_results = {}
@@ -478,13 +493,23 @@ class BatchedInference:
             else [x[start : start + batch] for start in range(0, x.shape[0], batch)]
         )
         logits = np.concatenate([self._forward(chunk) for chunk in chunks], axis=0)
+        finished = time.perf_counter()
+        telemetry.complete(
+            "session.request",
+            started,
+            finished,
+            category="session",
+            request_id=request_id,
+            images=int(x.shape[0]),
+            mode="layer-sync",
+        )
         execution = PlanExecution(
             name=self.plan.name,
             executor=self.executor.name,
             backend=str(self.backend),
             workers=getattr(self.executor, "workers", 1),
             layers=[self._layer_results[node.name] for node in self.graph.nodes],
-            wall_time_s=time.perf_counter() - started,
+            wall_time_s=finished - started,
         )
         return InferenceResult(
             model=self.plan.name,
@@ -566,12 +591,21 @@ class BatchedInference:
                 )
 
         started = time.perf_counter()
-        results = self.executor.map_layer(
-            _inference_tile_worker,
-            payloads,
-            lease=make_lease(self.accelerator, self._columns, self.backend),
-            wave=_inference_layer_wave,
-        )
+        with telemetry.span(
+            "device.layer",
+            category="device",
+            track=f"ap-group/{planned.layer_index}",
+            layer=node.name,
+            images=num_images,
+            executor=self.executor.name,
+            backend=str(self.backend),
+        ):
+            results = self.executor.map_layer(
+                _inference_tile_worker,
+                payloads,
+                lease=make_lease(self.accelerator, self._columns, self.backend),
+                wave=_inference_layer_wave,
+            )
         wall = time.perf_counter() - started
 
         # Order-independent reduction of the real outputs: exact integer
@@ -660,6 +694,7 @@ class BatchedInference:
         layer-synchronous engine's (only wall-clock and the execution's
         ``mode`` differ).
         """
+        request_id = next(self._request_ids)
         started = time.perf_counter()
         x, _ = normalize_images(images, self.graph.input_shape)
         num_images = int(x.shape[0])
@@ -668,7 +703,7 @@ class BatchedInference:
             signed=self.graph.store.signed,
             keep_tensors=self.graph.store.keep_tensors,
         )
-        request = _PipelinedRequest(store)
+        request = _PipelinedRequest(store, request_id=request_id)
         depth = self.pipeline_depth
         if depth is None:
             depth = min(max(2, len(self.graph.nodes)), 8)
@@ -701,7 +736,17 @@ class BatchedInference:
             raise errors[0]
 
         execution = self._finalize_pipelined(request, num_images)
-        execution.wall_time_s = time.perf_counter() - started
+        finished = time.perf_counter()
+        telemetry.complete(
+            "session.request",
+            started,
+            finished,
+            category="session",
+            request_id=request_id,
+            images=num_images,
+            mode="pipelined",
+        )
+        execution.wall_time_s = finished - started
         # The shared graph.store is deliberately left untouched: overlapping
         # requests (and a concurrent layer-synchronous run) each own their
         # result's store; mutating the shared one here would corrupt theirs.
@@ -772,11 +817,23 @@ class BatchedInference:
         # the lease contract.  Under a wave-capable backend the image's tile
         # set executes as one mega-kernel call on the driver thread (the
         # wave is pure NumPy, so concurrent drivers still overlap).
-        with self.tracker.entered(planned.layer_index):
-            results = _inference_layer_wave(payloads)
-            if results is None:
-                futures = self.executor.submit_tasks(_inference_tile_worker, payloads)
-                results = [future.result() for future in futures]
+        with telemetry.span(
+            "device.layer",
+            category="device",
+            track=f"ap-group/{planned.layer_index}",
+            layer=node.name,
+            image=image,
+            request_id=request.request_id,
+            executor=self.executor.name,
+            backend=str(self.backend),
+        ):
+            with self.tracker.entered(planned.layer_index):
+                results = _inference_layer_wave(payloads)
+                if results is None:
+                    futures = self.executor.submit_tasks(
+                        _inference_tile_worker, payloads
+                    )
+                    results = [future.result() for future in futures]
         wall = time.perf_counter() - started
 
         y_int = np.zeros(

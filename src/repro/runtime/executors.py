@@ -37,6 +37,7 @@ from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Type
 
 import numpy as np
 
+from repro import telemetry
 from repro.ap.backends import DEFAULT_BACKEND
 from repro.cam.stats import CAMStats
 from repro.errors import ConfigurationError
@@ -99,25 +100,33 @@ def run_tile_program(
     from repro.ap.core import AssociativeProcessor
 
     start = time.perf_counter()
-    if ap is None:
-        ap = AssociativeProcessor(
-            rows=tile.rows,
-            columns=columns,
-            technology=technology,
-            backend=backend,
-        )
-    checksum = 0
-    for offset, program in enumerate(tile.programs):
-        inputs = generate_tile_inputs(
-            program,
-            tile.rows,
-            tile.input_seed + offset,
-            tile.activation_bits,
-            tile.signed_activations,
-        )
-        outputs = ap.run_program(program, inputs, num_rows=tile.rows)
-        for name in sorted(outputs):
-            checksum += int(np.asarray(outputs[name], dtype=np.int64).sum())
+    with telemetry.span(
+        "device.tile",
+        category="device",
+        layer=tile.layer_index,
+        tile=tile_index,
+        ap=str(tuple(tile.address)),
+        backend=backend,
+    ):
+        if ap is None:
+            ap = AssociativeProcessor(
+                rows=tile.rows,
+                columns=columns,
+                technology=technology,
+                backend=backend,
+            )
+        checksum = 0
+        for offset, program in enumerate(tile.programs):
+            inputs = generate_tile_inputs(
+                program,
+                tile.rows,
+                tile.input_seed + offset,
+                tile.activation_bits,
+                tile.signed_activations,
+            )
+            outputs = ap.run_program(program, inputs, num_rows=tile.rows)
+            for name in sorted(outputs):
+                checksum += int(np.asarray(outputs[name], dtype=np.int64).sum())
     return TileResult(
         tile_index=tile_index,
         layer_index=tile.layer_index,
@@ -132,6 +141,21 @@ def _pool_worker(payload, ap=None) -> TileResult:
     """Module-level worker so process pools can pickle the call."""
     tile, tile_index, columns, backend, technology = payload
     return run_tile_program(tile, tile_index, columns, backend, technology, ap=ap)
+
+
+def _traced_task(item):
+    """Run one (fn, payload) task under a local span capture and ship both.
+
+    The process-pool shipping protocol: the child cannot record into the
+    parent's tracer (under ``fork`` it inherits a dead copy), so the spans
+    its task opens are captured locally and returned alongside the result;
+    the parent unwraps the pair and absorbs the batch.  Timestamps need no
+    re-basing - ``perf_counter`` is the shared monotonic clock on Linux.
+    """
+    fn, payload = item
+    with telemetry.capture() as tracer:
+        result = fn(payload)
+    return result, tuple(tracer.drain())
 
 
 #: A callable mapping one payload to a pre-leased AP (serial execution only;
@@ -174,6 +198,10 @@ class Executor:
     #: Registry name (e.g. ``"serial"``).
     name = "abstract"
     workers = 1
+    #: Whether workers run in other processes and must ship span batches
+    #: back with results (see ``_traced_task``).  In-process executors record
+    #: straight into the installed tracer.
+    ships_spans = False
 
     def map_tasks(
         self, fn: Callable, payloads: Sequence, lease: Optional[LeaseFn] = None
@@ -207,11 +235,20 @@ class Executor:
         any worker-pool fan-out of interpreted per-tile tasks, and it keeps
         results, counters and ledgers byte-identical across executors.
         """
-        if wave is not None:
-            results = wave(payloads)
-            if results is not None:
-                return results
-        return self.map_tasks(fn, payloads, lease=lease)
+        with telemetry.span(
+            "executor.map_layer",
+            executor=self.name,
+            tasks=len(payloads),
+            wave=wave is not None,
+        ):
+            if wave is not None:
+                results = wave(payloads)
+                if results is not None:
+                    return results
+                telemetry.instant(
+                    "executor.wave_fallback", executor=self.name, tasks=len(payloads)
+                )
+            return self.map_tasks(fn, payloads, lease=lease)
 
     def submit_tasks(
         self, fn: Callable, payloads: Sequence, lease: Optional[LeaseFn] = None
@@ -228,6 +265,9 @@ class Executor:
         ``lease`` is honoured only by in-process execution, exactly like
         :meth:`map_tasks`.
         """
+        telemetry.instant(
+            "executor.submit_tasks", executor=self.name, tasks=len(payloads)
+        )
         futures: List[Future] = []
         for payload in payloads:
             future: Future = Future()
@@ -292,6 +332,7 @@ class ParallelExecutor(Executor):
     """Fans tiles out over a process pool (order-preserving ``map``)."""
 
     name = "parallel"
+    ships_spans = True
 
     def __init__(self, workers: Optional[int] = None) -> None:
         import os
@@ -321,6 +362,20 @@ class ParallelExecutor(Executor):
             return SerialExecutor().map_tasks(fn, payloads, lease=lease)
         pool = self._ensure_pool()
         chunksize = max(1, len(payloads) // (self.workers * 4))
+        tracer = telemetry.get_tracer()
+        if tracer is not None and self.ships_spans:
+            shipped = list(
+                pool.map(
+                    _traced_task,
+                    [(fn, payload) for payload in payloads],
+                    chunksize=chunksize,
+                )
+            )
+            results = []
+            for result, events in shipped:
+                tracer.absorb(events)
+                results.append(result)
+            return results
         return list(pool.map(fn, payloads, chunksize=chunksize))
 
     def submit_tasks(
@@ -331,15 +386,46 @@ class ParallelExecutor(Executor):
         # in map_tasks.
         if self.workers <= 1:
             return super().submit_tasks(fn, payloads, lease=lease)
+        telemetry.instant(
+            "executor.submit_tasks", executor=self.name, tasks=len(payloads)
+        )
         pool = self._ensure_pool()
+        tracer = telemetry.get_tracer()
+        ship = tracer is not None and self.ships_spans
         futures: List[Future] = []
         for payload in payloads:
-            future = pool.submit(fn, payload)
+            if ship:
+                pool_future = pool.submit(_traced_task, (fn, payload))
+                future = self._unwrap_shipped(pool_future, tracer)
+            else:
+                future = pool.submit(fn, payload)
+                pool_future = future
             with self._inflight_lock:
-                self._inflight.add(future)
-            future.add_done_callback(self._discard_inflight)
+                self._inflight.add(pool_future)
+            pool_future.add_done_callback(self._discard_inflight)
             futures.append(future)
         return futures
+
+    def _unwrap_shipped(self, pool_future: Future, tracer) -> Future:
+        """Chain a pool future carrying ``(result, spans)`` to a plain one.
+
+        The pool future stays in ``_inflight`` (so :meth:`drain` still waits
+        on the real worker); callers get a fresh future that settles - after
+        the parent absorbs the shipped span batch - with the bare result.
+        """
+        unwrapped: Future = Future()
+
+        def _settle(done: Future) -> None:
+            try:
+                result, events = done.result()
+            except BaseException as error:  # noqa: BLE001 - re-settled below
+                unwrapped.set_exception(error)
+            else:
+                tracer.absorb(events)
+                unwrapped.set_result(result)
+
+        pool_future.add_done_callback(_settle)
+        return unwrapped
 
     def _discard_inflight(self, future: Future) -> None:
         with self._inflight_lock:
@@ -361,9 +447,15 @@ class ParallelExecutor(Executor):
 
 
 class ThreadExecutor(ParallelExecutor):
-    """Fans tiles out over a thread pool (shares the process heap)."""
+    """Fans tiles out over a thread pool (shares the process heap).
+
+    Worker threads record spans straight into the installed tracer (their
+    distinct tids become per-worker tracks in the Chrome export), so no
+    shipping protocol is needed.
+    """
 
     name = "thread"
+    ships_spans = False
 
     def _ensure_pool(self) -> ThreadPoolExecutor:  # type: ignore[override]
         if self._pool is None:

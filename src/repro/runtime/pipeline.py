@@ -43,6 +43,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Hashable, List, Optional, Sequence, Tuple
 
+from repro import telemetry
 from repro.errors import ConfigurationError, SimulationError
 from repro.runtime.executors import LeaseFn, _pool_worker
 from repro.runtime.plan import ExecutionPlan
@@ -259,7 +260,13 @@ class PipelineScheduler(Scheduler):
                 # in other processes).
                 self.accelerator.account_tile_dispatch(tile)
 
-        results = self.run_graph(tasks)
+        with telemetry.span(
+            "pipeline.run",
+            tasks=len(tasks),
+            executor=self.executor.name,
+            backend=str(self.backend),
+        ):
+            results = self.run_graph(tasks)
 
         execution = PlanExecution(
             name=plan.name,
@@ -352,6 +359,11 @@ class PipelineScheduler(Scheduler):
                 if not self.tracker.try_enter(task.group):
                     blocked.append(key)
                     continue
+                telemetry.instant(
+                    "pipeline.frontier_pop",
+                    group=str(task.group),
+                    key=str(task.key),
+                )
                 futures = self.executor.submit_tasks(
                     task.fn, [task.payload], lease=lease
                 )

@@ -20,10 +20,12 @@ which order, or on how many workers.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from functools import cached_property
 from typing import Dict, Iterator, List, Optional, Tuple
 
+from repro import telemetry
 from repro.ap.isa import APProgram
 from repro.arch.accelerator import Accelerator, APAddress
 from repro.arch.allocator import AllocationPlan, LayerAllocation, allocate_model
@@ -301,6 +303,7 @@ def build_execution_plan(
         raise ConfigurationError(
             f"unknown placement {placement!r}; expected 'shared' or 'resident'"
         )
+    build_started = time.perf_counter()
     accelerator = accelerator or Accelerator()
     architecture = accelerator.config
     if allocation is None:
@@ -415,4 +418,13 @@ def build_execution_plan(
         from repro.analysis.plan import verify_execution_plan
 
         verify_execution_plan(plan, accelerator, compiled=compiled).raise_for_errors()
+    telemetry.complete(
+        "runtime.build_plan",
+        build_started,
+        time.perf_counter(),
+        plan=plan.name,
+        placement=placement,
+        layers=len(plan.layers),
+        tiles=sum(len(layer.tiles) for layer in plan.layers),
+    )
     return plan

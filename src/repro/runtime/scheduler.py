@@ -28,6 +28,7 @@ import time
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional
 
+from repro import telemetry
 from repro.cam.stats import CAMStats
 from repro.errors import ConfigurationError
 from repro.perf.breakdown import EnergyBreakdown, LatencyBreakdown
@@ -315,13 +316,20 @@ class Scheduler:
             # everything else charges a lease + CAM reprogram.
             self.accelerator.account_tile_dispatch(tile)
         started = time.perf_counter()
-        results = self.executor.run(
-            layer.tiles,
-            columns,
-            backend=self.backend,
-            technology=technology,
-            accelerator=self.accelerator,
-        )
+        with telemetry.span(
+            "scheduler.layer",
+            layer=layer.name,
+            tiles=len(layer.tiles),
+            executor=self.executor.name,
+            backend=str(self.backend),
+        ):
+            results = self.executor.run(
+                layer.tiles,
+                columns,
+                backend=self.backend,
+                technology=technology,
+                accelerator=self.accelerator,
+            )
         wall = time.perf_counter() - started
 
         movement = charge_adder_tree_movement(self.accelerator, layer)

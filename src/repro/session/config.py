@@ -75,6 +75,15 @@ class SessionConfig:
             :meth:`~repro.session.session.Session.submit` requests - how
             many client requests may be in flight over the one pinned plan
             at the same time.
+        trace: structured tracing.  ``False`` (default) leaves the process
+            tracer untouched (single disabled-check fast path at every
+            instrumentation site); ``True`` installs a tracer for the
+            session's lifetime; a path string installs one *and* writes a
+            Chrome-trace JSON there when the session closes.
+        metrics: mirror the session's ledgers (CAM phase/bit counters,
+            residency, movement, wall-clock histograms) into a
+            :class:`~repro.telemetry.metrics.MetricsRegistry` exposed as
+            :attr:`Session.metrics <repro.session.session.Session.metrics>`.
     """
 
     model: Union[str, Module] = "vgg9"
@@ -98,8 +107,14 @@ class SessionConfig:
     pipeline: bool = False
     pipeline_depth: Optional[int] = None
     concurrency: int = 2
+    trace: Union[bool, str] = False
+    metrics: bool = False
 
     def __post_init__(self) -> None:
+        if not isinstance(self.trace, (bool, str)):
+            raise ConfigurationError(
+                f"trace must be a bool or an output path, got {self.trace!r}"
+            )
         if self.bits < 1:
             raise ConfigurationError(f"bits must be >= 1, got {self.bits}")
         if self.slices is not None and self.slices < 1:
@@ -123,6 +138,18 @@ class SessionConfig:
         functional inference needs every input-channel slice of every layer.
         """
         return self.slices is None and self.layers is None
+
+    @property
+    def trace_enabled(self) -> bool:
+        """Whether the session should install a tracer for its lifetime."""
+        return bool(self.trace)
+
+    @property
+    def trace_path(self) -> Optional[str]:
+        """Chrome-trace output path, when ``trace`` names one."""
+        if isinstance(self.trace, str) and self.trace:
+            return self.trace
+        return None
 
     @property
     def display_name(self) -> str:

@@ -33,14 +33,18 @@ deprecation shims.
 from __future__ import annotations
 
 import enum
+import os
 import threading
+import time
 from concurrent.futures import Future, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, List, Optional, Sequence, Union
 
 import numpy as np
 
+from repro import telemetry
 from repro.arch.accelerator import Accelerator, Deployment, ResidencyLedger
+from repro.cam.stats import CAMStats
 from repro.core.compiler import CompiledModel, CompilerConfig, compile_model
 from repro.errors import CapacityError, SessionStateError
 from repro.inference.engine import BatchedInference, InferenceResult
@@ -62,6 +66,9 @@ from repro.runtime.plan import (
 from repro.runtime.pipeline import PipelineScheduler
 from repro.runtime.scheduler import PlanExecution, Scheduler
 from repro.session.config import SessionConfig
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.telemetry.metrics import MetricsRegistry
 
 
 class SessionState(enum.Enum):
@@ -141,42 +148,69 @@ class SessionReport:
         """Mean functional energy of one served request."""
         return self.cost.per_request_energy_uj
 
+    def to_registry(self) -> "MetricsRegistry":
+        """Render the report into a :class:`~repro.telemetry.metrics.MetricsRegistry`.
+
+        Counters carry the monotonic event/traffic totals, gauges the
+        point-in-time cost figures.  Metric names equal the flat keys
+        :meth:`to_metrics` has always emitted, so ``registry.flat()`` is the
+        exact ``repro serve --json`` payload.
+        """
+        from repro.telemetry.metrics import MetricsRegistry
+
+        registry = MetricsRegistry()
+        registry.counter("requests", "requests served").inc(self.requests)
+        registry.counter("images", "images processed").inc(self.images)
+        registry.gauge("aps_pinned", "APs pinned by the deploy").set(
+            self.deployment.aps_pinned if self.deployment else 0
+        )
+        registry.gauge("tile_programs_resident", "resident tile programs").set(
+            self.deployment.tile_programs if self.deployment else 0
+        )
+        registry.counter("cam_bits_programmed", "CAM bits programmed").inc(
+            self.deployment.weight_bits if self.deployment else 0.0
+        )
+        registry.gauge("deploy_energy_uj").set(self.cost.deploy_energy_uj)
+        registry.gauge("deploy_latency_ms").set(self.cost.deploy_latency_ms)
+        registry.gauge("per_request_energy_uj").set(self.cost.per_request_energy_uj)
+        registry.gauge("per_request_latency_ms").set(
+            self.cost.per_request_latency_ms
+        )
+        registry.gauge("request_wall_s").set(self.request_wall_s)
+        registry.counter("cold_lease_events").inc(self.residency.lease_events)
+        registry.counter("cam_reprogram_events").inc(
+            self.residency.reprogram_events
+        )
+        registry.counter("warm_dispatches").inc(self.residency.warm_hits)
+        if self.requests:
+            registry.gauge("amortized_energy_uj").set(
+                self.cost.amortized_energy_uj()
+            )
+            registry.gauge("amortized_latency_ms").set(
+                self.cost.amortized_latency_ms()
+            )
+        if self.pipeline is not None:
+            registry.gauge("pipeline_stages").set(self.pipeline.stages)
+            registry.gauge("pipeline_fill_ms").set(self.pipeline.fill_ms)
+            registry.gauge("pipeline_steady_interval_ms").set(
+                self.pipeline.bottleneck_ms
+            )
+            registry.gauge("pipeline_batch_ms").set(
+                self.pipeline.pipelined_latency_ms
+            )
+            registry.gauge("pipeline_speedup").set(self.pipeline.speedup)
+            registry.gauge("pipeline_steady_state_speedup").set(
+                self.pipeline.steady_state_speedup
+            )
+        return registry
+
     def to_metrics(self) -> dict:
         """Flat metric dict (the machine-readable ``repro serve --json``
         payload; same shape as the ``metrics`` object of the benchmark
-        harness's ``BENCH_<name>.json`` files)."""
-        metrics = {
-            "requests": self.requests,
-            "images": self.images,
-            "aps_pinned": self.deployment.aps_pinned if self.deployment else 0,
-            "tile_programs_resident": (
-                self.deployment.tile_programs if self.deployment else 0
-            ),
-            "cam_bits_programmed": (
-                self.deployment.weight_bits if self.deployment else 0.0
-            ),
-            "deploy_energy_uj": self.cost.deploy_energy_uj,
-            "deploy_latency_ms": self.cost.deploy_latency_ms,
-            "per_request_energy_uj": self.cost.per_request_energy_uj,
-            "per_request_latency_ms": self.cost.per_request_latency_ms,
-            "request_wall_s": self.request_wall_s,
-            "cold_lease_events": self.residency.lease_events,
-            "cam_reprogram_events": self.residency.reprogram_events,
-            "warm_dispatches": self.residency.warm_hits,
-        }
-        if self.requests:
-            metrics["amortized_energy_uj"] = self.cost.amortized_energy_uj()
-            metrics["amortized_latency_ms"] = self.cost.amortized_latency_ms()
-        if self.pipeline is not None:
-            metrics["pipeline_stages"] = self.pipeline.stages
-            metrics["pipeline_fill_ms"] = self.pipeline.fill_ms
-            metrics["pipeline_steady_interval_ms"] = self.pipeline.bottleneck_ms
-            metrics["pipeline_batch_ms"] = self.pipeline.pipelined_latency_ms
-            metrics["pipeline_speedup"] = self.pipeline.speedup
-            metrics["pipeline_steady_state_speedup"] = (
-                self.pipeline.steady_state_speedup
-            )
-        return metrics
+        harness's ``BENCH_<name>.json`` files).  Rendered through
+        :meth:`to_registry` - keys and values are unchanged from the
+        pre-registry schema."""
+        return self.to_registry().flat()
 
     def to_text(self) -> str:
         """Human-readable report used by ``repro serve``."""
@@ -328,6 +362,14 @@ class Session:
         self._pending: List[PendingRequest] = []
         self._submit_lock = threading.Lock()
         self._submitted = 0
+        #: Structured tracing: installed for the session's lifetime when
+        #: ``config.trace`` asks for it.  A tracer that was already
+        #: installed (an enclosing session, a test harness) is shared and
+        #: never uninstalled by this session's close().
+        self._owns_tracer = config.trace_enabled and not telemetry.enabled()
+        self._tracer: Optional[telemetry.Tracer] = (
+            telemetry.install() if config.trace_enabled else None
+        )
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -365,16 +407,22 @@ class Session:
         specs = model_layer_specs(self.model, self.input_shape)
         if config.layers is not None:
             specs = specs[: config.layers]
-        self.compiled = compile_model(
-            specs,
-            CompilerConfig(
-                activation_bits=config.bits,
-                signed_activations=config.signed,
-                max_slices_per_layer=config.slices,
-            ),
-            name=config.display_name,
-            emit_programs=True,
-        )
+        with telemetry.span(
+            "session.compile",
+            category="session",
+            model=config.display_name,
+            layers=len(specs),
+        ):
+            self.compiled = compile_model(
+                specs,
+                CompilerConfig(
+                    activation_bits=config.bits,
+                    signed_activations=config.signed,
+                    max_slices_per_layer=config.slices,
+                ),
+                name=config.display_name,
+                emit_programs=True,
+            )
         self.state = SessionState.COMPILED
         return self
 
@@ -389,6 +437,7 @@ class Session:
         """
         self._require(SessionState.COMPILED)
         config = self.config
+        deploy_started = time.perf_counter()
         accelerator = self.accelerator
         if accelerator is None:
             accelerator = (
@@ -441,6 +490,16 @@ class Session:
                 pipeline_depth=config.pipeline_depth,
             )
         self.state = SessionState.DEPLOYED
+        telemetry.complete(
+            "session.deploy",
+            deploy_started,
+            time.perf_counter(),
+            category="session",
+            model=config.display_name,
+            executor=self._executor.name,
+            backend=str(backend),
+            aps_pinned=self.deployment.aps_pinned,
+        )
         return self
 
     # ------------------------------------------------------------------
@@ -670,6 +729,53 @@ class Session:
             pipeline=pipeline,
         )
 
+    @property
+    def tracer(self) -> Optional[telemetry.Tracer]:
+        """The session's tracer (``None`` unless ``config.trace`` is set)."""
+        return self._tracer
+
+    def trace_events(self) -> List[telemetry.SpanEvent]:
+        """Snapshot of the spans collected so far (empty when not tracing)."""
+        return self._tracer.events() if self._tracer is not None else []
+
+    def write_trace(self, path: Union[str, "os.PathLike[str]"]) -> int:
+        """Write the collected spans as Chrome-trace JSON; returns the count."""
+        events = self.trace_events()
+        telemetry.write_chrome_trace(path, events)
+        return len(events)
+
+    def metrics_registry(self) -> "MetricsRegistry":
+        """One registry over every ledger: report, CAM, residency, movement.
+
+        Mirrors the session's existing ledgers (they stay the source of
+        truth) plus - when tracing is on - the wall-clock histograms folded
+        from the collected spans.
+        """
+        from repro.telemetry import metrics as metrics_mod
+
+        if self.deployment is not None:
+            registry = self.report().to_registry()
+        else:
+            registry = metrics_mod.MetricsRegistry()
+        if self._requests:
+            total = CAMStats()
+            for record in self._requests:
+                total = total.merge(record.execution.total_stats)
+            metrics_mod.record_cam_stats(registry, total)
+        if self.accelerator is not None:
+            metrics_mod.record_residency(registry, self.accelerator.residency)
+            metrics_mod.record_movement(
+                registry, self.accelerator.movement_ledger()
+            )
+        if self._tracer is not None:
+            metrics_mod.record_span_latencies(registry, self._tracer.events())
+        return registry
+
+    @property
+    def metrics(self) -> "MetricsRegistry":
+        """The unified metrics registry (built on demand from the ledgers)."""
+        return self.metrics_registry()
+
     def describe(self) -> str:
         """One-line summary used by the CLI."""
         parts = [f"session {self.config.display_name!r} ({self.state.value})"]
@@ -707,10 +813,24 @@ class Session:
                 elif self._executor is not None:
                     self._executor.close()
             finally:
-                if self.accelerator is not None:
-                    self.accelerator.unpin_aps()
-                    if self._driver is None:
-                        self.accelerator.release_aps()
+                try:
+                    if self.accelerator is not None:
+                        self.accelerator.unpin_aps()
+                        if self._driver is None:
+                            self.accelerator.release_aps()
+                finally:
+                    self._finalize_trace()
+
+    def _finalize_trace(self) -> None:
+        """Flush the trace file (if configured) and release an owned tracer."""
+        tracer = self._tracer
+        if tracer is None:
+            return
+        path = self.config.trace_path
+        if path is not None:
+            telemetry.write_chrome_trace(path, tracer.events())
+        if self._owns_tracer and telemetry.get_tracer() is tracer:
+            telemetry.uninstall()
 
     def __enter__(self) -> "Session":
         return self

@@ -1,0 +1,228 @@
+"""Trace exporters: Chrome trace-event JSON and a plain JSONL event log.
+
+The Chrome format (loadable in Perfetto / ``chrome://tracing``) renders each
+worker thread - and each logical *track* such as an AP group - as its own
+row, which is what makes pipeline overlap visible: two device spans open at
+the same instant on disjoint ``ap-group/N`` rows are two resident layer
+groups working concurrently.
+
+Only the stable subset of the trace-event schema is emitted:
+
+* ``X`` (complete) events with ``ts``/``dur`` in microseconds,
+* ``i`` (instant) events with scope ``t`` (thread),
+* ``M`` (metadata) events naming processes and threads/tracks.
+
+:func:`validate_chrome_trace` checks exactly the contract the test suite
+relies on (every event carries ``pid``/``tid``/``ts``; complete events carry
+a non-negative ``dur``; timestamps are finite and non-negative).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.telemetry.trace import SpanEvent
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+    "read_jsonl",
+    "validate_chrome_trace",
+    "summarize_spans",
+]
+
+#: Synthetic tid base for named tracks (real thread ids stay below this).
+_TRACK_TID_BASE = 1_000_000
+
+
+def _json_safe(value: Any) -> Any:
+    """Coerce span args to JSON-serializable primitives."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    if isinstance(value, (list, tuple)):
+        return [_json_safe(item) for item in value]
+    if isinstance(value, dict):
+        return {str(key): _json_safe(item) for key, item in value.items()}
+    return str(value)
+
+
+def chrome_trace(events: Sequence[SpanEvent]) -> Dict[str, Any]:
+    """Render events as a Chrome trace-event JSON object.
+
+    Events carrying a ``track`` label are assigned a stable synthetic tid
+    per ``(pid, track)`` and a ``thread_name`` metadata row, so every AP
+    group (and any other logical lane) gets its own named row in the viewer;
+    events without a track keep their real thread id, named after the
+    recording thread.
+    """
+    track_tids: Dict[Tuple[int, str], int] = {}
+    thread_names: Dict[Tuple[int, int], str] = {}
+    pids: Dict[int, None] = {}
+    trace_events: List[Dict[str, Any]] = []
+
+    for event in sorted(events, key=lambda item: item.ts_us):
+        pids.setdefault(event.pid, None)
+        if event.track is not None:
+            key = (event.pid, event.track)
+            tid = track_tids.get(key)
+            if tid is None:
+                tid = _TRACK_TID_BASE + len(track_tids)
+                track_tids[key] = tid
+            thread_names[(event.pid, tid)] = event.track
+        else:
+            tid = event.tid
+            if event.thread_name:
+                thread_names.setdefault((event.pid, tid), event.thread_name)
+        entry: Dict[str, Any] = {
+            "name": event.name,
+            "cat": event.category,
+            "ph": event.phase,
+            "ts": event.ts_us,
+            "pid": event.pid,
+            "tid": tid,
+            "args": _json_safe(dict(event.args)),
+        }
+        if event.phase == "X":
+            entry["dur"] = event.dur_us
+        elif event.phase == "i":
+            entry["s"] = "t"
+        trace_events.append(entry)
+
+    metadata: List[Dict[str, Any]] = []
+    for pid in pids:
+        metadata.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"repro pid {pid}"},
+            }
+        )
+    for (pid, tid), label in sorted(thread_names.items()):
+        metadata.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": tid,
+                "args": {"name": label},
+            }
+        )
+    return {"traceEvents": metadata + trace_events, "displayTimeUnit": "ms"}
+
+
+def write_chrome_trace(
+    path: Union[str, Path], events: Sequence[SpanEvent]
+) -> Path:
+    """Write a Chrome trace-event JSON file; returns the path written."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    target.write_text(json.dumps(chrome_trace(events)) + "\n")
+    return target
+
+
+def write_jsonl(path: Union[str, Path], events: Sequence[SpanEvent]) -> Path:
+    """Write events as one JSON object per line (the plain event log)."""
+    target = Path(path)
+    target.parent.mkdir(parents=True, exist_ok=True)
+    with target.open("w") as handle:
+        for event in events:
+            handle.write(
+                json.dumps(
+                    {
+                        "name": event.name,
+                        "ph": event.phase,
+                        "cat": event.category,
+                        "ts_us": event.ts_us,
+                        "dur_us": event.dur_us,
+                        "pid": event.pid,
+                        "tid": event.tid,
+                        "track": event.track,
+                        "thread": event.thread_name,
+                        "args": _json_safe(dict(event.args)),
+                    },
+                    sort_keys=True,
+                )
+                + "\n"
+            )
+    return target
+
+
+def read_jsonl(path: Union[str, Path]) -> List[Dict[str, Any]]:
+    """Load a JSONL event log back into dicts (round-trip helper)."""
+    lines = Path(path).read_text().splitlines()
+    return [json.loads(line) for line in lines if line.strip()]
+
+
+def validate_chrome_trace(payload: Dict[str, Any]) -> List[str]:
+    """Check a Chrome trace object against the schema subset we emit.
+
+    Returns a list of problems (empty = valid): every event needs ``name``,
+    ``ph``, ``pid``, ``tid`` and - except metadata - a finite non-negative
+    ``ts``; complete (``X``) events need a non-negative ``dur``; only the
+    phases this exporter produces are accepted.
+    """
+    problems: List[str] = []
+    events = payload.get("traceEvents")
+    if not isinstance(events, list):
+        return ["traceEvents missing or not a list"]
+    for index, event in enumerate(events):
+        where = f"event[{index}]"
+        if not isinstance(event, dict):
+            problems.append(f"{where}: not an object")
+            continue
+        for key in ("name", "ph", "pid", "tid"):
+            if key not in event:
+                problems.append(f"{where}: missing {key!r}")
+        phase = event.get("ph")
+        if phase not in ("X", "i", "M"):
+            problems.append(f"{where}: unexpected phase {phase!r}")
+            continue
+        if phase == "M":
+            continue
+        ts = event.get("ts")
+        if not isinstance(ts, (int, float)) or ts < 0 or ts != ts:
+            problems.append(f"{where}: bad ts {ts!r}")
+        if phase == "X":
+            dur = event.get("dur")
+            if not isinstance(dur, (int, float)) or dur < 0:
+                problems.append(f"{where}: bad dur {dur!r}")
+    return problems
+
+
+def summarize_spans(
+    events: Iterable[SpanEvent], top: Optional[int] = None
+) -> List[List[object]]:
+    """Aggregate complete spans by name into report rows.
+
+    Returns ``[name, count, total ms, mean ms, max ms]`` rows sorted by
+    total duration (descending), truncated to ``top`` rows when given - the
+    payload of the ``repro trace`` summary table.
+    """
+    totals: Dict[str, Tuple[int, float, float]] = {}
+    for event in events:
+        if event.phase != "X":
+            continue
+        count, total, peak = totals.get(event.name, (0, 0.0, 0.0))
+        totals[event.name] = (
+            count + 1,
+            total + event.dur_us,
+            max(peak, event.dur_us),
+        )
+    rows = [
+        [
+            name,
+            count,
+            f"{total / 1e3:.3f}",
+            f"{total / count / 1e3:.3f}",
+            f"{peak / 1e3:.3f}",
+        ]
+        for name, (count, total, peak) in sorted(
+            totals.items(), key=lambda item: item[1][1], reverse=True
+        )
+    ]
+    return rows[:top] if top is not None else rows

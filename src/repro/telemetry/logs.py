@@ -1,0 +1,82 @@
+"""Stdlib ``logging`` wiring for the ``repro`` package.
+
+Every module gets its logger via :func:`get_logger` (namespaced
+``repro.<module>`` so handlers and levels can be scoped per subsystem), and
+:func:`configure_logging` installs one stderr handler on the ``repro`` root
+logger.  The level comes from (highest precedence first) the explicit
+``level`` argument, the ``REPRO_LOG`` environment variable, or the default
+``WARNING`` - so the library is silent unless asked, and ``repro --verbose``
+or ``REPRO_LOG=debug`` light up the decline/fallback paths that used to be
+silent.
+"""
+
+from __future__ import annotations
+
+import logging
+import os
+import sys
+from typing import Optional, Union
+
+__all__ = ["get_logger", "configure_logging", "LOG_ENV_VAR"]
+
+#: Environment variable consulted for the default log level.
+LOG_ENV_VAR = "REPRO_LOG"
+
+_ROOT = "repro"
+_FORMAT = "%(asctime)s %(levelname)-7s %(name)s: %(message)s"
+
+
+def get_logger(name: str) -> logging.Logger:
+    """Logger for one repro module: ``get_logger(__name__)``.
+
+    Accepts either a fully-qualified module name (``repro.ap.backends``) or
+    a bare suffix (``backends``); everything lands under the ``repro``
+    namespace so one handler covers the package.
+    """
+    if name == _ROOT or name.startswith(_ROOT + "."):
+        return logging.getLogger(name)
+    return logging.getLogger(f"{_ROOT}.{name}")
+
+
+def _resolve_level(level: Optional[Union[int, str]]) -> int:
+    if level is None:
+        level = os.environ.get(LOG_ENV_VAR, "WARNING")
+    if isinstance(level, int):
+        return level
+    resolved = logging.getLevelName(str(level).upper())
+    if not isinstance(resolved, int):
+        raise ValueError(f"unknown log level {level!r}")
+    return resolved
+
+
+def configure_logging(
+    level: Optional[Union[int, str]] = None,
+    stream: Optional[object] = None,
+) -> logging.Logger:
+    """Install (idempotently) the package's stderr handler and set the level.
+
+    Args:
+        level: explicit level name or number; falls back to ``REPRO_LOG``,
+            then ``WARNING``.
+        stream: alternative output stream (tests); default stderr.
+
+    Returns the ``repro`` root logger.  Calling again adjusts the level
+    without stacking handlers.
+    """
+    logger = logging.getLogger(_ROOT)
+    logger.setLevel(_resolve_level(level))
+    tagged = [
+        handler
+        for handler in logger.handlers
+        if getattr(handler, "_repro_handler", False)
+    ]
+    if stream is not None:
+        for handler in tagged:
+            logger.removeHandler(handler)
+        tagged = []
+    if not tagged:
+        handler = logging.StreamHandler(stream if stream is not None else sys.stderr)  # type: ignore[arg-type]
+        handler.setFormatter(logging.Formatter(_FORMAT))
+        handler._repro_handler = True  # type: ignore[attr-defined]
+        logger.addHandler(handler)
+    return logger

@@ -1,0 +1,416 @@
+"""Structured tracing: nestable spans with stable attributes, ring-buffered.
+
+The tracer is the runtime's *measurement substrate*: every execution layer
+(session compile/deploy, plan building, scheduler dispatch, executor fan-out,
+device work on AP groups, host activation dataflow) opens spans through the
+module-level :func:`span` / :func:`instant` helpers.  Design constraints, in
+order:
+
+1. **Disabled by default with a no-op fast path.**  Tracing off is the
+   production configuration; an instrumentation site must cost one
+   module-level check (``_ACTIVE is None``) plus a shared no-op context
+   manager.  No event object, no timestamp, no lock is touched.  The
+   ``bench_telemetry`` benchmark gates this overhead.
+2. **Byte-identity.**  Instrumentation never touches the data path: spans
+   wrap work, they do not reorder, retry or batch it.  Traced and untraced
+   runs produce byte-identical logits and ledgers (asserted in
+   ``tests/telemetry/test_equivalence.py``).
+3. **Concurrency-safe collection.**  Driver threads, executor pools and
+   overlapped serving requests all record into one bounded ring buffer
+   (appends are lock-guarded; the buffer drops the *oldest* events once full
+   and counts the drops).  Child processes of the ``parallel`` executor
+   cannot share the parent's buffer - they record into a local capture
+   (:func:`capture`) and ship the span batch back with the task result,
+   where the pool unwraps and absorbs it (:meth:`Tracer.absorb`).
+
+Timestamps come from :func:`time.perf_counter` (monotonic); on Linux the
+clock is shared across forked worker processes, so shipped child spans land
+on the parent's timeline without re-basing.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from types import TracebackType
+from typing import Any, Deque, Dict, Iterator, List, Mapping, Optional, Tuple, Type
+
+__all__ = [
+    "SpanEvent",
+    "Tracer",
+    "ActiveSpan",
+    "enabled",
+    "get_tracer",
+    "install",
+    "uninstall",
+    "span",
+    "instant",
+    "complete",
+    "capture",
+]
+
+#: Default ring-buffer capacity (events); ~100 MB worst case of small dicts.
+DEFAULT_CAPACITY = 262_144
+
+
+@dataclass(frozen=True)
+class SpanEvent:
+    """One completed trace event (a span or an instant).
+
+    ``ts_us``/``dur_us`` are microseconds on the :func:`time.perf_counter`
+    timeline.  ``phase`` follows the Chrome trace-event vocabulary the
+    exporter emits: ``"X"`` (complete span) or ``"i"`` (instant).
+    ``track`` optionally names a logical lane (e.g. ``"ap-group/3"``) that
+    the Chrome exporter renders as its own thread row, which is what makes
+    pipeline overlap *visible*; events without a track render on their real
+    (pid, tid) worker row.
+    """
+
+    name: str
+    ts_us: float
+    dur_us: float
+    pid: int
+    tid: int
+    phase: str = "X"
+    category: str = "runtime"
+    track: Optional[str] = None
+    thread_name: Optional[str] = None
+    args: Mapping[str, Any] = field(default_factory=dict)
+
+    @property
+    def end_us(self) -> float:
+        """Timestamp at which the span closed."""
+        return self.ts_us + self.dur_us
+
+
+class _NullSpan:
+    """Shared no-op context manager returned while tracing is disabled."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        return None
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class ActiveSpan:
+    """An open span: measures wall-clock between ``__enter__``/``__exit__``.
+
+    Created by :meth:`Tracer.span`; records one :class:`SpanEvent` into the
+    tracer's ring buffer when it closes.  Exception-safe: the event is
+    recorded (with an ``error`` arg) even when the body raises.
+    """
+
+    __slots__ = ("_tracer", "name", "category", "track", "args", "_start")
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        category: str,
+        track: Optional[str],
+        args: Dict[str, Any],
+    ) -> None:
+        self._tracer = tracer
+        self.name = name
+        self.category = category
+        self.track = track
+        self.args = args
+        self._start = 0.0
+
+    def __enter__(self) -> "ActiveSpan":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        end = time.perf_counter()
+        if exc_type is not None:
+            self.args = dict(self.args)
+            self.args["error"] = exc_type.__name__
+        self._tracer.record(
+            SpanEvent(
+                name=self.name,
+                ts_us=self._start * 1e6,
+                dur_us=(end - self._start) * 1e6,
+                pid=os.getpid(),
+                tid=threading.get_ident(),
+                phase="X",
+                category=self.category,
+                track=self.track,
+                thread_name=threading.current_thread().name,
+                args=self.args,
+            )
+        )
+        return None
+
+
+class Tracer:
+    """Thread-safe, ring-buffered span collector.
+
+    Args:
+        capacity: maximum retained events; once full, the *oldest* events
+            are dropped (and counted in :attr:`dropped`) so a long-running
+            session keeps its most recent window.
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError(f"tracer capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._events: Deque[SpanEvent] = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._dropped = 0
+
+    # ------------------------------------------------------------------
+    def record(self, event: SpanEvent) -> None:
+        """Append one completed event (thread-safe)."""
+        with self._lock:
+            if len(self._events) == self.capacity:
+                self._dropped += 1
+            self._events.append(event)
+
+    def absorb(self, events: Tuple[SpanEvent, ...]) -> None:
+        """Merge a batch of events shipped back from a worker process."""
+        with self._lock:
+            for event in events:
+                if len(self._events) == self.capacity:
+                    self._dropped += 1
+                self._events.append(event)
+
+    def span(
+        self,
+        name: str,
+        /,
+        category: str = "runtime",
+        track: Optional[str] = None,
+        **args: Any,
+    ) -> ActiveSpan:
+        """Open a span; use as a context manager around the measured work."""
+        return ActiveSpan(self, name, category, track, args)
+
+    def instant(
+        self,
+        name: str,
+        /,
+        category: str = "runtime",
+        track: Optional[str] = None,
+        **args: Any,
+    ) -> None:
+        """Record a zero-duration marker event."""
+        self.record(
+            SpanEvent(
+                name=name,
+                ts_us=time.perf_counter() * 1e6,
+                dur_us=0.0,
+                pid=os.getpid(),
+                tid=threading.get_ident(),
+                phase="i",
+                category=category,
+                track=track,
+                thread_name=threading.current_thread().name,
+                args=args,
+            )
+        )
+
+    # ------------------------------------------------------------------
+    def events(self) -> List[SpanEvent]:
+        """Snapshot of the retained events in record order."""
+        with self._lock:
+            return list(self._events)
+
+    def drain(self) -> List[SpanEvent]:
+        """Return the retained events and clear the buffer."""
+        with self._lock:
+            events = list(self._events)
+            self._events.clear()
+            return events
+
+    @property
+    def dropped(self) -> int:
+        """Events discarded because the ring buffer was full."""
+        with self._lock:
+            return self._dropped
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._events)
+
+
+# ----------------------------------------------------------------------
+# Module-level state: the one check every instrumentation site performs.
+# ----------------------------------------------------------------------
+_ACTIVE: Optional[Tracer] = None
+_STATE_LOCK = threading.Lock()
+
+
+def enabled() -> bool:
+    """Whether a tracer is currently installed (tracing on)."""
+    return _ACTIVE is not None
+
+
+def get_tracer() -> Optional[Tracer]:
+    """The installed tracer, or ``None`` while tracing is disabled."""
+    return _ACTIVE
+
+
+def install(
+    tracer: Optional[Tracer] = None, capacity: int = DEFAULT_CAPACITY
+) -> Tracer:
+    """Install (and return) the process-wide tracer, enabling tracing.
+
+    Idempotent under an already-installed tracer: installing again with no
+    explicit ``tracer`` keeps the current one (so nested sessions share a
+    buffer); an explicit ``tracer`` replaces it.
+    """
+    global _ACTIVE
+    with _STATE_LOCK:
+        if tracer is not None:
+            _ACTIVE = tracer
+        elif _ACTIVE is None:
+            _ACTIVE = Tracer(capacity=capacity)
+        return _ACTIVE
+
+
+def uninstall() -> Optional[Tracer]:
+    """Disable tracing; returns the tracer that was installed (if any)."""
+    global _ACTIVE
+    with _STATE_LOCK:
+        tracer, _ACTIVE = _ACTIVE, None
+        return tracer
+
+
+def span(
+    name: str,
+    /,
+    category: str = "runtime",
+    track: Optional[str] = None,
+    **args: Any,
+) -> Any:
+    """Open a span on the installed tracer - or a shared no-op when disabled.
+
+    The instrumentation entry point used across the runtime::
+
+        with telemetry.span("scheduler.layer", layer=layer.name):
+            ...
+
+    Disabled cost: one module-global check and the shared null context
+    manager - no event, timestamp or lock is touched.
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        return _NULL_SPAN
+    return tracer.span(name, category=category, track=track, **args)
+
+
+def instant(
+    name: str,
+    /,
+    category: str = "runtime",
+    track: Optional[str] = None,
+    **args: Any,
+) -> None:
+    """Record a zero-duration marker on the installed tracer (no-op when off)."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return
+    tracer.instant(name, category=category, track=track, **args)
+
+
+def complete(
+    name: str,
+    start_s: float,
+    end_s: float,
+    /,
+    category: str = "runtime",
+    track: Optional[str] = None,
+    **args: Any,
+) -> None:
+    """Record a finished span from explicit ``perf_counter`` endpoints.
+
+    For call sites that already measure wall-clock themselves (schedulers,
+    deploy) - the span lands on the same timeline as context-managed ones.
+    No-op while tracing is disabled.
+    """
+    tracer = _ACTIVE
+    if tracer is None:
+        return
+    tracer.record(
+        SpanEvent(
+            name=name,
+            ts_us=start_s * 1e6,
+            dur_us=max(0.0, end_s - start_s) * 1e6,
+            pid=os.getpid(),
+            tid=threading.get_ident(),
+            phase="X",
+            category=category,
+            track=track,
+            thread_name=threading.current_thread().name,
+            args=args,
+        )
+    )
+
+
+class _Capture:
+    """Temporarily installs a fresh tracer and collects what it records."""
+
+    __slots__ = ("_previous", "_tracer")
+
+    def __init__(self) -> None:
+        self._previous: Optional[Tracer] = None
+        self._tracer = Tracer()
+
+    def __enter__(self) -> Tracer:
+        global _ACTIVE
+        with _STATE_LOCK:
+            self._previous = _ACTIVE
+            _ACTIVE = self._tracer
+        return self._tracer
+
+    def __exit__(
+        self,
+        exc_type: Optional[Type[BaseException]],
+        exc: Optional[BaseException],
+        tb: Optional[TracebackType],
+    ) -> None:
+        global _ACTIVE
+        with _STATE_LOCK:
+            _ACTIVE = self._previous
+        return None
+
+
+def capture() -> _Capture:
+    """Capture spans into a private tracer (the worker-process shipping path).
+
+    Used by the process-pool executors: the child enters a capture around the
+    task body, drains the captured events and returns them alongside the
+    result, and the parent absorbs the batch into its own tracer.  Restores
+    whatever tracer was active before (under ``fork`` the child inherits the
+    parent's tracer *object*; recording into it would be invisible to the
+    parent, so the capture replaces it for the task's duration).
+    """
+    return _Capture()
+
+
+def iter_spans(events: List[SpanEvent], name: str) -> Iterator[SpanEvent]:
+    """Iterate the complete (phase ``X``) events with a given name."""
+    for event in events:
+        if event.phase == "X" and event.name == name:
+            yield event

@@ -1,0 +1,31 @@
+"""Shared fixtures of the telemetry suite: a tiny functional model."""
+
+import pytest
+
+from repro.nn.layers import (
+    BatchNorm2d,
+    Flatten,
+    MaxPool2d,
+    ReLU,
+    TernaryConv2d,
+    TernaryLinear,
+)
+from repro.nn.model import Sequential
+
+
+@pytest.fixture(scope="module")
+def tiny_cnn():
+    """A minimal conv/pool/fc stack (fast enough for the executor matrix)."""
+    model = Sequential(
+        [
+            TernaryConv2d(3, 4, kernel_size=3, stride=1, padding=1,
+                          sparsity=0.5, rng=1),
+            BatchNorm2d(4),
+            ReLU(),
+            MaxPool2d(2),
+            Flatten(),
+            TernaryLinear(4 * 4 * 4, 10, sparsity=0.5, rng=3),
+        ],
+        name="tinycnn",
+    )
+    return model, (3, 8, 8)

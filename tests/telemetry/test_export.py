@@ -1,0 +1,116 @@
+"""Exporter contracts: Chrome trace-event schema, JSONL round-trip, summary."""
+
+import json
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.export import (
+    chrome_trace,
+    read_jsonl,
+    summarize_spans,
+    validate_chrome_trace,
+    write_chrome_trace,
+    write_jsonl,
+)
+from repro.telemetry.trace import Tracer
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    telemetry.uninstall()
+    yield
+    telemetry.uninstall()
+
+
+@pytest.fixture
+def sample_events():
+    tracer = telemetry.install(Tracer())
+    with telemetry.span("device.layer", category="device",
+                        track="ap-group/0", layer="conv1"):
+        with telemetry.span("device.tile", category="device", tile=0):
+            pass
+    telemetry.instant("accelerator.lease", category="device", ap="(0, 1)")
+    telemetry.complete("session.request", 1.0, 2.0, category="session",
+                       request_id=0)
+    events = tracer.events()
+    telemetry.uninstall()
+    return events
+
+
+class TestChromeTrace:
+    def test_payload_validates_against_schema(self, sample_events):
+        payload = chrome_trace(sample_events)
+        assert validate_chrome_trace(payload) == []
+
+    def test_metadata_events_name_processes_and_threads(self, sample_events):
+        payload = chrome_trace(sample_events)
+        phases = [event["ph"] for event in payload["traceEvents"]]
+        assert "M" in phases
+        metadata = [e for e in payload["traceEvents"] if e["ph"] == "M"]
+        assert any(e["name"] == "process_name" for e in metadata)
+        assert any(e["name"] == "thread_name" for e in metadata)
+
+    def test_track_events_get_stable_synthetic_tid(self, sample_events):
+        payload = chrome_trace(sample_events)
+        tracked = [
+            e for e in payload["traceEvents"]
+            if e["ph"] == "X" and e["name"] == "device.layer"
+        ]
+        assert tracked
+        assert all(e["tid"] >= 1_000_000 for e in tracked)
+        # The logical lane is named after the track.
+        names = {
+            e["args"]["name"]
+            for e in payload["traceEvents"]
+            if e["ph"] == "M" and e["name"] == "thread_name"
+        }
+        assert "ap-group/0" in names
+
+    def test_timestamps_monotonic_and_complete_events_have_dur(
+        self, sample_events
+    ):
+        payload = chrome_trace(sample_events)
+        timeline = [e for e in payload["traceEvents"] if e["ph"] != "M"]
+        stamps = [e["ts"] for e in timeline]
+        assert stamps == sorted(stamps)
+        for event in timeline:
+            assert event["ts"] >= 0
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+            if event["ph"] == "i":
+                assert event["s"] == "t"
+
+    def test_written_file_is_loadable_json(self, sample_events, tmp_path):
+        path = tmp_path / "trace.json"
+        write_chrome_trace(path, sample_events)
+        payload = json.loads(path.read_text())
+        assert validate_chrome_trace(payload) == []
+
+    def test_validate_flags_malformed_payloads(self):
+        problems = validate_chrome_trace({"traceEvents": [{"ph": "X"}]})
+        assert problems
+        assert validate_chrome_trace({}) != []
+
+
+class TestJsonl:
+    def test_round_trip_preserves_span_fields(self, sample_events, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        write_jsonl(path, sample_events)
+        rows = read_jsonl(path)
+        assert len(rows) == len(sample_events)
+        by_name = {row["name"]: row for row in rows}
+        assert by_name["device.layer"]["track"] == "ap-group/0"
+        assert by_name["session.request"]["args"]["request_id"] == 0
+
+
+class TestSummary:
+    def test_rows_sorted_by_total_duration(self, sample_events):
+        rows = summarize_spans(sample_events)
+        names = [row[0] for row in rows]
+        assert "session.request" in names
+        totals = [row[2] for row in rows]
+        assert totals == sorted(totals, reverse=True)
+
+    def test_top_limits_rows(self, sample_events):
+        assert len(summarize_spans(sample_events, top=1)) == 1

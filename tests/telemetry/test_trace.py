@@ -1,0 +1,163 @@
+"""Core tracer semantics: spans, instants, ring buffer, install lifecycle."""
+
+import threading
+import time
+
+import pytest
+
+from repro import telemetry
+from repro.telemetry.trace import Tracer
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    """Every test starts and ends with tracing disabled."""
+    telemetry.uninstall()
+    yield
+    telemetry.uninstall()
+
+
+class TestDisabledFastPath:
+    def test_disabled_by_default(self):
+        assert not telemetry.enabled()
+        assert telemetry.get_tracer() is None
+
+    def test_span_is_shared_noop_when_disabled(self):
+        first = telemetry.span("a", layer=1)
+        second = telemetry.span("b", layer=2)
+        assert first is second  # the shared null span, no allocation
+        with first:
+            pass
+
+    def test_instant_and_complete_are_noops_when_disabled(self):
+        telemetry.instant("marker", reason="x")
+        telemetry.complete("done", 0.0, 1.0, layer=3)
+        telemetry.install()
+        assert len(telemetry.get_tracer()) == 0
+
+
+class TestRecording:
+    def test_span_records_complete_event(self):
+        tracer = telemetry.install()
+        with telemetry.span("work", category="device", layer="conv1", tile=3):
+            time.sleep(0.001)
+        (event,) = tracer.events()
+        assert event.name == "work"
+        assert event.phase == "X"
+        assert event.category == "device"
+        assert event.args == {"layer": "conv1", "tile": 3}
+        assert event.dur_us > 0
+
+    def test_nested_spans_close_inner_first(self):
+        tracer = telemetry.install()
+        with telemetry.span("outer"):
+            with telemetry.span("inner"):
+                pass
+        inner, outer = tracer.events()
+        assert (inner.name, outer.name) == ("inner", "outer")
+        assert inner.ts_us >= outer.ts_us
+        assert inner.end_us <= outer.end_us
+
+    def test_span_records_error_on_exception(self):
+        tracer = telemetry.install()
+        with pytest.raises(ValueError):
+            with telemetry.span("failing"):
+                raise ValueError("boom")
+        (event,) = tracer.events()
+        assert event.args["error"] == "ValueError"
+
+    def test_instant_records_zero_duration(self):
+        tracer = telemetry.install()
+        telemetry.instant("marker", reason="decline")
+        (event,) = tracer.events()
+        assert event.phase == "i"
+        assert event.dur_us == 0.0
+
+    def test_complete_records_explicit_endpoints(self):
+        tracer = telemetry.install()
+        telemetry.complete("measured", 1.0, 1.5, plan="p")
+        (event,) = tracer.events()
+        assert event.ts_us == pytest.approx(1.0e6)
+        assert event.dur_us == pytest.approx(0.5e6)
+
+    def test_attribute_named_name_does_not_collide(self):
+        tracer = telemetry.install()
+        telemetry.instant("marker", name="operand")
+        with telemetry.span("outer", name="operand2"):
+            pass
+        first, second = tracer.events()
+        assert first.args == {"name": "operand"}
+        assert second.args == {"name": "operand2"}
+
+
+class TestRingBuffer:
+    def test_capacity_bounds_retention_and_counts_drops(self):
+        tracer = telemetry.install(Tracer(capacity=4))
+        for index in range(10):
+            telemetry.instant("e", index=index)
+        events = tracer.events()
+        assert len(events) == 4
+        assert [event.args["index"] for event in events] == [6, 7, 8, 9]
+        assert tracer.dropped == 6
+
+    def test_drain_empties_buffer(self):
+        tracer = telemetry.install()
+        telemetry.instant("e")
+        drained = tracer.drain()
+        assert len(drained) == 1
+        assert len(tracer) == 0
+
+    def test_absorb_merges_shipped_batches(self):
+        parent = telemetry.install()
+        child = Tracer()
+        child.instant("from-child", worker=1)
+        parent.absorb(tuple(child.drain()))
+        (event,) = parent.events()
+        assert event.name == "from-child"
+
+
+class TestInstallLifecycle:
+    def test_install_is_idempotent(self):
+        first = telemetry.install()
+        second = telemetry.install()
+        assert first is second
+
+    def test_explicit_tracer_replaces(self):
+        telemetry.install()
+        mine = Tracer()
+        assert telemetry.install(mine) is mine
+
+    def test_uninstall_returns_and_disables(self):
+        tracer = telemetry.install()
+        assert telemetry.uninstall() is tracer
+        assert not telemetry.enabled()
+        assert telemetry.uninstall() is None
+
+    def test_capture_restores_previous_tracer(self):
+        outer = telemetry.install()
+        with telemetry.capture() as inner:
+            assert telemetry.get_tracer() is inner
+            telemetry.instant("inner-event")
+        assert telemetry.get_tracer() is outer
+        assert len(outer.events()) == 0
+        assert len(inner.events()) == 1
+
+
+class TestThreadSafety:
+    def test_concurrent_recording_loses_nothing(self):
+        tracer = telemetry.install()
+        per_thread = 200
+
+        def record(worker):
+            for index in range(per_thread):
+                telemetry.instant("e", worker=worker, index=index)
+
+        threads = [
+            threading.Thread(target=record, args=(w,)) for w in range(4)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(tracer) == 4 * per_thread
+        assert tracer.dropped == 0

@@ -1,0 +1,48 @@
+"""``repro --version`` must match the packaging metadata."""
+
+import pathlib
+import re
+
+import repro
+from repro.cli import _version_string
+
+
+def _pyproject_version() -> str:
+    pyproject = (
+        pathlib.Path(repro.__file__).resolve().parents[2] / "pyproject.toml"
+    )
+    text = pyproject.read_text()
+    try:
+        import tomllib
+
+        return tomllib.loads(text)["project"]["version"]
+    except ModuleNotFoundError:  # Python < 3.11
+        match = re.search(r'^version\s*=\s*"([^"]+)"', text, re.MULTILINE)
+        assert match, "pyproject.toml has no version field"
+        return match.group(1)
+
+
+def test_package_version_matches_pyproject():
+    assert repro.__version__ == _pyproject_version()
+
+
+def test_cli_version_string_matches_pyproject():
+    assert _version_string() == _pyproject_version()
+
+
+def test_version_subcommand(capsys):
+    from repro.cli import main
+
+    assert main(["version"]) == 0
+    assert capsys.readouterr().out.strip() == f"repro {_pyproject_version()}"
+
+
+def test_version_flag_exits_zero(capsys):
+    import pytest
+
+    from repro.cli import main
+
+    with pytest.raises(SystemExit) as excinfo:
+        main(["--version"])
+    assert excinfo.value.code == 0
+    assert _pyproject_version() in capsys.readouterr().out
