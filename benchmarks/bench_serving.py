@@ -1,0 +1,144 @@
+"""Cluster-serving benchmark: data-parallel replicas must actually scale.
+
+The serving subsystem's quantitative claim: sharding the weight-resident
+plan across worker processes scales throughput - a 4-replica cluster must
+sustain at least 2x the saturated QPS of a single replica on the same
+machine, with byte-identical logits and a zero-cold-lease ledger on every
+replica.  Each replica owns its own accelerator and deployment, so the
+scaling is pure data parallelism; the gate's margin (2x at 4 replicas, not
+4x) absorbs the shared-memory bandwidth and front-door overhead of a real
+host.
+
+The open-loop half replays a seeded Poisson arrival schedule through the
+asyncio front door and reports p50/p99 latency plus admission counters in
+the same BENCH schema - the latency-under-load readout to go with the
+saturation number.
+"""
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.eval.reporting import format_table
+from repro.serving import Cluster, ClusterConfig
+from repro.serving.loadgen import run_load, saturate
+from repro.session import Session, SessionConfig
+
+#: Replicas of the scaled operating point (and the CPU floor for the gate).
+REPLICAS = 4
+#: vgg9 at 1/16 width: deploys in ~a second per replica, tiny enough that
+#: the host can genuinely run four of them concurrently.
+WIDTH = 1 / 16
+#: Requests of one saturation measurement (waves of ``max_wave``).
+SATURATION_REQUESTS = 32
+#: Minimum 4-replica vs 1-replica saturated-QPS ratio the gate accepts.
+REQUIRED_SPEEDUP = 2.0
+#: Offered open-loop load and window for the latency readout.
+OPEN_LOOP_QPS = 16.0
+OPEN_LOOP_DURATION_S = 2.0
+
+requires_cpus = pytest.mark.skipif(
+    (os.cpu_count() or 1) < REPLICAS,
+    reason=f"cluster scaling gate needs >= {REPLICAS} CPUs",
+)
+
+
+def _cluster_config(replicas: int, ap_backend: str, ap_seed: int) -> ClusterConfig:
+    return ClusterConfig(
+        model="vgg9",
+        width=WIDTH,
+        backend=ap_backend,
+        seed=ap_seed,
+        replicas=replicas,
+        max_wave=4,
+        queue_depth=64,
+    )
+
+
+def _saturated_qps(cluster: Cluster, ap_seed: int) -> float:
+    saturate(cluster, requests=8, rng=ap_seed)  # warm-up: pools, allocations
+    return saturate(cluster, requests=SATURATION_REQUESTS, rng=ap_seed)
+
+
+@requires_cpus
+def test_cluster_scaling_gate(ap_backend, ap_seed, save_report):
+    """4 replicas >= 2x the saturated QPS of 1 replica; all replicas warm."""
+    probe = np.random.default_rng(ap_seed).uniform(0.0, 1.0, size=(2, 3, 32, 32))
+    with Session(
+        SessionConfig(model="vgg9", width=WIDTH, backend=ap_backend, seed=ap_seed)
+    ) as session:
+        session.compile().deploy()
+        reference = session.infer(probe).logits
+
+    with Cluster(_cluster_config(1, ap_backend, ap_seed)) as single:
+        single.start()
+        assert single.infer(probe).logits.tobytes() == reference.tobytes()
+        single_qps = _saturated_qps(single, ap_seed)
+        assert single.stats().all_warm
+
+    with Cluster(_cluster_config(REPLICAS, ap_backend, ap_seed)) as cluster:
+        cluster.start()
+        # Byte-identity holds on every replica of the scaled cluster.
+        for replica in range(REPLICAS):
+            cluster.submit(probe, replica=replica)
+        for result in cluster.gather():
+            assert result.logits.tobytes() == reference.tobytes()
+        scaled_qps = _saturated_qps(cluster, ap_seed)
+        load = run_load(
+            cluster,
+            qps=OPEN_LOOP_QPS,
+            duration_s=OPEN_LOOP_DURATION_S,
+            rng=ap_seed,
+        )
+        stats = cluster.stats()
+
+    assert stats.all_warm, "a replica leaked cold leases after deploy"
+    assert stats.live_replicas == REPLICAS
+    assert load.failed == 0, "open-loop load dropped admitted requests"
+    speedup = scaled_qps / max(single_qps, 1e-9)
+
+    text = format_table(
+        ["operating point", "saturated QPS", "speedup"],
+        [
+            ["1 replica", f"{single_qps:.2f}", "1.00x"],
+            [f"{REPLICAS} replicas", f"{scaled_qps:.2f}", f"{speedup:.2f}x"],
+        ],
+        title=f"vgg9 (width {WIDTH:g}) cluster serving, backend={ap_backend}",
+    ) + "\n\n" + format_table(
+        ["open-loop metric", "value"],
+        [
+            ["offered QPS", f"{load.offered_qps:.1f}"],
+            ["requests", load.requests],
+            ["admitted", load.admitted],
+            ["rejected (backpressure)", load.rejected],
+            ["completed", load.completed],
+            ["latency p50 (ms)", f"{load.latency_p50_ms:.1f}"],
+            ["latency p99 (ms)", f"{load.latency_p99_ms:.1f}"],
+            ["mean wave size", f"{load.mean_wave_size:.2f}"],
+        ],
+        title=f"Poisson load at {OPEN_LOOP_QPS:g} qps for "
+              f"{OPEN_LOOP_DURATION_S:g}s",
+    )
+    metrics = {
+        "replicas": REPLICAS,
+        "single_replica_qps": single_qps,
+        "cluster_qps": scaled_qps,
+        "speedup": speedup,
+        "cold_leases_after_deploy": stats.cold_leases,
+        **{f"open_loop_{key}": value for key, value in load.to_metrics().items()},
+    }
+    save_report(
+        "serving",
+        text,
+        metrics,
+        ap_backend=ap_backend,
+        workers=REPLICAS,
+        model_width=WIDTH,
+    )
+
+    assert speedup >= REQUIRED_SPEEDUP, (
+        f"{REPLICAS}-replica cluster reached only {speedup:.2f}x the "
+        f"single-replica saturated QPS ({scaled_qps:.2f} vs {single_qps:.2f}); "
+        f"the gate requires >= {REQUIRED_SPEEDUP:.1f}x"
+    )

@@ -106,6 +106,13 @@ from repro.runtime import (
     execute_model,
     resident_aps_required,
 )
+from repro.serving import (
+    Cluster,
+    ClusterConfig,
+    ClusterResult,
+    ClusterStats,
+    Frontend,
+)
 from repro.session import (
     PendingRequest,
     Session,
@@ -142,6 +149,11 @@ __all__ = [
     "SessionConfig",
     "SessionReport",
     "SessionState",
+    "Cluster",
+    "ClusterConfig",
+    "ClusterResult",
+    "ClusterStats",
+    "Frontend",
     "SteadyStateCost",
     "AssociativeProcessor",
     "ExecutionBackend",

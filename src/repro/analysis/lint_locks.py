@@ -13,13 +13,15 @@ assignments (``self._pins[a] = lease``, ``self._residency.x += 1``) and
 mutating method calls (``self._pins.clear()``) are recognised.
 
 ``RPA302`` (warning) - **submitted work is always drained.**  Every receiver
-that ``submit_tasks`` is called on must, somewhere in the linted tree, have a
-matching ``drain``/``close``/``shutdown`` call either inside a ``finally``
+that ``submit_tasks`` - or the serving layer's ``send_request`` (the worker
+channel's dispatch, :class:`repro.serving.worker.WorkerChannel`) - is called
+on must, somewhere in the linted tree, have a matching
+``drain``/``close``/``shutdown``/``join`` call either inside a ``finally``
 block or inside a cleanup method (``close``/``drain``/``shutdown``/
 ``__exit__``/``__del__``) - otherwise a failed run can strand futures on a
-live worker pool.  The match is by receiver name tail (``self.executor``
-matches ``executor``), a deliberately coarse whole-project heuristic; hence
-a warning, not an error.
+live worker pool, or a failed serving loop a live worker *process*.  The
+match is by receiver name tail (``self.executor`` matches ``executor``), a
+deliberately coarse whole-project heuristic; hence a warning, not an error.
 """
 
 from __future__ import annotations
@@ -54,8 +56,12 @@ MUTATOR_METHODS = frozenset(
     }
 )
 
-#: Cleanup sinks that satisfy RPA302 for a submit receiver.
-CLEANUP_CALLS = frozenset({"drain", "close", "shutdown"})
+#: Dispatch calls RPA302 tracks: executor pools and serving worker channels.
+SUBMIT_CALLS = frozenset({"submit_tasks", "send_request"})
+
+#: Cleanup sinks that satisfy RPA302 for a submit receiver.  ``join`` is the
+#: worker-channel (process) counterpart of a pool's ``shutdown``.
+CLEANUP_CALLS = frozenset({"drain", "close", "shutdown", "join"})
 
 #: Methods whose body counts as a cleanup path for RPA302.
 CLEANUP_METHODS = frozenset({"close", "drain", "shutdown", "__exit__", "__del__"})
@@ -120,7 +126,7 @@ class CleanupIndex:
     """
 
     def __init__(self) -> None:
-        self.submit_sites: List[tuple] = []  # (file, line, tail)
+        self.submit_sites: List[tuple] = []  # (file, line, tail, call)
         self.cleaned_tails: Set[str] = set()
 
     def scan(self, tree: ast.AST, file: str) -> None:
@@ -134,10 +140,12 @@ class CleanupIndex:
                     func = child.func
                     if not isinstance(func, ast.Attribute):
                         continue
-                    if func.attr == "submit_tasks":
+                    if func.attr in SUBMIT_CALLS:
                         tail = _receiver_tail(func.value)
                         if tail is not None:
-                            self.submit_sites.append((file, child.lineno, tail))
+                            self.submit_sites.append(
+                                (file, child.lineno, tail, func.attr)
+                            )
                     elif func.attr in CLEANUP_CALLS and in_cleanup_method:
                         tail = _receiver_tail(func.value)
                         if tail is not None:
@@ -155,12 +163,12 @@ class CleanupIndex:
 
     def report_unmatched(self, report: VerificationReport) -> None:
         """Emit RPA302 for every submit receiver with no cleanup anywhere."""
-        for file, line, tail in self.submit_sites:
+        for file, line, tail, call in self.submit_sites:
             if tail not in self.cleaned_tails:
                 report.add(
                     "RPA302",
-                    f"submit_tasks on {tail!r} has no matching "
-                    f"drain/close/shutdown on a cleanup path",
+                    f"{call} on {tail!r} has no matching "
+                    f"drain/close/shutdown/join on a cleanup path",
                     severity=SEVERITY_WARNING,
                     file=file,
                     line=line,

@@ -11,6 +11,10 @@ regenerated without writing Python:
 * ``serve``     - deploy a network once (weights pinned into CAM) and serve
   repeated inference requests, reporting deploy vs. amortized per-request
   cost and the warm/cold residency ledger,
+* ``cluster``   - cluster-scale serving: shard the resident plan across
+  worker replica processes, drive the asyncio front door with a seeded
+  open-loop Poisson load and report latency percentiles, admission
+  counters and the per-replica residency ledger,
 * ``table2``    - regenerate Table II,
 * ``fig4``      - regenerate the Fig. 4 layer-by-layer comparison,
 * ``accuracy``  - run the accuracy-vs-precision experiment,
@@ -224,6 +228,55 @@ def build_parser() -> argparse.ArgumentParser:
     serve_parser.add_argument("--no-crosscheck", action="store_true",
                               help="skip the cost-model crosscheck of the last request")
     _add_telemetry_arguments(serve_parser)
+
+    cluster_parser = subparsers.add_parser(
+        "cluster",
+        help="shard the resident plan across worker replicas and serve a "
+             "seeded open-loop load through the asyncio front door",
+    )
+    cluster_parser.add_argument("--model", choices=available_models(), default="vgg9")
+    cluster_parser.add_argument("--sparsity", type=float, default=None,
+                                help="ternary weight sparsity (default: the paper's "
+                                     "setting)")
+    cluster_parser.add_argument("--width", type=float, default=None,
+                                help="channel-width multiplier (reduced widths keep "
+                                     "the topology but make simulation fast)")
+    cluster_parser.add_argument("--bits", type=int, default=4,
+                                help="activation precision")
+    cluster_parser.add_argument(
+        "--backend",
+        choices=available_backends(),
+        default=DEFAULT_BACKEND,
+        help="functional AP execution backend inside each replica",
+    )
+    cluster_parser.add_argument("--replicas", type=int, default=2,
+                                help="worker replica processes the resident plan "
+                                     "is sharded across")
+    cluster_parser.add_argument("--qps", type=float, default=8.0,
+                                help="offered load: open-loop Poisson arrival rate")
+    cluster_parser.add_argument("--duration", type=float, default=2.0,
+                                help="load-generation window in seconds")
+    cluster_parser.add_argument("--images", type=int, default=1,
+                                help="synthetic input images per request")
+    cluster_parser.add_argument("--queue-depth", type=int, default=64,
+                                help="bound of the front door's admission queue")
+    cluster_parser.add_argument("--timeout", type=float, default=0.5,
+                                help="admission timeout in seconds (a full queue "
+                                     "rejects after this long)")
+    cluster_parser.add_argument("--max-wave", type=int, default=4,
+                                help="most queued requests coalesced into one "
+                                     "continuous-batching wave")
+    cluster_parser.add_argument("--routing", choices=("round-robin", "least-loaded"),
+                                default="round-robin",
+                                help="replica routing policy")
+    cluster_parser.add_argument("--seed", type=int, default=0,
+                                help="seed of the arrival schedule and the "
+                                     "synthetic request images")
+    cluster_parser.add_argument("--json", action="store_true",
+                                help="emit the machine-readable report (same "
+                                     "schema as benchmarks/output/BENCH_*.json) "
+                                     "instead of the human tables")
+    _add_telemetry_arguments(cluster_parser)
 
     table2_parser = subparsers.add_parser("table2", help="regenerate Table II")
     table2_parser.add_argument("--slices", type=int, default=12)
@@ -659,6 +712,141 @@ def _run_serve(arguments: argparse.Namespace) -> str:
     return "\n".join(lines)
 
 
+def _run_cluster(arguments: argparse.Namespace) -> str:
+    """Cluster serving: ``repro cluster --replicas N --qps Q --duration S``.
+
+    Starts the sharded cluster, replays a seeded open-loop Poisson load
+    through the asyncio front door, and exits nonzero if any replica leaked
+    a cold lease after its deploy barrier or any admitted request was
+    dropped - the warm-serving claim, now asserted at cluster scale.
+    """
+    import json
+
+    from repro.serving import Cluster, ClusterConfig
+    from repro.serving.loadgen import run_load
+
+    config = ClusterConfig(
+        model=arguments.model,
+        width=arguments.width,
+        sparsity=arguments.sparsity,
+        bits=arguments.bits,
+        backend=arguments.backend,
+        seed=arguments.seed,
+        replicas=arguments.replicas,
+        queue_depth=arguments.queue_depth,
+        admission_timeout_s=arguments.timeout,
+        max_wave=arguments.max_wave,
+        routing=arguments.routing,
+        trace=arguments.trace or False,
+        metrics=bool(arguments.metrics),
+    )
+    with Cluster(config) as cluster:
+        cluster.start()
+        report = run_load(
+            cluster,
+            qps=arguments.qps,
+            duration_s=arguments.duration,
+            images_per_request=arguments.images,
+            rng=arguments.seed,
+        )
+        stats = cluster.stats()
+        registry_flat = (
+            cluster.metrics_registry().flat() if arguments.metrics else None
+        )
+        trace_spans = (
+            len(cluster._tracer.events()) if cluster._tracer is not None else 0
+        )
+
+    failures = []
+    if not stats.all_warm:
+        failures.append(
+            f"replicas leaked {stats.cold_leases} cold lease events after "
+            f"deploy"
+        )
+    if report.failed:
+        failures.append(f"{report.failed} admitted request(s) dropped")
+    if stats.live_replicas < arguments.replicas:
+        failures.append(
+            f"only {stats.live_replicas}/{arguments.replicas} replicas "
+            f"survived the run"
+        )
+    verdict = "FAILED: " + "; ".join(failures) if failures else ""
+
+    if arguments.json:
+        metrics = report.to_metrics()
+        metrics["replicas"] = arguments.replicas
+        metrics["replicas_live"] = stats.live_replicas
+        metrics["cold_leases_after_deploy"] = stats.cold_leases
+        metrics["requests_per_replica"] = [
+            replica.requests for replica in stats.replicas
+        ]
+        document = {"name": f"cluster_{arguments.model}", "metrics": metrics}
+        if registry_flat is not None:
+            document["registry"] = registry_flat
+        payload = json.dumps(document, indent=2, sort_keys=True)
+        if failures:
+            # Keep stdout valid JSON for scrapers; the verdict goes to
+            # stderr with the nonzero exit code.
+            print(payload)
+            raise SystemExit(verdict)
+        return payload
+
+    lines = [
+        format_table(
+            ["metric", "value"],
+            [
+                ["replicas", f"{stats.live_replicas}/{arguments.replicas} live"],
+                ["offered load", f"{report.offered_qps:.1f} qps for "
+                                 f"{report.duration_s:.1f}s"],
+                ["requests", report.requests],
+                ["admitted", report.admitted],
+                ["rejected (backpressure)", report.rejected],
+                ["completed", report.completed],
+                ["dropped", report.failed],
+                ["achieved qps", f"{report.achieved_qps:.2f}"],
+                ["latency p50 (ms)", f"{report.latency_p50_ms:.1f}"],
+                ["latency p99 (ms)", f"{report.latency_p99_ms:.1f}"],
+                ["waves", report.waves],
+                ["mean wave size", f"{report.mean_wave_size:.2f}"],
+            ],
+            title=f"{arguments.model} cluster: open-loop Poisson load",
+        ),
+        "",
+        format_table(
+            ["replica", "alive", "requests", "failures", "cold leases",
+             "warm hits", "APs pinned"],
+            [
+                [
+                    replica.replica,
+                    "yes" if replica.alive else "no",
+                    replica.requests,
+                    replica.failures,
+                    replica.cold_leases,
+                    replica.warm_hits,
+                    replica.aps_pinned,
+                ]
+                for replica in stats.replicas
+            ],
+            title="per-replica residency (post-deploy deltas)",
+        ),
+    ]
+    if registry_flat is not None:
+        rows = [[name, value] for name, value in registry_flat.items()]
+        lines.extend(
+            ["", format_table(["metric", "value"], rows,
+                              title="metrics registry")]
+        )
+    if arguments.trace:
+        lines.extend(
+            ["", f"trace: {trace_spans} span events -> {arguments.trace}"]
+        )
+    if failures:
+        # The cluster must serve every admitted request warm on every
+        # replica; exit nonzero so CI smokes gate on the claim.
+        raise SystemExit("\n".join(lines + ["", verdict]))
+    return "\n".join(lines)
+
+
 def _run_table2(arguments: argparse.Namespace) -> str:
     benchmarks = PAPER_BENCHMARKS
     if arguments.networks:
@@ -901,6 +1089,7 @@ _COMMANDS = {
     "run": _run_run,
     "infer": _run_infer,
     "serve": _run_serve,
+    "cluster": _run_cluster,
     "table2": _run_table2,
     "fig4": _run_fig4,
     "accuracy": _run_accuracy,

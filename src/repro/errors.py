@@ -88,3 +88,68 @@ class SessionStateError(ReproError):
     calling a stage before its prerequisites (e.g. ``infer()`` before
     ``deploy()``) or after ``close()`` raises this error.
     """
+
+
+class ClusterError(ReproError):
+    """The cluster serving subsystem (:mod:`repro.serving`) failed.
+
+    Base class of every serving-layer failure: replica start-up errors,
+    per-request failures (:class:`RequestError`) and admission rejections
+    (:class:`AdmissionError`).
+    """
+
+
+class RequestError(ClusterError):
+    """One served request failed - the cluster itself keeps running.
+
+    A worker replica that raises mid-request (or dies outright) must not
+    tear down the whole cluster: the failure is scoped to the requests that
+    were in flight on that replica and surfaces as this typed error from
+    ``Cluster.gather()`` / the asyncio front door, carrying enough structure
+    to retry or account for the loss.
+
+    Attributes:
+        request_id: the failed request's cluster-wide id.
+        replica: index of the worker replica the request was routed to.
+        cause: short description of the underlying failure (exception repr
+            for an in-worker raise, ``"worker process died"`` for a crash).
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        request_id: Optional[int] = None,
+        replica: Optional[int] = None,
+        cause: Optional[str] = None,
+    ) -> None:
+        super().__init__(message)
+        self.request_id = request_id
+        self.replica = replica
+        self.cause = cause
+
+
+class AdmissionError(ClusterError):
+    """The front door rejected a request - backpressure, not failure.
+
+    Raised by ``Frontend.request()`` when the bounded request queue stayed
+    full for longer than the admission timeout (or the front door is
+    closed).  Clients are expected to back off and retry; nothing was
+    enqueued and no replica saw the request.
+
+    Attributes:
+        queue_depth: the bounded queue's capacity at rejection time.
+        timeout_s: how long admission waited before rejecting (``None``
+            when the front door was closed rather than full).
+    """
+
+    def __init__(
+        self,
+        message: str = "",
+        *,
+        queue_depth: Optional[int] = None,
+        timeout_s: Optional[float] = None,
+    ) -> None:
+        super().__init__(message)
+        self.queue_depth = queue_depth
+        self.timeout_s = timeout_s

@@ -158,6 +158,23 @@ def _traced_task(item):
     return result, tuple(tracer.drain())
 
 
+def mp_context():
+    """The multiprocessing context the runtime spawns worker processes with.
+
+    Prefers ``fork`` where the platform offers it: forked workers inherit
+    the parent's compiled programs and model weights without pickling them,
+    which is what keeps per-worker start-up cheap for both the
+    :class:`ParallelExecutor` pool and the cluster serving replicas
+    (:mod:`repro.serving`).  Falls back to the platform default context
+    (``spawn`` on macOS/Windows), where every argument must be picklable.
+    """
+    import multiprocessing
+
+    if "fork" in multiprocessing.get_all_start_methods():
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
 #: A callable mapping one payload to a pre-leased AP (serial execution only;
 #: pool workers always build their own AP - the lease contract guarantees the
 #: two are byte-identical).
@@ -344,13 +361,8 @@ class ParallelExecutor(Executor):
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
-            import multiprocessing
-
-            context = None
-            if "fork" in multiprocessing.get_all_start_methods():
-                context = multiprocessing.get_context("fork")
             self._pool = ProcessPoolExecutor(
-                max_workers=self.workers, mp_context=context
+                max_workers=self.workers, mp_context=mp_context()
             )
         return self._pool
 

@@ -1,0 +1,52 @@
+"""Cluster-scale serving: sharded accelerator workers + an asyncio front door.
+
+The paper's operating model - deploy the ternary weights into CAM once,
+then serve every request warm - extends to cluster scale here: one compiled
+plan is sharded across N data-parallel worker processes (each with its own
+:class:`~repro.arch.accelerator.Accelerator` and resident deployment), and
+an asyncio front door layers bounded admission, continuous batching and
+replica routing on top.  Cluster logits stay byte-identical to a
+single-process :meth:`~repro.session.Session.infer`, and the
+zero-cold-lease invariant is asserted per replica.
+
+Layers, bottom-up:
+
+* :mod:`repro.serving.worker` - the replica process: wire protocol,
+  :func:`~repro.serving.worker.worker_main`, and the parent-side
+  :class:`~repro.serving.worker.WorkerChannel`.
+* :mod:`repro.serving.cluster` - :class:`~repro.serving.cluster.Cluster`,
+  the thread-safe parent object mirroring the ``Session`` surface.
+* :mod:`repro.serving.frontend` - :class:`~repro.serving.frontend.Frontend`,
+  the asyncio admission/batching layer.
+* :mod:`repro.serving.loadgen` - seeded open-loop Poisson load generation
+  and the saturation probe used by ``benchmarks/bench_serving.py``.
+"""
+
+from repro.serving.cluster import (
+    Cluster,
+    ClusterResult,
+    ClusterStats,
+    ReplicaStats,
+    RequestHandle,
+)
+from repro.serving.config import ROUTING_POLICIES, ClusterConfig
+from repro.serving.frontend import Frontend
+from repro.serving.loadgen import LoadReport, poisson_arrivals, run_load, saturate
+from repro.serving.worker import WorkerChannel, worker_main
+
+__all__ = [
+    "ROUTING_POLICIES",
+    "Cluster",
+    "ClusterConfig",
+    "ClusterResult",
+    "ClusterStats",
+    "Frontend",
+    "LoadReport",
+    "ReplicaStats",
+    "RequestHandle",
+    "WorkerChannel",
+    "poisson_arrivals",
+    "run_load",
+    "saturate",
+    "worker_main",
+]

@@ -1,0 +1,279 @@
+"""The asyncio front door: admission control + continuous batching.
+
+:class:`Frontend` sits between async clients and a running
+:class:`~repro.serving.cluster.Cluster`:
+
+* **Admission control** - requests enter a bounded ``asyncio.Queue``.  When
+  the queue stays full past the admission timeout the request is rejected
+  with a typed :class:`~repro.errors.AdmissionError` (backpressure: nothing
+  was enqueued, no replica saw it, the client should back off).
+* **Continuous batching** - a dispatcher task pulls whatever is queued (up
+  to ``max_wave``) and coalesces it into one wave for a single replica, so
+  a loaded cluster serves ever-larger batches per resident pass instead of
+  queueing per-request round trips.  Coalescing never changes results:
+  wave logits are byte-identical to per-request serving.
+* **Graceful drain** - :meth:`Frontend.close` stops admitting, lets the
+  queue empty, waits out every in-flight wave, then stops the dispatcher.
+  A replica death mid-load fails only that replica's in-flight requests
+  (typed :class:`~repro.errors.RequestError` per request); new waves route
+  to the survivors.
+
+The front door is an asyncio object: build it inside a running event loop
+(``async with Frontend(cluster) as frontend: ...``), or use the synchronous
+load-generator helpers in :mod:`repro.serving.loadgen` which own the loop.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+import numpy as np
+
+from repro.errors import AdmissionError, ClusterError
+from repro.serving.cluster import Cluster, ClusterResult
+
+__all__ = ["Frontend"]
+
+
+@dataclass
+class _Entry:
+    """One admitted request waiting in the front-door queue."""
+
+    images: np.ndarray
+    future: "asyncio.Future[ClusterResult]"
+    enqueued_at: float = field(default_factory=time.monotonic)
+
+
+#: Queue sentinel that stops the dispatcher after the queue has drained.
+_CLOSE = object()
+
+
+class Frontend:
+    """Bounded admission + wave-coalescing dispatcher over a cluster.
+
+    Args:
+        cluster: a started :class:`~repro.serving.cluster.Cluster`.
+        queue_depth: bound of the request queue (cluster config default).
+        admission_timeout_s: how long admission waits for queue space
+            before rejecting (cluster config default).
+        max_wave: most queued requests coalesced into one wave (cluster
+            config default).
+    """
+
+    def __init__(
+        self,
+        cluster: Cluster,
+        *,
+        queue_depth: Optional[int] = None,
+        admission_timeout_s: Optional[float] = None,
+        max_wave: Optional[int] = None,
+    ) -> None:
+        config = cluster.config
+        self.cluster = cluster
+        self.queue_depth = queue_depth or config.queue_depth
+        self.admission_timeout_s = (
+            admission_timeout_s
+            if admission_timeout_s is not None
+            else config.admission_timeout_s
+        )
+        self.max_wave = max_wave or config.max_wave
+        self._queue: Optional[asyncio.Queue] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._settlers: Set[asyncio.Task] = set()
+        self._open = False
+        self._closed = False
+        self.admitted = 0
+        self.rejected = 0
+        self.completed = 0
+        self.failed = 0
+        self.waves = 0
+        self._wave_sizes: List[int] = []
+        self._latencies_s: List[float] = []
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    async def start(self) -> "Frontend":
+        """Open the front door inside the running event loop."""
+        if self._open:
+            raise ClusterError("front door is already open")
+        if self._closed:
+            raise ClusterError("front door is closed")
+        self._queue = asyncio.Queue(maxsize=self.queue_depth)
+        self._dispatcher = asyncio.get_running_loop().create_task(
+            self._dispatch(), name="repro-frontend-dispatch"
+        )
+        self._open = True
+        return self
+
+    async def __aenter__(self) -> "Frontend":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    async def request(self, images) -> ClusterResult:
+        """Admit one request and await its result.
+
+        Raises :class:`~repro.errors.AdmissionError` when the bounded queue
+        stays full past the admission timeout (or the door is closed), and
+        :class:`~repro.errors.RequestError` when the serving replica failed
+        the request.
+        """
+        if not self._open or self._queue is None:
+            self.rejected += 1
+            raise AdmissionError(
+                "front door is closed", queue_depth=self.queue_depth
+            )
+        entry = _Entry(
+            images=images, future=asyncio.get_running_loop().create_future()
+        )
+        try:
+            self._queue.put_nowait(entry)
+        except asyncio.QueueFull:
+            try:
+                await asyncio.wait_for(
+                    self._queue.put(entry), self.admission_timeout_s
+                )
+            except asyncio.TimeoutError:
+                self.rejected += 1
+                raise AdmissionError(
+                    f"request queue stayed full for "
+                    f"{self.admission_timeout_s:.3f}s "
+                    f"(depth {self.queue_depth})",
+                    queue_depth=self.queue_depth,
+                    timeout_s=self.admission_timeout_s,
+                ) from None
+        self.admitted += 1
+        return await entry.future
+
+    def depth(self) -> int:
+        """Requests currently waiting in the queue."""
+        return self._queue.qsize() if self._queue is not None else 0
+
+    def in_flight(self) -> int:
+        """Waves dispatched to the cluster and not yet settled."""
+        return len(self._settlers)
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch(self) -> None:
+        """Coalesce queued requests into waves and route them to replicas."""
+        assert self._queue is not None
+        loop = asyncio.get_running_loop()
+        while True:
+            head = await self._queue.get()
+            if head is _CLOSE:
+                break
+            wave: List[_Entry] = [head]
+            while len(wave) < self.max_wave:
+                try:
+                    entry = self._queue.get_nowait()
+                except asyncio.QueueEmpty:
+                    break
+                if entry is _CLOSE:
+                    # Put the sentinel back: drain what we have first.
+                    self._queue.put_nowait(_CLOSE)
+                    break
+                wave.append(entry)
+            try:
+                handles = await loop.run_in_executor(
+                    None,
+                    lambda batch=wave: self.cluster.submit_wave(
+                        [entry.images for entry in batch]
+                    ),
+                )
+            except ClusterError as error:
+                for entry in wave:
+                    self.failed += 1
+                    if not entry.future.done():
+                        entry.future.set_exception(error)
+                continue
+            self.waves += 1
+            self._wave_sizes.append(len(wave))
+            for entry, handle in zip(wave, handles):
+                settler = loop.create_task(self._settle(entry, handle))
+                self._settlers.add(settler)
+                settler.add_done_callback(self._settlers.discard)
+
+    async def _settle(self, entry: _Entry, handle) -> None:
+        """Await one request's cluster future and settle the client future."""
+        try:
+            result = await asyncio.wrap_future(handle._future)
+        except BaseException as error:  # noqa: BLE001 - forwarded, typed
+            self.failed += 1
+            if not entry.future.done():
+                entry.future.set_exception(error)
+        else:
+            self.completed += 1
+            self._latencies_s.append(time.monotonic() - entry.enqueued_at)
+            if not entry.future.done():
+                entry.future.set_result(result)
+
+    # ------------------------------------------------------------------
+    # Drain / teardown
+    # ------------------------------------------------------------------
+    async def drain(self) -> None:
+        """Wait until the queue is empty and every in-flight wave settled."""
+        if self._queue is None:
+            return
+        while self._queue.qsize() > 0 or self._settlers:
+            settlers = list(self._settlers)
+            if settlers:
+                await asyncio.gather(*settlers, return_exceptions=True)
+            else:
+                await asyncio.sleep(0.005)
+
+    async def close(self) -> None:
+        """Stop admitting, drain in-flight requests, stop the dispatcher.
+
+        Idempotent; the underlying cluster stays up (close it separately -
+        the front door does not own it).
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._open = False
+        if self._queue is None or self._dispatcher is None:
+            return
+        await self.drain()
+        await self._queue.put(_CLOSE)
+        await self._dispatcher
+        await self.drain()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def metrics_registry(self, registry=None):
+        """Mirror front-door and cluster counters into a metrics registry."""
+        from repro.telemetry.metrics import record_queue_depth
+
+        registry = self.cluster.metrics_registry(registry)
+        record_queue_depth(registry, self.depth(), capacity=self.queue_depth)
+        registry.counter("requests_admitted", "requests admitted").inc(
+            self.admitted
+        )
+        registry.counter(
+            "requests_rejected", "requests rejected by admission control"
+        ).inc(self.rejected)
+        registry.counter("waves_dispatched", "coalesced waves dispatched").inc(
+            self.waves
+        )
+        wave_size = registry.histogram(
+            "wave_size", "requests coalesced per wave"
+        )
+        for size in self._wave_sizes:
+            wave_size.observe(size)
+        frontdoor = registry.histogram(
+            "frontdoor_latency_ms", "enqueue-to-result wall-clock per request"
+        )
+        for latency in self._latencies_s:
+            frontdoor.observe(latency * 1e3)
+        return registry

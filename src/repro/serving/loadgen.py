@@ -1,0 +1,236 @@
+"""Open-loop load generation for the cluster front door.
+
+The serving benchmark and ``repro cluster`` drive the asyncio
+:class:`~repro.serving.frontend.Frontend` with an **open-loop** Poisson
+arrival process: request start times are drawn up front from an exponential
+inter-arrival distribution at the offered QPS and honored regardless of how
+fast the cluster responds - exactly the regime where admission control and
+continuous batching earn their keep (a closed loop self-throttles and can
+never overload the queue).  Arrivals, like every workload in this repo, are
+seeded and deterministic.
+
+:func:`run_load` is the sync entry point: it owns the event loop, opens a
+front door over a started cluster, replays the schedule, and folds the
+outcome into a :class:`LoadReport` (admitted/rejected/failed counts and
+latency percentiles in the flat BENCH key schema).  :func:`saturate` is the
+closed-loop companion used by the throughput gate: it measures the
+cluster's saturated QPS by keeping every replica busy with back-to-back
+waves, no arrival schedule at all.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.errors import AdmissionError, ClusterError, RequestError
+from repro.serving.cluster import Cluster
+from repro.serving.frontend import Frontend
+from repro.utils.rng import RngLike, make_rng
+
+__all__ = ["LoadReport", "poisson_arrivals", "run_load", "saturate"]
+
+
+@dataclass(frozen=True)
+class LoadReport:
+    """Outcome of one open-loop load run against the front door."""
+
+    offered_qps: float
+    duration_s: float
+    requests: int
+    admitted: int
+    rejected: int
+    completed: int
+    failed: int
+    wall_s: float
+    latency_p50_ms: float
+    latency_p99_ms: float
+    latency_mean_ms: float
+    waves: int
+    mean_wave_size: float
+
+    @property
+    def achieved_qps(self) -> float:
+        """Requests completed per second of wall-clock."""
+        return self.completed / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def dropped(self) -> int:
+        """Admitted requests that did not complete (typed failures)."""
+        return self.failed
+
+    def to_metrics(self) -> Dict[str, Any]:
+        """Flatten to the BENCH_*.json key schema."""
+        return {
+            "offered_qps": self.offered_qps,
+            "achieved_qps": self.achieved_qps,
+            "duration_s": self.duration_s,
+            "wall_s": self.wall_s,
+            "requests": self.requests,
+            "admitted": self.admitted,
+            "rejected": self.rejected,
+            "completed": self.completed,
+            "failed": self.failed,
+            "latency_p50_ms": self.latency_p50_ms,
+            "latency_p99_ms": self.latency_p99_ms,
+            "latency_mean_ms": self.latency_mean_ms,
+            "waves": self.waves,
+            "mean_wave_size": self.mean_wave_size,
+        }
+
+
+def poisson_arrivals(
+    qps: float, duration_s: float, rng: RngLike = None
+) -> List[float]:
+    """Deterministic Poisson arrival offsets (seconds) for an open-loop run."""
+    if qps <= 0:
+        raise ClusterError(f"qps must be > 0, got {qps}")
+    if duration_s <= 0:
+        raise ClusterError(f"duration_s must be > 0, got {duration_s}")
+    generator = make_rng(rng)
+    arrivals: List[float] = []
+    clock = 0.0
+    while True:
+        clock += float(generator.exponential(1.0 / qps))
+        if clock >= duration_s:
+            return arrivals
+        arrivals.append(clock)
+
+
+def _percentiles(latencies_s: List[float]) -> Dict[str, float]:
+    if not latencies_s:
+        return {"p50": 0.0, "p99": 0.0, "mean": 0.0}
+    samples = np.asarray(latencies_s) * 1e3
+    return {
+        "p50": float(np.percentile(samples, 50)),
+        "p99": float(np.percentile(samples, 99)),
+        "mean": float(np.mean(samples)),
+    }
+
+
+async def _run_load_async(
+    cluster: Cluster,
+    *,
+    qps: float,
+    duration_s: float,
+    images_per_request: int,
+    rng: RngLike,
+) -> LoadReport:
+    arrival_rng = make_rng(rng)
+    arrivals = poisson_arrivals(qps, duration_s, arrival_rng)
+    if cluster.input_shape is None:
+        raise ClusterError("cluster is not started; call start() first")
+    shape = (images_per_request,) + tuple(cluster.input_shape)
+    # Per-request images are pre-drawn so the workload is a pure function
+    # of the seed - independent of arrival jitter and replica routing.
+    workload = [
+        arrival_rng.uniform(0.0, 1.0, size=shape) for _ in arrivals
+    ]
+    latencies_s: List[float] = []
+    counters = {"rejected": 0, "failed": 0, "completed": 0}
+
+    async def one(frontend: Frontend, images: np.ndarray) -> None:
+        started = time.monotonic()
+        try:
+            await frontend.request(images)
+        except AdmissionError:
+            counters["rejected"] += 1
+        except RequestError:
+            counters["failed"] += 1
+        else:
+            counters["completed"] += 1
+            latencies_s.append(time.monotonic() - started)
+
+    started = time.monotonic()
+    async with Frontend(cluster) as frontend:
+        tasks = []
+        for offset, images in zip(arrivals, workload):
+            delay = started + offset - time.monotonic()
+            if delay > 0:
+                await asyncio.sleep(delay)
+            tasks.append(asyncio.ensure_future(one(frontend, images)))
+        if tasks:
+            await asyncio.gather(*tasks)
+        waves = frontend.waves
+        wave_sizes = list(frontend._wave_sizes)
+    wall = time.monotonic() - started
+    stats = _percentiles(latencies_s)
+    return LoadReport(
+        offered_qps=qps,
+        duration_s=duration_s,
+        requests=len(arrivals),
+        admitted=len(arrivals) - counters["rejected"],
+        rejected=counters["rejected"],
+        completed=counters["completed"],
+        failed=counters["failed"],
+        wall_s=wall,
+        latency_p50_ms=stats["p50"],
+        latency_p99_ms=stats["p99"],
+        latency_mean_ms=stats["mean"],
+        waves=waves,
+        mean_wave_size=(
+            float(np.mean(wave_sizes)) if wave_sizes else 0.0
+        ),
+    )
+
+
+def run_load(
+    cluster: Cluster,
+    *,
+    qps: float,
+    duration_s: float,
+    images_per_request: int = 1,
+    rng: RngLike = None,
+) -> LoadReport:
+    """Replay a seeded open-loop Poisson schedule against a started cluster."""
+    return asyncio.run(
+        _run_load_async(
+            cluster,
+            qps=qps,
+            duration_s=duration_s,
+            images_per_request=images_per_request,
+            rng=rng,
+        )
+    )
+
+
+def saturate(
+    cluster: Cluster,
+    *,
+    requests: int,
+    images_per_request: int = 1,
+    rng: RngLike = None,
+    waves_of: Optional[int] = None,
+) -> float:
+    """Measure saturated throughput: serve ``requests`` flat-out, return QPS.
+
+    Submits everything up front (waves of ``waves_of`` requests, default
+    the cluster's ``max_wave``) so every replica stays busy, then divides
+    by the wall-clock of the full drain.  This is the number the benchmark
+    gate scales against replica count.
+    """
+    if requests <= 0:
+        raise ClusterError(f"requests must be > 0, got {requests}")
+    if cluster.input_shape is None:
+        raise ClusterError("cluster is not started; call start() first")
+    generator = make_rng(rng)
+    shape = (images_per_request,) + tuple(cluster.input_shape)
+    workload = [
+        generator.uniform(0.0, 1.0, size=shape) for _ in range(requests)
+    ]
+    wave = waves_of or cluster.config.max_wave
+    started = time.monotonic()
+    for base in range(0, requests, wave):
+        cluster.submit_wave(workload[base : base + wave])
+    outcomes = cluster.gather(return_exceptions=True)
+    wall = time.monotonic() - started
+    completed = sum(1 for outcome in outcomes if not isinstance(outcome, Exception))
+    if completed < requests:
+        raise ClusterError(
+            f"saturation run lost {requests - completed} of {requests} requests"
+        )
+    return completed / wall if wall > 0 else 0.0

@@ -1,0 +1,390 @@
+"""Worker replica: one process, one accelerator, one resident deployment.
+
+Every cluster replica runs :func:`worker_main` in its own process.  The
+worker owns a full :class:`~repro.session.Session` - its own
+:class:`~repro.arch.accelerator.Accelerator`, its own weight-resident
+execution plan - and serves request *waves* received over a multiprocessing
+pipe.  The protocol is deliberately small:
+
+* parent -> worker: :class:`WaveRequest` (a continuous-batching wave of one
+  or more client requests, coalesced by the front door) or ``None`` (stop).
+* worker -> parent: :class:`ReadyReply` once the deploy barrier is passed,
+  one :class:`WaveReply`/:class:`WaveFailure` per wave, a
+  :class:`StopReply` on graceful shutdown, and :class:`FatalReply` when the
+  replica cannot come up at all.
+
+Determinism is the whole point of the reply shape: a wave stacks its
+requests' images into one batch, serves them through the replica's resident
+session in a single :meth:`~repro.session.Session.infer` pass (one
+mega-kernel wave per layer under the ``batched`` backend), and splits the
+logits back per request - byte-identical to serving each request alone,
+which in turn is byte-identical to a single-process session (asserted in
+``tests/serving`` and gated in ``benchmarks/bench_serving.py``).
+
+Tracing: a forked worker inherits the parent's tracer *object*, which the
+parent can never read again - so the worker uninstalls it and, when the
+cluster traces, captures spans locally per message and ships the batch back
+inside every reply (:meth:`~repro.telemetry.trace.Tracer.absorb` on the
+parent side), the same shipping protocol the process-pool executor uses.
+Every reply also carries the replica's residency counters, so the parent
+can assert zero post-deploy cold leases on every replica without an extra
+round trip.
+"""
+
+from __future__ import annotations
+
+import time
+import traceback
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+import numpy as np
+
+from repro import telemetry
+
+__all__ = [
+    "WaveItem",
+    "WaveRequest",
+    "RequestReply",
+    "ReadyReply",
+    "WaveReply",
+    "WaveFailure",
+    "StopReply",
+    "FatalReply",
+    "WorkerChannel",
+    "worker_main",
+]
+
+
+# ----------------------------------------------------------------------
+# Wire protocol (all picklable; numpy arrays travel by value)
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class WaveItem:
+    """One client request inside a wave: its id and batched images."""
+
+    request_id: int
+    images: np.ndarray
+
+
+@dataclass(frozen=True)
+class WaveRequest:
+    """A continuous-batching wave: requests served in one resident pass."""
+
+    items: Tuple[WaveItem, ...]
+
+
+@dataclass(frozen=True)
+class RequestReply:
+    """One request's share of a served wave."""
+
+    request_id: int
+    logits: np.ndarray
+    images: int
+    #: Worker-side wall-clock of the wave that served this request.
+    wall_s: float
+
+
+@dataclass(frozen=True)
+class _ResidencyCounters:
+    """Snapshot of a replica's residency ledger, shipped with every reply."""
+
+    lease_events: int = 0
+    reprogram_events: int = 0
+    warm_hits: int = 0
+
+
+@dataclass(frozen=True)
+class ReadyReply:
+    """Deploy barrier passed: the replica serves warm requests from now on."""
+
+    replica: int
+    aps_pinned: int
+    tile_programs: int
+    residency: _ResidencyCounters
+    spans: Tuple = ()
+
+
+@dataclass(frozen=True)
+class WaveReply:
+    """A wave served successfully: one :class:`RequestReply` per request."""
+
+    replica: int
+    replies: Tuple[RequestReply, ...]
+    residency: _ResidencyCounters
+    spans: Tuple = ()
+
+
+@dataclass(frozen=True)
+class WaveFailure:
+    """A wave failed *inside* the replica; the replica itself keeps serving."""
+
+    replica: int
+    request_ids: Tuple[int, ...]
+    cause: str
+    detail: str
+    residency: _ResidencyCounters
+    spans: Tuple = ()
+
+
+@dataclass(frozen=True)
+class StopReply:
+    """Graceful shutdown: the replica closed its session and is exiting."""
+
+    replica: int
+    requests: int
+    residency: _ResidencyCounters
+    spans: Tuple = ()
+
+
+@dataclass(frozen=True)
+class FatalReply:
+    """The replica could not come up (compile/deploy failed)."""
+
+    replica: int
+    cause: str
+    detail: str
+
+
+class WorkerChannel:
+    """Parent-side request channel of one worker replica.
+
+    Wraps the request pipe and the worker process behind the send/join
+    pairing the concurrency lint enforces (``RPA302``): every
+    :meth:`send_request` call site must be matched by a :meth:`join` or
+    :meth:`close` on a cleanup path, otherwise a failed serving loop can
+    strand a live worker process.  Sends are serialized by a lock - the
+    asyncio front door and direct ``Cluster.submit`` callers may race.
+    """
+
+    def __init__(self, process, connection) -> None:
+        import threading
+
+        self._process = process
+        self._connection = connection
+        self._send_lock = threading.Lock()
+        self._closed = False
+
+    def send_request(self, message) -> None:
+        """Send one message (a :class:`WaveRequest` or ``None`` to stop)."""
+        with self._send_lock:
+            if self._closed:
+                raise OSError("worker channel is closed")
+            self._connection.send(message)
+
+    def join(self, timeout: Optional[float] = None) -> None:
+        """Wait for the worker process to exit (escalates on timeout).
+
+        ``terminate``/``kill`` are the escalation ladder of a worker that
+        ignored its stop message; a gracefully stopped worker exits on its
+        own well before the first rung.
+        """
+        self._process.join(timeout)
+        if self._process.is_alive():
+            self._process.terminate()
+            self._process.join(5.0)
+        if self._process.is_alive():  # pragma: no cover - terminate sufficed
+            self._process.kill()
+            self._process.join(5.0)
+
+    def close(self, timeout: Optional[float] = 30.0) -> None:
+        """Stop the worker: send the stop sentinel, close the pipe, join.
+
+        Idempotent and tolerant of an already-dead worker (the stop send is
+        best-effort: a crashed replica's pipe raises, which is fine - the
+        join escalation below reaps it either way).
+        """
+        with self._send_lock:
+            if not self._closed:
+                self._closed = True
+                try:
+                    self._connection.send(None)
+                except (OSError, ValueError, BrokenPipeError):
+                    pass
+                try:
+                    self._connection.close()
+                except OSError:  # pragma: no cover - double close
+                    pass
+        self.join(timeout)
+
+    @property
+    def alive(self) -> bool:
+        """Whether the worker process is currently running."""
+        return self._process.is_alive()
+
+    @property
+    def exitcode(self) -> Optional[int]:
+        """The worker process exit code (``None`` while running)."""
+        return self._process.exitcode
+
+
+# ----------------------------------------------------------------------
+# Worker process body
+# ----------------------------------------------------------------------
+@contextmanager
+def _maybe_capture(enabled: bool):
+    """Span capture for the shipping protocol (no-op when not tracing)."""
+    if not enabled:
+        yield None
+        return
+    with telemetry.capture() as tracer:
+        yield tracer
+
+
+def _drained(tracer) -> Tuple:
+    return tuple(tracer.drain()) if tracer is not None else ()
+
+
+def _residency(session) -> _ResidencyCounters:
+    ledger = session.residency
+    return _ResidencyCounters(
+        lease_events=ledger.lease_events,
+        reprogram_events=ledger.reprogram_events,
+        warm_hits=ledger.warm_hits,
+    )
+
+
+def _serve_wave(session, wave: WaveRequest, replica: int) -> Tuple[RequestReply, ...]:
+    """Serve one coalesced wave through the resident session.
+
+    The wave's requests are stacked into one image batch and served in a
+    single warm pass; the logits are split back on the request boundaries.
+    Stacked and per-request serving are byte-identical (the engine treats
+    images independently; chunking equivalence is asserted in
+    ``tests/inference``), so continuous batching is pure throughput.
+    """
+    batches = [np.asarray(item.images) for item in wave.items]
+    counts = [batch.shape[0] for batch in batches]
+    stacked = batches[0] if len(batches) == 1 else np.concatenate(batches, axis=0)
+    started = time.perf_counter()
+    with telemetry.span(
+        "serving.wave",
+        category="serving",
+        replica=replica,
+        requests=len(wave.items),
+        images=int(sum(counts)),
+    ):
+        result = session.infer(stacked)
+    wall = time.perf_counter() - started
+    replies = []
+    offset = 0
+    for item, count in zip(wave.items, counts):
+        replies.append(
+            RequestReply(
+                request_id=item.request_id,
+                logits=result.logits[offset : offset + count],
+                images=count,
+                wall_s=wall,
+            )
+        )
+        offset += count
+    return tuple(replies)
+
+
+def worker_main(replica: int, config, artifacts, request_conn, response_conn) -> None:
+    """Entry point of one worker replica process.
+
+    Args:
+        replica: this replica's index (0-based).
+        config: the :class:`~repro.serving.config.ClusterConfig`.
+        artifacts: optional ``(model, input_shape, compiled)`` tuple from the
+            parent's one-time compile (forked replicas inherit it for free;
+            spawned ones receive it pickled).  ``None`` makes the replica
+            compile on its own.
+        request_conn: receive end of the parent's request pipe.
+        response_conn: send end of the reply pipe.
+    """
+    from repro.session import Session
+
+    # A forked child inherits the parent's installed tracer object; records
+    # into it are invisible to the parent, so drop it and use the capture /
+    # ship protocol instead.
+    telemetry.uninstall()
+    trace = config.trace_enabled
+    session = None
+    try:
+        with _maybe_capture(trace) as tracer:
+            session = Session(config.session_config())
+            if artifacts is not None:
+                session.adopt(*artifacts)
+            else:
+                session.compile()
+            session.deploy()
+        response_conn.send(
+            ReadyReply(
+                replica=replica,
+                aps_pinned=session.deployment.aps_pinned,
+                tile_programs=session.deployment.tile_programs,
+                residency=_residency(session),
+                spans=_drained(tracer),
+            )
+        )
+    except BaseException as error:  # noqa: BLE001 - shipped to the parent
+        try:
+            response_conn.send(
+                FatalReply(
+                    replica=replica,
+                    cause=repr(error),
+                    detail=traceback.format_exc(),
+                )
+            )
+        except OSError:  # pragma: no cover - parent already gone
+            pass
+        if session is not None:
+            session.close()
+        return
+
+    served = 0
+    try:
+        while True:
+            try:
+                message = request_conn.recv()
+            except (EOFError, OSError):
+                break
+            if message is None:
+                break
+            try:
+                with _maybe_capture(trace) as tracer:
+                    replies = _serve_wave(session, message, replica)
+                served += len(replies)
+                response_conn.send(
+                    WaveReply(
+                        replica=replica,
+                        replies=replies,
+                        residency=_residency(session),
+                        spans=_drained(tracer),
+                    )
+                )
+            except BaseException as error:  # noqa: BLE001 - typed failure
+                response_conn.send(
+                    WaveFailure(
+                        replica=replica,
+                        request_ids=tuple(
+                            item.request_id for item in message.items
+                        ),
+                        cause=repr(error),
+                        detail=traceback.format_exc(),
+                        residency=_residency(session),
+                    )
+                )
+    finally:
+        try:
+            with _maybe_capture(trace) as tracer:
+                residency = _residency(session)
+                session.close()
+            response_conn.send(
+                StopReply(
+                    replica=replica,
+                    requests=served,
+                    residency=residency,
+                    spans=_drained(tracer),
+                )
+            )
+        except (OSError, BrokenPipeError):  # pragma: no cover - parent gone
+            pass
+        try:
+            response_conn.close()
+            request_conn.close()
+        except OSError:  # pragma: no cover - double close
+            pass

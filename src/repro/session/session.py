@@ -426,6 +426,33 @@ class Session:
         self.state = SessionState.COMPILED
         return self
 
+    def adopt(
+        self,
+        model: Module,
+        input_shape: Sequence[int],
+        compiled: CompiledModel,
+    ) -> "Session":
+        """Adopt pre-compiled artifacts instead of running :meth:`compile`.
+
+        The cluster serving subsystem (:mod:`repro.serving`) compiles a
+        network *once* in the parent process and hands every worker replica
+        the same module tree and :class:`~repro.core.compiler.CompiledModel`;
+        each replica then deploys its own copy onto its own accelerator.
+        Adopting moves the session straight to the ``compiled`` state - the
+        artifacts must belong together (the compiled model was produced from
+        this module tree at this input shape), which the caller guarantees.
+        """
+        self._require(SessionState.CREATED)
+        if compiled is None or model is None:
+            raise SessionStateError(
+                "adopt() needs both the module tree and its compiled model"
+            )
+        self.model = model
+        self.input_shape = tuple(input_shape)
+        self.compiled = compiled
+        self.state = SessionState.COMPILED
+        return self
+
     def deploy(self) -> "Session":
         """Pin the compiled network's weights into CAM (once).
 

@@ -36,6 +36,8 @@ from repro.telemetry.metrics import (
     record_cam_stats,
     record_movement,
     record_pipeline_trace,
+    record_queue_depth,
+    record_request_latencies,
     record_residency,
     record_span_latencies,
 )
@@ -85,6 +87,8 @@ __all__ = [
     "record_cam_stats",
     "record_movement",
     "record_pipeline_trace",
+    "record_queue_depth",
+    "record_request_latencies",
     "record_residency",
     "record_span_latencies",
 ]

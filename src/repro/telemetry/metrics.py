@@ -30,6 +30,8 @@ __all__ = [
     "record_residency",
     "record_movement",
     "record_pipeline_trace",
+    "record_queue_depth",
+    "record_request_latencies",
     "record_span_latencies",
 ]
 
@@ -438,3 +440,44 @@ def record_span_latencies(
         track = getattr(event, "track", None)
         if track is not None and track.startswith("ap-group/"):
             group_busy.observe(duration_ms, group=track.split("/", 1)[1])
+
+
+def record_queue_depth(
+    registry: MetricsRegistry,
+    depth: int,
+    *,
+    capacity: Optional[int] = None,
+    **labels: Any,
+) -> None:
+    """Mirror a bounded queue's current depth (and bound) as gauges.
+
+    The serving front door calls this with its admission queue so
+    ``repro cluster --metrics`` reports backpressure in the same flat
+    schema as every other gauge (``queue_depth`` / ``queue_capacity``).
+    """
+    registry.gauge("queue_depth", "requests waiting in the bounded queue").set(
+        depth, **labels
+    )
+    if capacity is not None:
+        registry.gauge("queue_capacity", "bound of the request queue").set(
+            capacity, **labels
+        )
+
+
+def record_request_latencies(
+    registry: MetricsRegistry,
+    latencies_s: Iterable[Number],
+    **labels: Any,
+) -> None:
+    """Fold request latencies (seconds) into the request-latency histogram.
+
+    Feeds the same ``request_latency_ms`` family that
+    :func:`record_span_latencies` fills from ``session.request`` spans, so
+    single-process and cluster serving share one latency schema
+    (``request_latency_ms_p50``/``_p95``/``_p99`` in ``flat()``).
+    """
+    histogram = registry.histogram(
+        "request_latency_ms", "wall-clock per served request"
+    )
+    for latency in latencies_s:
+        histogram.observe(float(latency) * 1e3, **labels)

@@ -136,3 +136,67 @@ class TestExecutorDiscipline:
         (tmp_path / "submitter.py").write_text(SUBMIT_LEAK)
         report = lint_tree(tmp_path)
         assert [d.code for d in report.diagnostics] == ["RPA302"]
+
+
+CHANNEL_LEAK = textwrap.dedent(
+    '''
+    class Router:
+        def dispatch(self, wave):
+            self.channel.send_request(wave)
+    '''
+)
+
+CHANNEL_CLEAN = textwrap.dedent(
+    '''
+    class Router:
+        def dispatch(self, wave):
+            self.channel.send_request(wave)
+
+        def close(self):
+            self.channel.join()
+    '''
+)
+
+CHANNEL_JOIN_FINALLY = textwrap.dedent(
+    '''
+    def serve(channel, wave):
+        try:
+            channel.send_request(wave)
+        finally:
+            channel.join()
+    '''
+)
+
+
+class TestWorkerChannelDiscipline:
+    """RPA302 understands the serving channel's send/join pairing."""
+
+    def test_send_request_without_join_is_rpa302(self):
+        report = lint_source(CHANNEL_LEAK, file="leak.py")
+        assert [d.code for d in report.diagnostics] == ["RPA302"]
+        assert "send_request" in report.diagnostics[0].message
+        assert report.ok  # a warning, not an error
+
+    def test_send_request_with_join_in_cleanup_is_clean(self):
+        assert not lint_source(CHANNEL_CLEAN, file="clean.py").diagnostics
+
+    def test_send_request_with_finally_join_is_clean(self):
+        assert not lint_source(
+            CHANNEL_JOIN_FINALLY, file="clean.py"
+        ).diagnostics
+
+    def test_join_in_another_file_satisfies_the_tree(self, tmp_path):
+        (tmp_path / "router.py").write_text(CHANNEL_LEAK)
+        (tmp_path / "reaper.py").write_text(
+            "class Owner:\n"
+            "    def shutdown(self):\n"
+            "        self.channel.join(5.0)\n"
+        )
+        report = lint_tree(tmp_path)
+        assert not report.diagnostics, report.describe()
+
+    def test_serving_package_passes_the_lint(self):
+        serving_root = Path(repro.__file__).resolve().parent / "serving"
+        report = lint_tree(serving_root)
+        assert report.ok, report.describe()
+        assert not report.warnings, report.describe()

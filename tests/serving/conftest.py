@@ -1,0 +1,47 @@
+"""Shared fixtures of the cluster-serving suite.
+
+One module-scoped two-replica cluster serves most tests (start-up compiles
+the model and forks workers, so sharing it keeps the suite fast); failure
+tests that kill workers build their own throwaway clusters.
+"""
+
+import numpy as np
+import pytest
+
+from repro.serving import Cluster, ClusterConfig
+
+
+#: The narrow registry build every serving test deploys (fast on one core).
+SERVING_CONFIG = dict(model="vgg9", width=1 / 16, seed=0)
+
+
+@pytest.fixture(scope="session")
+def cluster_config() -> ClusterConfig:
+    return ClusterConfig(
+        replicas=2, max_wave=4, queue_depth=8, **SERVING_CONFIG
+    )
+
+
+@pytest.fixture(scope="session")
+def cluster(cluster_config):
+    """A started two-replica cluster shared by the read-only tests."""
+    with Cluster(cluster_config) as instance:
+        instance.start()
+        yield instance
+
+
+@pytest.fixture(scope="session")
+def reference_logits(cluster):
+    """Single-process ``Session.infer`` logits for the shared test images."""
+    from repro.session import Session, SessionConfig
+
+    images = make_images(6)
+    with Session(SessionConfig(**SERVING_CONFIG)) as session:
+        session.compile().deploy()
+        return images, session.infer(images).logits
+
+
+def make_images(count: int) -> np.ndarray:
+    """Deterministic CIFAR-shaped images shared across the suite."""
+    rng = np.random.default_rng(42)
+    return rng.uniform(0.0, 1.0, size=(count, 3, 32, 32))

@@ -1,0 +1,140 @@
+"""Graceful degradation: typed per-request failures, worker death, teardown."""
+
+import asyncio
+import time
+
+import numpy as np
+import pytest
+
+from repro.errors import ClusterError, RequestError
+from repro.serving import Cluster, ClusterConfig, Frontend
+
+from tests.serving.conftest import SERVING_CONFIG, make_images
+
+
+@pytest.fixture
+def fresh_cluster():
+    """A throwaway two-replica cluster the test may freely damage."""
+    with Cluster(ClusterConfig(replicas=2, **SERVING_CONFIG)) as cluster:
+        cluster.start()
+        yield cluster
+
+
+def wait_until(predicate, timeout_s=10.0):
+    deadline = time.monotonic() + timeout_s
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(0.02)
+    return False
+
+
+class TestInWorkerFailures:
+    def test_bad_request_fails_typed_and_replica_survives(self, fresh_cluster):
+        bad = np.zeros((1, 3, 7, 7))  # wrong spatial shape for the deploy
+        handle = fresh_cluster.submit(bad, replica=0)
+        with pytest.raises(RequestError) as excinfo:
+            handle.result(60)
+        error = excinfo.value
+        assert error.request_id == handle.request_id
+        assert error.replica == 0
+        assert error.cause
+        # The replica that failed the wave keeps serving good requests.
+        fresh_cluster.gather(return_exceptions=True)
+        good = fresh_cluster.submit(make_images(1), replica=0)
+        assert good.result(60).replica == 0
+        stats = fresh_cluster.stats()
+        assert stats.live_replicas == 2
+        assert stats.replicas[0].failures == 1
+
+    def test_gather_surfaces_first_failure_after_draining(self, fresh_cluster):
+        fresh_cluster.submit(make_images(1), replica=0)
+        fresh_cluster.submit(np.zeros((1, 3, 7, 7)), replica=1)
+        fresh_cluster.submit(make_images(1), replica=0)
+        with pytest.raises(RequestError):
+            fresh_cluster.gather(60)
+        # The failed gather still drained: nothing left outstanding.
+        assert fresh_cluster.gather(60) == []
+
+    def test_gather_return_exceptions_keeps_order(self, fresh_cluster):
+        handles = [
+            fresh_cluster.submit(make_images(1), replica=0),
+            fresh_cluster.submit(np.zeros((1, 3, 7, 7)), replica=1),
+            fresh_cluster.submit(make_images(1), replica=0),
+        ]
+        outcomes = fresh_cluster.gather(60, return_exceptions=True)
+        assert len(outcomes) == 3
+        assert outcomes[0].request_id == handles[0].request_id
+        assert isinstance(outcomes[1], RequestError)
+        assert outcomes[1].request_id == handles[1].request_id
+        assert outcomes[2].request_id == handles[2].request_id
+
+
+class TestWorkerDeath:
+    def test_killed_worker_fails_only_its_in_flight_requests(
+        self, fresh_cluster
+    ):
+        images = make_images(1)
+        victim = fresh_cluster.submit(images, replica=0)
+        fresh_cluster._replicas[0].process.kill()
+        with pytest.raises(RequestError) as excinfo:
+            victim.result(60)
+        assert excinfo.value.replica == 0
+        assert "died" in excinfo.value.cause
+        assert wait_until(
+            lambda: fresh_cluster.stats().live_replicas == 1
+        )
+        # The survivor serves; routing no longer offers the dead replica.
+        fresh_cluster.gather(return_exceptions=True)
+        for _ in range(3):
+            assert fresh_cluster.infer(images).replica == 1
+        with pytest.raises(ClusterError, match="not alive"):
+            fresh_cluster.submit(images, replica=0)
+
+    def test_all_replicas_dead_raises_cluster_error(self, fresh_cluster):
+        for replica in fresh_cluster._replicas:
+            replica.process.kill()
+        assert wait_until(
+            lambda: fresh_cluster.stats().live_replicas == 0
+        )
+        with pytest.raises(ClusterError, match="no live replicas"):
+            fresh_cluster.submit(make_images(1))
+
+    def test_frontend_reroutes_new_requests_after_death(self, fresh_cluster):
+        images = make_images(1)
+
+        async def scenario():
+            async with Frontend(cluster=fresh_cluster) as frontend:
+                first = await frontend.request(images)
+                fresh_cluster._replicas[0].process.kill()
+                await asyncio.get_running_loop().run_in_executor(
+                    None,
+                    lambda: wait_until(
+                        lambda: fresh_cluster.stats().live_replicas == 1
+                    ),
+                )
+                survivors = await asyncio.gather(
+                    *[frontend.request(images) for _ in range(3)]
+                )
+                return first, survivors
+
+        first, survivors = asyncio.run(scenario())
+        assert {result.replica for result in survivors} == {1}
+
+    def test_close_after_worker_death_is_exception_safe(self, fresh_cluster):
+        fresh_cluster.submit(make_images(1))
+        fresh_cluster._replicas[0].process.kill()
+        fresh_cluster._replicas[1].process.kill()
+        fresh_cluster.close()
+        fresh_cluster.close()
+        assert fresh_cluster.stats().live_replicas == 0
+
+    def test_close_fails_stranded_requests_typed(self):
+        """Requests still pending when workers are gone fail, never hang."""
+        with Cluster(ClusterConfig(replicas=1, **SERVING_CONFIG)) as cluster:
+            cluster.start()
+            handle = cluster.submit(make_images(1))
+            cluster._replicas[0].process.kill()
+            cluster.close()
+            with pytest.raises(RequestError):
+                handle.result(5)

@@ -1,0 +1,159 @@
+"""The asyncio front door: admission, continuous batching, graceful drain."""
+
+import asyncio
+
+import numpy as np
+import pytest
+
+from repro.errors import AdmissionError
+from repro.serving import Frontend
+
+from tests.serving.conftest import make_images
+
+
+def run(coroutine):
+    """The suite has no async plugin; every test drives its own loop."""
+    return asyncio.run(coroutine)
+
+
+class TestAdmission:
+    def test_request_served_through_front_door(self, cluster, reference_logits):
+        images, reference = reference_logits
+
+        async def scenario():
+            async with Frontend(cluster) as frontend:
+                result = await frontend.request(images)
+            return result
+
+        result = run(scenario())
+        assert result.logits.tobytes() == reference.tobytes()
+
+    def test_closed_front_door_rejects(self, cluster):
+        async def scenario():
+            frontend = Frontend(cluster)
+            await frontend.start()
+            await frontend.close()
+            with pytest.raises(AdmissionError, match="closed"):
+                await frontend.request(make_images(1))
+            return frontend
+
+        frontend = run(scenario())
+        assert frontend.rejected == 1
+
+    def test_full_queue_rejects_with_backpressure(self, cluster):
+        """A stalled dispatcher + full queue must reject, not hang."""
+
+        async def scenario():
+            frontend = Frontend(
+                cluster, queue_depth=2, admission_timeout_s=0.05
+            )
+            await frontend.start()
+            # Stall the dispatcher so the queue can actually fill up.
+            frontend._dispatcher.cancel()
+            try:
+                await frontend._dispatcher
+            except asyncio.CancelledError:
+                pass
+            images = make_images(1)
+            admitted = []
+            for _ in range(2):
+                admitted.append(
+                    asyncio.ensure_future(frontend.request(images))
+                )
+                await asyncio.sleep(0)
+            with pytest.raises(AdmissionError) as excinfo:
+                await frontend.request(images)
+            for task in admitted:
+                task.cancel()
+            return frontend, excinfo.value
+
+        frontend, error = run(scenario())
+        assert error.queue_depth == 2
+        assert error.timeout_s == pytest.approx(0.05)
+        assert frontend.rejected == 1
+
+
+class TestContinuousBatching:
+    def test_queued_requests_coalesce_into_waves(
+        self, cluster, reference_logits
+    ):
+        images, reference = reference_logits
+
+        async def scenario():
+            async with Frontend(cluster, max_wave=8) as frontend:
+                results = await asyncio.gather(
+                    *[
+                        frontend.request(images[index : index + 1])
+                        for index in range(len(images))
+                    ]
+                )
+                return frontend.waves, frontend.completed, results
+
+        waves, completed, results = run(scenario())
+        assert completed == len(images)
+        # Concurrent arrivals coalesce: strictly fewer waves than requests.
+        assert waves < len(images)
+        stitched = np.concatenate([result.logits for result in results])
+        assert stitched.tobytes() == reference.tobytes()
+
+    def test_wave_respects_max_wave(self, cluster):
+        images = make_images(1)
+
+        async def scenario():
+            async with Frontend(cluster, max_wave=2) as frontend:
+                await asyncio.gather(
+                    *[frontend.request(images) for _ in range(6)]
+                )
+                return list(frontend._wave_sizes)
+
+        wave_sizes = run(scenario())
+        assert wave_sizes
+        assert max(wave_sizes) <= 2
+
+
+class TestDrainAndClose:
+    def test_close_flushes_in_flight_requests(self, cluster):
+        images = make_images(1)
+
+        async def scenario():
+            frontend = Frontend(cluster)
+            await frontend.start()
+            pending = [
+                asyncio.ensure_future(frontend.request(images))
+                for _ in range(4)
+            ]
+            await asyncio.sleep(0)  # let admissions enqueue
+            await frontend.close()
+            results = await asyncio.gather(*pending)
+            return frontend, results
+
+        frontend, results = run(scenario())
+        assert len(results) == 4
+        assert frontend.completed == 4
+        assert frontend.depth() == 0
+        assert frontend.in_flight() == 0
+
+    def test_close_is_idempotent(self, cluster):
+        async def scenario():
+            frontend = Frontend(cluster)
+            await frontend.start()
+            await frontend.close()
+            await frontend.close()
+
+        run(scenario())
+
+    def test_metrics_registry_includes_queue_and_waves(self, cluster):
+        images = make_images(1)
+
+        async def scenario():
+            async with Frontend(cluster) as frontend:
+                await frontend.request(images)
+                return frontend.metrics_registry().flat()
+
+        flat = run(scenario())
+        assert flat["queue_depth"] == 0
+        assert flat["queue_capacity"] == cluster.config.queue_depth
+        assert flat["requests_admitted"] >= 1
+        assert flat["waves_dispatched"] >= 1
+        assert "wave_size_mean" in flat
+        assert "frontdoor_latency_ms_p50" in flat

@@ -1,0 +1,85 @@
+"""The load generator: seeded Poisson arrivals, open-loop runs, saturation."""
+
+import pytest
+
+from repro.errors import ClusterError
+from repro.serving import LoadReport, poisson_arrivals, run_load, saturate
+
+
+class TestPoissonArrivals:
+    def test_deterministic_for_a_seed(self):
+        first = poisson_arrivals(qps=50, duration_s=2.0, rng=7)
+        second = poisson_arrivals(qps=50, duration_s=2.0, rng=7)
+        assert first == second
+        assert first != poisson_arrivals(qps=50, duration_s=2.0, rng=8)
+
+    def test_rate_and_window(self):
+        arrivals = poisson_arrivals(qps=100, duration_s=5.0, rng=0)
+        assert all(0 < offset < 5.0 for offset in arrivals)
+        assert arrivals == sorted(arrivals)
+        # Open-loop Poisson: expect ~qps * duration arrivals (500 +- 5 sigma).
+        assert 380 < len(arrivals) < 620
+
+    @pytest.mark.parametrize("qps,duration", [(0, 1.0), (-1, 1.0), (5, 0)])
+    def test_rejects_bad_rates(self, qps, duration):
+        with pytest.raises(ClusterError):
+            poisson_arrivals(qps=qps, duration_s=duration)
+
+
+class TestLoadReport:
+    def test_to_metrics_schema(self):
+        report = LoadReport(
+            offered_qps=10.0,
+            duration_s=2.0,
+            requests=20,
+            admitted=18,
+            rejected=2,
+            completed=17,
+            failed=1,
+            wall_s=2.5,
+            latency_p50_ms=12.0,
+            latency_p99_ms=80.0,
+            latency_mean_ms=20.0,
+            waves=9,
+            mean_wave_size=2.0,
+        )
+        metrics = report.to_metrics()
+        assert metrics["latency_p50_ms"] == 12.0
+        assert metrics["latency_p99_ms"] == 80.0
+        assert metrics["achieved_qps"] == pytest.approx(17 / 2.5)
+        assert metrics["rejected"] == 2
+        assert report.dropped == 1
+
+
+class TestOpenLoop:
+    def test_run_load_serves_the_schedule(self, cluster):
+        report = run_load(cluster, qps=6, duration_s=1.0, rng=3)
+        assert report.requests == len(
+            poisson_arrivals(qps=6, duration_s=1.0, rng=3)
+        )
+        assert report.admitted == report.requests - report.rejected
+        assert report.completed + report.failed <= report.admitted
+        assert report.failed == 0
+        if report.completed:
+            assert report.latency_p50_ms > 0
+            assert report.latency_p99_ms >= report.latency_p50_ms
+
+    def test_run_load_requires_started_cluster(self):
+        from repro.serving import Cluster, ClusterConfig
+
+        from tests.serving.conftest import SERVING_CONFIG
+
+        cluster = Cluster(ClusterConfig(replicas=1, **SERVING_CONFIG))
+        with pytest.raises(ClusterError, match="not started"):
+            run_load(cluster, qps=5, duration_s=0.5)
+        cluster.close()
+
+
+class TestSaturation:
+    def test_saturate_counts_every_request(self, cluster):
+        qps = saturate(cluster, requests=6, rng=5)
+        assert qps > 0
+
+    def test_saturate_rejects_bad_count(self, cluster):
+        with pytest.raises(ClusterError):
+            saturate(cluster, requests=0)

@@ -12,6 +12,8 @@ from repro.telemetry.metrics import (
     record_cam_stats,
     record_movement,
     record_pipeline_trace,
+    record_queue_depth,
+    record_request_latencies,
     record_residency,
     record_span_latencies,
 )
@@ -138,3 +140,33 @@ class TestAdapters:
         assert flat["layer_latency_ms_count{layer=conv1}"] == 1
         assert flat["request_latency_ms_p50"] == pytest.approx(10.0)
         assert any(key.startswith("ap_group_busy_ms_") for key in flat)
+
+
+    def test_record_queue_depth(self):
+        registry = MetricsRegistry()
+        record_queue_depth(registry, 3, capacity=8)
+        flat = registry.flat()
+        assert flat["queue_depth"] == 3
+        assert flat["queue_capacity"] == 8
+
+    def test_record_queue_depth_without_capacity(self):
+        registry = MetricsRegistry()
+        record_queue_depth(registry, 0, frontend="cluster")
+        flat = registry.flat()
+        assert flat["queue_depth{frontend=cluster}"] == 0
+        assert not any(key.startswith("queue_capacity") for key in flat)
+
+    def test_record_request_latencies(self):
+        registry = MetricsRegistry()
+        record_request_latencies(registry, [0.010, 0.020, 0.030])
+        flat = registry.flat()
+        assert flat["request_latency_ms_count"] == 3
+        assert flat["request_latency_ms_p50"] == 20.0
+        assert flat["request_latency_ms_max"] == 30.0
+
+    def test_request_latencies_share_the_span_histogram(self):
+        """Adapter and span-fold feed one request_latency_ms family."""
+        registry = MetricsRegistry()
+        record_request_latencies(registry, [0.005])
+        histogram = registry.histogram("request_latency_ms")
+        assert histogram.count() == 1

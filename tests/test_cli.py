@@ -82,6 +82,30 @@ class TestParser:
         assert arguments.width == 0.03125
         assert arguments.executor == "thread"
 
+    def test_cluster_defaults(self):
+        arguments = build_parser().parse_args(["cluster"])
+        assert arguments.command == "cluster"
+        assert arguments.replicas == 2
+        assert arguments.qps == 8.0
+        assert arguments.duration == 2.0
+        assert arguments.routing == "round-robin"
+        assert arguments.queue_depth == 64
+        assert arguments.max_wave == 4
+        assert not arguments.json
+
+    def test_cluster_flags(self):
+        arguments = build_parser().parse_args(
+            ["cluster", "--replicas", "4", "--qps", "16", "--duration", "3",
+             "--routing", "least-loaded", "--queue-depth", "8",
+             "--max-wave", "2", "--json"]
+        )
+        assert arguments.replicas == 4
+        assert arguments.qps == 16.0
+        assert arguments.routing == "least-loaded"
+        assert arguments.queue_depth == 8
+        assert arguments.max_wave == 2
+        assert arguments.json
+
     def test_infer_flags(self):
         arguments = build_parser().parse_args(
             ["infer", "--model", "resnet18", "--width", "0.0625", "--images", "2",
@@ -179,6 +203,32 @@ class TestCommands:
         assert metrics["pipeline_stages"] >= 2
         assert metrics["pipeline_speedup"] >= 1.0
         assert "amortized_energy_uj" in metrics
+
+    def test_cluster_command_json_report(self, capsys):
+        """repro cluster --json: every replica warm, no dropped requests."""
+        import json
+
+        assert main(["cluster", "--model", "vgg9", "--width", "0.0625",
+                     "--replicas", "2", "--qps", "4", "--duration", "1",
+                     "--seed", "4", "--json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["name"] == "cluster_vgg9"
+        metrics = payload["metrics"]
+        assert metrics["replicas"] == 2
+        assert metrics["replicas_live"] == 2
+        assert metrics["cold_leases_after_deploy"] == 0
+        assert metrics["failed"] == 0
+        assert metrics["completed"] + metrics["rejected"] == metrics["requests"]
+        assert len(metrics["requests_per_replica"]) == 2
+
+    def test_cluster_command_human_tables(self, capsys):
+        assert main(["cluster", "--model", "vgg9", "--width", "0.0625",
+                     "--replicas", "2", "--qps", "4", "--duration", "1",
+                     "--seed", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "open-loop Poisson load" in output
+        assert "per-replica residency" in output
+        assert "2/2 live" in output
 
     def test_infer_command_pipelined(self, capsys):
         """--pipeline serves the batch through the dependency-driven engine
