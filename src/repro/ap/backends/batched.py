@@ -28,11 +28,24 @@ Equivalence contract (same as every backend, see :mod:`repro.ap.backends.base`):
   (which spans only the first..last fired bit) is applied per instance under
   a fired mask.
 
+Operand input takes two forms.  The legacy form is one ``{name: row vector}``
+dict per (instance, program), gathered and validated per instance.  The
+wave-native form is :class:`StagedWaveInputs`: the host stages each operand
+as one ``(instances, rows)`` integer batch - or, on the packed fast path, as
+``(instances, rows, width)`` bit planes unpacked once per layer via
+:mod:`repro.ap.backends.packing` - so loads slice views of one staged tensor
+instead of copying rows per instance, and the plane form skips the
+per-payload unpack entirely.  Both forms produce byte-identical results and
+counters.
+
 The wave entry point :func:`execute_program_wave` is conservative: any
 program shape the vectorized backend would route to its interpreter fallback
 (operands on the carry column, aliasing destinations, >60-bit words), or any
 malformed input batch, returns ``None`` so the caller can fall back to
 per-instance dispatch - where the ordinary backends raise the proper errors.
+:func:`wave_staging_plan` lets the host pre-flight (and pre-lower) a tile's
+programs at deploy time, so serving requests never pay the lowering cost and
+the host knows the operand widths to stage.
 
 :class:`BatchedBackend` itself subclasses the vectorized backend, so
 ``backend="batched"`` behaves identically to ``"vectorized"`` for ordinary
@@ -44,19 +57,18 @@ uses to hand it whole layers via :meth:`Executor.map_layer
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.ap.backends.vectorized import (
     _MAX_VECTOR_WIDTH,
     VectorizedBackend,
-    _bit_shifts,
     _cached_lut,
     lut_truth_matrix,
 )
 from repro import telemetry
+from repro.ap.backends.packing import bit_shifts as _bit_shifts, pow2 as _pow2
 from repro.ap.isa import APInstruction, APOpcode, APProgram, ColumnRegion
 from repro.cam.stats import CAMStats
 from repro.rtm.timing import DEFAULT_RTM_TECHNOLOGY, RTMTechnology
@@ -69,21 +81,21 @@ logger = get_logger(__name__)
 #: are processed in equivalence-preserving chunks (instances are independent).
 _MAX_WAVE_STATE_BYTES = 256 * 1024 * 1024
 
-#: Cached ``2**k`` packing vectors per width.
-_POW2_CACHE: Dict[int, np.ndarray] = {}
-
 #: Cached word dtype, shift and packing vectors per width for the arithmetic
 #: kernel.  Words up to 30 bits fit int32 with their carry bit, halving the
 #: memory traffic of the packed-value temporaries; the integer results are
 #: bit-identical below bit 31, so the choice never changes an outcome.
 _ARITH_CACHE: Dict[int, Tuple[type, np.ndarray, np.ndarray]] = {}
 
+#: Static per-opcode facts (enum property calls are too slow for the lowering
+#: hot loop: a full-width resnet18 plan lowers ~500k instructions).
+_OPCODE_META: Dict[APOpcode, Tuple[bool, bool, Optional[str]]] = {
+    opcode: (opcode.is_arithmetic, opcode.is_inplace, opcode.lut_kind)
+    for opcode in APOpcode
+}
 
-def _pow2(width: int) -> np.ndarray:
-    pow2 = _POW2_CACHE.get(width)
-    if pow2 is None:
-        pow2 = _POW2_CACHE[width] = np.int64(1) << _bit_shifts(width)
-    return pow2
+#: Cached (truth, fired_by_state, num_passes) per (lut_kind, inplace).
+_ARITH_META_CACHE: Dict[Tuple[str, bool], Tuple[np.ndarray, np.ndarray, int]] = {}
 
 
 def _arith_dtype(width: int) -> Tuple[type, np.ndarray, np.ndarray]:
@@ -93,6 +105,19 @@ def _arith_dtype(width: int) -> Tuple[type, np.ndarray, np.ndarray]:
         shifts = _bit_shifts(width).astype(dtype)
         entry = _ARITH_CACHE[width] = (dtype, shifts, np.ones(1, dtype) << shifts)
     return entry
+
+
+def _arith_meta(kind: str, inplace: bool) -> Tuple[np.ndarray, np.ndarray, int]:
+    key = (kind, inplace)
+    meta = _ARITH_META_CACHE.get(key)
+    if meta is None:
+        truth = lut_truth_matrix(kind, inplace)
+        meta = _ARITH_META_CACHE[key] = (
+            truth,
+            truth.any(axis=1),
+            len(_cached_lut(kind, inplace).entries),
+        )
+    return meta
 
 
 class BatchedBackend(VectorizedBackend):
@@ -108,13 +133,15 @@ class BatchedBackend(VectorizedBackend):
 # ----------------------------------------------------------------------
 # Wave compilation: APProgram -> flat descriptors the mega-kernel can run
 # ----------------------------------------------------------------------
-@dataclass(frozen=True)
 class _Region:
     """Flattened :class:`~repro.ap.isa.ColumnRegion` (plain ints)."""
 
-    column: int
-    width: int
-    offset: int
+    __slots__ = ("column", "width", "offset")
+
+    def __init__(self, column: int, width: int, offset: int) -> None:
+        self.column = column
+        self.width = width
+        self.offset = offset
 
     def bit_position(self, bit: int) -> int:
         return self.offset + min(bit, self.width - 1)
@@ -124,40 +151,111 @@ def _region(region: ColumnRegion) -> _Region:
     return _Region(region.column, region.width, region.domain_offset)
 
 
-@dataclass(frozen=True)
 class _ArithOp:
-    lut_kind: str
-    inplace: bool
-    width: int
-    src_a: _Region
-    src_b: _Region
-    dest: _Region
-    extras: Tuple[_Region, ...]
-    truth: np.ndarray
-    fired_by_state: np.ndarray
-    num_passes: int
-    written_columns: int
+    __slots__ = (
+        "lut_kind",
+        "inplace",
+        "width",
+        "src_a",
+        "src_b",
+        "dest",
+        "extras",
+        "truth",
+        "fired_by_state",
+        "num_passes",
+        "written_columns",
+    )
+
+    def __init__(
+        self,
+        lut_kind: str,
+        inplace: bool,
+        width: int,
+        src_a: _Region,
+        src_b: _Region,
+        dest: _Region,
+        extras: Tuple[_Region, ...],
+        truth: np.ndarray,
+        fired_by_state: np.ndarray,
+        num_passes: int,
+        written_columns: int,
+    ) -> None:
+        self.lut_kind = lut_kind
+        self.inplace = inplace
+        self.width = width
+        self.src_a = src_a
+        self.src_b = src_b
+        self.dest = dest
+        self.extras = extras
+        self.truth = truth
+        self.fired_by_state = fired_by_state
+        self.num_passes = num_passes
+        self.written_columns = written_columns
 
 
-@dataclass(frozen=True)
 class _CopyOp:
-    width: int
-    src: _Region
-    dests: Tuple[_Region, ...]
+    __slots__ = ("width", "src", "dests")
+
+    def __init__(self, width: int, src: _Region, dests: Tuple[_Region, ...]) -> None:
+        self.width = width
+        self.src = src
+        self.dests = dests
 
 
-@dataclass(frozen=True)
 class _ClearOp:
-    dests: Tuple[_Region, ...]
+    __slots__ = ("dests",)
+
+    def __init__(self, dests: Tuple[_Region, ...]) -> None:
+        self.dests = dests
 
 
-@dataclass(frozen=True)
 class _CompiledWaveProgram:
-    """One program lowered to wave descriptors (valid for a geometry)."""
+    """One program lowered to wave descriptors (valid for a geometry).
 
-    loads: Tuple[Tuple[str, _Region], ...]
-    ops: Tuple[object, ...]
-    reads: Tuple[Tuple[str, _Region, bool], ...]
+    ``reads_sorted``/``read_names`` fix the output slot order (names sorted
+    within the program) once at lowering time, and ``read_batch`` holds the
+    fancy-index column gather for the common case where every output region
+    shares one (offset, width) - so a whole program's outputs are packed with
+    one matrix product instead of one readout call per name.
+    """
+
+    __slots__ = ("loads", "ops", "reads", "reads_sorted", "read_names", "read_batch")
+
+    def __init__(
+        self,
+        loads: Tuple[Tuple[str, _Region], ...],
+        ops: Tuple[object, ...],
+        reads: Tuple[Tuple[str, _Region, bool], ...],
+    ) -> None:
+        self.loads = loads
+        self.ops = ops
+        self.reads = reads
+        self.reads_sorted = tuple(sorted(reads, key=lambda entry: entry[0]))
+        self.read_names = tuple(name for name, _, _ in self.reads_sorted)
+        self.read_batch = None
+        if self.reads_sorted:
+            first = self.reads_sorted[0][1]
+            offset, width = first.offset, first.width
+            if all(
+                region.offset == offset and region.width == width
+                for _, region, _ in self.reads_sorted
+            ):
+                self.read_batch = (
+                    np.array(
+                        [region.column for _, region, _ in self.reads_sorted],
+                        dtype=np.intp,
+                    ),
+                    offset,
+                    width,
+                    np.array(
+                        [
+                            index
+                            for index, (_, _, negated) in enumerate(self.reads_sorted)
+                            if negated
+                        ],
+                        dtype=np.intp,
+                    ),
+                )
 
 
 def _region_fits(region: ColumnRegion, columns: int, domains: int) -> bool:
@@ -170,74 +268,97 @@ def _compile_instruction(
     """Lower one instruction to a wave descriptor, or ``None`` if it needs
     the per-instance path (any vectorized-fallback shape or geometry the
     per-instance backends would reject with a proper error)."""
-    opcode = instruction.opcode
-    if opcode.is_arithmetic:
+    is_arith, inplace, lut_kind = _OPCODE_META[instruction.opcode]
+    if is_arith:
         src_a, src_b = instruction.src_a, instruction.src_b
         dest = instruction.dest
-        if src_a is None or src_b is None or src_a.column == src_b.column:
+        if src_a is None or src_b is None:
             return None
-        if opcode.lut_kind == "add" and opcode.is_inplace and dest == src_a:
+        a_col, b_col = src_a.column, src_b.column
+        if a_col == b_col:
+            return None
+        if lut_kind == "add" and inplace and dest == src_a:
             src_a, src_b = src_b, src_a
-        if opcode.is_inplace and (dest != src_b or instruction.extra_dests):
+            a_col, b_col = b_col, a_col
+        extra_dests = instruction.extra_dests
+        if inplace and (dest != src_b or extra_dests):
             return None
-        if not opcode.is_inplace and dest.column in (src_a.column, src_b.column):
+        dest_col = dest.column
+        if not inplace and (dest_col == a_col or dest_col == b_col):
             return None
         width = instruction.width
-        dest_columns = [d.column for d in instruction.all_dests]
-        involved_regions = [src_a, src_b] + list(instruction.all_dests)
-        if (
-            carry_column in [src_a.column, src_b.column] + dest_columns
-            or len(set(dest_columns)) != len(dest_columns)
-            or any(c in (src_a.column, src_b.column) for c in dest_columns[1:])
-            or width > _MAX_VECTOR_WIDTH
-            or any(r.width > _MAX_VECTOR_WIDTH for r in involved_regions)
-        ):
+        if width > _MAX_VECTOR_WIDTH:
             return None
-        if not all(_region_fits(r, columns, domains) for r in involved_regions):
+        all_dests = instruction.all_dests
+        seen_columns = set()
+        for index, region in enumerate(all_dests):
+            column = region.column
+            if (
+                column == carry_column
+                or column in seen_columns
+                or (index > 0 and (column == a_col or column == b_col))
+                or column >= columns
+                or region.width > _MAX_VECTOR_WIDTH
+                or region.domain_offset + region.width > domains
+            ):
+                return None
+            seen_columns.add(column)
+        if carry_column == a_col or carry_column == b_col:
             return None
+        for region in (src_a, src_b):
+            if (
+                region.width > _MAX_VECTOR_WIDTH
+                or region.column >= columns
+                or region.domain_offset + region.width > domains
+            ):
+                return None
         # Narrow extra destinations are blended over ``width`` raw bits.
-        if any(e.domain_offset + width > domains for e in instruction.extra_dests):
-            return None
-        truth = lut_truth_matrix(opcode.lut_kind, opcode.is_inplace)
+        for extra in extra_dests:
+            if extra.domain_offset + width > domains:
+                return None
+        truth, fired_by_state, num_passes = _arith_meta(lut_kind, inplace)
         return _ArithOp(
-            lut_kind=opcode.lut_kind,
-            inplace=opcode.is_inplace,
+            lut_kind=lut_kind,
+            inplace=inplace,
             width=width,
             src_a=_region(src_a),
             src_b=_region(src_b),
             dest=_region(dest),
-            extras=tuple(_region(e) for e in instruction.extra_dests),
+            extras=tuple(_region(extra) for extra in extra_dests),
             truth=truth,
-            fired_by_state=truth.any(axis=1),
-            num_passes=len(_cached_lut(opcode.lut_kind, opcode.is_inplace).entries),
-            written_columns=2 if opcode.is_inplace else 2 + len(instruction.extra_dests),
+            fired_by_state=fired_by_state,
+            num_passes=num_passes,
+            written_columns=2 if inplace else 2 + len(extra_dests),
         )
-    if opcode is APOpcode.COPY:
+    if instruction.opcode is APOpcode.COPY:
         src = instruction.src_a
         if src is None:
             return None
         width = instruction.width
+        if width > _MAX_VECTOR_WIDTH or src.width > _MAX_VECTOR_WIDTH:
+            return None
+        if src.column >= columns or src.domain_offset + src.width > domains:
+            return None
         dests = instruction.all_dests
-        dest_columns = [d.column for d in dests]
-        if (
-            src.column in dest_columns
-            or len(set(dest_columns)) != len(dest_columns)
-            or width > _MAX_VECTOR_WIDTH
-            or src.width > _MAX_VECTOR_WIDTH
-        ):
-            return None
-        if not _region_fits(src, columns, domains):
-            return None
+        src_col = src.column
+        seen_columns = set()
         # Every destination receives ``width`` bits at its own offset.
-        if any(
-            d.column >= columns or d.domain_offset + width > domains for d in dests
-        ):
-            return None
+        for region in dests:
+            column = region.column
+            if (
+                column == src_col
+                or column in seen_columns
+                or column >= columns
+                or region.domain_offset + width > domains
+            ):
+                return None
+            seen_columns.add(column)
         return _CopyOp(width=width, src=_region(src), dests=tuple(map(_region, dests)))
-    if opcode is APOpcode.CLEAR:
+    if instruction.opcode is APOpcode.CLEAR:
         dests = instruction.all_dests
-        if not all(_region_fits(d, columns, domains) for d in dests):
-            return None
+        for region in dests:
+            if region.column >= columns or region.domain_offset + region.width > domains:
+                return None
         return _ClearOp(dests=tuple(map(_region, dests)))
     return None  # pragma: no cover - enum is closed
 
@@ -302,6 +423,85 @@ def _compile_program_wave(
 
 
 # ----------------------------------------------------------------------
+# Host-staged operand batches (the wave-native input form)
+# ----------------------------------------------------------------------
+class StagedWaveInputs:
+    """Operand batches staged by the host for one wave group.
+
+    Exactly one of ``values``/``planes`` is given, each one entry per
+    program:
+
+    * ``values[j][name]`` - ``(instances, rows)`` integer batch: every
+      instance's operand rows as views (or one vectorized gather) of the
+      layer's staged operand tensor.
+    * ``planes[j][name]`` - ``(instances, rows, width)`` uint8 bit planes,
+      pre-unpacked once per layer (see
+      :func:`repro.ap.backends.packing.unpack_bits`): the wave's loads copy
+      planes straight into the stacked state tensor, skipping the
+      per-payload unpack.  ``width`` must equal the load region's width
+      (pre-flight via :func:`wave_staging_plan`).
+
+    Byte-identical to the legacy per-instance dict form by construction:
+    the staged arrays hold exactly the rows each instance's payload dict
+    would have carried.
+    """
+
+    __slots__ = ("instances", "rows", "values", "planes")
+
+    def __init__(
+        self,
+        instances: int,
+        rows: int,
+        values: Optional[Sequence[Mapping[str, np.ndarray]]] = None,
+        planes: Optional[Sequence[Mapping[str, np.ndarray]]] = None,
+    ) -> None:
+        if (values is None) == (planes is None):
+            raise ValueError("StagedWaveInputs takes exactly one of values/planes")
+        self.instances = instances
+        self.rows = rows
+        self.values = values
+        self.planes = planes
+
+    def __len__(self) -> int:
+        return self.instances
+
+
+def wave_staging_plan(
+    programs: Sequence[APProgram],
+    columns: int,
+    technology: Optional[RTMTechnology] = None,
+    carry_column: int = 0,
+) -> Optional[Tuple[List[Dict[str, int]], Optional[int]]]:
+    """Pre-flight one tile's programs for host-staged wave execution.
+
+    Lowers every program for the wave geometry (memoised - calling this at
+    deploy time moves the whole lowering cost out of the serving window) and
+    returns ``(load_widths, uniform_width)``: per program the operand name ->
+    region width map the host must stage, plus the single shared width when
+    every load agrees (the packed bit-plane fast path).  Returns ``None``
+    when any program would decline wave execution, so the caller can route
+    the layer to the legacy per-payload path up front.
+    """
+    technology = technology or DEFAULT_RTM_TECHNOLOGY
+    domains = technology.domains_per_nanowire
+    if columns < 1:
+        return None
+    load_widths: List[Dict[str, int]] = []
+    widths_seen: set = set()
+    for program in programs:
+        if program.carry_column != carry_column:
+            return None
+        lowered = compile_program_wave(program, columns, domains)
+        if lowered is None:
+            return None
+        widths = {name: region.width for name, region in lowered.loads}
+        widths_seen.update(widths.values())
+        load_widths.append(widths)
+    uniform = widths_seen.pop() if len(widths_seen) == 1 else None
+    return load_widths, uniform
+
+
+# ----------------------------------------------------------------------
 # The mega-kernel: batched instruction evaluation over stacked instances
 # ----------------------------------------------------------------------
 class _WaveEngine:
@@ -340,10 +540,44 @@ class _WaveEngine:
         self.track += steps * self.rows
         self.ports[:, column] = last
 
+    def align_pair(
+        self,
+        column_a: int,
+        first_a: int,
+        last_a: int,
+        column_b: int,
+        first_b: int,
+        last_b: int,
+    ) -> None:
+        """Two broadcast alignment runs fused into one accounting pass.
+
+        Same counters as two :meth:`align_run` calls (integer addition
+        commutes); one fused step vector halves the NumPy dispatches on the
+        arithmetic hot path, which issues this once per instruction.
+        """
+        ports = self.ports
+        steps = (
+            np.abs(first_a - ports[:, column_a])
+            + (last_a - first_a)
+            + np.abs(first_b - ports[:, column_b])
+            + (last_b - first_b)
+        )
+        self.lockstep += steps
+        self.track += steps * self.rows
+        ports[:, column_a] = last_a
+        ports[:, column_b] = last_b
+
     def align_run_masked(
         self, column: int, first: np.ndarray, last: np.ndarray, mask: np.ndarray
     ) -> None:
         """Per-instance alignment run, applied only where ``mask`` holds."""
+        if mask.all():
+            # Dense activations fire every instance; skip the masked blend.
+            steps = np.abs(first - self.ports[:, column]) + (last - first)
+            self.lockstep += steps
+            self.track += steps * self.rows
+            self.ports[:, column] = last
+            return
         steps = np.where(mask, np.abs(first - self.ports[:, column]) + (last - first), 0)
         self.lockstep += steps
         self.track += steps * self.rows
@@ -354,7 +588,7 @@ class _WaveEngine:
         """Region bit planes sign-extended to ``width`` bits (no events)."""
         block = self.state[:, :, region.column, region.offset : region.offset + region.width]
         if width <= region.width:
-            return np.ascontiguousarray(block[:, :, :width])
+            return block[:, :, :width]
         # Clamped gather replays the MSB, like ColumnRegion.bit_position.
         columns = np.minimum(_bit_shifts(width), region.width - 1)
         return block[:, :, columns]
@@ -420,11 +654,14 @@ class _WaveEngine:
         self.write_phases += fired.sum(axis=(1, 2))
         self.written_bits += match_counts.sum(axis=(1, 2)) * op.written_columns
 
-        self.align_run(
-            op.src_b.column, op.src_b.bit_position(0), op.src_b.bit_position(width - 1)
-        )
-        self.align_run(
-            op.src_a.column, op.src_a.bit_position(0), op.src_a.bit_position(width - 1)
+        src_a, src_b = op.src_a, op.src_b
+        self.align_pair(
+            src_b.column,
+            src_b.bit_position(0),
+            src_b.bit_position(width - 1),
+            src_a.column,
+            src_a.bit_position(0),
+            src_a.bit_position(width - 1),
         )
         if not op.inplace:
             any_fired = fired.any(axis=2)  # (instances, width)
@@ -497,6 +734,17 @@ class _WaveEngine:
         self.write_planes(region.column, region.offset, planes)
         self.loaded_bits += self.rows * region.width
 
+    def load_planes(self, region: _Region, planes: np.ndarray) -> None:
+        """Plane-form :meth:`load`: pre-unpacked ``(instances, rows, width)``.
+
+        Same state content and ``loaded_bits`` accounting as :meth:`load` on
+        the packed values - the host already unpacked the layer's codes once
+        (see :func:`repro.ap.backends.packing.unpack_bits`), so the wave
+        skips the per-load unpack entirely.
+        """
+        self.write_planes(region.column, region.offset, planes)
+        self.loaded_bits += self.rows * region.width
+
     def read(self, region: _Region) -> np.ndarray:
         """Signed ``(instances, rows)`` readout of a region (port readout)."""
         planes = self.state[
@@ -524,6 +772,11 @@ class _WaveEngine:
 #: and the same outputs stacked as one ``(total outputs, rows)`` int64 matrix
 #: (program order, names sorted within each program) for bulk reduction.
 WaveResult = Tuple[CAMStats, List[Dict[str, np.ndarray]], int, np.ndarray]
+
+#: Either input form accepted by :func:`execute_program_wave`.
+WaveInputs = Union[
+    Sequence[Sequence[Mapping[str, Sequence[int]]]], StagedWaveInputs
+]
 
 
 def _decline(reason: str, **detail: object) -> None:
@@ -559,9 +812,51 @@ def _gather_load(
     return stacked
 
 
+def _validate_staged(
+    compiled: Sequence[_CompiledWaveProgram], staged: StagedWaveInputs, rows: int
+) -> bool:
+    """Shape/range-check staged operand batches (once, before chunking).
+
+    The same acceptance decision the legacy per-instance gather makes: any
+    missing name, wrong shape/dtype or out-of-range value declines the wave,
+    so the caller falls back to per-instance dispatch where the ordinary
+    backends raise their proper errors.
+    """
+    entries = staged.planes if staged.planes is not None else staged.values
+    if len(entries) != len(compiled):
+        _decline("malformed-inputs", programs=len(compiled))
+        return False
+    total = staged.instances
+    for program_index, lowered in enumerate(compiled):
+        provided = entries[program_index]
+        for name, region in lowered.loads:
+            batch = provided.get(name)
+            if batch is None:
+                _decline("missing-input", program=program_index)
+                return False
+            if staged.planes is not None:
+                if (
+                    batch.shape != (total, rows, region.width)
+                    or batch.dtype != np.uint8
+                ):
+                    _decline("invalid-input", name=name, program=program_index)
+                    return False
+            else:
+                if batch.shape != (total, rows) or batch.dtype.kind not in "iu":
+                    _decline("invalid-input", name=name, program=program_index)
+                    return False
+                if (
+                    int(batch.min(initial=0)) < min_signed_value(region.width)
+                    or int(batch.max(initial=0)) > max_signed_value(region.width)
+                ):
+                    _decline("invalid-input", name=name, program=program_index)
+                    return False
+    return True
+
+
 def execute_program_wave(
     programs: Sequence[APProgram],
-    inputs_per_instance: Sequence[Sequence[Mapping[str, Sequence[int]]]],
+    inputs_per_instance: WaveInputs,
     rows: int,
     columns: int,
     technology: Optional[RTMTechnology] = None,
@@ -571,7 +866,9 @@ def execute_program_wave(
 
     Every instance models a fresh ``rows x columns`` AP running ``programs``
     back to back on its own input set (the exact contract of a pooled or
-    fresh-worker AP executing one tile).  Returns one ``(CAMStats, outputs,
+    fresh-worker AP executing one tile).  ``inputs_per_instance`` is either
+    the legacy one-dict-per-(instance, program) form or a host-staged
+    :class:`StagedWaveInputs` batch.  Returns one ``(CAMStats, outputs,
     checksum)`` triple per instance - byte-identical to running each instance
     alone on any registered backend - or ``None`` when the wave cannot take
     the batched path (unsupported instruction shapes, geometry, or malformed
@@ -579,11 +876,17 @@ def execute_program_wave(
     """
     technology = technology or DEFAULT_RTM_TECHNOLOGY
     domains = technology.domains_per_nanowire
-    total = len(inputs_per_instance)
+    staged = isinstance(inputs_per_instance, StagedWaveInputs)
+    total = (
+        inputs_per_instance.instances if staged else len(inputs_per_instance)
+    )
     if total == 0:
         return []
     if rows < 1 or columns < 1:
         _decline("geometry", rows=rows, columns=columns)
+        return None
+    if staged and inputs_per_instance.rows != rows:
+        _decline("geometry", rows=rows, staged_rows=inputs_per_instance.rows)
         return None
 
     compiled: List[_CompiledWaveProgram] = []
@@ -600,15 +903,19 @@ def execute_program_wave(
             _decline("program-lowering", columns=columns, domains=domains)
             return None
         compiled.append(lowered)
-    if any(len(instance) != len(programs) for instance in inputs_per_instance):
-        _decline("malformed-inputs", programs=len(programs))
-        return None
-    for program_index, lowered in enumerate(compiled):
-        for instance_inputs in inputs_per_instance:
-            provided = instance_inputs[program_index]
-            if any(name not in provided for name, _ in lowered.loads):
-                _decline("missing-input", program=program_index)
-                return None
+    if staged:
+        if not _validate_staged(compiled, inputs_per_instance, rows):
+            return None
+    else:
+        if any(len(instance) != len(programs) for instance in inputs_per_instance):
+            _decline("malformed-inputs", programs=len(programs))
+            return None
+        for program_index, lowered in enumerate(compiled):
+            for instance_inputs in inputs_per_instance:
+                provided = instance_inputs[program_index]
+                if any(name not in provided for name, _ in lowered.loads):
+                    _decline("missing-input", program=program_index)
+                    return None
 
     # Chunk the wave so the stacked bit tensor and the per-instance output
     # matrix stay bounded; instances are independent, so chunked and
@@ -626,7 +933,10 @@ def execute_program_wave(
         columns=columns,
     ):
         for start in range(0, total, chunk):
-            instances = inputs_per_instance[start : start + chunk]
+            if staged:
+                instances = (inputs_per_instance, start, min(start + chunk, total))
+            else:
+                instances = inputs_per_instance[start : start + chunk]
             chunk_results = _execute_wave_chunk(
                 compiled, instances, rows, columns, domains, carry_column
             )
@@ -638,56 +948,99 @@ def execute_program_wave(
 
 def _execute_wave_chunk(
     compiled: Sequence[_CompiledWaveProgram],
-    inputs_per_instance: Sequence[Sequence[Mapping[str, Sequence[int]]]],
+    inputs_per_instance,
     rows: int,
     columns: int,
     domains: int,
     carry_column: int,
 ) -> Optional[List[WaveResult]]:
-    instances = len(inputs_per_instance)
+    staged = isinstance(inputs_per_instance, tuple)
+    if staged:
+        staged_inputs, chunk_start, chunk_stop = inputs_per_instance
+        instances = chunk_stop - chunk_start
+    else:
+        instances = len(inputs_per_instance)
     engine = _WaveEngine(instances, rows, columns, domains, carry_column)
     total_outputs = sum(len(lowered.reads) for lowered in compiled)
     # All instances' outputs in one matrix: slot order is (program order,
     # names sorted within each program), so ``stacked[instance]`` is exactly
     # the per-payload partial-sum matrix the inference reduction consumes.
     stacked = np.empty((instances, total_outputs, rows), dtype=np.int64)
-    slots_per_program: List[List[Tuple[str, int]]] = []
     slot = 0
     for program_index, lowered in enumerate(compiled):
-        for name, region in lowered.loads:
-            gathered = _gather_load(
-                name, region, program_index, inputs_per_instance, rows
-            )
-            if gathered is None:
-                _decline("invalid-input", name=name, program=program_index)
-                return None
-            engine.load(region, gathered)
+        # Loading operands into the wave state is host work (the payload
+        # fan-out), not CAM arithmetic: charge it to the ``host.stage``
+        # ledger so the host/device split prices the staged-view path
+        # against the legacy per-instance gather honestly.
+        if staged:
+            with telemetry.span("host.stage", category="host", mode="wave-load"):
+                if staged_inputs.planes is not None:
+                    provided = staged_inputs.planes[program_index]
+                    for name, region in lowered.loads:
+                        engine.load_planes(
+                            region, provided[name][chunk_start:chunk_stop]
+                        )
+                else:
+                    provided = staged_inputs.values[program_index]
+                    for name, region in lowered.loads:
+                        engine.load(
+                            region, provided[name][chunk_start:chunk_stop]
+                        )
+        else:
+            with telemetry.span("host.stage", category="host", mode="gather"):
+                for name, region in lowered.loads:
+                    gathered = _gather_load(
+                        name, region, program_index, inputs_per_instance, rows
+                    )
+                    if gathered is None:
+                        _decline(
+                            "invalid-input", name=name, program=program_index
+                        )
+                        return None
+                    engine.load(region, gathered)
         for op in lowered.ops:
             engine.run_op(op)
-        slots: List[Tuple[str, int]] = []
-        for name, region, negated in sorted(lowered.reads, key=lambda entry: entry[0]):
-            values = engine.read(region)
-            if negated:
-                np.negative(values, out=stacked[:, slot])
-            else:
-                stacked[:, slot] = values
-            slots.append((name, slot))
-            slot += 1
-        slots_per_program.append(slots)
+        read_batch = lowered.read_batch
+        if read_batch is not None:
+            # Batched readout: one fancy gather + one matrix product packs
+            # every output region of the program (all share offset/width).
+            read_columns, offset, width, negated = read_batch
+            count = len(read_columns)
+            block = engine.state[
+                :, :, read_columns, offset : offset + width
+            ].astype(np.int64)
+            values = block @ _pow2(width)  # (instances, rows, count)
+            values -= block[:, :, :, width - 1] << np.int64(width)
+            if negated.size:
+                values[:, :, negated] = -values[:, :, negated]
+            engine.read_bits += count * rows * width
+            stacked[:, slot : slot + count] = values.transpose(0, 2, 1)
+            slot += count
+        else:
+            for name, region, negated in lowered.reads_sorted:
+                values = engine.read(region)
+                if negated:
+                    np.negative(values, out=stacked[:, slot])
+                else:
+                    stacked[:, slot] = values
+                slot += 1
     # int64 addition is associative modulo 2**64, so the batched row sums
     # equal each instance's own ``values.sum()`` bit for bit.
-    totals = stacked.sum(axis=2)
+    totals = stacked.sum(axis=2).tolist()  # Python ints: exact checksum fold
     results: List[WaveResult] = []
     for instance in range(instances):
+        instance_rows = stacked[instance]
+        instance_totals = totals[instance]
         outputs_list: List[Dict[str, np.ndarray]] = []
         checksum = 0
-        for slots in slots_per_program:
-            converted: Dict[str, np.ndarray] = {}
-            for name, name_slot in slots:
-                checksum += int(totals[instance, name_slot])
-                converted[name] = stacked[instance, name_slot]
-            outputs_list.append(converted)
+        position = 0
+        for lowered in compiled:
+            names = lowered.read_names
+            end = position + len(names)
+            checksum += sum(instance_totals[position:end])
+            outputs_list.append(dict(zip(names, instance_rows[position:end])))
+            position = end
         results.append(
-            (engine.stats_for(instance), outputs_list, checksum, stacked[instance])
+            (engine.stats_for(instance), outputs_list, checksum, instance_rows)
         )
     return results

@@ -42,6 +42,7 @@ from repro.ap.backends.base import ExecutionBackend
 from repro.ap.backends.reference import ReferenceBackend
 from repro.ap.isa import APInstruction, APOpcode, ColumnRegion
 from repro.ap.lut import get_lut, reference_bit_op
+from repro.ap.backends.packing import bit_shifts as _bit_shifts
 from repro.cam.array import CAMArray
 from repro.errors import SimulationError
 from repro.utils.bitops import pack_bits_int64
@@ -55,23 +56,12 @@ _TRUTH_CACHE: Dict[Tuple[str, bool], np.ndarray] = {}
 #: Immutable LUT instances shared across instructions (keyed like the cache).
 _LUT_CACHE: Dict[Tuple[str, bool], object] = {}
 
-#: Cached ``np.arange`` shift vectors per width.
-_SHIFT_CACHE: Dict[int, np.ndarray] = {}
-
-
 def _cached_lut(kind: str, inplace: bool):
     key = (kind, bool(inplace))
     lut = _LUT_CACHE.get(key)
     if lut is None:
         lut = _LUT_CACHE[key] = get_lut(kind, inplace)
     return lut
-
-
-def _bit_shifts(width: int) -> np.ndarray:
-    shifts = _SHIFT_CACHE.get(width)
-    if shifts is None:
-        shifts = _SHIFT_CACHE[width] = np.arange(width, dtype=np.int64)
-    return shifts
 
 
 def lut_truth_matrix(kind: str, inplace: bool) -> np.ndarray:

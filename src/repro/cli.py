@@ -777,6 +777,7 @@ def _run_cluster(arguments: argparse.Namespace) -> str:
         metrics["replicas"] = arguments.replicas
         metrics["replicas_live"] = stats.live_replicas
         metrics["cold_leases_after_deploy"] = stats.cold_leases
+        metrics["compile_cache"] = cluster.compile_cache_status
         metrics["requests_per_replica"] = [
             replica.requests for replica in stats.replicas
         ]
@@ -808,6 +809,7 @@ def _run_cluster(arguments: argparse.Namespace) -> str:
                 ["latency p99 (ms)", f"{report.latency_p99_ms:.1f}"],
                 ["waves", report.waves],
                 ["mean wave size", f"{report.mean_wave_size:.2f}"],
+                ["compile cache", cluster.compile_cache_status],
             ],
             title=f"{arguments.model} cluster: open-loop Poisson load",
         ),

@@ -36,6 +36,7 @@ execution all produce byte-identical logits and counters.
 from __future__ import annotations
 
 import itertools
+import os
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -47,7 +48,11 @@ import numpy as np
 
 from repro import telemetry
 from repro.ap.backends import resolve_backend
-from repro.ap.backends.batched import execute_program_wave
+from repro.ap.backends.batched import (
+    StagedWaveInputs,
+    execute_program_wave,
+    wave_staging_plan,
+)
 from repro.ap.core import AssociativeProcessor
 from repro.arch.accelerator import Accelerator
 from repro.cam.stats import CAMStats
@@ -60,7 +65,9 @@ from repro.errors import (
 )
 from repro.inference.activations import (
     ActivationStore,
+    HostArena,
     dequantize_batch,
+    lower_batch_planes,
     lower_batch_rows,
     lower_input_rows,
     normalize_images,
@@ -81,6 +88,14 @@ from repro.runtime.scheduler import (
     aggregate_layer_run,
     charge_adder_tree_movement,
 )
+from repro.utils.bitops import max_signed_value, min_signed_value
+
+#: ``REPRO_HOST_DATAFLOW`` selects the layer-synchronous host staging
+#: discipline: ``wave`` (default) stages each layer's operands as views of
+#: one lowered tensor and calls the batched wave directly; ``per-image``
+#: forces the legacy per-(image, tile) payload build (the benchmark's A/B
+#: baseline).  Results are byte-identical either way.
+_HOST_DATAFLOW_ENV = "REPRO_HOST_DATAFLOW"
 
 
 @dataclass(frozen=True)
@@ -197,6 +212,193 @@ def _inference_layer_wave(payloads) -> Optional[List[InferenceTileResult]]:
                 stacked_outputs=stacked,
             )
     return results
+
+
+class _WaveGroup:
+    """One layer's tiles that share compiled programs, rows and channels.
+
+    The wave unit of the staged host path: all ``(image, tile)`` instances of
+    the group execute as one :func:`execute_program_wave` call, with operands
+    staged as slices of the layer's one lowered tensor.  Instance order is
+    image-major, tile-minor - exactly the payload order of the legacy path,
+    so results scatter back by ``image * tiles + tile_index``.
+    """
+
+    __slots__ = (
+        "tile",
+        "rows",
+        "tile_indices",
+        "starts",
+        "bindings",
+        "load_widths",
+        "rows_idx",
+    )
+
+    def __init__(self, tile, rows: int, bindings, load_widths) -> None:
+        self.tile = tile
+        self.rows = rows
+        self.bindings = bindings
+        #: Per program: operand name -> load region width (plane staging
+        #: slices each name's first ``width`` planes of the shared unpack).
+        self.load_widths = load_widths
+        self.tile_indices: List[int] = []
+        self.starts: List[int] = []
+        #: Lazily built ``(tiles, rows)`` row-gather index (multi-tile groups).
+        self.rows_idx: Optional[np.ndarray] = None
+
+
+class _NodePlan:
+    """Per-layer host dataflow plan, built once per engine.
+
+    ``tile_specs`` is the image-invariant parse of every tile (row slice,
+    input bindings, static reduction layout) both host paths share.
+    ``groups`` is the wave grouping of those tiles - ``None`` when the
+    backend has no wave support or any program declines wave lowering, in
+    which case the layer always takes the legacy per-payload path.
+    ``plane_width`` is the widest operand load of the layer: the packed fast
+    path unpacks the layer's codes to that many bit planes once, and every
+    load slices its own first ``width`` planes (two's complement unpacking
+    is per-bit, so a prefix of a wider unpack IS the narrower unpack).
+    ``min_width`` is the narrowest load width - codes outside its signed
+    range cannot be staged (the legacy path then raises the proper range
+    errors).
+    """
+
+    __slots__ = ("tile_specs", "groups", "plane_width", "min_width")
+
+    def __init__(self, tile_specs, groups, plane_width, min_width) -> None:
+        self.tile_specs = tile_specs
+        self.groups = groups
+        self.plane_width = plane_width
+        self.min_width = min_width
+
+
+def _plan_node(node, columns: int, technology, wave_capable: bool) -> _NodePlan:
+    """Parse one layer's tiles and (when possible) its wave grouping.
+
+    Calling :func:`wave_staging_plan` here - at engine construction - also
+    pre-lowers every program for the wave geometry, moving the whole
+    compile-to-wave cost out of the first request's critical path.
+    """
+    rows_per_ap = node.mapping.rows_per_ap
+    tile_specs = []
+    for tile in node.planned.tiles:
+        start = tile.row_tile * rows_per_ap
+        row_slice = slice(start, start + tile.rows)
+        bindings = [
+            (channel, [(name, int(name[1:])) for name in program.input_columns])
+            for channel, program in zip(tile.channel_indices, tile.programs)
+        ]
+        # Static reduction layout: each program emits its outputs in
+        # sorted-name order, so the output channels per payload are known
+        # before execution and the partial sums can be added in bulk.
+        names_seq = [
+            tuple(sorted(program.output_columns)) for program in tile.programs
+        ]
+        channels = np.array(
+            [int(name[1:]) for names in names_seq for name in names],
+            dtype=np.intp,
+        )
+        uniform = len(set(names_seq)) <= 1
+        tile_specs.append((tile, row_slice, bindings, names_seq, channels, uniform))
+
+    if not wave_capable:
+        return _NodePlan(tile_specs, None, None, None)
+    groups: Optional[List[_WaveGroup]] = []
+    by_key: Dict[tuple, _WaveGroup] = {}
+    widths_seen: set = set()
+    for index, (tile, row_slice, bindings, _, _, _) in enumerate(tile_specs):
+        key = (
+            tuple(id(program) for program in tile.programs),
+            tile.rows,
+            tuple(tile.channel_indices),
+        )
+        group = by_key.get(key)
+        if group is None:
+            staging = wave_staging_plan(tile.programs, columns, technology=technology)
+            if staging is None:
+                groups = None
+                break
+            load_widths, _ = staging
+            for widths in load_widths:
+                widths_seen.update(widths.values())
+            group = by_key[key] = _WaveGroup(tile, tile.rows, bindings, load_widths)
+            groups.append(group)
+        group.tile_indices.append(index)
+        group.starts.append(row_slice.start)
+    plane_width = None
+    min_width = None
+    if groups is not None and widths_seen:
+        min_width = min(widths_seen)
+        plane_width = max(widths_seen)
+    return _NodePlan(tile_specs, groups, plane_width, min_width)
+
+
+def _stage_group(
+    group: _WaveGroup,
+    lowered: np.ndarray,
+    num_images: int,
+    plane_width: Optional[int],
+) -> StagedWaveInputs:
+    """Stage one wave group's operands as slices of the lowered tensor.
+
+    Single-tile groups (the common shape of weight-resident plans) stage
+    pure views - zero copies between the layer's one lowering pass and the
+    CAM load.  Multi-tile groups gather all tiles' row windows in one fancy
+    index per operand (one copy per operand name, never per payload).
+    """
+    tiles = len(group.tile_indices)
+    rows = group.rows
+    instances = num_images * tiles
+    if tiles == 1:
+        window = slice(group.starts[0], group.starts[0] + rows)
+        if plane_width is None:
+            values = [
+                {name: lowered[:, channel, k, window] for name, k in names}
+                for channel, names in group.bindings
+            ]
+            return StagedWaveInputs(instances, rows, values=values)
+        planes = [
+            {
+                # Each load takes the first ``width`` planes of the shared
+                # unpack (a prefix of a wider two's complement unpack IS the
+                # narrower unpack, bit for bit).
+                name: lowered[:, channel, : widths[name], k, window].transpose(
+                    0, 2, 1
+                )
+                for name, k in names
+            }
+            for (channel, names), widths in zip(group.bindings, group.load_widths)
+        ]
+        return StagedWaveInputs(instances, rows, planes=planes)
+    rows_idx = group.rows_idx
+    if rows_idx is None:
+        rows_idx = group.rows_idx = np.asarray(group.starts, dtype=np.intp)[
+            :, None
+        ] + np.arange(rows, dtype=np.intp)
+    if plane_width is None:
+        values = [
+            {
+                name: lowered[:, channel, k, rows_idx].reshape(instances, rows)
+                for name, k in names
+            }
+            for channel, names in group.bindings
+        ]
+        return StagedWaveInputs(instances, rows, values=values)
+    planes = [
+        {
+            # Two indexing steps: mixing the scalar channel/k indices with
+            # the row-gather array would make them advanced indices too and
+            # scramble the axis order.  (N, width, tiles, rows) gather ->
+            # (instances, rows, width).
+            name: lowered[:, channel, : widths[name], k][:, :, rows_idx]
+            .transpose(0, 2, 3, 1)
+            .reshape(instances, rows, widths[name])
+            for name, k in names
+        }
+        for (channel, names), widths in zip(group.bindings, group.load_widths)
+    ]
+    return StagedWaveInputs(instances, rows, planes=planes)
 
 
 @dataclass
@@ -396,6 +598,47 @@ class BatchedInference:
         #: Monotonic per-engine request ids (span attribute only; results
         #: carry no id, so numbering never affects the data path).
         self._request_ids = itertools.count()
+        self._host_dataflow = (
+            os.environ.get(_HOST_DATAFLOW_ENV, "wave").strip().lower() or "wave"
+        )
+        if self._host_dataflow not in ("wave", "per-image"):
+            raise ConfigurationError(
+                f"{_HOST_DATAFLOW_ENV}={self._host_dataflow!r} is not a host "
+                f"dataflow mode (choose 'wave' or 'per-image')"
+            )
+        wave_capable = False
+        if self._host_dataflow == "wave":
+            try:
+                wave_capable = bool(
+                    getattr(
+                        resolve_backend(self.backend), "supports_program_wave", False
+                    )
+                )
+            except ConfigurationError:
+                # Invalid backends keep their error site: the legacy dispatch
+                # path raises when it builds the first AP.
+                wave_capable = False
+        #: Per-layer host dataflow plans (tile parses + wave groupings); for
+        #: wave-capable backends this also pre-lowers every program to its
+        #: wave form, so no request pays the lowering cost.
+        with telemetry.span(
+            "host.plan",
+            category="host",
+            layers=len(self.graph.nodes),
+            wave=wave_capable,
+        ):
+            self._node_plans = {
+                node.name: _plan_node(
+                    node,
+                    self._columns,
+                    self.accelerator.config.technology,
+                    wave_capable,
+                )
+                for node in self.graph.nodes
+            }
+        #: Reusable host staging arenas (one checked out per running request).
+        self._arenas: List[HostArena] = []
+        self._arena_lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Forward-hook plumbing shared by both dispatch disciplines
@@ -451,6 +694,25 @@ class BatchedInference:
         finally:
             self._tls.hook = previous
 
+    @contextmanager
+    def _staging_arena(self):
+        """Check one host staging arena out of the pool for this request.
+
+        Arenas are reused across requests (their buffers already fit the
+        model's largest layer) but never shared between two running requests
+        - concurrent layer-synchronous runs each check out their own.
+        """
+        with self._arena_lock:
+            arena = self._arenas.pop() if self._arenas else HostArena()
+        previous = getattr(self._tls, "arena", None)
+        self._tls.arena = arena
+        try:
+            yield arena
+        finally:
+            self._tls.arena = previous
+            with self._arena_lock:
+                self._arenas.append(arena)
+
     # ------------------------------------------------------------------
     def run(
         self,
@@ -492,7 +754,8 @@ class BatchedInference:
             if batch is None
             else [x[start : start + batch] for start in range(0, x.shape[0], batch)]
         )
-        logits = np.concatenate([self._forward(chunk) for chunk in chunks], axis=0)
+        with self._staging_arena():
+            logits = np.concatenate([self._forward(chunk) for chunk in chunks], axis=0)
         finished = time.perf_counter()
         telemetry.complete(
             "session.request",
@@ -541,72 +804,28 @@ class BatchedInference:
         technology = self.accelerator.config.technology
         num_images = codes.shape[0]
         positions = mapping.output_positions
-        rows_per_ap = mapping.rows_per_ap
+        plan = self._node_plans[node.name]
+        tile_specs = plan.tile_specs
 
-        # One strided im2col for the whole batch: the per-image host work
-        # joins the batch axis instead of running N Python loops (and, under
-        # the batched backend, feeding N x tiles separate tasks).
-        columns_batch = lower_batch_rows(
-            codes, node.kernel_size, node.stride, node.padding
-        )
-        # Parse each tile's input bindings once per layer, not once per image:
-        # the (name -> kernel position) map and row slice are image-invariant.
-        tile_specs = []
-        for tile in planned.tiles:
-            start = tile.row_tile * rows_per_ap
-            row_slice = slice(start, start + tile.rows)
-            bindings = [
-                (channel, [(name, int(name[1:])) for name in program.input_columns])
-                for channel, program in zip(tile.channel_indices, tile.programs)
+        staged = None
+        if plan.groups is not None:
+            staged = self._execute_node_wave(node, plan, codes, num_images)
+        if staged is not None:
+            results, wall = staged
+            # Residency accounting per (image, tile) dispatch, deferred until
+            # every wave of the layer succeeded (a declined wave falls back
+            # to the legacy path below, which charges the dispatches itself -
+            # deferral keeps the charge exactly-once either way).
+            for _ in range(num_images):
+                for spec in tile_specs:
+                    self.accelerator.account_tile_dispatch(spec[0])
+            pairs = [
+                (spec[0], image) for image in range(num_images) for spec in tile_specs
             ]
-            # Static reduction layout: each program emits its outputs in
-            # sorted-name order, so the output channels per payload are known
-            # before execution and the partial sums can be added in bulk.
-            names_seq = [
-                tuple(sorted(program.output_columns)) for program in tile.programs
-            ]
-            channels = np.array(
-                [int(name[1:]) for names in names_seq for name in names],
-                dtype=np.intp,
+        else:
+            results, pairs, wall = self._execute_node_payloads(
+                node, plan, codes, num_images, technology
             )
-            uniform = len(set(names_seq)) <= 1
-            tile_specs.append((tile, row_slice, bindings, names_seq, channels, uniform))
-
-        payloads = []
-        for image in range(num_images):
-            columns = columns_batch[image]
-            for tile, row_slice, bindings, _, _, _ in tile_specs:
-                # Residency accounting per (image, tile) dispatch: warm on a
-                # deployed (pinned) plan, cold lease + reprogram otherwise.
-                self.accelerator.account_tile_dispatch(tile)
-                inputs_list = [
-                    {
-                        name: columns[channel, position, row_slice]
-                        for name, position in positions
-                    }
-                    for channel, positions in bindings
-                ]
-                payloads.append(
-                    (tile, image, self._columns, self.backend, technology, inputs_list)
-                )
-
-        started = time.perf_counter()
-        with telemetry.span(
-            "device.layer",
-            category="device",
-            track=f"ap-group/{planned.layer_index}",
-            layer=node.name,
-            images=num_images,
-            executor=self.executor.name,
-            backend=str(self.backend),
-        ):
-            results = self.executor.map_layer(
-                _inference_tile_worker,
-                payloads,
-                lease=make_lease(self.accelerator, self._columns, self.backend),
-                wave=_inference_layer_wave,
-            )
-        wall = time.perf_counter() - started
 
         # Order-independent reduction of the real outputs: exact integer
         # partial sums accumulated per (image, output channel, position).
@@ -661,8 +880,8 @@ class BatchedInference:
         layer_result = aggregate_layer_run(
             planned,
             [
-                (payload[0], result.stats, payload[1])
-                for payload, result in zip(payloads, results)
+                (tile, result.stats, image)
+                for (tile, image), result in zip(pairs, results)
             ],
             self.accelerator,
             movement,
@@ -672,6 +891,170 @@ class BatchedInference:
         )
         self._record_layer(layer_result)
         return accumulator
+
+    def _execute_node_wave(
+        self, node: DataflowNode, plan: _NodePlan, codes: np.ndarray, num_images: int
+    ) -> Optional[Tuple[List[InferenceTileResult], float]]:
+        """Wave-native host path of one layer (staged operands, direct waves).
+
+        The whole layer is lowered once - to packed bit planes when every
+        operand load shares one width, to integer rows otherwise - and each
+        wave group's ``(image, tile)`` instances slice views of that one
+        tensor (:func:`_stage_group`).  Returns results in payload order
+        (image-major, tile-minor), or ``None`` to route the layer through
+        the legacy per-payload path (non-stageable codes or a declined
+        wave), which reproduces the pre-fusion behavior exactly.
+        """
+        if num_images == 0 or not plan.tile_specs:
+            return [], 0.0
+        plane_width = plan.plane_width
+        if plan.min_width is not None:
+            # Out-of-range codes cannot be staged (the packed form has no
+            # per-value range check); the legacy path raises the proper
+            # errors for them, exactly as before the fusion.
+            low = int(codes.min())
+            high = int(codes.max())
+            if low < min_signed_value(plan.min_width) or high > max_signed_value(
+                plan.min_width
+            ):
+                return None
+        technology = self.accelerator.config.technology
+        arena = getattr(self._tls, "arena", None)
+        if plane_width is not None:
+            lowered = lower_batch_planes(
+                codes,
+                node.kernel_size,
+                node.stride,
+                node.padding,
+                width=plane_width,
+                arena=arena,
+            )
+        else:
+            lowered = lower_batch_rows(
+                codes, node.kernel_size, node.stride, node.padding
+            )
+        with telemetry.span(
+            "host.stage",
+            category="host",
+            layer=node.name,
+            images=num_images,
+            mode="wave" if plane_width is None else "wave-planes",
+        ):
+            staged_groups = [
+                _stage_group(group, lowered, num_images, plane_width)
+                for group in plan.groups
+            ]
+        num_tiles = len(plan.tile_specs)
+        results: List[Optional[InferenceTileResult]] = [None] * (
+            num_images * num_tiles
+        )
+        started = time.perf_counter()
+        with telemetry.span(
+            "device.layer",
+            category="device",
+            track=f"ap-group/{node.planned.layer_index}",
+            layer=node.name,
+            images=num_images,
+            executor=self.executor.name,
+            backend=str(self.backend),
+        ):
+            for group, staged in zip(plan.groups, staged_groups):
+                group_start = time.perf_counter()
+                wave = execute_program_wave(
+                    group.tile.programs,
+                    staged,
+                    rows=group.rows,
+                    columns=self._columns,
+                    technology=technology,
+                )
+                if wave is None:
+                    return None
+                tiles = len(group.tile_indices)
+                duration = (time.perf_counter() - group_start) / max(len(wave), 1)
+                for instance, (stats, outputs_list, checksum, stacked) in enumerate(
+                    wave
+                ):
+                    image, tile_pos = divmod(instance, tiles)
+                    tile_index = group.tile_indices[tile_pos]
+                    results[image * num_tiles + tile_index] = InferenceTileResult(
+                        image_index=image,
+                        address=tuple(plan.tile_specs[tile_index][0].address),
+                        stats=stats,
+                        outputs=tuple(outputs_list),
+                        checksum=checksum,
+                        duration_s=duration,
+                        stacked_outputs=stacked,
+                    )
+        return results, time.perf_counter() - started
+
+    def _execute_node_payloads(
+        self,
+        node: DataflowNode,
+        plan: _NodePlan,
+        codes: np.ndarray,
+        num_images: int,
+        technology,
+    ) -> Tuple[List[InferenceTileResult], List[tuple], float]:
+        """Legacy per-(image, tile) payload path of one layer.
+
+        One strided im2col for the whole batch, then one payload dict per
+        (image, tile) handed to the executor (whose ``map_layer`` still
+        prefers the wave when the backend supports it).  Also the benchmark
+        baseline behind ``REPRO_HOST_DATAFLOW=per-image``.
+        """
+        columns_batch = lower_batch_rows(
+            codes, node.kernel_size, node.stride, node.padding
+        )
+        payloads = []
+        with telemetry.span(
+            "host.stage",
+            category="host",
+            layer=node.name,
+            images=num_images,
+            mode="per-image",
+        ):
+            for image in range(num_images):
+                columns = columns_batch[image]
+                for tile, row_slice, bindings, _, _, _ in plan.tile_specs:
+                    # Residency accounting per (image, tile) dispatch: warm on
+                    # a deployed (pinned) plan, cold lease + reprogram else.
+                    self.accelerator.account_tile_dispatch(tile)
+                    inputs_list = [
+                        {
+                            name: columns[channel, position, row_slice]
+                            for name, position in positions
+                        }
+                        for channel, positions in bindings
+                    ]
+                    payloads.append(
+                        (
+                            tile,
+                            image,
+                            self._columns,
+                            self.backend,
+                            technology,
+                            inputs_list,
+                        )
+                    )
+
+        started = time.perf_counter()
+        with telemetry.span(
+            "device.layer",
+            category="device",
+            track=f"ap-group/{node.planned.layer_index}",
+            layer=node.name,
+            images=num_images,
+            executor=self.executor.name,
+            backend=str(self.backend),
+        ):
+            results = self.executor.map_layer(
+                _inference_tile_worker,
+                payloads,
+                lease=make_lease(self.accelerator, self._columns, self.backend),
+                wave=_inference_layer_wave,
+            )
+        wall = time.perf_counter() - started
+        return results, [(payload[0], payload[1]) for payload in payloads], wall
 
     # ------------------------------------------------------------------
     # Pipelined dispatch: dependency-driven execution across layers/images

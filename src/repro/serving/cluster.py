@@ -231,6 +231,9 @@ class Cluster:
         self.model = None
         self.input_shape: Optional[tuple] = None
         self.compiled = None
+        #: Compile-cache witness from the one parent-process compile
+        #: (``"off"``/``"miss"``/``"hit"``, see ``REPRO_COMPILE_CACHE``).
+        self.compile_cache_status: str = "off"
         self._replicas: List[_Replica] = []
         self._lock = threading.Lock()
         self._next_request = 0
@@ -283,6 +286,7 @@ class Cluster:
                 self.model = scratch.model
                 self.input_shape = scratch.input_shape
                 self.compiled = scratch.compiled
+                self.compile_cache_status = scratch.compile_cache_status
             finally:
                 scratch.close()
 

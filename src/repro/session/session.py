@@ -65,6 +65,7 @@ from repro.runtime.plan import (
 )
 from repro.runtime.pipeline import PipelineScheduler
 from repro.runtime.scheduler import PlanExecution, Scheduler
+from repro.session import cache as compile_cache
 from repro.session.config import SessionConfig
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
@@ -370,6 +371,10 @@ class Session:
         self._tracer: Optional[telemetry.Tracer] = (
             telemetry.install() if config.trace_enabled else None
         )
+        #: Witness of the opt-in on-disk compile cache (``REPRO_COMPILE_CACHE``):
+        #: ``"off"`` (disabled or uncacheable config), ``"miss"`` (compiled and
+        #: stored), or ``"hit"`` (artifacts loaded, compiler skipped).
+        self.compile_cache_status: str = "off"
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -407,6 +412,22 @@ class Session:
         specs = model_layer_specs(self.model, self.input_shape)
         if config.layers is not None:
             specs = specs[: config.layers]
+        import repro as _repro
+
+        cache_directory = compile_cache.cache_dir()
+        cache_key = (
+            compile_cache.cache_key(config, _repro.__version__)
+            if cache_directory is not None
+            else None
+        )
+        if cache_key is not None:
+            cached = compile_cache.load(cache_directory, cache_key)
+            if cached is not None:
+                self.compiled = cached
+                self.compile_cache_status = "hit"
+                self.state = SessionState.COMPILED
+                return self
+            self.compile_cache_status = "miss"
         with telemetry.span(
             "session.compile",
             category="session",
@@ -423,6 +444,8 @@ class Session:
                 name=config.display_name,
                 emit_programs=True,
             )
+        if cache_key is not None:
+            compile_cache.store(cache_directory, cache_key, self.compiled)
         self.state = SessionState.COMPILED
         return self
 

@@ -24,12 +24,17 @@ from repro.ap.backends import (
     register_backend,
     resolve_backend,
 )
-from repro.ap.backends.batched import execute_program_wave
+from repro.ap.backends.batched import (
+    StagedWaveInputs,
+    execute_program_wave,
+    wave_staging_plan,
+)
 from repro.ap.backends.harness import (
     compare_backends,
     random_inputs,
     random_program,
 )
+from repro.ap.backends.packing import unpack_bits
 from repro.ap.backends.vectorized import lut_truth_matrix
 from repro.ap.core import AssociativeProcessor
 from repro.ap.isa import APInstruction, APOpcode, APProgram, ColumnRegion
@@ -564,3 +569,171 @@ class TestWaveExecution:
 
         non_integer = [list(good[0]), [{**good[1][0], "a": np.zeros(rows) + 0.5}]]
         assert execute_program_wave(programs, non_integer, rows, columns) is None
+
+
+class TestStagedWaveExecution:
+    """Host-staged operand forms: byte-identity to the per-instance dicts.
+
+    The wave-native host dataflow hands ``execute_program_wave`` one
+    :class:`StagedWaveInputs` per layer group instead of ``instances``
+    payload dicts; both the integer-batch and pre-unpacked bit-plane forms
+    must reproduce the legacy form bit for bit, and malformed staging must
+    decline (return ``None``) rather than corrupt the wave.
+    """
+
+    def _staged_values(self, programs, inputs, rows):
+        values = []
+        for program_index, _ in enumerate(programs):
+            names = inputs[0][program_index].keys()
+            values.append(
+                {
+                    name: np.stack(
+                        [
+                            np.asarray(
+                                instance[program_index][name], dtype=np.int64
+                            )
+                            for instance in inputs
+                        ]
+                    )
+                    for name in names
+                }
+            )
+        return StagedWaveInputs(len(inputs), rows, values=values)
+
+    def _staged_planes(self, programs, inputs, rows, columns):
+        plan = wave_staging_plan(programs, columns)
+        assert plan is not None
+        load_widths, _ = plan
+        planes = []
+        for program_index, widths in enumerate(load_widths):
+            planes.append(
+                {
+                    name: unpack_bits(
+                        np.stack(
+                            [
+                                np.asarray(
+                                    instance[program_index][name],
+                                    dtype=np.int64,
+                                )
+                                for instance in inputs
+                            ]
+                        ),
+                        width,
+                    )
+                    for name, width in widths.items()
+                }
+            )
+        return StagedWaveInputs(len(inputs), rows, planes=planes)
+
+    def test_staged_values_match_per_instance(self, rng):
+        programs, columns = add_tile(7)
+        rows = 6
+        inputs = [
+            [random_inputs(program, rows, rng) for program in programs]
+            for _ in range(4)
+        ]
+        baseline = execute_program_wave(programs, inputs, rows, columns)
+        staged = execute_program_wave(
+            programs, self._staged_values(programs, inputs, rows), rows, columns
+        )
+        assert baseline is not None and staged is not None
+        for legacy, wave in zip(baseline, staged):
+            assert legacy[0] == wave[0]
+            assert legacy[2] == wave[2]
+            assert np.array_equal(legacy[3], wave[3])
+
+    def test_staged_planes_match_staged_values(self, rng):
+        programs, columns = add_tile(6)
+        rows = 5
+        inputs = [
+            [random_inputs(program, rows, rng) for program in programs]
+            for _ in range(3)
+        ]
+        from_values = execute_program_wave(
+            programs, self._staged_values(programs, inputs, rows), rows, columns
+        )
+        from_planes = execute_program_wave(
+            programs,
+            self._staged_planes(programs, inputs, rows, columns),
+            rows,
+            columns,
+        )
+        assert from_values is not None and from_planes is not None
+        for left, right in zip(from_values, from_planes):
+            assert left[0] == right[0]
+            assert left[2] == right[2]
+            assert np.array_equal(left[3], right[3])
+
+    def test_staging_plan_reports_load_widths(self):
+        programs, columns = add_tile(7)
+        plan = wave_staging_plan(programs, columns)
+        assert plan is not None
+        load_widths, uniform = plan
+        assert load_widths == [{"a": 7, "b": 7}]
+        assert uniform == 7
+
+    def test_staging_plan_declines_bad_geometry(self):
+        programs, _ = add_tile(7)
+        assert wave_staging_plan(programs, 0) is None
+        assert wave_staging_plan(programs, 4, carry_column=3) is None
+
+    def test_staged_chunking_byte_identical(self, rng, monkeypatch):
+        from repro.ap.backends import batched as batched_module
+
+        programs, columns = add_tile(7)
+        rows = 5
+        inputs = [
+            [random_inputs(program, rows, rng) for program in programs]
+            for _ in range(6)
+        ]
+        staged = self._staged_values(programs, inputs, rows)
+        whole = execute_program_wave(programs, staged, rows, columns)
+        monkeypatch.setattr(batched_module, "_MAX_WAVE_STATE_BYTES", 1)
+        chunked = execute_program_wave(programs, staged, rows, columns)
+        assert whole is not None and chunked is not None
+        for left, right in zip(whole, chunked):
+            assert left[0] == right[0]
+            assert left[2] == right[2]
+            assert np.array_equal(left[3], right[3])
+
+    def test_staged_malformed_declines(self, rng):
+        """Shape, dtype, range and arity mismatches all decline cleanly."""
+        programs, columns = add_tile(5)
+        rows = 4
+        inputs = [
+            [random_inputs(program, rows, rng) for program in programs]
+            for _ in range(2)
+        ]
+        good = self._staged_values(programs, inputs, rows)
+
+        bad_shape = StagedWaveInputs(
+            2, rows, values=[{**good.values[0], "a": np.zeros((2, rows + 1))}]
+        )
+        assert execute_program_wave(programs, bad_shape, rows, columns) is None
+
+        out_of_range = StagedWaveInputs(
+            2,
+            rows,
+            values=[{**good.values[0], "a": np.full((2, rows), 2**10)}],
+        )
+        assert (
+            execute_program_wave(programs, out_of_range, rows, columns) is None
+        )
+
+        missing = StagedWaveInputs(
+            2, rows, values=[{"a": good.values[0]["a"]}]
+        )
+        assert execute_program_wave(programs, missing, rows, columns) is None
+
+        non_integer = StagedWaveInputs(
+            2, rows, values=[{**good.values[0], "a": np.zeros((2, rows)) + 0.5}]
+        )
+        assert (
+            execute_program_wave(programs, non_integer, rows, columns) is None
+        )
+
+    def test_staged_requires_exactly_one_form(self):
+        with pytest.raises(ValueError):
+            StagedWaveInputs(1, 4)
+        with pytest.raises(ValueError):
+            StagedWaveInputs(1, 4, values=[], planes=[])

@@ -1,0 +1,77 @@
+"""Unit tests of the shared word <-> bit-plane conversion helpers."""
+
+import numpy as np
+import pytest
+
+from repro.ap.backends.packing import bit_shifts, pack_planes, pow2, unpack_bits
+
+
+class TestBases:
+    def test_bit_shifts_and_pow2(self):
+        assert np.array_equal(bit_shifts(4), [0, 1, 2, 3])
+        assert np.array_equal(pow2(4), [1, 2, 4, 8])
+        assert pow2(64 - 1).dtype == np.int64
+
+    def test_cached_instances_are_reused(self):
+        assert bit_shifts(6) is bit_shifts(6)
+        assert pow2(6) is pow2(6)
+
+
+class TestUnpackBits:
+    @pytest.mark.parametrize("width", [1, 5, 8, 31, 63])
+    def test_roundtrip_signed(self, width):
+        rng = np.random.default_rng(width)
+        low = -(2 ** (width - 1))
+        high = 2 ** (width - 1)
+        values = rng.integers(low, high, size=(3, 7), dtype=np.int64)
+        values.flat[0] = low
+        values.flat[-1] = high - 1
+        planes = unpack_bits(values, width)
+        assert planes.dtype == np.uint8
+        assert planes.shape == values.shape + (width,)
+        assert np.array_equal(pack_planes(planes), values)
+
+    def test_roundtrip_unsigned(self):
+        values = np.arange(16, dtype=np.int64)
+        planes = unpack_bits(values, 4)
+        assert np.array_equal(pack_planes(planes, signed=False), values)
+
+    def test_negative_words_sign_extend(self):
+        """An arithmetic shift replicates the sign bit above the magnitude,
+        so a width-6 unpack of -1 is all ones."""
+        planes = unpack_bits(np.array([-1]), 6)
+        assert np.array_equal(planes[0], np.ones(6, dtype=np.uint8))
+
+    def test_prefix_planes_are_width_independent(self):
+        """Bit k of a word does not depend on the unpack width: a narrow
+        load may slice the first planes of a wider unpack (the shared
+        max-width staging trick)."""
+        values = np.array([-8, -1, 0, 3, 7], dtype=np.int64)
+        wide = unpack_bits(values, 9)
+        for width in (4, 6, 9):
+            assert np.array_equal(unpack_bits(values, width), wide[..., :width])
+
+    def test_out_parameter_writes_in_place(self):
+        values = np.array([[5, -3], [0, 2]], dtype=np.int64)
+        out = np.empty((2, 2, 4), dtype=np.uint8)
+        returned = unpack_bits(values, 4, out=out)
+        assert returned is out
+        assert np.array_equal(out, unpack_bits(values, 4))
+
+    def test_out_accepts_transposed_views(self):
+        """The host stages planes through strided views (bit-major layout);
+        writing through a transpose must land the same bits."""
+        values = np.arange(-4, 4, dtype=np.int64).reshape(2, 4)
+        backing = np.empty((3, 2, 4), dtype=np.uint8)
+        unpack_bits(values, 3, out=backing.transpose(1, 2, 0))
+        assert np.array_equal(
+            backing.transpose(1, 2, 0), unpack_bits(values, 3)
+        )
+
+
+class TestPackPlanes:
+    def test_msb_weight_is_negative_when_signed(self):
+        planes = np.zeros((1, 4), dtype=np.uint8)
+        planes[0, 3] = 1
+        assert pack_planes(planes)[0] == -8
+        assert pack_planes(planes, signed=False)[0] == 8

@@ -147,6 +147,63 @@ class TestBatchedWaveOnTopologies:
                 )
 
 
+class TestHostDataflowModes:
+    """Wave-native vs per-image host staging: one dataflow, two schedules.
+
+    ``REPRO_HOST_DATAFLOW`` selects how the host feeds the batched backend -
+    fused quantize/lower/stage with operand views (``wave``, the default) or
+    the legacy per-(image, tile) payload fan-out (``per-image``).  Both must
+    produce byte-identical logits, checksums and per-layer CAMStats on every
+    benchmark topology and executor.
+    """
+
+    @staticmethod
+    def _run(model, input_shape, images, mode, monkeypatch, **kwargs):
+        monkeypatch.setenv("REPRO_HOST_DATAFLOW", mode)
+        driver = BatchedInference(
+            model, input_shape, bits=4, backend="batched", **kwargs
+        )
+        try:
+            return driver.run(images)
+        finally:
+            driver.close()
+
+    @pytest.mark.parametrize(
+        "fixture_name", ["tiny_cnn", "vgg9_narrow", "resnet18_narrow"]
+    )
+    def test_wave_matches_per_image(
+        self, request, fixture_name, images_rng, monkeypatch
+    ):
+        model, input_shape = request.getfixturevalue(fixture_name)
+        images = images_rng.uniform(0.0, 1.0, size=(3,) + input_shape)
+        legacy = self._run(model, input_shape, images, "per-image", monkeypatch)
+        for mode in (
+            {"executor": "serial"},
+            {"executor": "thread", "workers": 2},
+        ):
+            wave = self._run(
+                model, input_shape, images, "wave", monkeypatch, **mode
+            )
+            label = f"wave {mode}"
+            assert np.array_equal(wave.logits, legacy.logits), label
+            assert wave.checksum == legacy.checksum, label
+            assert (
+                wave.execution.total_stats == legacy.execution.total_stats
+            ), label
+            for left, right in zip(
+                wave.execution.layers, legacy.execution.layers
+            ):
+                assert left.stats == right.stats, (
+                    f"{label}: layer {left.name} diverged"
+                )
+
+    def test_unknown_mode_rejected(self, tiny_cnn, monkeypatch):
+        model, input_shape = tiny_cnn
+        monkeypatch.setenv("REPRO_HOST_DATAFLOW", "sideways")
+        with pytest.raises(Exception):
+            BatchedInference(model, input_shape, bits=4, backend="batched")
+
+
 class TestRuntimeIntegration:
     def test_cost_model_crosscheck(self, tiny_cnn, images_rng):
         model, input_shape = tiny_cnn
